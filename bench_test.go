@@ -1,0 +1,207 @@
+// Benchmarks: one testing.B per figure/table of the paper's evaluation
+// (each iteration regenerates the full experiment, so `go test -bench=.`
+// doubles as the reproduction harness), plus micro-benchmarks of the hot
+// substrates (GIL simulation, wrap execution, PGP planning, the engine).
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig13 -benchtime=1x   # one-shot table
+package chiron_test
+
+import (
+	"testing"
+	"time"
+
+	"chiron"
+	"chiron/internal/behavior"
+	"chiron/internal/engine"
+	"chiron/internal/experiments"
+	"chiron/internal/gil"
+	"chiron/internal/model"
+	"chiron/internal/pgp"
+	"chiron/internal/platform"
+	"chiron/internal/profiler"
+	"chiron/internal/workloads"
+)
+
+// benchExperiment runs one experiment per iteration. Quick mode keeps
+// -bench=. affordable; run cmd/chiron-bench for the full-size tables.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.Default()
+	cfg.Quick = true
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig03SchedulingOverhead(b *testing.B) { benchExperiment(b, "fig3") }
+func BenchmarkFig04Transmission(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFig05Timelines(b *testing.B)          { benchExperiment(b, "fig5") }
+func BenchmarkFig06LatencyComparison(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFig07NoGILCPUs(b *testing.B)          { benchExperiment(b, "fig7") }
+func BenchmarkFig08Resources(b *testing.B)          { benchExperiment(b, "fig8") }
+func BenchmarkTable01Isolation(b *testing.B)        { benchExperiment(b, "table1") }
+func BenchmarkFig11PGPTrace(b *testing.B)           { benchExperiment(b, "fig11") }
+func BenchmarkFig12PredictionError(b *testing.B)    { benchExperiment(b, "fig12") }
+func BenchmarkFig13OverallLatency(b *testing.B)     { benchExperiment(b, "fig13") }
+func BenchmarkFig14SLOViolations(b *testing.B)      { benchExperiment(b, "fig14") }
+func BenchmarkFig15LatencyCDF(b *testing.B)         { benchExperiment(b, "fig15") }
+func BenchmarkFig16MemoryThroughput(b *testing.B)   { benchExperiment(b, "fig16") }
+func BenchmarkFig17CPUAllocation(b *testing.B)      { benchExperiment(b, "fig17") }
+func BenchmarkFig18NoGIL(b *testing.B)              { benchExperiment(b, "fig18") }
+func BenchmarkFig19DollarCost(b *testing.B)         { benchExperiment(b, "fig19") }
+
+// ---- substrate micro-benchmarks ----
+
+func gilSpecs(n int) []*behavior.Spec {
+	specs := make([]*behavior.Spec, n)
+	for i := range specs {
+		specs[i] = &behavior.Spec{
+			Name: "f", Runtime: behavior.Python,
+			Segments: []behavior.Segment{
+				{Kind: behavior.CPU, Dur: 2 * time.Millisecond},
+				{Kind: behavior.NetIO, Dur: time.Millisecond},
+				{Kind: behavior.CPU, Dur: time.Millisecond},
+			},
+			MemMB: 1,
+		}
+	}
+	return specs
+}
+
+// BenchmarkGILSimulate50Threads measures Algorithm 1's core: simulating
+// 50 GIL-contended threads (the Predictor's inner loop).
+func BenchmarkGILSimulate50Threads(b *testing.B) {
+	specs := gilSpecs(50)
+	opt := gil.Options{Procs: 1, Quantum: 5 * time.Millisecond, Spawn: gil.MainThread,
+		SpawnBatch: 8, SpawnCost: 300 * time.Microsecond}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gil.Simulate(specs, opt)
+	}
+}
+
+// BenchmarkGILSimulate200Pool measures the pool scheduler at FINRA-200
+// scale.
+func BenchmarkGILSimulate200Pool(b *testing.B) {
+	specs := gilSpecs(200)
+	opt := gil.Options{Procs: 8, Quantum: 5 * time.Millisecond, Spawn: gil.Dispatcher,
+		SpawnCost: 450 * time.Microsecond, Workers: 200}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gil.Simulate(specs, opt)
+	}
+}
+
+// BenchmarkProfileWorkflow measures the Profiler on the FINRA-50 workflow
+// (solo runs, strace recording, log parsing, rescaling).
+func BenchmarkProfileWorkflow(b *testing.B) {
+	w := workloads.FINRA(50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPGPPlanFINRA100 measures the scheduler on the paper's Figure 11
+// input: FINRA-100 under a 200 ms SLO.
+func BenchmarkPGPPlanFINRA100(b *testing.B) {
+	w := workloads.FINRA(100)
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pgp.Plan(w, set, pgp.Options{Const: model.Default(), SLO: 200 * time.Millisecond}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPGPPlanHeterogeneous measures Kernighan-Lin refinement on the
+// mixed-class SLApp-V (the homogeneous shortcut does not apply).
+func BenchmarkPGPPlanHeterogeneous(b *testing.B) {
+	w := workloads.SLAppV()
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pgp.Plan(w, set, pgp.Options{Const: model.Default(), SLO: 60 * time.Millisecond}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRequestFINRA50 measures one ground-truth request under
+// the Chiron deployment.
+func BenchmarkEngineRequestFINRA50(b *testing.B) {
+	w := workloads.FINRA(50)
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := platform.Chiron(model.Default())
+	plan, err := sys.Plan(w, set, 300*time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := sys.Env()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Seed = int64(i)
+		if _, err := engine.Run(w, plan, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRequestASF200 measures the most event-heavy baseline:
+// Step Functions driving FINRA-200 one-to-one.
+func BenchmarkEngineRequestASF200(b *testing.B) {
+	w := workloads.FINRA(200)
+	sys := platform.ASF(model.Default())
+	plan, err := sys.Plan(w, nil, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := sys.Env()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Seed = int64(i)
+		if _, err := engine.Run(w, plan, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeployFacade measures the whole public-API path: profile +
+// plan + one invocation.
+func BenchmarkDeployFacade(b *testing.B) {
+	w := chiron.SocialNetwork()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dep, err := chiron.Deploy(w, 80*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dep.Invoke(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package chiron_test
+
+import (
+	"testing"
+	"time"
+
+	"chiron"
+)
+
+func TestDeployInvokeRoundTrip(t *testing.T) {
+	w := chiron.FINRA(10)
+	dep, err := chiron.Deploy(w, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dep.Invoke(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.E2E <= 0 || res.E2E > 300*time.Millisecond {
+		t.Fatalf("E2E = %v, want within the 300ms SLO", res.E2E)
+	}
+	if len(res.Functions) != 11 {
+		t.Fatalf("%d function timings", len(res.Functions))
+	}
+	cpus, mem, sandboxes, instances, err := dep.Resources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpus < 1 || mem <= 0 || sandboxes < 1 || instances < 1 {
+		t.Fatalf("resources = %d cpus / %.1fMB / %d sandboxes / %d instances", cpus, mem, sandboxes, instances)
+	}
+	pred, err := dep.PredictLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := float64(pred-res.E2E) / float64(res.E2E)
+	if gap < -0.35 || gap > 0.35 {
+		t.Fatalf("predictor (%v) far from engine (%v)", pred, res.E2E)
+	}
+}
+
+func TestDeployOnBaseline(t *testing.T) {
+	c := chiron.DefaultConstants()
+	w := chiron.SocialNetwork()
+	chironDep, err := chiron.Deploy(w, 120*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := chiron.DeployOn(chiron.OpenFaaS(c), w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chLats, err := chironDep.InvokeMany(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bLats, err := baseline.InvokeMany(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chiron.Mean(chLats) >= chiron.Mean(bLats) {
+		t.Fatalf("Chiron (%v) should beat OpenFaaS (%v) on an interactive workflow",
+			chiron.Mean(chLats), chiron.Mean(bLats))
+	}
+}
+
+func TestNewWorkflowAndCustomDeploy(t *testing.T) {
+	head := &chiron.Function{
+		Name: "resize", Runtime: chiron.Python,
+		Segments: []chiron.Segment{
+			{Kind: chiron.CPU, Dur: 3 * time.Millisecond},
+			{Kind: chiron.DiskIO, Dur: 2 * time.Millisecond, Bytes: 1 << 20},
+		},
+		MemMB: 4, OutputBytes: 1 << 20,
+	}
+	var thumbs []*chiron.Function
+	for _, n := range []string{"t-small", "t-medium", "t-large"} {
+		thumbs = append(thumbs, &chiron.Function{
+			Name: n, Runtime: chiron.Python,
+			Segments: []chiron.Segment{{Kind: chiron.CPU, Dur: 5 * time.Millisecond}},
+			MemMB:    2,
+		})
+	}
+	w, err := chiron.NewWorkflow("thumbnailer", 0, []*chiron.Function{head}, thumbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := chiron.Deploy(w, 40*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lats, err := dep.InvokeMany(3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := chiron.ViolationRate(lats, 40*time.Millisecond); v > 0.1 {
+		t.Fatalf("SLO violations %.0f%% on a planned deployment", v*100)
+	}
+	if p95 := chiron.Percentile(lats, 0.95); p95 > 40*time.Millisecond {
+		t.Fatalf("p95 %v exceeds the SLO", p95)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := chiron.Experiments()
+	if len(ids) != 16 {
+		t.Fatalf("%d experiments, want 16", len(ids))
+	}
+	cfg := chiron.DefaultExperimentConfig()
+	cfg.Quick = true
+	tab, err := chiron.RunExperiment("fig4", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "fig4" || len(tab.Rows) == 0 {
+		t.Fatalf("table = %+v", tab)
+	}
+}
+
+func TestPlanPGPDirectly(t *testing.T) {
+	w := chiron.SLApp()
+	set, err := chiron.Profile(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := chiron.PlanPGP(w, set, chiron.PGPOptions{
+		Const: chiron.DefaultConstants(),
+		SLO:   80 * time.Millisecond,
+		Style: chiron.PoolStyle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Plan.Sandboxes[0].Pool {
+		t.Fatal("pool style ignored")
+	}
+	env := chiron.Chiron(chiron.DefaultConstants()).Env()
+	env.Seed = 5
+	r, err := chiron.Execute(w, res.Plan, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.E2E <= 0 {
+		t.Fatal("no latency")
+	}
+}
+
+func TestRunLiveFacade(t *testing.T) {
+	w, err := chiron.NewWorkflow("live-wf", 0, []*chiron.Function{{
+		Name: "only", Runtime: chiron.Python,
+		Segments: []chiron.Segment{{Kind: chiron.CPU, Dur: 5 * time.Millisecond}},
+		MemMB:    1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := chiron.Deploy(w, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := chiron.RunLive(w, dep.Plan, chiron.LiveOptions{
+		Bindings: map[string]chiron.LiveFn{
+			"only": func(c *chiron.LiveCtx) error {
+				c.Store.Put("ran", []byte("yes"))
+				return nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := res.Store.Get("ran"); err != nil || string(v) != "yes" {
+		t.Fatalf("bound function did not run: %v %q", err, v)
+	}
+}
+
+func TestPlanDynamicFacade(t *testing.T) {
+	fn := func(name string) *chiron.Function {
+		return &chiron.Function{
+			Name: name, Runtime: chiron.Python,
+			Segments: []chiron.Segment{{Kind: chiron.CPU, Dur: 2 * time.Millisecond}},
+			MemMB:    1,
+		}
+	}
+	w := &chiron.DynamicWorkflow{
+		Name: "dyn",
+		Head: []chiron.Stage{{Functions: []*chiron.Function{fn("head")}}},
+		Branches: []chiron.DynamicBranch{
+			{Name: "a", Weight: 0.5, Stages: []chiron.Stage{{Functions: []*chiron.Function{fn("fa")}}}},
+			{Name: "b", Weight: 0.5, Stages: []chiron.Stage{{Functions: []*chiron.Function{fn("fb")}}}},
+		},
+	}
+	d, err := chiron.PlanDynamic(w, 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Plans) != 2 || d.ExpectedLatency() <= 0 {
+		t.Fatalf("dynamic deployment = %d plans, expected %v", len(d.Plans), d.ExpectedLatency())
+	}
+}
+
+func TestAdaptiveControllerFacade(t *testing.T) {
+	src := func() *chiron.Workflow {
+		w, _ := chiron.NewWorkflow("ad", 0, []*chiron.Function{{
+			Name: "f", Runtime: chiron.Python,
+			Segments: []chiron.Segment{{Kind: chiron.CPU, Dur: 2 * time.Millisecond}},
+			MemMB:    1,
+		}})
+		return w
+	}
+	c, err := chiron.NewAdaptiveController(src, chiron.AdaptiveOptions{SLO: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Plan() == nil || c.Predicted() <= 0 {
+		t.Fatal("controller did not plan")
+	}
+}

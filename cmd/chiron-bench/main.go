@@ -1,0 +1,88 @@
+// Command chiron-bench regenerates the paper's evaluation: every figure
+// and table of "Rethinking Deployment for Serverless Functions" as an
+// aligned text table, with the paper's reported values attached as notes.
+//
+// Usage:
+//
+//	chiron-bench               # run everything, print to stdout
+//	chiron-bench -exp fig13    # one experiment
+//	chiron-bench -quick        # trimmed sweeps (CI-sized)
+//	chiron-bench -out results  # additionally write one .txt per experiment
+//	chiron-bench -list         # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"chiron/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment ID (fig3..fig19, table1, abl-*), 'all' (paper), or 'ablations'")
+		quick = flag.Bool("quick", false, "trim sweeps for a fast pass")
+		out   = flag.String("out", "", "directory to also write per-experiment .txt files")
+		seed  = flag.Int64("seed", 1, "jitter seed")
+		reqs  = flag.Int("requests", 0, "samples for distributional metrics (0 = default)")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.Order {
+			fmt.Println(id)
+		}
+		for _, id := range experiments.Ablations {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiments.Default()
+	cfg.Quick = *quick
+	cfg.Seed = *seed
+	if *reqs > 0 {
+		cfg.Requests = *reqs
+	}
+
+	ids := experiments.Order
+	switch *exp {
+	case "all":
+	case "ablations":
+		ids = experiments.Ablations
+	default:
+		ids = []string{*exp}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	start := time.Now()
+	for _, id := range ids {
+		t0 := time.Now()
+		tab, err := experiments.Run(id, cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		text := tab.String()
+		fmt.Print(text)
+		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(t0).Round(time.Millisecond))
+		if *out != "" {
+			path := filepath.Join(*out, id+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	fmt.Printf("done: %d experiment(s) in %v\n", len(ids), time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chiron-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Command chiron is the CLI for the Chiron reproduction; the
+// implementation lives in internal/cli so it is unit tested.
+package main
+
+import (
+	"os"
+
+	"chiron/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

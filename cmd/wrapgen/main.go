@@ -1,0 +1,112 @@
+// Command wrapgen is the Generator (Section 5) as a standalone tool: it
+// plans a workflow with PGP and emits each wrap's orchestrator handler
+// source plus the deployment manifest, optionally writing one file per
+// wrap to a directory (the shape OpenFaaS function templates expect).
+//
+// Usage:
+//
+//	wrapgen -workload FINRA-50 -slo 300ms
+//	wrapgen -workload SocialNetwork -slo 80ms -style pool -out build/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"chiron/internal/dag"
+	"chiron/internal/deploy"
+	"chiron/internal/model"
+	"chiron/internal/pgp"
+	"chiron/internal/profiler"
+	"chiron/internal/render"
+	"chiron/internal/workloads"
+	"chiron/internal/wrap"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "built-in workload name")
+		slo      = flag.Duration("slo", 0, "latency SLO (0 = latency-optimal)")
+		style    = flag.String("style", "hybrid", "execution style: hybrid | proconly | pool")
+		iso      = flag.String("iso", "none", "thread isolation: none | mpk")
+		out      = flag.String("out", "", "directory to write wrap-<n>/handler.py files")
+	)
+	flag.Parse()
+	if *workload == "" {
+		fmt.Fprintln(os.Stderr, "wrapgen: -workload is required (try: chiron workloads)")
+		os.Exit(2)
+	}
+	var w = lookup(*workload)
+	if w == nil {
+		fatal(fmt.Errorf("unknown workload %q", *workload))
+	}
+
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	opt := pgp.Options{Const: model.Default(), SLO: *slo}
+	switch *style {
+	case "hybrid":
+	case "proconly":
+		opt.Style = pgp.ProcOnly
+	case "pool":
+		opt.Style = pgp.PoolStyle
+	default:
+		fatal(fmt.Errorf("unknown style %q", *style))
+	}
+	switch *iso {
+	case "none":
+	case "mpk":
+		opt.Iso = wrap.IsoMPK
+	default:
+		fatal(fmt.Errorf("unknown isolation %q", *iso))
+	}
+
+	res, err := pgp.Plan(w, set, opt)
+	if err != nil {
+		fatal(err)
+	}
+	manifest, err := deploy.Manifest(w, res.Plan)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(manifest)
+	fmt.Printf("predicted latency: %s (meets SLO: %v)\n\n", render.Ms(res.Predicted), res.MeetsSLO)
+
+	orcs, err := deploy.Generate(w, res.Plan)
+	if err != nil {
+		fatal(err)
+	}
+	for _, o := range orcs {
+		if *out == "" {
+			fmt.Printf("# ===== wrap %d handler.py =====\n%s\n", o.Sandbox, o.Source)
+			continue
+		}
+		dir := filepath.Join(*out, fmt.Sprintf("wrap-%d", o.Sandbox))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(dir, "handler.py")
+		if err := os.WriteFile(path, []byte(o.Source), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+func lookup(name string) *dag.Workflow {
+	for _, e := range workloads.Suite() {
+		if e.Name == name {
+			return e.Workflow
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wrapgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+package chiron_test
+
+import (
+	"fmt"
+	"time"
+
+	"chiron"
+)
+
+// ExampleNewWorkflow builds a fan-out workflow and inspects its shape.
+func ExampleNewWorkflow() {
+	head := &chiron.Function{
+		Name: "parse", Runtime: chiron.Python,
+		Segments: []chiron.Segment{{Kind: chiron.CPU, Dur: 2 * time.Millisecond}},
+		MemMB:    2,
+	}
+	var workers []*chiron.Function
+	for _, n := range []string{"check-a", "check-b", "check-c"} {
+		workers = append(workers, &chiron.Function{
+			Name: n, Runtime: chiron.Python,
+			Segments: []chiron.Segment{{Kind: chiron.CPU, Dur: 4 * time.Millisecond}},
+			MemMB:    1,
+		})
+	}
+	w, err := chiron.NewWorkflow("audit", 0, []*chiron.Function{head}, workers)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(w.Name, len(w.Stages), w.NumFunctions(), w.MaxParallelism())
+	// Output: audit 2 4 3
+}
+
+// ExampleGraph_Level converts a DAG submission into execution stages by
+// topological depth.
+func ExampleGraph_Level() {
+	fn := func(name string) *chiron.Function {
+		return &chiron.Function{
+			Name: name, Runtime: chiron.Python,
+			Segments: []chiron.Segment{{Kind: chiron.CPU, Dur: time.Millisecond}},
+			MemMB:    1,
+		}
+	}
+	g := &chiron.Graph{
+		Name: "diamond",
+		Nodes: []chiron.GraphNode{
+			{Spec: fn("join"), Deps: []string{"left", "right"}},
+			{Spec: fn("start")},
+			{Spec: fn("left"), Deps: []string{"start"}},
+			{Spec: fn("right"), Deps: []string{"start"}},
+		},
+	}
+	w, err := g.Level()
+	if err != nil {
+		panic(err)
+	}
+	for i, st := range w.Stages {
+		fmt.Printf("stage %d:", i)
+		for _, f := range st.Functions {
+			fmt.Printf(" %s", f.Name)
+		}
+		fmt.Println()
+	}
+	// Output:
+	// stage 0: start
+	// stage 1: left right
+	// stage 2: join
+}
+
+// ExampleSystem_Plan shows a one-to-one baseline deployment: every
+// function gets its own single-CPU sandbox.
+func ExampleSystem_Plan() {
+	w := chiron.FINRA(5)
+	plan, err := chiron.OpenFaaS(chiron.DefaultConstants()).Plan(w, nil, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan.NumWraps(), plan.TotalCPUs())
+	// Output: 6 6
+}
+
+// ExampleMean shows the latency statistics helpers.
+func ExampleMean() {
+	lats := []time.Duration{
+		90 * time.Millisecond, 100 * time.Millisecond,
+		110 * time.Millisecond, 200 * time.Millisecond,
+	}
+	fmt.Println(chiron.Mean(lats))
+	fmt.Println(chiron.Percentile(lats, 0.5))
+	fmt.Println(chiron.ViolationRate(lats, 150*time.Millisecond))
+	// Output:
+	// 125ms
+	// 100ms
+	// 0.25
+}
+
+// ExampleDeploy runs the whole pipeline: profile, PGP planning under an
+// SLO, and one executed request.
+func ExampleDeploy() {
+	w := chiron.FINRA(10)
+	dep, err := chiron.Deploy(w, 300*time.Millisecond)
+	if err != nil {
+		panic(err)
+	}
+	res, err := dep.Invoke(1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.E2E <= 300*time.Millisecond, dep.Plan.NumWraps() >= 1)
+	// Output: true true
+}

@@ -1,0 +1,101 @@
+// Quickstart: define a workflow, let Chiron plan it, execute requests,
+// and inspect what the planner decided.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"chiron"
+)
+
+func main() {
+	// An image-processing pipeline: one decode stage fanning out to four
+	// parallel filters, then a recombine stage. Python runtime, so
+	// threads of one process contend on the GIL.
+	decode := &chiron.Function{
+		Name: "decode", Runtime: chiron.Python,
+		Segments: []chiron.Segment{
+			{Kind: chiron.CPU, Dur: 4 * time.Millisecond},
+			{Kind: chiron.DiskIO, Dur: 3 * time.Millisecond, Bytes: 2 << 20},
+		},
+		MemMB: 8, OutputBytes: 2 << 20,
+	}
+	var filters []*chiron.Function
+	for _, name := range []string{"blur", "sharpen", "contrast", "edges"} {
+		filters = append(filters, &chiron.Function{
+			Name: name, Runtime: chiron.Python,
+			Segments: []chiron.Segment{{Kind: chiron.CPU, Dur: 6 * time.Millisecond}},
+			MemMB:    3, OutputBytes: 512 << 10,
+		})
+	}
+	recombine := &chiron.Function{
+		Name: "recombine", Runtime: chiron.Python,
+		Segments: []chiron.Segment{
+			{Kind: chiron.CPU, Dur: 5 * time.Millisecond},
+			{Kind: chiron.NetIO, Dur: 4 * time.Millisecond, Bytes: 2 << 20},
+		},
+		MemMB: 6, OutputBytes: 2 << 20,
+	}
+
+	w, err := chiron.NewWorkflow("image-pipeline", 0,
+		[]*chiron.Function{decode},
+		filters,
+		[]*chiron.Function{recombine},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deploy = Profile (solo run + strace block extraction) + PGP
+	// (Algorithm 2) under a 40ms latency SLO.
+	dep, err := chiron.Deploy(w, 40*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpus, mem, sandboxes, perNode, err := dep.Resources()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planned %q: %d sandbox(es), %d CPU(s), %.1f MB; %d instances fit one 40-core node\n",
+		w.Name, sandboxes, cpus, mem, perNode)
+	for _, fn := range w.Functions() {
+		loc := dep.Plan.Loc[fn.Name]
+		mode := "forked process"
+		if loc.Proc == 0 {
+			mode = "thread of wrap main"
+		}
+		fmt.Printf("  %-10s -> wrap %d, proc %d (%s)\n", fn.Name, loc.Sandbox, loc.Proc, mode)
+	}
+
+	pred, err := dep.PredictLatency()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npredicted end-to-end latency: %v (white-box Eq.1-4 + Algorithm 1)\n", pred.Round(100*time.Microsecond))
+
+	lats, err := dep.InvokeMany(1, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured over 50 requests: mean %v  p95 %v  SLO violations %.1f%%\n",
+		chiron.Mean(lats).Round(100*time.Microsecond),
+		chiron.Percentile(lats, 0.95).Round(100*time.Microsecond),
+		chiron.ViolationRate(lats, 40*time.Millisecond)*100)
+
+	// Compare against a one-to-one baseline.
+	base, err := chiron.DeployOn(chiron.OpenFaaS(chiron.DefaultConstants()), w, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bl, err := base.InvokeMany(1, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("OpenFaaS one-to-one baseline: mean %v (%.1fx Chiron)\n",
+		chiron.Mean(bl).Round(100*time.Microsecond),
+		float64(chiron.Mean(bl))/float64(chiron.Mean(lats)))
+}

@@ -1,0 +1,67 @@
+// SLO sweep: how Chiron's PGP trades CPUs for latency as the target
+// tightens, on two workloads with opposite characters — the IO-heavy
+// interactive SocialNetwork (threads suffice almost everywhere) and the
+// CPU-heavy FINRA-25 (tight targets force true-parallel processes and
+// extra wraps). This is Observation 4 made interactive.
+//
+//	go run ./examples/slosweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"chiron"
+)
+
+func main() {
+	sweep("SocialNetwork (IO-heavy web service)", chiron.SocialNetwork(),
+		[]time.Duration{
+			120 * time.Millisecond, 60 * time.Millisecond,
+			35 * time.Millisecond, 25 * time.Millisecond,
+		})
+	fmt.Println()
+	sweep("FINRA-25 (CPU-heavy validators)", chiron.FINRA(25),
+		[]time.Duration{
+			300 * time.Millisecond, 200 * time.Millisecond,
+			150 * time.Millisecond, 120 * time.Millisecond,
+			100 * time.Millisecond, 90 * time.Millisecond,
+		})
+
+	fmt.Println("\nreading the sweeps: loose SLOs let PGP serialize everything onto one")
+	fmt.Println("CPU (pseudo-parallel threads of the wrap main); tightening the target")
+	fmt.Println("forces forked true-parallel processes and eventually extra wraps —")
+	fmt.Println("CPUs are spent exactly where the SLO demands them (Observation 4).")
+}
+
+func sweep(title string, w *chiron.Workflow, slos []time.Duration) {
+	set, err := chiron.Profile(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := chiron.DefaultConstants()
+	fmt.Printf("%s: %d stages, %d functions, max parallelism %d\n",
+		title, len(w.Stages), w.NumFunctions(), w.MaxParallelism())
+	fmt.Printf("  %-8s  %-6s  %-6s  %-10s  %-10s  %s\n",
+		"SLO", "wraps", "CPUs", "predicted", "measured", "meets")
+	for _, slo := range slos {
+		res, err := chiron.PlanPGP(w, set, chiron.PGPOptions{Const: c, SLO: slo})
+		if err != nil {
+			log.Fatal(err)
+		}
+		env := chiron.Chiron(c).Env()
+		env.Seed = 1
+		lats, err := chiron.ExecuteMany(w, res.Plan, env, 20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8v  %-6d  %-6d  %-10v  %-10v  %v\n",
+			slo,
+			res.Plan.NumWraps(),
+			res.Plan.TotalCPUs(),
+			res.Predicted.Round(100*time.Microsecond),
+			chiron.Mean(lats).Round(100*time.Microsecond),
+			res.MeetsSLO)
+	}
+}

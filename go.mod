@@ -1,0 +1,3 @@
+module chiron
+
+go 1.22

@@ -1,0 +1,145 @@
+// Package adapt closes the loop the paper sketches at the end of Section
+// 3.4: "the Profiler and PGP are re-run periodically to update wraps,
+// enabling them to adapt to changes in the workload."
+//
+// A Controller serves a workflow under a PGP plan and watches the
+// latencies it observes. When the recent window drifts away from the
+// Predictor's estimate — a violation-rate trigger or a mean-drift trigger
+// — it re-profiles the *current* function behaviour (via the Source
+// callback, since behaviour is what changed) and re-plans. Deployments
+// stay SLO-compliant across workload shifts without manual intervention.
+package adapt
+
+import (
+	"fmt"
+	"time"
+
+	"chiron/internal/dag"
+	"chiron/internal/metrics"
+	"chiron/internal/model"
+	"chiron/internal/pgp"
+	"chiron/internal/profiler"
+	"chiron/internal/wrap"
+)
+
+// Source returns the workflow's current behaviour (fresh specs). The
+// controller calls it at plan time and at every re-plan; in production
+// this is "profile the live functions again".
+type Source func() *dag.Workflow
+
+// Options configure the controller.
+type Options struct {
+	// Const is the substrate calibration.
+	Const model.Constants
+	// SLO is the latency target handed to PGP and used for the violation
+	// trigger.
+	SLO time.Duration
+	// Window is how many recent requests the triggers evaluate
+	// (default 20).
+	Window int
+	// ViolationTrigger re-plans when the window's violation rate exceeds
+	// this fraction (default 0.2).
+	ViolationTrigger float64
+	// DriftTrigger re-plans when the window's mean exceeds the
+	// prediction by this factor (default 1.3).
+	DriftTrigger float64
+	// PGP carries extra scheduler options (Style, Iso); Const/SLO/Safety
+	// are overridden by the controller.
+	PGP pgp.Options
+}
+
+func (o *Options) defaults() error {
+	if o.SLO <= 0 {
+		return fmt.Errorf("adapt: an SLO is required")
+	}
+	if o.Window <= 0 {
+		o.Window = 20
+	}
+	if o.ViolationTrigger <= 0 {
+		o.ViolationTrigger = 0.2
+	}
+	if o.DriftTrigger <= 1 {
+		o.DriftTrigger = 1.3
+	}
+	return nil
+}
+
+// Controller is the adaptive deployment manager.
+type Controller struct {
+	src Source
+	opt Options
+
+	plan      *wrap.Plan
+	workflow  *dag.Workflow
+	predicted time.Duration
+	window    []time.Duration
+	replans   int
+}
+
+// New profiles and plans the workflow's current behaviour.
+func New(src Source, opt Options) (*Controller, error) {
+	if err := opt.defaults(); err != nil {
+		return nil, err
+	}
+	c := &Controller{src: src, opt: opt}
+	if err := c.replan(); err != nil {
+		return nil, err
+	}
+	c.replans = 0 // the initial plan is not an adaptation
+	return c, nil
+}
+
+func (c *Controller) replan() error {
+	w := c.src()
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	p := c.opt.PGP
+	p.Const = c.opt.Const
+	p.SLO = c.opt.SLO
+	res, err := pgp.Plan(w, set, p)
+	if err != nil {
+		return err
+	}
+	c.workflow = w
+	c.plan = res.Plan
+	c.predicted = res.Predicted
+	c.window = c.window[:0]
+	c.replans++
+	return nil
+}
+
+// Plan returns the active deployment plan.
+func (c *Controller) Plan() *wrap.Plan { return c.plan }
+
+// Workflow returns the workflow snapshot the active plan was built for.
+func (c *Controller) Workflow() *dag.Workflow { return c.workflow }
+
+// Predicted returns the active plan's predicted latency.
+func (c *Controller) Predicted() time.Duration { return c.predicted }
+
+// Replans returns how many adaptations have occurred.
+func (c *Controller) Replans() int { return c.replans }
+
+// Observe records one served latency; when the window fills and a trigger
+// fires, the controller re-profiles and re-plans, returning true.
+func (c *Controller) Observe(lat time.Duration) (replanned bool, err error) {
+	c.window = append(c.window, lat)
+	if len(c.window) < c.opt.Window {
+		return false, nil
+	}
+	violations := metrics.ViolationRate(c.window, c.opt.SLO)
+	drift := float64(metrics.Mean(c.window)) / float64(c.predicted)
+	c.window = c.window[:0]
+	if violations > c.opt.ViolationTrigger || drift > c.opt.DriftTrigger {
+		if err := c.replan(); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}

@@ -1,0 +1,142 @@
+package adapt
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+	"chiron/internal/engine"
+	"chiron/internal/metrics"
+	"chiron/internal/model"
+	"chiron/internal/platform"
+)
+
+// shiftingWorkload's validator cost can be dialed up mid-run, the drift
+// the controller must absorb.
+type shiftingWorkload struct {
+	validatorCPU time.Duration
+}
+
+func (s *shiftingWorkload) workflow() *dag.Workflow {
+	vs := make([]*behavior.Spec, 10)
+	for i := range vs {
+		vs[i] = &behavior.Spec{
+			Name: fmt.Sprintf("v%02d", i), Runtime: behavior.Python,
+			Segments: []behavior.Segment{{Kind: behavior.CPU, Dur: s.validatorCPU}},
+			MemMB:    1,
+		}
+	}
+	w, err := dag.FromStages("shifting", 0, vs)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func opts(slo time.Duration) Options {
+	return Options{Const: model.Default(), SLO: slo, Window: 10}
+}
+
+// serve executes n requests of the source's CURRENT behaviour under the
+// controller's active plan (behaviour drifts; the plan lags until the
+// controller adapts).
+func serve(t *testing.T, src *shiftingWorkload, c *Controller, seed int64, n int) (lats []time.Duration, replans int) {
+	t.Helper()
+	env := platform.Chiron(model.Default()).Env()
+	for i := 0; i < n; i++ {
+		env.Seed = seed + int64(i)*7919
+		res, err := engine.Run(src.workflow(), c.Plan(), env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lats = append(lats, res.E2E)
+		re, err := c.Observe(res.E2E)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re {
+			replans++
+		}
+	}
+	return lats, replans
+}
+
+func TestStableWorkloadNeverReplans(t *testing.T) {
+	src := &shiftingWorkload{validatorCPU: 2 * time.Millisecond}
+	c, err := New(src.workflow, opts(60*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, replans := serve(t, src, c, 1, 40)
+	if replans != 0 {
+		t.Fatalf("%d replans on a stable workload", replans)
+	}
+	if c.Replans() != 0 {
+		t.Fatalf("Replans() = %d", c.Replans())
+	}
+}
+
+func TestDriftTriggersReplanAndRecovers(t *testing.T) {
+	slo := 60 * time.Millisecond
+	src := &shiftingWorkload{validatorCPU: 2 * time.Millisecond}
+	c, err := New(src.workflow, opts(slo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeProcs := countProcs(c)
+	// The workload shifts: validators become 4x heavier. The active plan
+	// (sized for 2ms functions) now misses the SLO.
+	src.validatorCPU = 8 * time.Millisecond
+	driftLats, replans := serve(t, src, c, 100, 30)
+	if replans == 0 {
+		t.Fatalf("no replan despite 4x heavier functions (mean %v, slo %v)",
+			metrics.Mean(driftLats), slo)
+	}
+	afterProcs := countProcs(c)
+	if afterProcs <= beforeProcs {
+		t.Fatalf("replan did not add parallelism: %d -> %d processes", beforeProcs, afterProcs)
+	}
+	// After adaptation the deployment meets the SLO again.
+	recovered, _ := serve(t, src, c, 500, 20)
+	if v := metrics.ViolationRate(recovered, slo); v > 0.1 {
+		t.Fatalf("still violating after adaptation: %.0f%% (mean %v)", v*100, metrics.Mean(recovered))
+	}
+}
+
+func countProcs(c *Controller) int {
+	procs := map[[2]int]bool{}
+	for _, loc := range c.Plan().Loc {
+		procs[[2]int{loc.Sandbox, loc.Proc}] = true
+	}
+	return len(procs)
+}
+
+func TestValidation(t *testing.T) {
+	src := &shiftingWorkload{validatorCPU: time.Millisecond}
+	if _, err := New(src.workflow, Options{Const: model.Default()}); err == nil {
+		t.Error("missing SLO accepted")
+	}
+	bad := func() *dag.Workflow { return &dag.Workflow{Name: ""} }
+	if _, err := New(bad, opts(time.Second)); err == nil {
+		t.Error("invalid workflow source accepted")
+	}
+}
+
+func TestObserveBelowWindowNoTrigger(t *testing.T) {
+	src := &shiftingWorkload{validatorCPU: time.Millisecond}
+	c, err := New(src.workflow, opts(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		re, err := c.Observe(time.Hour) // wildly violating, but window not full
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re {
+			t.Fatal("replanned before the window filled")
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package behavior models what a serverless function *does* while it runs.
+//
+// The paper's Profiler (Section 3.2) reduces a function to the sequence of
+// CPU bursts and blocking syscalls (open/read/write/poll/select/sendto...)
+// it performs during a solo run. That sequence is everything the Predictor
+// (Algorithm 1) needs, so in this reproduction a function's ground truth IS
+// its behaviour spec: an ordered list of CPU and block segments plus memory
+// and data-flow metadata. The engine replays specs on virtual time; the
+// live executor replays them with real goroutines doing real work.
+package behavior
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// SegmentKind classifies one contiguous span of a function's execution.
+type SegmentKind int
+
+const (
+	// CPU is a burst of pure computation. Under the GIL only one CPU
+	// segment in a process makes progress at a time.
+	CPU SegmentKind = iota
+	// Sleep is a timer wait (time.sleep / setTimeout). The GIL is dropped
+	// for its whole duration.
+	Sleep
+	// DiskIO is a blocking file syscall span (open/read/write/fsync).
+	DiskIO
+	// NetIO is a blocking network span (connect/sendto/recvfrom/poll).
+	NetIO
+)
+
+var segmentNames = map[SegmentKind]string{
+	CPU: "cpu", Sleep: "sleep", DiskIO: "disk", NetIO: "net",
+}
+
+func (k SegmentKind) String() string {
+	if s, ok := segmentNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("SegmentKind(%d)", int(k))
+}
+
+// Blocking reports whether the segment releases the GIL while it runs
+// (everything except CPU does; see Figure 2 of the paper).
+func (k SegmentKind) Blocking() bool { return k != CPU }
+
+// MarshalJSON encodes the kind as its lower-case name.
+func (k SegmentKind) MarshalJSON() ([]byte, error) {
+	s, ok := segmentNames[k]
+	if !ok {
+		return nil, fmt.Errorf("behavior: unknown segment kind %d", int(k))
+	}
+	return json.Marshal(s)
+}
+
+// UnmarshalJSON decodes a lower-case kind name.
+func (k *SegmentKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for kind, name := range segmentNames {
+		if name == s {
+			*k = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("behavior: unknown segment kind %q", s)
+}
+
+// Segment is one contiguous CPU or blocking span.
+type Segment struct {
+	Kind SegmentKind `json:"kind"`
+	// Dur is the segment's solo-run duration.
+	Dur time.Duration `json:"dur"`
+	// Bytes is the payload moved during IO segments (0 for CPU/Sleep);
+	// storage back-ends use it to derive transfer time.
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// Runtime identifies the language runtime a function needs. Functions with
+// different runtimes can never share a sandbox (Section 3.4), and the Java
+// runtime has no GIL (Figure 18).
+type Runtime string
+
+// Supported runtimes.
+const (
+	Python  Runtime = "python3"
+	Python2 Runtime = "python2"
+	NodeJS  Runtime = "nodejs"
+	Java    Runtime = "java"
+)
+
+// PseudoParallel reports whether threads of this runtime contend on a
+// global interpreter lock (Section 2.1: CPython and Node.js do, Java does
+// not).
+func (r Runtime) PseudoParallel() bool {
+	switch r {
+	case Java:
+		return false
+	default:
+		return true
+	}
+}
+
+// Spec is a function's complete behavioural description.
+type Spec struct {
+	// Name must be unique within a workflow.
+	Name string `json:"name"`
+	// Runtime is the language runtime the function requires.
+	Runtime Runtime `json:"runtime"`
+	// Segments is the solo-run execution trace, in order.
+	Segments []Segment `json:"segments"`
+	// MemMB is the function's private working set beyond the shared
+	// runtime image (libraries it alone imports, heap).
+	MemMB float64 `json:"mem_mb"`
+	// Files lists paths the function opens for writing. Two functions
+	// touching the same file must not share a sandbox (Section 3.4).
+	Files []string `json:"files,omitempty"`
+	// OutputBytes is the size of the intermediate result handed to the
+	// next stage; it prices remote-storage transfers under one-to-one
+	// deployment and pipe IPC under many-to-one.
+	OutputBytes int64 `json:"output_bytes"`
+}
+
+// TotalCPU returns the sum of the spec's CPU segment durations.
+func (s *Spec) TotalCPU() time.Duration {
+	var d time.Duration
+	for _, seg := range s.Segments {
+		if seg.Kind == CPU {
+			d += seg.Dur
+		}
+	}
+	return d
+}
+
+// TotalBlock returns the sum of the spec's blocking segment durations.
+func (s *Spec) TotalBlock() time.Duration {
+	var d time.Duration
+	for _, seg := range s.Segments {
+		if seg.Kind.Blocking() {
+			d += seg.Dur
+		}
+	}
+	return d
+}
+
+// SoloLatency returns the function's uncontended run time (the sum of all
+// segments), i.e. what the Profiler records in a solo run.
+func (s *Spec) SoloLatency() time.Duration { return s.TotalCPU() + s.TotalBlock() }
+
+// Validate reports structural problems: empty name, no segments,
+// non-positive durations, unknown runtime.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("behavior: spec has empty name")
+	}
+	switch s.Runtime {
+	case Python, Python2, NodeJS, Java:
+	default:
+		return fmt.Errorf("behavior: %s: unknown runtime %q", s.Name, s.Runtime)
+	}
+	if len(s.Segments) == 0 {
+		return fmt.Errorf("behavior: %s: no segments", s.Name)
+	}
+	for i, seg := range s.Segments {
+		if seg.Dur <= 0 {
+			return fmt.Errorf("behavior: %s: segment %d has non-positive duration %v", s.Name, i, seg.Dur)
+		}
+		if seg.Bytes < 0 {
+			return fmt.Errorf("behavior: %s: segment %d has negative bytes", s.Name, i)
+		}
+	}
+	if s.MemMB < 0 {
+		return fmt.Errorf("behavior: %s: negative memory", s.Name)
+	}
+	return nil
+}
+
+// Clone returns a deep copy with a new name.
+func (s *Spec) Clone(name string) *Spec {
+	c := *s
+	c.Name = name
+	c.Segments = append([]Segment(nil), s.Segments...)
+	c.Files = append([]string(nil), s.Files...)
+	return &c
+}
+
+// ScaleCPU multiplies every CPU segment duration by f, in place. Isolation
+// mechanisms (MPK, SFI) use it to apply their execution overhead.
+func (s *Spec) ScaleCPU(f float64) {
+	for i := range s.Segments {
+		if s.Segments[i].Kind == CPU {
+			s.Segments[i].Dur = time.Duration(float64(s.Segments[i].Dur) * f)
+		}
+	}
+}
+
+// ScaleIO multiplies every blocking segment duration by f, in place.
+func (s *Spec) ScaleIO(f float64) {
+	for i := range s.Segments {
+		if s.Segments[i].Kind.Blocking() {
+			s.Segments[i].Dur = time.Duration(float64(s.Segments[i].Dur) * f)
+		}
+	}
+}
+
+// ---- Canonical workload classes (SLApp, Table 1, Figure 7) ----
+
+// Class names the four SLApp micro-workload archetypes used throughout the
+// paper's motivation and evaluation.
+type Class string
+
+const (
+	Factorial Class = "factorial"  // pure CPU, single burst
+	Fibonacci Class = "fibonacci"  // pure CPU, two bursts
+	DiskHeavy Class = "disk-io"    // short CPU setup, long file IO
+	NetHeavy  Class = "network-io" // short CPU setup, long socket IO
+)
+
+// Classes lists all archetypes in canonical order.
+func Classes() []Class { return []Class{Factorial, Fibonacci, DiskHeavy, NetHeavy} }
+
+// FromClass builds a spec of the given class with roughly the given solo
+// latency (the paper picks four SLApp functions "with various execution
+// behaviors but similar latency").
+func FromClass(name string, class Class, solo time.Duration, rt Runtime) *Spec {
+	mk := func(segs ...Segment) *Spec {
+		return &Spec{Name: name, Runtime: rt, Segments: segs, MemMB: 2.5, OutputBytes: 512}
+	}
+	switch class {
+	case Factorial:
+		return mk(Segment{Kind: CPU, Dur: solo})
+	case Fibonacci:
+		return mk(
+			Segment{Kind: CPU, Dur: solo * 6 / 10},
+			Segment{Kind: CPU, Dur: solo * 4 / 10},
+		)
+	case DiskHeavy:
+		return mk(
+			Segment{Kind: CPU, Dur: solo * 15 / 100},
+			Segment{Kind: DiskIO, Dur: solo * 70 / 100, Bytes: 4 << 20},
+			Segment{Kind: CPU, Dur: solo * 15 / 100},
+		)
+	case NetHeavy:
+		return mk(
+			Segment{Kind: CPU, Dur: solo * 10 / 100},
+			Segment{Kind: NetIO, Dur: solo * 80 / 100, Bytes: 1 << 20},
+			Segment{Kind: CPU, Dur: solo * 10 / 100},
+		)
+	default:
+		panic(fmt.Sprintf("behavior: unknown class %q", class))
+	}
+}
+
+// Random returns a deterministic pseudo-random spec drawn from rng: 1-5
+// segments alternating CPU and block spans, total latency within
+// [minSolo, maxSolo]. Property tests and the ML training-set generator use
+// it to cover the behaviour space.
+func Random(name string, rng *rand.Rand, minSolo, maxSolo time.Duration) *Spec {
+	total := minSolo + time.Duration(rng.Int63n(int64(maxSolo-minSolo)+1))
+	n := 1 + rng.Intn(5)
+	cuts := make([]float64, n)
+	var sum float64
+	for i := range cuts {
+		cuts[i] = 0.1 + rng.Float64()
+		sum += cuts[i]
+	}
+	blockKinds := []SegmentKind{Sleep, DiskIO, NetIO}
+	segs := make([]Segment, 0, n)
+	for i := range cuts {
+		d := time.Duration(float64(total) * cuts[i] / sum)
+		if d <= 0 {
+			d = time.Microsecond
+		}
+		kind := CPU
+		if i%2 == 1 {
+			kind = blockKinds[rng.Intn(len(blockKinds))]
+		}
+		seg := Segment{Kind: kind, Dur: d}
+		if kind == DiskIO || kind == NetIO {
+			seg.Bytes = 1 << uint(8+rng.Intn(12))
+		}
+		segs = append(segs, seg)
+	}
+	return &Spec{
+		Name:        name,
+		Runtime:     Python,
+		Segments:    segs,
+		MemMB:       0.5 + rng.Float64()*6,
+		OutputBytes: int64(128 + rng.Intn(4096)),
+	}
+}

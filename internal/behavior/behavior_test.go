@@ -1,0 +1,205 @@
+package behavior
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func specFixture() *Spec {
+	return &Spec{
+		Name:    "validate-trade",
+		Runtime: Python,
+		Segments: []Segment{
+			{Kind: CPU, Dur: 800 * time.Microsecond},
+			{Kind: DiskIO, Dur: 2 * time.Millisecond, Bytes: 4096},
+			{Kind: CPU, Dur: 400 * time.Microsecond},
+			{Kind: Sleep, Dur: time.Millisecond},
+		},
+		MemMB:       3,
+		Files:       []string{"/tmp/audit.log"},
+		OutputBytes: 256,
+	}
+}
+
+func TestTotals(t *testing.T) {
+	s := specFixture()
+	if got, want := s.TotalCPU(), 1200*time.Microsecond; got != want {
+		t.Errorf("TotalCPU = %v, want %v", got, want)
+	}
+	if got, want := s.TotalBlock(), 3*time.Millisecond; got != want {
+		t.Errorf("TotalBlock = %v, want %v", got, want)
+	}
+	if got, want := s.SoloLatency(), 4200*time.Microsecond; got != want {
+		t.Errorf("SoloLatency = %v, want %v", got, want)
+	}
+}
+
+func TestValidateAcceptsFixture(t *testing.T) {
+	if err := specFixture().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }},
+		{"unknown runtime", func(s *Spec) { s.Runtime = "cobol" }},
+		{"no segments", func(s *Spec) { s.Segments = nil }},
+		{"zero duration", func(s *Spec) { s.Segments[0].Dur = 0 }},
+		{"negative duration", func(s *Spec) { s.Segments[1].Dur = -time.Millisecond }},
+		{"negative bytes", func(s *Spec) { s.Segments[1].Bytes = -1 }},
+		{"negative memory", func(s *Spec) { s.MemMB = -0.5 }},
+	}
+	for _, tc := range cases {
+		s := specFixture()
+		tc.mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid spec", tc.name)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := specFixture()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, &back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", &back, s)
+	}
+}
+
+func TestSegmentKindJSONUnknown(t *testing.T) {
+	var k SegmentKind
+	if err := k.UnmarshalJSON([]byte(`"warp-drive"`)); err == nil {
+		t.Fatal("unknown kind decoded without error")
+	}
+	bad := SegmentKind(99)
+	if _, err := bad.MarshalJSON(); err == nil {
+		t.Fatal("unknown kind encoded without error")
+	}
+}
+
+func TestBlockingClassification(t *testing.T) {
+	if CPU.Blocking() {
+		t.Error("CPU must not be blocking")
+	}
+	for _, k := range []SegmentKind{Sleep, DiskIO, NetIO} {
+		if !k.Blocking() {
+			t.Errorf("%v must be blocking", k)
+		}
+	}
+}
+
+func TestRuntimePseudoParallel(t *testing.T) {
+	if Java.PseudoParallel() {
+		t.Error("Java has no GIL")
+	}
+	for _, r := range []Runtime{Python, Python2, NodeJS} {
+		if !r.PseudoParallel() {
+			t.Errorf("%s must be pseudo-parallel", r)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := specFixture()
+	c := s.Clone("copy")
+	c.Segments[0].Dur = time.Hour
+	c.Files[0] = "/other"
+	if s.Segments[0].Dur == time.Hour || s.Files[0] == "/other" {
+		t.Fatal("Clone shares backing arrays with original")
+	}
+	if c.Name != "copy" {
+		t.Fatalf("clone name %q", c.Name)
+	}
+}
+
+func TestScaleCPUOnlyTouchesCPU(t *testing.T) {
+	s := specFixture()
+	block := s.TotalBlock()
+	s.ScaleCPU(2)
+	if got, want := s.TotalCPU(), 2400*time.Microsecond; got != want {
+		t.Errorf("scaled TotalCPU = %v, want %v", got, want)
+	}
+	if s.TotalBlock() != block {
+		t.Errorf("ScaleCPU changed block time")
+	}
+}
+
+func TestScaleIOOnlyTouchesBlocking(t *testing.T) {
+	s := specFixture()
+	cpu := s.TotalCPU()
+	s.ScaleIO(1.5)
+	if got, want := s.TotalBlock(), 4500*time.Microsecond; got != want {
+		t.Errorf("scaled TotalBlock = %v, want %v", got, want)
+	}
+	if s.TotalCPU() != cpu {
+		t.Errorf("ScaleIO changed CPU time")
+	}
+}
+
+func TestFromClassShapes(t *testing.T) {
+	solo := 40 * time.Millisecond
+	for _, class := range Classes() {
+		s := FromClass("f", class, solo, Python)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		got := s.SoloLatency()
+		if got < solo*95/100 || got > solo*105/100 {
+			t.Errorf("%s: solo latency %v, want ~%v", class, got, solo)
+		}
+	}
+	if got := FromClass("f", Factorial, solo, Python); got.TotalBlock() != 0 {
+		t.Error("factorial must be pure CPU")
+	}
+	if got := FromClass("f", DiskHeavy, solo, Python); got.TotalBlock() < got.TotalCPU() {
+		t.Error("disk-io must be block-dominated")
+	}
+}
+
+func TestFromClassUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown class did not panic")
+		}
+	}()
+	FromClass("f", Class("quantum"), time.Second, Python)
+}
+
+func TestRandomSpecsAreValidAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := Random("r", rng, time.Millisecond, 50*time.Millisecond)
+		if err := s.Validate(); err != nil {
+			return false
+		}
+		solo := s.SoloLatency()
+		// Rounding may shave a hair below the minimum; never above max.
+		return solo > time.Millisecond/2 && solo <= 50*time.Millisecond+time.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomIsDeterministic(t *testing.T) {
+	a := Random("r", rand.New(rand.NewSource(7)), time.Millisecond, time.Second)
+	b := Random("r", rand.New(rand.NewSource(7)), time.Millisecond, time.Second)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different specs")
+	}
+}

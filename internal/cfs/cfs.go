@@ -1,0 +1,92 @@
+// Package cfs implements the pick-next-thread policy used by the GIL
+// simulator and the process-pool model.
+//
+// The paper (Algorithm 1, line 17) emulates the Linux Completely Fair
+// Scheduler: among runnable threads, the one with the minimum consumed CPU
+// time runs next. This package provides a small run queue keyed on consumed
+// CPU time ("vruntime"), with FIFO tie-breaking for determinism.
+package cfs
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Entity is anything schedulable: it exposes and accumulates vruntime.
+type Entity interface {
+	// VRuntime returns the CPU time this entity has consumed so far.
+	VRuntime() time.Duration
+}
+
+type item struct {
+	e   Entity
+	seq uint64
+	idx int
+}
+
+type itemHeap []*item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	vi, vj := h[i].e.VRuntime(), h[j].e.VRuntime()
+	if vi != vj {
+		return vi < vj
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *itemHeap) Push(x interface{}) {
+	it := x.(*item)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Queue is a min-vruntime run queue. The zero value is ready to use.
+// It is not safe for concurrent use.
+type Queue struct {
+	h   itemHeap
+	seq uint64
+}
+
+// Len returns the number of queued entities.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Add enqueues an entity. The same entity may be re-added after being
+// popped; each residency is independent.
+func (q *Queue) Add(e Entity) {
+	heap.Push(&q.h, &item{e: e, seq: q.seq})
+	q.seq++
+}
+
+// PopMin removes and returns the entity with the least vruntime
+// (FIFO-ordered among ties). It returns nil when the queue is empty.
+//
+// Note: entities' vruntime must not change while they sit in the queue;
+// callers re-Add after running, which is how both the GIL simulator and the
+// pool model use it.
+func (q *Queue) PopMin() Entity {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*item).e
+}
+
+// Peek returns the entity PopMin would return, without removing it.
+func (q *Queue) Peek() Entity {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0].e
+}

@@ -1,0 +1,107 @@
+package cfs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+type fakeEnt struct {
+	name string
+	vr   time.Duration
+}
+
+func (f *fakeEnt) VRuntime() time.Duration { return f.vr }
+
+func TestPopMinReturnsLeastVRuntime(t *testing.T) {
+	var q Queue
+	a := &fakeEnt{"a", 30}
+	b := &fakeEnt{"b", 10}
+	c := &fakeEnt{"c", 20}
+	q.Add(a)
+	q.Add(b)
+	q.Add(c)
+	want := []string{"b", "c", "a"}
+	for i, w := range want {
+		got := q.PopMin().(*fakeEnt).name
+		if got != w {
+			t.Fatalf("pop %d = %s, want %s", i, got, w)
+		}
+	}
+	if q.PopMin() != nil {
+		t.Fatal("PopMin on empty queue should return nil")
+	}
+}
+
+func TestTiesAreFIFO(t *testing.T) {
+	var q Queue
+	for i := 0; i < 20; i++ {
+		q.Add(&fakeEnt{name: string(rune('a' + i)), vr: 5})
+	}
+	for i := 0; i < 20; i++ {
+		got := q.PopMin().(*fakeEnt).name
+		if got != string(rune('a'+i)) {
+			t.Fatalf("tie pop %d = %s, want FIFO order", i, got)
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	var q Queue
+	q.Add(&fakeEnt{"x", 1})
+	if q.Peek().(*fakeEnt).name != "x" {
+		t.Fatal("Peek returned wrong entity")
+	}
+	if q.Len() != 1 {
+		t.Fatal("Peek removed the entity")
+	}
+	q.PopMin()
+	if q.Peek() != nil {
+		t.Fatal("Peek on empty queue should return nil")
+	}
+}
+
+func TestReAddAfterRunning(t *testing.T) {
+	// The GIL simulator's usage pattern: pop, accumulate vruntime, re-add.
+	var q Queue
+	a := &fakeEnt{"a", 0}
+	b := &fakeEnt{"b", 0}
+	q.Add(a)
+	q.Add(b)
+
+	first := q.PopMin().(*fakeEnt)
+	if first.name != "a" {
+		t.Fatalf("first pop = %s, want a (FIFO at vr=0)", first.name)
+	}
+	first.vr += 10
+	q.Add(first)
+
+	second := q.PopMin().(*fakeEnt)
+	if second.name != "b" {
+		t.Fatalf("after a accumulated vruntime, pop = %s, want b", second.name)
+	}
+}
+
+func TestPropertyPopOrderIsSorted(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		count := int(n%64) + 1
+		for i := 0; i < count; i++ {
+			q.Add(&fakeEnt{vr: time.Duration(rng.Int63n(1000))})
+		}
+		prev := time.Duration(-1)
+		for q.Len() > 0 {
+			e := q.PopMin().(*fakeEnt)
+			if e.vr < prev {
+				return false
+			}
+			prev = e.vr
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

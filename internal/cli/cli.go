@@ -1,0 +1,325 @@
+// Package cli implements the chiron command: profile, plan, predict, run
+// and compare serverless workflows across deployment models. It is a
+// library (cmd/chiron is a two-line shim) so the whole surface is unit
+// tested.
+//
+// Usage:
+//
+//	chiron workloads
+//	chiron profile  -workload FINRA-50
+//	chiron plan     -workload FINRA-50 -slo 300ms [-system Chiron]
+//	chiron run      -workload FINRA-50 -slo 300ms -system Faastlane -n 20
+//	chiron compare  -workload SocialNetwork
+//	chiron codegen  -workload FINRA-5 -slo 150ms
+//
+// Workflows can also be loaded from a JSON file with -workflow <path>
+// (the dag.Workflow wire format; see examples/quickstart for a sample).
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"chiron/internal/dag"
+	"chiron/internal/deploy"
+	"chiron/internal/engine"
+	"chiron/internal/metrics"
+	"chiron/internal/model"
+	"chiron/internal/platform"
+	"chiron/internal/profiler"
+	"chiron/internal/render"
+	"chiron/internal/workloads"
+)
+
+// Main runs the CLI and returns the process exit code.
+func Main(argv []string, stdout, stderr io.Writer) int {
+	if len(argv) < 1 {
+		usage(stderr)
+		return 2
+	}
+	cmd, args := argv[0], argv[1:]
+	var err error
+	switch cmd {
+	case "workloads":
+		err = cmdWorkloads(stdout)
+	case "profile":
+		err = cmdProfile(args, stdout)
+	case "plan":
+		err = cmdPlan(args, stdout)
+	case "run":
+		err = cmdRun(args, stdout)
+	case "compare":
+		err = cmdCompare(args, stdout)
+	case "codegen":
+		err = cmdCodegen(args, stdout)
+	case "help", "-h", "--help":
+		usage(stdout)
+	default:
+		fmt.Fprintf(stderr, "chiron: unknown command %q\n", cmd)
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "chiron:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `chiron — m-to-n serverless deployment (SC'23 reproduction)
+
+commands:
+  workloads                          list built-in benchmark workflows
+  profile  -workload W               profile every function (solo + strace)
+  plan     -workload W -slo D        plan with a system (default Chiron) and print the wrap manifest
+  run      -workload W -slo D -n N   execute N requests and print latency stats
+  compare  -workload W [-slo D]      plan+run every system on one workflow
+  codegen  -workload W -slo D        emit the generated orchestrator sources
+
+common flags:
+  -workload NAME   built-in workload (see 'chiron workloads')
+  -workflow FILE   load a workflow from JSON instead
+  -system NAME     platform (ASF, OpenFaaS, SAND, Faastlane, Faastlane-T,
+                   Faastlane+, Faastlane-M, Faastlane-P, Chiron, Chiron-M, Chiron-P)
+  -slo DURATION    latency SLO for PGP (e.g. 300ms; 0 = latency-optimal)`)
+}
+
+type common struct {
+	fs       *flag.FlagSet
+	workload string
+	workflow string
+	system   string
+	slo      time.Duration
+	n        int
+}
+
+func newCommon(name string) *common {
+	c := &common{fs: flag.NewFlagSet(name, flag.ContinueOnError)}
+	c.fs.StringVar(&c.workload, "workload", "", "built-in workload name")
+	c.fs.StringVar(&c.workflow, "workflow", "", "workflow JSON file")
+	c.fs.StringVar(&c.system, "system", "Chiron", "platform name")
+	c.fs.DurationVar(&c.slo, "slo", 0, "latency SLO (0 = latency-optimal)")
+	c.fs.IntVar(&c.n, "n", 10, "request count")
+	return c
+}
+
+func (c *common) loadWorkflow() (*dag.Workflow, error) {
+	if c.workflow != "" {
+		raw, err := os.ReadFile(c.workflow)
+		if err != nil {
+			return nil, err
+		}
+		var w dag.Workflow
+		if err := json.Unmarshal(raw, &w); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", c.workflow, err)
+		}
+		return &w, nil
+	}
+	if c.workload == "" {
+		return nil, fmt.Errorf("need -workload or -workflow")
+	}
+	for _, e := range workloads.Suite() {
+		if e.Name == c.workload {
+			return e.Workflow, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown workload %q (try 'chiron workloads')", c.workload)
+}
+
+func (c *common) loadSystem() (*platform.System, error) {
+	sys := platform.Lookup(model.Default(), c.system)
+	if sys == nil {
+		return nil, fmt.Errorf("unknown system %q", c.system)
+	}
+	return sys, nil
+}
+
+func cmdWorkloads(out io.Writer) error {
+	t := &render.Table{
+		ID: "workloads", Title: "built-in benchmark workflows",
+		Columns: []string{"name", "stages", "functions", "max-parallel", "runtime"},
+	}
+	for _, e := range workloads.Suite() {
+		t.AddRow(e.Name, fmt.Sprint(len(e.Workflow.Stages)), fmt.Sprint(e.Workflow.NumFunctions()),
+			fmt.Sprint(e.Workflow.MaxParallelism()), string(e.Workflow.Functions()[0].Runtime))
+	}
+	fmt.Fprint(out, t.String())
+	return nil
+}
+
+func cmdProfile(args []string, out io.Writer) error {
+	c := newCommon("profile")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := c.loadWorkflow()
+	if err != nil {
+		return err
+	}
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	t := &render.Table{
+		ID: "profile", Title: "function profiles (solo run + rescaled strace block periods)",
+		Columns: []string{"function", "solo", "cpu", "block", "periods", "memMB"},
+	}
+	for _, fn := range w.Functions() {
+		p := set[fn.Name]
+		t.AddRow(p.Name, render.Ms(p.Solo), render.Ms(p.CPUTime()),
+			render.Ms(p.Solo-p.CPUTime()), fmt.Sprint(len(p.Periods)), render.F1(p.MemMB))
+	}
+	fmt.Fprint(out, t.String())
+	return nil
+}
+
+func planFor(c *common) (*dag.Workflow, *platform.System, profiler.Set, *dag.Workflow, error) {
+	w, err := c.loadWorkflow()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	sys, err := c.loadSystem()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return w, sys, set, w, nil
+}
+
+func cmdPlan(args []string, out io.Writer) error {
+	c := newCommon("plan")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	w, sys, set, _, err := planFor(c)
+	if err != nil {
+		return err
+	}
+	plan, err := sys.Plan(w, set, c.slo)
+	if err != nil {
+		return err
+	}
+	manifest, err := deploy.Manifest(w, plan)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "system: %s (%s model)\n", sys.Name, sys.Model)
+	fmt.Fprint(out, manifest)
+	return nil
+}
+
+func cmdRun(args []string, out io.Writer) error {
+	c := newCommon("run")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	w, sys, set, _, err := planFor(c)
+	if err != nil {
+		return err
+	}
+	plan, err := sys.Plan(w, set, c.slo)
+	if err != nil {
+		return err
+	}
+	env := sys.Env()
+	env.Seed = 1
+	lats, err := engine.RunMany(w, plan, env, c.n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s on %s: %d requests\n", w.Name, sys.Name, c.n)
+	fmt.Fprintf(out, "  mean %s  p50 %s  p95 %s  p99 %s\n",
+		render.Ms(metrics.Mean(lats)),
+		render.Ms(metrics.Percentile(lats, 0.50)),
+		render.Ms(metrics.Percentile(lats, 0.95)),
+		render.Ms(metrics.Percentile(lats, 0.99)))
+	if c.slo > 0 {
+		fmt.Fprintf(out, "  SLO %s violations %.1f%%\n", render.Ms(c.slo), metrics.ViolationRate(lats, c.slo)*100)
+	}
+	return nil
+}
+
+func cmdCompare(args []string, out io.Writer) error {
+	c := newCommon("compare")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := c.loadWorkflow()
+	if err != nil {
+		return err
+	}
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	cm := model.Default()
+	slo := c.slo
+	if slo == 0 {
+		// The paper's convention: Faastlane's mean latency + 10 ms.
+		fl := platform.Faastlane(cm)
+		plan, err := fl.Plan(w, set, 0)
+		if err != nil {
+			return err
+		}
+		env := fl.Env()
+		env.Seed = 1
+		lats, err := engine.RunMany(w, plan, env, 10)
+		if err != nil {
+			return err
+		}
+		slo = metrics.Mean(lats) + 10*time.Millisecond
+	}
+	t := &render.Table{
+		ID: "compare", Title: fmt.Sprintf("%s across platforms (SLO %s)", w.Name, render.Ms(slo)),
+		Columns: []string{"system", "model", "mean", "p95", "wraps", "cpus", "violations"},
+	}
+	for _, sys := range platform.All(cm) {
+		plan, err := sys.Plan(w, set, slo)
+		if err != nil {
+			return err
+		}
+		env := sys.Env()
+		env.Seed = 1
+		lats, err := engine.RunMany(w, plan, env, c.n)
+		if err != nil {
+			return err
+		}
+		t.AddRow(sys.Name, sys.Model,
+			render.Ms(metrics.Mean(lats)), render.Ms(metrics.Percentile(lats, 0.95)),
+			fmt.Sprint(plan.NumWraps()), fmt.Sprint(plan.TotalCPUs()),
+			render.Pct(metrics.ViolationRate(lats, slo)))
+	}
+	fmt.Fprint(out, t.String())
+	return nil
+}
+
+func cmdCodegen(args []string, out io.Writer) error {
+	c := newCommon("codegen")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	w, sys, set, _, err := planFor(c)
+	if err != nil {
+		return err
+	}
+	plan, err := sys.Plan(w, set, c.slo)
+	if err != nil {
+		return err
+	}
+	orcs, err := deploy.Generate(w, plan)
+	if err != nil {
+		return err
+	}
+	for _, o := range orcs {
+		fmt.Fprintf(out, "# ===== handler for wrap %d =====\n%s\n", o.Sandbox, o.Source)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+)
+
+// run invokes the CLI and returns (exit code, stdout, stderr).
+func run(args ...string) (int, string, string) {
+	var out, errb bytes.Buffer
+	code := Main(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestNoArgsShowsUsage(t *testing.T) {
+	code, _, errOut := run()
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "commands:") {
+		t.Fatalf("usage missing: %q", errOut)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	code, _, errOut := run("launch-rockets")
+	if code != 2 || !strings.Contains(errOut, "unknown command") {
+		t.Fatalf("exit %d, err %q", code, errOut)
+	}
+}
+
+func TestHelpGoesToStdout(t *testing.T) {
+	code, out, _ := run("help")
+	if code != 0 || !strings.Contains(out, "commands:") {
+		t.Fatalf("help: exit %d out %q", code, out)
+	}
+}
+
+func TestWorkloads(t *testing.T) {
+	code, out, _ := run("workloads")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, name := range []string{"SocialNetwork", "FINRA-200", "SLApp-V"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("workload %s missing from listing", name)
+		}
+	}
+}
+
+func TestProfileBuiltin(t *testing.T) {
+	code, out, _ := run("profile", "-workload", "FINRA-5")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "fetch-portfolio") || !strings.Contains(out, "validate-001") {
+		t.Fatalf("profile table incomplete:\n%s", out)
+	}
+}
+
+func TestPlanPrintsManifest(t *testing.T) {
+	code, out, _ := run("plan", "-workload", "FINRA-5", "-slo", "150ms")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "system: Chiron (m-to-n model)") {
+		t.Fatalf("missing system line:\n%s", out)
+	}
+	if !strings.Contains(out, "thread@main") {
+		t.Fatalf("manifest missing placements:\n%s", out)
+	}
+}
+
+func TestRunReportsStats(t *testing.T) {
+	code, out, _ := run("run", "-workload", "SLApp", "-system", "Faastlane", "-n", "5")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "mean") || !strings.Contains(out, "p99") {
+		t.Fatalf("stats missing:\n%s", out)
+	}
+}
+
+func TestRunWithSLOReportsViolations(t *testing.T) {
+	code, out, _ := run("run", "-workload", "SLApp", "-slo", "200ms", "-n", "5")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "violations") {
+		t.Fatalf("violations missing:\n%s", out)
+	}
+}
+
+func TestCompareCoversAllSystems(t *testing.T) {
+	code, out, _ := run("compare", "-workload", "FINRA-5", "-n", "3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, sys := range []string{"ASF", "OpenFaaS", "SAND", "Faastlane", "Chiron", "Chiron-M", "Chiron-P"} {
+		if !strings.Contains(out, sys) {
+			t.Errorf("system %s missing from compare table", sys)
+		}
+	}
+}
+
+func TestCodegenEmitsHandlers(t *testing.T) {
+	code, out, _ := run("codegen", "-workload", "FINRA-5", "-slo", "150ms")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "def handle(req):") || !strings.Contains(out, "handler for wrap 0") {
+		t.Fatalf("codegen output incomplete:\n%s", out)
+	}
+}
+
+func TestWorkflowFromJSONFile(t *testing.T) {
+	w := &dag.Workflow{
+		Name: "json-wf",
+		Stages: []dag.Stage{
+			{Functions: []*behavior.Spec{{
+				Name: "solo", Runtime: behavior.Python,
+				Segments: []behavior.Segment{{Kind: behavior.CPU, Dur: 2 * time.Millisecond}},
+				MemMB:    1,
+			}}},
+		},
+	}
+	raw, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wf.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := run("plan", "-workflow", path, "-slo", "50ms")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "json-wf") || !strings.Contains(out, "solo") {
+		t.Fatalf("JSON workflow not planned:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"plan"},                      // no workload
+		{"plan", "-workload", "Nope"}, // unknown workload
+		{"plan", "-workload", "SLApp", "-system", "X"}, // unknown system
+		{"plan", "-workflow", "/does/not/exist.json"},  // missing file
+	}
+	for _, args := range cases {
+		code, _, errOut := run(args...)
+		if code == 0 {
+			t.Errorf("%v: exit 0, want failure (stderr %q)", args, errOut)
+		}
+	}
+}
+
+func TestBadJSONWorkflowRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"name":"","stages":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, _ := run("plan", "-workflow", path)
+	if code == 0 {
+		t.Fatal("invalid workflow JSON accepted")
+	}
+}

@@ -1,0 +1,53 @@
+// Package cost prices workflow requests in dollars (Figure 19).
+//
+// Following the paper, CPU is billed per GHz-second and memory per
+// GB-second (Google Cloud Functions rates), every sandbox's reservation is
+// billed for the request's full duration, and commercial one-to-one
+// orchestrators additionally charge every state transition (AWS Step
+// Functions).
+package cost
+
+import (
+	"chiron/internal/dag"
+	"chiron/internal/engine"
+	"chiron/internal/model"
+	"chiron/internal/wrap"
+)
+
+// Breakdown itemizes one request's cost.
+type Breakdown struct {
+	CPU         float64 // GHz-second charges
+	Memory      float64 // GB-second charges
+	Transitions float64 // orchestrator state-transition charges
+}
+
+// Total returns the request's full price.
+func (b Breakdown) Total() float64 { return b.CPU + b.Memory + b.Transitions }
+
+// PerMillion scales to the paper's "per 1 million requests" unit.
+func (b Breakdown) PerMillion() float64 { return b.Total() * 1e6 }
+
+// Request prices one executed request. Every sandbox's reservation is
+// billed for the request's full end-to-end duration — the paper's cost
+// model charges allocated resources, which is exactly why one-to-one
+// deployments cost 57x-272x Chiron in Figure 19: a 50-function fan-out
+// holds 51 single-CPU sandboxes (and 51 duplicated runtimes) for the whole
+// workflow even though each function computes for milliseconds.
+// billsPerTransition adds the commercial orchestrator's fee per function
+// plus the start/end transitions.
+func Request(c model.Constants, w *dag.Workflow, plan *wrap.Plan, res *engine.Result, billsPerTransition bool) (Breakdown, error) {
+	ledgers, err := plan.Ledgers(w)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	seconds := res.E2E.Seconds()
+	var b Breakdown
+	for _, sb := range ledgers {
+		b.CPU += float64(sb.CPUs) * c.CPUBaseGHz * seconds * c.PricePerGHzSecond
+		b.Memory += sb.MemoryMB(c) / 1024 * seconds * c.PricePerGBSecond
+	}
+	if billsPerTransition {
+		b.Transitions = float64(w.NumFunctions()+2) * c.PricePerTransition
+	}
+	return b, nil
+}

@@ -1,0 +1,107 @@
+package cost
+
+import (
+	"testing"
+	"time"
+
+	"chiron/internal/engine"
+	"chiron/internal/model"
+	"chiron/internal/platform"
+	"chiron/internal/profiler"
+	"chiron/internal/workloads"
+)
+
+func TestOneToOneCostDominatedByTransitions(t *testing.T) {
+	c := model.Default()
+	w := workloads.FINRA(5)
+	asf := platform.ASF(c)
+	plan, err := asf.Plan(w, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(w, plan, asf.Env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Request(c, w, plan, res, asf.BillsPerTransition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Transitions <= 0 {
+		t.Fatal("ASF must charge transitions")
+	}
+	if b.Transitions < b.CPU+b.Memory {
+		t.Fatalf("transitions (%g) should dominate compute (%g) for millisecond functions",
+			b.Transitions, b.CPU+b.Memory)
+	}
+	// 6 functions + start/end at $25/M.
+	want := float64(w.NumFunctions()+2) * c.PricePerTransition
+	if b.Transitions != want {
+		t.Fatalf("transitions = %g, want %g", b.Transitions, want)
+	}
+}
+
+func TestChironCheaperThanFaastlane(t *testing.T) {
+	c := model.Default()
+	w := workloads.FINRA(50)
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	price := func(sys *platform.System, slo time.Duration) float64 {
+		plan, err := sys.Plan(w, set, slo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := engine.Run(w, plan, sys.Env())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Request(c, w, plan, res, sys.BillsPerTransition)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.Total()
+	}
+	fl := price(platform.Faastlane(c), 0)
+	ch := price(platform.Chiron(c), 400*time.Millisecond)
+	if ch >= fl {
+		t.Fatalf("Chiron ($%g) must undercut Faastlane ($%g)", ch, fl)
+	}
+	// Figure 19: 44.4%-95.3% cheaper.
+	saving := 1 - ch/fl
+	if saving < 0.3 {
+		t.Fatalf("saving %.0f%%, want the paper's substantial reduction", saving*100)
+	}
+}
+
+func TestPerMillionScaling(t *testing.T) {
+	b := Breakdown{CPU: 1e-6, Memory: 2e-6, Transitions: 3e-6}
+	if got := b.PerMillion(); got < 5.9999 || got > 6.0001 {
+		t.Fatalf("PerMillion = %g, want 6", got)
+	}
+}
+
+func TestSharedSandboxBilledForWholeRequest(t *testing.T) {
+	c := model.Default()
+	w := workloads.SLApp()
+	sand := platform.SAND(c)
+	plan, err := sand.Plan(w, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(w, plan, sand.Env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Request(c, w, plan, res, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Transitions != 0 {
+		t.Fatal("open-source platforms charge no transitions")
+	}
+	if b.CPU <= 0 || b.Memory <= 0 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+}

@@ -1,0 +1,244 @@
+// Package dag models serverless workflows.
+//
+// A workflow is a directed acyclic graph of functions. Like the paper
+// (Section 3.3), we exploit that serverless orchestrators execute such a
+// graph as "a sequence of execution stages, wherein each stage includes one
+// or more parallel functions": the canonical in-memory form is the staged
+// form, and general DAGs are levelled into stages by topological depth.
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"chiron/internal/behavior"
+)
+
+// Stage is one rank of the workflow: all functions in a stage may run in
+// parallel; consecutive stages are strictly ordered.
+type Stage struct {
+	Functions []*behavior.Spec `json:"functions"`
+}
+
+// Parallelism returns the number of functions in the stage.
+func (s *Stage) Parallelism() int { return len(s.Functions) }
+
+// Workflow is the staged form of a serverless application.
+type Workflow struct {
+	Name   string  `json:"name"`
+	Stages []Stage `json:"stages"`
+	// SLO is the user-supplied end-to-end latency target handed to PGP
+	// (zero means "no SLO"; PGP then minimizes latency).
+	SLO time.Duration `json:"slo,omitempty"`
+}
+
+// Functions returns all function specs in stage-major order.
+func (w *Workflow) Functions() []*behavior.Spec {
+	var out []*behavior.Spec
+	for _, st := range w.Stages {
+		out = append(out, st.Functions...)
+	}
+	return out
+}
+
+// NumFunctions returns the total number of functions (the paper's m).
+func (w *Workflow) NumFunctions() int {
+	n := 0
+	for _, st := range w.Stages {
+		n += len(st.Functions)
+	}
+	return n
+}
+
+// MaxParallelism returns the widest stage (Algorithm 2 line 1's M).
+func (w *Workflow) MaxParallelism() int {
+	m := 0
+	for _, st := range w.Stages {
+		if p := st.Parallelism(); p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// Lookup returns the spec with the given name, or nil.
+func (w *Workflow) Lookup(name string) *behavior.Spec {
+	for _, st := range w.Stages {
+		for _, f := range st.Functions {
+			if f.Name == name {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// Validate checks structural invariants: non-empty name and stages, every
+// stage non-empty, every spec valid, function names unique.
+func (w *Workflow) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("dag: workflow has empty name")
+	}
+	if len(w.Stages) == 0 {
+		return fmt.Errorf("dag: workflow %s has no stages", w.Name)
+	}
+	seen := make(map[string]bool)
+	for i, st := range w.Stages {
+		if len(st.Functions) == 0 {
+			return fmt.Errorf("dag: workflow %s stage %d is empty", w.Name, i)
+		}
+		for _, f := range st.Functions {
+			if err := f.Validate(); err != nil {
+				return fmt.Errorf("dag: workflow %s stage %d: %w", w.Name, i, err)
+			}
+			if seen[f.Name] {
+				return fmt.Errorf("dag: workflow %s has duplicate function %q", w.Name, f.Name)
+			}
+			seen[f.Name] = true
+		}
+	}
+	if w.SLO < 0 {
+		return fmt.Errorf("dag: workflow %s has negative SLO", w.Name)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the workflow.
+func (w *Workflow) Clone() *Workflow {
+	c := &Workflow{Name: w.Name, SLO: w.SLO, Stages: make([]Stage, len(w.Stages))}
+	for i, st := range w.Stages {
+		fns := make([]*behavior.Spec, len(st.Functions))
+		for j, f := range st.Functions {
+			fns[j] = f.Clone(f.Name)
+		}
+		c.Stages[i] = Stage{Functions: fns}
+	}
+	return c
+}
+
+// MarshalJSON/UnmarshalJSON use the natural struct encoding; defined so the
+// wire format is part of the package contract and covered by tests.
+func (w *Workflow) MarshalJSON() ([]byte, error) {
+	type alias Workflow
+	return json.Marshal((*alias)(w))
+}
+
+// UnmarshalJSON decodes and validates a workflow.
+func (w *Workflow) UnmarshalJSON(b []byte) error {
+	type alias Workflow
+	if err := json.Unmarshal(b, (*alias)(w)); err != nil {
+		return err
+	}
+	return w.Validate()
+}
+
+// ---- General DAG form ----
+
+// Node is one vertex of a workflow DAG.
+type Node struct {
+	Spec *behavior.Spec `json:"spec"`
+	// Deps names the functions that must complete before this one starts.
+	Deps []string `json:"deps,omitempty"`
+}
+
+// Graph is the edge-list form of a workflow, as a user would submit it
+// (e.g. an AWS Step Functions state machine flattened to data
+// dependencies).
+type Graph struct {
+	Name  string        `json:"name"`
+	Nodes []Node        `json:"nodes"`
+	SLO   time.Duration `json:"slo,omitempty"`
+}
+
+// Level converts the DAG to the staged form by topological depth: a node's
+// stage index is 1 + max(stage of its dependencies). Within a stage, the
+// original submission order is preserved so results are deterministic.
+// It returns an error on unknown dependencies or cycles.
+func (g *Graph) Level() (*Workflow, error) {
+	index := make(map[string]int, len(g.Nodes))
+	for i, n := range g.Nodes {
+		if n.Spec == nil {
+			return nil, fmt.Errorf("dag: graph %s node %d has nil spec", g.Name, i)
+		}
+		if _, dup := index[n.Spec.Name]; dup {
+			return nil, fmt.Errorf("dag: graph %s has duplicate node %q", g.Name, n.Spec.Name)
+		}
+		index[n.Spec.Name] = i
+	}
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make([]int, len(g.Nodes))
+	depth := make([]int, len(g.Nodes))
+
+	var visit func(i int) error
+	visit = func(i int) error {
+		switch state[i] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("dag: graph %s has a cycle through %q", g.Name, g.Nodes[i].Spec.Name)
+		}
+		state[i] = visiting
+		d := 0
+		for _, dep := range g.Nodes[i].Deps {
+			j, ok := index[dep]
+			if !ok {
+				return fmt.Errorf("dag: graph %s: %q depends on unknown %q", g.Name, g.Nodes[i].Spec.Name, dep)
+			}
+			if err := visit(j); err != nil {
+				return err
+			}
+			if depth[j]+1 > d {
+				d = depth[j] + 1
+			}
+		}
+		depth[i] = d
+		state[i] = done
+		return nil
+	}
+	for i := range g.Nodes {
+		if err := visit(i); err != nil {
+			return nil, err
+		}
+	}
+
+	maxDepth := 0
+	for _, d := range depth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	stages := make([]Stage, maxDepth+1)
+	order := make([]int, len(g.Nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return depth[order[a]] < depth[order[b]] })
+	for _, i := range order {
+		stages[depth[i]].Functions = append(stages[depth[i]].Functions, g.Nodes[i].Spec)
+	}
+
+	w := &Workflow{Name: g.Name, Stages: stages, SLO: g.SLO}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// FromStages builds a validated workflow from explicit stages.
+func FromStages(name string, slo time.Duration, stages ...[]*behavior.Spec) (*Workflow, error) {
+	w := &Workflow{Name: name, SLO: slo}
+	for _, fns := range stages {
+		w.Stages = append(w.Stages, Stage{Functions: fns})
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

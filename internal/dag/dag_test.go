@@ -1,0 +1,186 @@
+package dag
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"chiron/internal/behavior"
+)
+
+func fn(name string) *behavior.Spec {
+	return &behavior.Spec{
+		Name:    name,
+		Runtime: behavior.Python,
+		Segments: []behavior.Segment{
+			{Kind: behavior.CPU, Dur: time.Millisecond},
+		},
+		MemMB: 1,
+	}
+}
+
+func twoStage(t *testing.T) *Workflow {
+	t.Helper()
+	w, err := FromStages("finra", 200*time.Millisecond,
+		[]*behavior.Spec{fn("fetch")},
+		[]*behavior.Spec{fn("v1"), fn("v2"), fn("v3")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestBasicAccessors(t *testing.T) {
+	w := twoStage(t)
+	if got := w.NumFunctions(); got != 4 {
+		t.Errorf("NumFunctions = %d, want 4", got)
+	}
+	if got := w.MaxParallelism(); got != 3 {
+		t.Errorf("MaxParallelism = %d, want 3", got)
+	}
+	if got := len(w.Functions()); got != 4 {
+		t.Errorf("Functions() returned %d specs", got)
+	}
+	if w.Lookup("v2") == nil || w.Lookup("nope") != nil {
+		t.Error("Lookup misbehaved")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Workflow)
+	}{
+		{"empty name", func(w *Workflow) { w.Name = "" }},
+		{"no stages", func(w *Workflow) { w.Stages = nil }},
+		{"empty stage", func(w *Workflow) { w.Stages[1].Functions = nil }},
+		{"duplicate function", func(w *Workflow) { w.Stages[1].Functions[1] = w.Stages[0].Functions[0] }},
+		{"invalid spec", func(w *Workflow) { w.Stages[0].Functions[0].Segments = nil }},
+		{"negative slo", func(w *Workflow) { w.SLO = -time.Second }},
+	}
+	for _, tc := range cases {
+		w := twoStage(t)
+		tc.mut(w)
+		if err := w.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid workflow", tc.name)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	w := twoStage(t)
+	c := w.Clone()
+	c.Stages[0].Functions[0].Segments[0].Dur = time.Hour
+	if w.Stages[0].Functions[0].Segments[0].Dur == time.Hour {
+		t.Fatal("Clone shares specs with original")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	w := twoStage(t)
+	b, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Workflow
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != w.Name || back.SLO != w.SLO || back.NumFunctions() != w.NumFunctions() {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestUnmarshalValidates(t *testing.T) {
+	var w Workflow
+	if err := json.Unmarshal([]byte(`{"name":"","stages":[]}`), &w); err == nil {
+		t.Fatal("invalid workflow decoded without error")
+	}
+}
+
+func TestLevelDiamond(t *testing.T) {
+	// a -> (b, c) -> d : the classic diamond must level into 3 stages.
+	g := &Graph{
+		Name: "diamond",
+		Nodes: []Node{
+			{Spec: fn("d"), Deps: []string{"b", "c"}},
+			{Spec: fn("a")},
+			{Spec: fn("b"), Deps: []string{"a"}},
+			{Spec: fn("c"), Deps: []string{"a"}},
+		},
+		SLO: time.Second,
+	}
+	w, err := g.Level()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Stages) != 3 {
+		t.Fatalf("levelled into %d stages, want 3", len(w.Stages))
+	}
+	if w.Stages[0].Functions[0].Name != "a" {
+		t.Errorf("stage 0 = %s, want a", w.Stages[0].Functions[0].Name)
+	}
+	if w.Stages[1].Parallelism() != 2 {
+		t.Errorf("stage 1 parallelism %d, want 2", w.Stages[1].Parallelism())
+	}
+	if w.Stages[2].Functions[0].Name != "d" {
+		t.Errorf("stage 2 = %s, want d", w.Stages[2].Functions[0].Name)
+	}
+	if w.SLO != time.Second {
+		t.Errorf("SLO not carried through levelling")
+	}
+}
+
+func TestLevelPreservesSubmissionOrderWithinStage(t *testing.T) {
+	g := &Graph{Name: "wide", Nodes: []Node{
+		{Spec: fn("z")}, {Spec: fn("a")}, {Spec: fn("m")},
+	}}
+	w, err := g.Level()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []string{}
+	for _, f := range w.Stages[0].Functions {
+		got = append(got, f.Name)
+	}
+	if got[0] != "z" || got[1] != "a" || got[2] != "m" {
+		t.Fatalf("stage order %v, want submission order [z a m]", got)
+	}
+}
+
+func TestLevelDetectsCycle(t *testing.T) {
+	g := &Graph{Name: "loop", Nodes: []Node{
+		{Spec: fn("a"), Deps: []string{"b"}},
+		{Spec: fn("b"), Deps: []string{"a"}},
+	}}
+	if _, err := g.Level(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestLevelDetectsUnknownDep(t *testing.T) {
+	g := &Graph{Name: "bad", Nodes: []Node{
+		{Spec: fn("a"), Deps: []string{"ghost"}},
+	}}
+	if _, err := g.Level(); err == nil {
+		t.Fatal("unknown dependency not detected")
+	}
+}
+
+func TestLevelDetectsDuplicatesAndNilSpecs(t *testing.T) {
+	g := &Graph{Name: "dup", Nodes: []Node{{Spec: fn("a")}, {Spec: fn("a")}}}
+	if _, err := g.Level(); err == nil {
+		t.Fatal("duplicate node not detected")
+	}
+	g = &Graph{Name: "nil", Nodes: []Node{{Spec: nil}}}
+	if _, err := g.Level(); err == nil {
+		t.Fatal("nil spec not detected")
+	}
+}
+
+func TestFromStagesRejectsInvalid(t *testing.T) {
+	if _, err := FromStages("w", 0); err == nil {
+		t.Fatal("FromStages with no stages should fail")
+	}
+}

@@ -1,0 +1,39 @@
+package dag
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzWorkflowJSON hardens the workflow decoder: arbitrary bytes must
+// never panic, and anything accepted must validate and survive a
+// marshal/unmarshal round trip.
+func FuzzWorkflowJSON(f *testing.F) {
+	f.Add([]byte(`{"name":"wf","stages":[{"functions":[{"name":"a","runtime":"python3","segments":[{"kind":"cpu","dur":1000000}],"mem_mb":1}]}]}`))
+	f.Add([]byte(`{"name":"","stages":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"name":"wf","slo":-5,"stages":[{"functions":[{"name":"a","runtime":"cobol","segments":[{"kind":"warp","dur":-1}]}]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var w Workflow
+		if err := json.Unmarshal(data, &w); err != nil {
+			return
+		}
+		// Accepted implies valid (UnmarshalJSON validates).
+		if err := w.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid workflow: %v", err)
+		}
+		out, err := json.Marshal(&w)
+		if err != nil {
+			t.Fatalf("accepted workflow failed to marshal: %v", err)
+		}
+		var back Workflow
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.Name != w.Name || back.NumFunctions() != w.NumFunctions() {
+			t.Fatalf("round trip changed the workflow")
+		}
+	})
+}

@@ -1,0 +1,184 @@
+package deploy
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+	"chiron/internal/wrap"
+)
+
+func fn(name string) *behavior.Spec {
+	return &behavior.Spec{
+		Name: name, Runtime: behavior.Python,
+		Segments: []behavior.Segment{{Kind: behavior.CPU, Dur: time.Millisecond}},
+		MemMB:    1,
+	}
+}
+
+func workflow(t *testing.T) *dag.Workflow {
+	t.Helper()
+	w, err := dag.FromStages("wf", 0,
+		[]*behavior.Spec{fn("head")},
+		[]*behavior.Spec{fn("a"), fn("b"), fn("c"), fn("d")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func plan() *wrap.Plan {
+	return &wrap.Plan{
+		Workflow: "wf",
+		Loc: map[string]wrap.Loc{
+			"head": {Sandbox: 0, Proc: 0},
+			"a":    {Sandbox: 0, Proc: 0},
+			"b":    {Sandbox: 0, Proc: 1},
+			"c":    {Sandbox: 1, Proc: 1},
+			"d":    {Sandbox: 1, Proc: 2},
+		},
+		Sandboxes: []wrap.SandboxCfg{{CPUs: 2}, {CPUs: 2}},
+	}
+}
+
+func TestGenerateOnePerSandbox(t *testing.T) {
+	orcs, err := Generate(workflow(t), plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orcs) != 2 {
+		t.Fatalf("%d orchestrators, want 2", len(orcs))
+	}
+	if orcs[0].Sandbox != 0 || orcs[1].Sandbox != 1 {
+		t.Fatal("sandbox order wrong")
+	}
+}
+
+func TestWrap0DrivesWorkflow(t *testing.T) {
+	orcs, err := Generate(workflow(t), plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := orcs[0].Source
+	for _, want := range []string{
+		"def handle(req):",
+		"Thread(functions.head, req)",      // sequential rides main
+		"Thread(functions.a, req)",         // co-resident thread
+		"Process([functions.b], req)",      // forked process
+		"invoke_wrap(1, stage=1, req=req)", // remote wrap invocation
+		"pending_1_1.wait()",               // gathers the remote result
+		"pin_cpus(2)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("wrap 0 source missing %q:\n%s", want, src)
+		}
+	}
+	if strings.Contains(src, "functions.c") || strings.Contains(src, "functions.d") {
+		t.Error("wrap 0 must not execute wrap 1's functions locally")
+	}
+}
+
+func TestWrap1HandlesOnlyItsShare(t *testing.T) {
+	orcs, err := Generate(workflow(t), plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := orcs[1].Source
+	if !strings.Contains(src, "Process([functions.c], req)") ||
+		!strings.Contains(src, "Process([functions.d], req)") {
+		t.Errorf("wrap 1 missing its processes:\n%s", src)
+	}
+	if strings.Contains(src, "invoke_wrap(") {
+		t.Error("remote wraps must not re-invoke siblings")
+	}
+	if strings.Contains(src, "functions.head") {
+		t.Error("wrap 1 must not run wrap 0's functions")
+	}
+	if !strings.Contains(src, "gather_pipes(1)") {
+		t.Errorf("wrap 1 should gather one pipe (2 processes):\n%s", src)
+	}
+}
+
+func TestPoolCodegen(t *testing.T) {
+	p := plan()
+	p.Sandboxes[1].Pool = true
+	p.Sandboxes[1].Workers = 2
+	p.Sandboxes[1].LongestFirst = true
+	orcs, err := Generate(workflow(t), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := orcs[1].Source
+	for _, want := range []string{
+		"pool = Pool(workers=2, longest_first=true)",
+		"pool.submit(functions.c, req)",
+		"pool.barrier()",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("pool codegen missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(workflow(t), plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(workflow(t), plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Source != b[i].Source {
+			t.Fatal("codegen nondeterministic")
+		}
+	}
+}
+
+func TestGenerateRejectsInvalidPlan(t *testing.T) {
+	p := plan()
+	delete(p.Loc, "a")
+	if _, err := Generate(workflow(t), p); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}
+
+func TestManifest(t *testing.T) {
+	m, err := Manifest(workflow(t), plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"5 functions -> 2 wraps, 4 CPUs",
+		"thread@main head",
+		"fork",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("manifest missing %q:\n%s", want, m)
+		}
+	}
+	// Sorted by (sandbox, proc): head before b, b before c.
+	if strings.Index(m, "head") > strings.Index(m, " b\n") {
+		t.Error("manifest not sorted by placement")
+	}
+}
+
+func TestPyName(t *testing.T) {
+	cases := map[string]string{
+		"validate-001":  "validate_001",
+		"fetch.data":    "fetch_data",
+		"9lives":        "f_9lives",
+		"ok_name":       "ok_name",
+		"":              "f_",
+		"weird name+/x": "weird_name__x",
+	}
+	for in, want := range cases {
+		if got := pyName(in); got != want {
+			t.Errorf("pyName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package dynamic extends Chiron to dynamic DAGs, the first open problem
+// in the paper's Discussion ("where the function chain of workflow is not
+// known a priori, such as switch step in Video-FFmpeg determines whether
+// to execute the split function or the simple_process function based on
+// the result of the upload function").
+//
+// A dynamic workflow is a static head followed by a switch over
+// alternative continuations. The approach here is variant pre-planning:
+// PGP plans every (head + branch) variant offline — wrap scheduling is
+// offline anyway, so planning k variants costs k plans — and at request
+// time the switch outcome selects which pre-planned deployment serves the
+// tail. Expected latency and resources are branch-weighted.
+package dynamic
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"chiron/internal/dag"
+	"chiron/internal/engine"
+	"chiron/internal/model"
+	"chiron/internal/pgp"
+	"chiron/internal/profiler"
+	"chiron/internal/wrap"
+)
+
+// Branch is one continuation the switch can choose.
+type Branch struct {
+	// Name labels the branch ("split-pipeline", "simple-process").
+	Name string
+	// Stages are the continuation's stages, executed after the head.
+	Stages []dag.Stage
+	// Weight is the branch's selection probability; weights are
+	// normalized over all branches.
+	Weight float64
+}
+
+// Workflow is a dynamic workflow: head stages, then a switch.
+type Workflow struct {
+	Name string
+	// Head holds the stages executed before the switch (at least one;
+	// the last head function's result decides the branch).
+	Head []dag.Stage
+	// Branches are the alternative continuations (at least two, or the
+	// workflow would be static).
+	Branches []Branch
+}
+
+// Validate checks structure: non-empty head, >= 2 branches with positive
+// weights, and every variant valid as a static workflow.
+func (w *Workflow) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("dynamic: workflow has empty name")
+	}
+	if len(w.Head) == 0 {
+		return fmt.Errorf("dynamic: %s has no head stages", w.Name)
+	}
+	if len(w.Branches) < 2 {
+		return fmt.Errorf("dynamic: %s has %d branches; a switch needs at least 2", w.Name, len(w.Branches))
+	}
+	for _, b := range w.Branches {
+		if b.Weight <= 0 {
+			return fmt.Errorf("dynamic: %s branch %q has non-positive weight", w.Name, b.Name)
+		}
+		if len(b.Stages) == 0 {
+			return fmt.Errorf("dynamic: %s branch %q is empty", w.Name, b.Name)
+		}
+	}
+	_, err := w.Variants()
+	return err
+}
+
+// Variants returns one static workflow per branch: head + branch stages.
+func (w *Workflow) Variants() ([]*dag.Workflow, error) {
+	out := make([]*dag.Workflow, len(w.Branches))
+	for i, b := range w.Branches {
+		v := &dag.Workflow{
+			Name:   fmt.Sprintf("%s/%s", w.Name, b.Name),
+			Stages: append(append([]dag.Stage{}, w.Head...), b.Stages...),
+		}
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("dynamic: variant %q: %w", b.Name, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Union returns a static workflow containing the head and every branch's
+// functions (for profiling: every function that might run must be
+// profiled). Branch stages are appended in branch order.
+func (w *Workflow) Union() (*dag.Workflow, error) {
+	u := &dag.Workflow{Name: w.Name + "/union", Stages: append([]dag.Stage{}, w.Head...)}
+	for _, b := range w.Branches {
+		u.Stages = append(u.Stages, b.Stages...)
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// Deployment is the pre-planned variant set.
+type Deployment struct {
+	Source   *Workflow
+	Variants []*dag.Workflow
+	Plans    []*wrap.Plan
+	// Predicted is the per-variant predicted latency.
+	Predicted []time.Duration
+	weights   []float64
+}
+
+// Plan profiles the union of all branches and pre-plans every variant
+// with PGP under the SLO.
+func Plan(w *Workflow, c model.Constants, slo time.Duration) (*Deployment, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	union, err := w.Union()
+	if err != nil {
+		return nil, err
+	}
+	set, err := profiler.ProfileWorkflow(union, profiler.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	variants, err := w.Variants()
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{Source: w, Variants: variants}
+	var totalW float64
+	for _, b := range w.Branches {
+		totalW += b.Weight
+	}
+	for i, v := range variants {
+		res, err := pgp.Plan(v, set, pgp.Options{Const: c, SLO: slo})
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: planning variant %q: %w", v.Name, err)
+		}
+		d.Plans = append(d.Plans, res.Plan)
+		d.Predicted = append(d.Predicted, res.Predicted)
+		d.weights = append(d.weights, w.Branches[i].Weight/totalW)
+	}
+	return d, nil
+}
+
+// ExpectedLatency is the branch-weighted predicted latency.
+func (d *Deployment) ExpectedLatency() time.Duration {
+	var sum float64
+	for i, p := range d.Predicted {
+		sum += d.weights[i] * float64(p)
+	}
+	return time.Duration(sum)
+}
+
+// Choose picks a branch index from the weights, deterministically for a
+// seed (standing in for the head function's data-dependent decision). The
+// seed is bit-mixed first: math/rand's first draw is correlated across
+// nearby seeds.
+func (d *Deployment) Choose(seed int64) int {
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	rng := rand.New(rand.NewSource(int64(z)))
+	x := rng.Float64()
+	acc := 0.0
+	for i, w := range d.weights {
+		acc += w
+		if x < acc {
+			return i
+		}
+	}
+	return len(d.weights) - 1
+}
+
+// Invoke serves one request: the switch selects a branch (seeded), the
+// branch's pre-planned deployment executes it.
+func (d *Deployment) Invoke(env engine.Env, seed int64) (branch int, res *engine.Result, err error) {
+	branch = d.Choose(seed)
+	env.Seed = seed
+	res, err = engine.Run(d.Variants[branch], d.Plans[branch], env)
+	return branch, res, err
+}
+
+// InvokeMany serves n requests and returns per-branch latencies.
+func (d *Deployment) InvokeMany(env engine.Env, seed int64, n int) (map[int][]time.Duration, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dynamic: non-positive request count %d", n)
+	}
+	out := make(map[int][]time.Duration)
+	for i := 0; i < n; i++ {
+		b, res, err := d.Invoke(env, seed+int64(i)*2654435761)
+		if err != nil {
+			return nil, err
+		}
+		out[b] = append(out[b], res.E2E)
+	}
+	return out, nil
+}

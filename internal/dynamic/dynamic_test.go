@@ -1,0 +1,195 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+	"chiron/internal/engine"
+	"chiron/internal/model"
+)
+
+func fn(name string, cpu time.Duration) *behavior.Spec {
+	return &behavior.Spec{
+		Name: name, Runtime: behavior.Python,
+		Segments: []behavior.Segment{{Kind: behavior.CPU, Dur: cpu}},
+		MemMB:    2,
+	}
+}
+
+// videoFFmpeg mirrors the paper's Discussion example: upload decides
+// between a parallel split/process/merge pipeline and a single
+// simple_process step.
+func videoFFmpeg(t *testing.T) *Workflow {
+	t.Helper()
+	w := &Workflow{
+		Name: "video-ffmpeg",
+		Head: []dag.Stage{{Functions: []*behavior.Spec{fn("upload", 4*time.Millisecond)}}},
+		Branches: []Branch{
+			{
+				Name:   "split-pipeline",
+				Weight: 0.3,
+				Stages: []dag.Stage{
+					{Functions: []*behavior.Spec{fn("split", 3*time.Millisecond)}},
+					{Functions: []*behavior.Spec{
+						fn("encode-1", 8*time.Millisecond), fn("encode-2", 8*time.Millisecond),
+						fn("encode-3", 8*time.Millisecond), fn("encode-4", 8*time.Millisecond),
+					}},
+					{Functions: []*behavior.Spec{fn("merge", 3*time.Millisecond)}},
+				},
+			},
+			{
+				Name:   "simple",
+				Weight: 0.7,
+				Stages: []dag.Stage{
+					{Functions: []*behavior.Spec{fn("simple_process", 10*time.Millisecond)}},
+				},
+			},
+		},
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestVariants(t *testing.T) {
+	w := videoFFmpeg(t)
+	vs, err := w.Variants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("%d variants", len(vs))
+	}
+	if len(vs[0].Stages) != 4 || len(vs[1].Stages) != 2 {
+		t.Fatalf("variant stage counts %d/%d, want 4/2", len(vs[0].Stages), len(vs[1].Stages))
+	}
+	if vs[0].Lookup("upload") == nil || vs[1].Lookup("upload") == nil {
+		t.Fatal("head not shared across variants")
+	}
+	if vs[1].Lookup("split") != nil {
+		t.Fatal("simple variant contains the other branch's functions")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Workflow)
+	}{
+		{"empty name", func(w *Workflow) { w.Name = "" }},
+		{"no head", func(w *Workflow) { w.Head = nil }},
+		{"one branch", func(w *Workflow) { w.Branches = w.Branches[:1] }},
+		{"zero weight", func(w *Workflow) { w.Branches[0].Weight = 0 }},
+		{"empty branch", func(w *Workflow) { w.Branches[1].Stages = nil }},
+		{"duplicate fn across head and branch", func(w *Workflow) {
+			w.Branches[1].Stages[0].Functions[0].Name = "upload"
+		}},
+	}
+	for _, tc := range cases {
+		w := videoFFmpeg(t)
+		tc.mut(w)
+		if err := w.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestUnionProfilesEveryFunction(t *testing.T) {
+	w := videoFFmpeg(t)
+	u, err := w.Union()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumFunctions() != 8 {
+		t.Fatalf("union has %d functions, want 8", u.NumFunctions())
+	}
+}
+
+func TestPlanAndInvoke(t *testing.T) {
+	w := videoFFmpeg(t)
+	c := model.Default()
+	d, err := Plan(w, c, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Plans) != 2 {
+		t.Fatalf("%d plans", len(d.Plans))
+	}
+	for i, p := range d.Plans {
+		if err := p.Validate(d.Variants[i]); err != nil {
+			t.Fatalf("variant %d plan invalid: %v", i, err)
+		}
+	}
+	env := engine.Env{Const: c, Fidelity: true}
+	branch, res, err := d.Invoke(env, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if branch < 0 || branch > 1 || res.E2E <= 0 {
+		t.Fatalf("branch %d, e2e %v", branch, res.E2E)
+	}
+}
+
+func TestBranchSelectionFollowsWeights(t *testing.T) {
+	w := videoFFmpeg(t)
+	d, err := Plan(w, model.Default(), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	n := 2000
+	for i := 0; i < n; i++ {
+		counts[d.Choose(int64(i))]++
+	}
+	frac := float64(counts[0]) / float64(n)
+	if math.Abs(frac-0.3) > 0.05 {
+		t.Fatalf("split branch chosen %.2f of the time, want ~0.30", frac)
+	}
+}
+
+func TestExpectedLatencyIsWeighted(t *testing.T) {
+	w := videoFFmpeg(t)
+	d, err := Plan(w, model.Default(), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := d.ExpectedLatency()
+	lo, hi := d.Predicted[0], d.Predicted[0]
+	for _, p := range d.Predicted {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	if exp < lo || exp > hi {
+		t.Fatalf("expected latency %v outside [%v, %v]", exp, lo, hi)
+	}
+	if d.Predicted[0] == d.Predicted[1] {
+		t.Fatal("variants should not predict identically (different shapes)")
+	}
+}
+
+func TestInvokeManyCoversBothBranches(t *testing.T) {
+	w := videoFFmpeg(t)
+	c := model.Default()
+	d, err := Plan(w, c, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBranch, err := d.InvokeMany(engine.Env{Const: c, Fidelity: true}, 7, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byBranch) != 2 {
+		t.Fatalf("only %d branch(es) exercised over 40 requests", len(byBranch))
+	}
+	if _, err := d.InvokeMany(engine.Env{Const: c}, 1, 0); err == nil {
+		t.Fatal("zero request count accepted")
+	}
+}

@@ -1,0 +1,420 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+	"chiron/internal/model"
+	"chiron/internal/netsim"
+	"chiron/internal/wrap"
+)
+
+func cpuFn(name string, d time.Duration) *behavior.Spec {
+	return &behavior.Spec{
+		Name: name, Runtime: behavior.Python,
+		Segments: []behavior.Segment{{Kind: behavior.CPU, Dur: d}},
+		MemMB:    1, OutputBytes: 4096,
+	}
+}
+
+func twoStage(t *testing.T, par int) *dag.Workflow {
+	t.Helper()
+	vs := make([]*behavior.Spec, par)
+	for i := range vs {
+		vs[i] = cpuFn("v"+string(rune('a'+i)), 2*time.Millisecond)
+	}
+	w, err := dag.FromStages("wf", 0, []*behavior.Spec{cpuFn("head", 3*time.Millisecond)}, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func oneToOne(w *dag.Workflow) *wrap.Plan {
+	p := &wrap.Plan{Workflow: w.Name, Loc: map[string]wrap.Loc{}}
+	for i, fn := range w.Functions() {
+		p.Loc[fn.Name] = wrap.Loc{Sandbox: i, Proc: 0}
+		p.Sandboxes = append(p.Sandboxes, wrap.SandboxCfg{CPUs: 1})
+	}
+	return p
+}
+
+func sharedSandbox(w *dag.Workflow) *wrap.Plan {
+	p := &wrap.Plan{Workflow: w.Name, Loc: map[string]wrap.Loc{}}
+	pr := 1
+	for si, st := range w.Stages {
+		for _, fn := range st.Functions {
+			if si == 0 {
+				p.Loc[fn.Name] = wrap.Loc{Sandbox: 0, Proc: 0}
+				continue
+			}
+			p.Loc[fn.Name] = wrap.Loc{Sandbox: 0, Proc: pr}
+			pr++
+		}
+	}
+	p.Sandboxes = []wrap.SandboxCfg{{CPUs: w.MaxParallelism()}}
+	return p
+}
+
+func idealEnv() Env {
+	return Env{Const: model.Default(), Dispatch: DispatchNone, Boundary: BoundaryShared}
+}
+
+func TestSharedSandboxIdealMatchesEquations(t *testing.T) {
+	c := model.Default()
+	w := twoStage(t, 3)
+	res, err := Run(w, sharedSandbox(w), idealEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage 0: head as resident thread: clone + 3ms.
+	s0 := c.ThreadStartup + 3*time.Millisecond
+	// Stage 1: 3 forked singles over 3 CPUs: last fork at 2 x block,
+	// + startup + exec, + 2 x IPC.
+	s1 := 2*c.ProcBlockStep + c.ProcStartup + 2*time.Millisecond + 2*c.IPCCost
+	want := s0 + s1
+	if res.E2E != want {
+		t.Fatalf("E2E = %v, want %v", res.E2E, want)
+	}
+	if len(res.Stages) != 2 || res.Stages[0].Sched != 0 {
+		t.Fatalf("stages = %+v", res.Stages)
+	}
+}
+
+func TestGatewayDispatchSerializes(t *testing.T) {
+	c := model.Default()
+	w := twoStage(t, 10)
+	env := idealEnv()
+	env.Dispatch = DispatchGateway
+	res, err := Run(w, oneToOne(w), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage 1 sched = 9 serialized gateway dispatches.
+	wantSched := 9 * c.GatewaySchedPerFn
+	if res.Stages[1].Sched != wantSched {
+		t.Fatalf("stage 1 sched = %v, want %v", res.Stages[1].Sched, wantSched)
+	}
+}
+
+func TestASFDispatchWindowMatchesFigure3(t *testing.T) {
+	c := model.Default()
+	mk := func(par int) time.Duration {
+		w := twoStage(t, par)
+		env := idealEnv()
+		env.Dispatch = DispatchASF
+		res, err := Run(w, oneToOne(w), env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stages[1].Sched
+	}
+	// Figure 3: ~150ms at 5, ~874ms at 25, ~1628ms at 50.
+	for _, tc := range []struct {
+		par int
+		lo  time.Duration
+		hi  time.Duration
+	}{
+		{5, 150 * time.Millisecond, 250 * time.Millisecond},
+		{25, 800 * time.Millisecond, 950 * time.Millisecond},
+		{50, 1500 * time.Millisecond, 1750 * time.Millisecond},
+	} {
+		got := mk(tc.par)
+		if got < tc.lo || got > tc.hi {
+			t.Errorf("ASF sched at %d parallel = %v, want [%v, %v]", tc.par, got, tc.lo, tc.hi)
+		}
+	}
+	_ = c
+}
+
+func TestBoundaryStoreChargesTransfers(t *testing.T) {
+	c := model.Default()
+	w := twoStage(t, 2)
+	env := idealEnv()
+	env.Boundary = BoundaryStore
+	env.Store = netsim.LocalMinIO(c)
+	res, err := Run(w, oneToOne(w), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * env.Store.Transfer(4096) // put + get of head's output
+	if res.Stages[0].Boundary != want {
+		t.Fatalf("boundary = %v, want %v", res.Stages[0].Boundary, want)
+	}
+	// The final stage has no successor: no boundary.
+	if res.Stages[1].Boundary != 0 {
+		t.Fatalf("final stage boundary = %v, want 0", res.Stages[1].Boundary)
+	}
+	shared, err := Run(w, oneToOne(w), idealEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.E2E <= shared.E2E {
+		t.Fatal("remote store must cost more than shared memory")
+	}
+}
+
+func TestRemoteWrapPaysInvokeAndRPC(t *testing.T) {
+	c := model.Default()
+	w := twoStage(t, 4)
+	split := &wrap.Plan{Workflow: w.Name, Loc: map[string]wrap.Loc{
+		"head": {Sandbox: 0, Proc: 0},
+		"va":   {Sandbox: 0, Proc: 1}, "vb": {Sandbox: 0, Proc: 2},
+		"vc": {Sandbox: 1, Proc: 1}, "vd": {Sandbox: 1, Proc: 2},
+	}, Sandboxes: []wrap.SandboxCfg{{CPUs: 2}, {CPUs: 2}}}
+	res, err := Run(w, split, idealEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stages[1]
+	if len(st.Wraps) != 2 {
+		t.Fatalf("%d wraps in stage 1", len(st.Wraps))
+	}
+	local, remote := st.Wraps[0], st.Wraps[1]
+	if local.Sandbox != 0 || remote.Sandbox != 1 {
+		t.Fatalf("wrap order: %+v", st.Wraps)
+	}
+	if remote.InvokedAt != st.Start+c.InvokeCost {
+		t.Errorf("remote invoked at %v, want start+T_INV", remote.InvokedAt-st.Start)
+	}
+	wantDone := remote.InvokedAt + remote.Exec.Total + c.RPCCost
+	if remote.Done != wantDone {
+		t.Errorf("remote done = %v, want %v", remote.Done, wantDone)
+	}
+}
+
+func TestColdStartChargedOncePerSandbox(t *testing.T) {
+	c := model.Default()
+	w := twoStage(t, 2)
+	plan := sharedSandbox(w)
+	env := idealEnv()
+	env.ColdStart = true
+	cold, err := Run(w, plan, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Run(w, plan, idealEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := cold.E2E - warm.E2E
+	if diff != c.ColdStart {
+		t.Fatalf("cold start added %v, want exactly one %v (single sandbox, two stages)", diff, c.ColdStart)
+	}
+}
+
+func TestFunctionTimingsCoverAllFunctions(t *testing.T) {
+	w := twoStage(t, 5)
+	res, err := Run(w, sharedSandbox(w), idealEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Functions) != 6 {
+		t.Fatalf("%d function timings, want 6", len(res.Functions))
+	}
+	seen := map[string]bool{}
+	for _, ft := range res.Functions {
+		seen[ft.Name] = true
+		if ft.Finish <= ft.Start && ft.Name != "head" {
+			t.Errorf("%s: finish %v <= start %v", ft.Name, ft.Finish, ft.Start)
+		}
+		if ft.Finish > res.Stages[ft.Stage].End {
+			t.Errorf("%s finishes after its stage ends", ft.Name)
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("function timings missing names: %v", seen)
+	}
+}
+
+func TestStage1FunctionsStartAfterStage0(t *testing.T) {
+	w := twoStage(t, 3)
+	res, err := Run(w, sharedSandbox(w), idealEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ft := range res.Functions {
+		if ft.Stage == 1 && ft.Start < res.Stages[0].End {
+			t.Fatalf("%s started at %v, before stage 0 ended at %v", ft.Name, ft.Start, res.Stages[0].End)
+		}
+	}
+}
+
+func TestFidelityDeterministicPerSeed(t *testing.T) {
+	w := twoStage(t, 4)
+	env := idealEnv()
+	env.Fidelity = true
+	env.Seed = 11
+	a, err := Run(w, sharedSandbox(w), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(w, sharedSandbox(w), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.E2E != b.E2E {
+		t.Fatal("same seed differed")
+	}
+	env.Seed = 12
+	c2, err := Run(w, sharedSandbox(w), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.E2E == a.E2E {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestRunManyProducesSpread(t *testing.T) {
+	w := twoStage(t, 8)
+	env := idealEnv()
+	env.Fidelity = true
+	lats, err := RunMany(w, sharedSandbox(w), env, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lats) != 50 {
+		t.Fatalf("%d samples", len(lats))
+	}
+	min, max := lats[0], lats[0]
+	for _, l := range lats {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if min == max {
+		t.Fatal("no latency spread across seeded requests")
+	}
+	spread := float64(max-min) / float64(min)
+	if spread > 0.5 {
+		t.Fatalf("spread %.0f%% implausibly wide", spread*100)
+	}
+	if _, err := RunMany(w, sharedSandbox(w), env, 0); err == nil {
+		t.Fatal("zero request count accepted")
+	}
+}
+
+func TestRecordPropagatesAbsoluteSlices(t *testing.T) {
+	w := twoStage(t, 3)
+	env := idealEnv()
+	env.Record = true
+	res, err := Run(w, sharedSandbox(w), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ft := range res.Functions {
+		if len(ft.Slices) == 0 {
+			t.Fatalf("%s has no recorded slices", ft.Name)
+		}
+		last := ft.Slices[len(ft.Slices)-1]
+		if last.To != ft.Finish {
+			t.Errorf("%s: timeline end %v != finish %v", ft.Name, last.To, ft.Finish)
+		}
+	}
+}
+
+func TestInvalidPlanRejected(t *testing.T) {
+	w := twoStage(t, 2)
+	bad := &wrap.Plan{Workflow: w.Name, Loc: map[string]wrap.Loc{}, Sandboxes: []wrap.SandboxCfg{{CPUs: 1}}}
+	if _, err := Run(w, bad, idealEnv()); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}
+
+func TestForkPerRequestChargesMainProc(t *testing.T) {
+	// classic-watchdog semantics: even proc-0 functions fork per request.
+	c := model.Default()
+	w := twoStage(t, 2)
+	plan := sharedSandbox(w)
+	of, err := Run(w, plan, idealEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic := sharedSandbox(w)
+	classic.Sandboxes[0].ForkPerRequest = true
+	cl, err := Run(w, classic, idealEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.E2E <= of.E2E {
+		t.Fatalf("fork-per-request (%v) must cost more than resident main (%v)", cl.E2E, of.E2E)
+	}
+	if cl.E2E-of.E2E < c.ProcStartup/2 {
+		t.Fatalf("penalty %v implausibly small", cl.E2E-of.E2E)
+	}
+}
+
+func TestPoolWrapInEngine(t *testing.T) {
+	w := twoStage(t, 6)
+	plan := &wrap.Plan{Workflow: w.Name, Loc: map[string]wrap.Loc{}}
+	for i, fn := range w.Functions() {
+		plan.Loc[fn.Name] = wrap.Loc{Sandbox: 0, Proc: i + 1}
+	}
+	plan.Sandboxes = []wrap.SandboxCfg{{CPUs: 2, Pool: true, Workers: 3}}
+	res, err := Run(w, plan, idealEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 validators x 2ms on 2 CPUs: at least 6ms of serialized pairs for
+	// stage 1 alone, plus stage 0.
+	if res.E2E < 8*time.Millisecond {
+		t.Fatalf("pool result %v too fast for 2 CPUs", res.E2E)
+	}
+	cold := idealEnv()
+	cold.ColdStart = true
+	cres, err := Run(w, plan, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.E2E-res.E2E != model.Default().ColdStart {
+		t.Fatalf("single pool sandbox should pay exactly one cold start, got +%v", cres.E2E-res.E2E)
+	}
+}
+
+func TestASFWithColdStartStacksCosts(t *testing.T) {
+	c := model.Default()
+	w := twoStage(t, 3)
+	env := idealEnv()
+	env.Dispatch = DispatchASF
+	warm, err := Run(w, oneToOne(w), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.ColdStart = true
+	cold, err := Run(w, oneToOne(w), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four sandboxes boot, but boots pipeline with dispatch; the E2E
+	// penalty is at least one cold start and at most four.
+	diff := cold.E2E - warm.E2E
+	if diff < c.ColdStart || diff > 4*c.ColdStart {
+		t.Fatalf("cold-start penalty %v outside [1,4] boots", diff)
+	}
+}
+
+func TestSchedTotalSumsStages(t *testing.T) {
+	w := twoStage(t, 4)
+	env := idealEnv()
+	env.Dispatch = DispatchGateway
+	res, err := Run(w, oneToOne(w), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum time.Duration
+	for _, st := range res.Stages {
+		sum += st.Sched
+	}
+	if res.SchedTotal() != sum {
+		t.Fatalf("SchedTotal %v != sum %v", res.SchedTotal(), sum)
+	}
+	if sum == 0 {
+		t.Fatal("gateway dispatch produced zero scheduling time")
+	}
+}

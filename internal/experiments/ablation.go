@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+	"chiron/internal/engine"
+	"chiron/internal/loadgen"
+	"chiron/internal/metrics"
+	"chiron/internal/node"
+	"chiron/internal/pgp"
+	"chiron/internal/platform"
+	"chiron/internal/render"
+	"chiron/internal/workloads"
+	"chiron/internal/wrap"
+)
+
+// Ablations lists the design-choice ablations (beyond the paper's own
+// figures) in recommended order.
+var Ablations = []string{"abl-wraps", "abl-mainthread", "abl-kl", "abl-safety", "abl-coldstart", "abl-load"}
+
+func init() {
+	Registry["abl-wraps"] = AblWrapCount
+	Registry["abl-mainthread"] = AblMainThread
+	Registry["abl-kl"] = AblKernighanLin
+	Registry["abl-safety"] = AblSafetyMargin
+	Registry["abl-coldstart"] = AblColdStart
+	Registry["abl-load"] = AblLoad
+}
+
+// AblWrapCount sweeps the number of wraps for a fixed process count on
+// FINRA: the block-time-vs-network trade at the heart of the m-to-n model
+// (Figure 1). One wrap accumulates fork block time; too many wraps pay
+// invocation and RPC per sandbox; the minimum sits in between, near the
+// capacity bound floor(T_RPC/T_Block).
+func AblWrapCount(cfg Config) (*render.Table, error) {
+	cfg.defaults()
+	par := 48
+	procs := 16
+	if cfg.Quick {
+		par, procs = 16, 8
+	}
+	w := workloads.FINRA(par)
+	t := &render.Table{
+		ID:      "abl-wraps",
+		Title:   fmt.Sprintf("FINRA-%d with %d processes: latency vs wrap count", par, procs),
+		Columns: []string{"wraps", "procs-per-wrap", "e2e", "vs-best"},
+	}
+	env := platform.Chiron(cfg.Const).Env()
+	env.Seed = cfg.Seed
+	type row struct {
+		wraps int
+		lat   time.Duration
+	}
+	var rows []row
+	for wraps := 1; wraps <= procs; wraps *= 2 {
+		p := buildHybridPlan(w, procs, wraps, wrap.IsoNone)
+		if p == nil {
+			continue
+		}
+		lats, err := engine.RunMany(w, p, env, 5)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row{wraps, metrics.Mean(lats)})
+	}
+	best := rows[0].lat
+	for _, r := range rows {
+		if r.lat < best {
+			best = r.lat
+		}
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprint(r.wraps), fmt.Sprint((procs+r.wraps-1)/r.wraps),
+			render.Ms(r.lat), render.F2(float64(r.lat)/float64(best)))
+	}
+	t.AddNote("expected U-shape: one wrap pays fork block time, many wraps pay T_INV/T_RPC; the sweet spot sits near capacity %d", cfg.Const.MaxProcsPerWrap(procs))
+	return t, nil
+}
+
+// AblMainThread ablates the resident-main execution path: of-watchdog
+// semantics (functions placed on the wrap's long-lived process, thread
+// clones only) against classic-watchdog semantics (every request forks,
+// Section 5's template choice).
+func AblMainThread(cfg Config) (*render.Table, error) {
+	cfg.defaults()
+	t := &render.Table{
+		ID:      "abl-mainthread",
+		Title:   "Resident-main (of-watchdog) vs fork-per-request (classic-watchdog)",
+		Columns: []string{"workload", "of-watchdog", "classic-watchdog", "penalty"},
+	}
+	for _, entry := range suite(cfg) {
+		set, err := profileOf(entry.Workflow, cfg)
+		if err != nil {
+			return nil, err
+		}
+		slo, err := faastlaneSLO(entry.Workflow, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sys := platform.Chiron(cfg.Const)
+		plan, err := sys.Plan(entry.Workflow, set, slo)
+		if err != nil {
+			return nil, err
+		}
+		env := sys.Env()
+		env.Seed = cfg.Seed
+		of, err := engine.RunMany(entry.Workflow, plan, env, 5)
+		if err != nil {
+			return nil, err
+		}
+		classic := clonePlan(plan)
+		for i := range classic.Sandboxes {
+			classic.Sandboxes[i].ForkPerRequest = true
+		}
+		cl, err := engine.RunMany(entry.Workflow, classic, env, 5)
+		if err != nil {
+			return nil, err
+		}
+		mOf, mCl := metrics.Mean(of), metrics.Mean(cl)
+		t.AddRow(entry.Name, render.Ms(mOf), render.Ms(mCl),
+			render.Pct(float64(mCl-mOf)/float64(mOf)))
+	}
+	t.AddNote("the of-watchdog template avoids one fork (7.5ms startup) per main-process group per stage; Section 5 chose it 'for a better performance efficiency'")
+	return t, nil
+}
+
+func clonePlan(p *wrap.Plan) *wrap.Plan {
+	c := &wrap.Plan{Workflow: p.Workflow, Loc: make(map[string]wrap.Loc, len(p.Loc))}
+	for k, v := range p.Loc {
+		c.Loc[k] = v
+	}
+	c.Sandboxes = append([]wrap.SandboxCfg(nil), p.Sandboxes...)
+	return c
+}
+
+// AblKernighanLin ablates Algorithm 2's swapping pass on a skewed stage:
+// round-robin alone vs KL-refined partitions.
+func AblKernighanLin(cfg Config) (*render.Table, error) {
+	cfg.defaults()
+	// A deliberately skewed stage: long and short functions interleaved
+	// so the stride-layout round-robin produces imbalanced groups.
+	var fns []*behavior.Spec
+	for i := 0; i < 12; i++ {
+		d := 2 * time.Millisecond
+		if i%4 == 0 {
+			d = 18 * time.Millisecond
+		}
+		fns = append(fns, &behavior.Spec{
+			Name: fmt.Sprintf("task-%02d", i), Runtime: behavior.Python,
+			Segments: []behavior.Segment{{Kind: behavior.CPU, Dur: d}},
+			MemMB:    1,
+		})
+	}
+	w, err := dag.FromStages("skewed", 0, fns)
+	if err != nil {
+		return nil, err
+	}
+	set, err := profileOf(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &render.Table{
+		ID:      "abl-kl",
+		Title:   "Kernighan-Lin refinement on a skewed 12-function stage",
+		Columns: []string{"slo", "variant", "procs", "predicted", "measured"},
+	}
+	env := platform.Chiron(cfg.Const).Env()
+	env.Seed = cfg.Seed
+	for _, slo := range []time.Duration{45 * time.Millisecond, 35 * time.Millisecond} {
+		for _, variant := range []struct {
+			label   string
+			disable bool
+		}{{"round-robin", true}, {"kl-refined", false}} {
+			res, err := pgp.Plan(w, set, pgp.Options{Const: cfg.Const, SLO: slo, DisableKL: variant.disable})
+			if err != nil {
+				return nil, err
+			}
+			lats, err := engine.RunMany(w, res.Plan, env, 5)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(render.Ms(slo), variant.label,
+				fmt.Sprint(res.ProcsPerStage[0]), render.Ms(res.Predicted), render.Ms(metrics.Mean(lats)))
+		}
+	}
+	t.AddNote("KL balances long/short functions across processes, so the same SLO is met with fewer processes (or lower latency at equal processes)")
+	return t, nil
+}
+
+// AblSafetyMargin sweeps the Predictor's safety factor: too little risks
+// SLO violations, too much wastes CPUs (Section 6.2's misprediction
+// guard).
+func AblSafetyMargin(cfg Config) (*render.Table, error) {
+	cfg.defaults()
+	par := 50
+	if cfg.Quick {
+		par = 20
+	}
+	w := workloads.FINRA(par)
+	set, err := profileOf(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	slo, err := faastlaneSLO(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Use a target tight enough that the margin actually binds: 3/4 of
+	// the Faastlane-derived SLO sits near a process-count boundary.
+	slo = slo * 3 / 4
+	t := &render.Table{
+		ID:      "abl-safety",
+		Title:   fmt.Sprintf("Safety-margin sweep on FINRA-%d (SLO %s)", par, render.Ms(slo)),
+		Columns: []string{"safety", "cpus", "wraps", "mean", "violations"},
+	}
+	env := platform.Chiron(cfg.Const).Env()
+	for _, safety := range []float64{1.0, 1.05, 1.1, 1.2, 1.35} {
+		res, err := pgp.Plan(w, set, pgp.Options{Const: cfg.Const, SLO: slo, Safety: safety})
+		if err != nil {
+			return nil, err
+		}
+		e := env
+		e.Seed = cfg.Seed + 31
+		lats, err := engine.RunMany(w, res.Plan, e, cfg.Requests)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(render.F2(safety), fmt.Sprint(res.Plan.TotalCPUs()), fmt.Sprint(res.Plan.NumWraps()),
+			render.Ms(metrics.Mean(lats)), render.Pct(metrics.ViolationRate(lats, slo)))
+	}
+	t.AddNote("the paper's Chiron 'adopts larger parameters to estimate the latency, avoiding performance violation resulting from mispredictions' — the sweep shows the cost of that insurance")
+	return t, nil
+}
+
+// AblColdStart charges container cold starts (Section 1's 167ms) and
+// compares deployment models: fewer sandboxes = fewer cold starts, an
+// unstated bonus of the m-to-n model.
+func AblColdStart(cfg Config) (*render.Table, error) {
+	cfg.defaults()
+	par := 25
+	w := workloads.FINRA(par)
+	set, err := profileOf(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	slo, err := faastlaneSLO(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &render.Table{
+		ID:      "abl-coldstart",
+		Title:   fmt.Sprintf("Cold-start impact on FINRA-%d by deployment model", par),
+		Columns: []string{"system", "sandboxes", "warm", "cold", "cold-penalty"},
+	}
+	for _, sys := range []*platform.System{
+		platform.OpenFaaS(cfg.Const), platform.Faastlane(cfg.Const), platform.Chiron(cfg.Const),
+	} {
+		plan, err := sys.Plan(w, set, slo)
+		if err != nil {
+			return nil, err
+		}
+		env := sys.Env()
+		env.Seed = cfg.Seed
+		warm, err := engine.Run(w, plan, env)
+		if err != nil {
+			return nil, err
+		}
+		env.ColdStart = true
+		cold, err := engine.Run(w, plan, env)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(sys.Name, fmt.Sprint(plan.NumWraps()),
+			render.Ms(warm.E2E), render.Ms(cold.E2E),
+			render.Pct(float64(cold.E2E-warm.E2E)/float64(warm.E2E)))
+	}
+	t.AddNote("one-to-one pays a 167ms boot per function sandbox (pipelined but on the critical path); the m-to-n model boots n << m sandboxes")
+	return t, nil
+}
+
+// AblLoad measures sustainable throughput under queueing: open-loop
+// Poisson arrivals against each system's instance fleet on one worker
+// node, binary-searching the highest rate whose p95 stays within the SLO.
+// Figure 16's instances/latency metric is the zero-queueing bound; this
+// shows how much of it survives real arrival bursts.
+func AblLoad(cfg Config) (*render.Table, error) {
+	cfg.defaults()
+	par := 50
+	if cfg.Quick {
+		par = 20
+	}
+	w := workloads.FINRA(par)
+	set, err := profileOf(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	slo, err := faastlaneSLO(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &render.Table{
+		ID:      "abl-load",
+		Title:   fmt.Sprintf("Sustainable load on one worker node, FINRA-%d (p95 <= %s)", par, render.Ms(slo)),
+		Columns: []string{"system", "instances", "zero-queue-rps", "sustainable-rps", "utilization"},
+	}
+	worker := node.FromConstants(cfg.Const)
+	for _, sys := range []*platform.System{
+		platform.OpenFaaS(cfg.Const), platform.Faastlane(cfg.Const),
+		platform.Chiron(cfg.Const), platform.ChironP(cfg.Const),
+	} {
+		plan, err := sys.Plan(w, set, slo)
+		if err != nil {
+			return nil, err
+		}
+		env := sys.Env()
+		env.Seed = cfg.Seed
+		samples, err := engine.RunMany(w, plan, env, 20)
+		if err != nil {
+			return nil, err
+		}
+		ledgers, err := plan.Ledgers(w)
+		if err != nil {
+			return nil, err
+		}
+		instances := worker.MaxInstances(node.DemandOf(cfg.Const, ledgers))
+		if instances < 1 {
+			instances = 1
+		}
+		srv := loadgen.Server{Instances: instances, ServiceTimes: samples}
+		sustainable, err := loadgen.MaxRate(srv, slo, loadgen.Options{Seed: cfg.Seed, Duration: 20 * time.Second})
+		if err != nil {
+			return nil, err
+		}
+		util := 0.0
+		if cap := srv.Capacity(); cap > 0 {
+			util = sustainable / cap
+		}
+		t.AddRow(sys.Name, fmt.Sprint(instances),
+			render.F1(srv.Capacity()), render.F1(sustainable), render.Pct(util))
+	}
+	t.AddNote("queueing claws back part of the zero-queue bound for everyone, but the m-to-n model's instance count keeps it far ahead under bursty arrivals")
+	return t, nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import "testing"
+
+func TestAblationsRegisteredAndRun(t *testing.T) {
+	for _, id := range Ablations {
+		if Registry[id] == nil {
+			t.Fatalf("%s not registered", id)
+		}
+		tab, err := Run(id, quickCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: no rows", id)
+		}
+	}
+}
+
+func TestAblWrapCountUShape(t *testing.T) {
+	tab, err := AblWrapCount(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single-wrap row must not be the best (block time hurts), and
+	// the max-wrap row must not be the best either (RPC hurts).
+	first := cellF(t, tab.Rows[0][3])
+	last := cellF(t, tab.Rows[len(tab.Rows)-1][3])
+	if first <= 1.0 && last <= 1.0 {
+		t.Fatalf("no U-shape: first=%.2f last=%.2f", first, last)
+	}
+}
+
+func TestAblMainThreadPenaltyPositive(t *testing.T) {
+	tab, err := AblMainThread(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if cellPct(t, row[3]) < -1 {
+			t.Fatalf("%s: classic-watchdog cheaper than of-watchdog (%s)", row[0], row[3])
+		}
+	}
+}
+
+func TestAblKLRefinementHelps(t *testing.T) {
+	tab, err := AblKernighanLin(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each SLO pair, KL must not be worse on both procs and latency.
+	for i := 0; i+1 < len(tab.Rows); i += 2 {
+		rr, kl := tab.Rows[i], tab.Rows[i+1]
+		rrProcs, klProcs := cellF(t, rr[2]), cellF(t, kl[2])
+		rrLat, klLat := cellMs(t, rr[4]), cellMs(t, kl[4])
+		if klProcs > rrProcs && klLat > rrLat*1.02 {
+			t.Fatalf("KL worse on both axes at %s: procs %v->%v lat %.1f->%.1f",
+				rr[0], rrProcs, klProcs, rrLat, klLat)
+		}
+	}
+}
+
+func TestAblColdStartOrdering(t *testing.T) {
+	tab, err := AblColdStart(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pen := map[string]float64{}
+	for _, row := range tab.Rows {
+		pen[row[0]] = cellPct(t, row[4])
+	}
+	if pen["OpenFaaS"] <= pen["Chiron"] {
+		t.Fatalf("one-to-one cold penalty (%.1f%%) should exceed Chiron's (%.1f%%)", pen["OpenFaaS"], pen["Chiron"])
+	}
+}
+
+func TestAblSafetyMonotoneCPUs(t *testing.T) {
+	tab, err := AblSafetyMargin(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, row := range tab.Rows {
+		cpus := cellF(t, row[1])
+		if cpus < prev {
+			t.Fatalf("CPUs decreased as safety grew: %v", tab.Rows)
+		}
+		prev = cpus
+	}
+}
+
+func TestAblLoadChironSustainsMost(t *testing.T) {
+	tab, err := AblLoad(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := map[string]float64{}
+	for _, row := range tab.Rows {
+		rates[row[0]] = cellF(t, row[3])
+	}
+	if rates["Chiron"] <= rates["Faastlane"] || rates["Chiron"] <= rates["OpenFaaS"] {
+		t.Fatalf("Chiron sustainable rate %.1f not ahead (Faastlane %.1f, OpenFaaS %.1f)",
+			rates["Chiron"], rates["Faastlane"], rates["OpenFaaS"])
+	}
+	for _, row := range tab.Rows {
+		if cellF(t, row[3]) > cellF(t, row[2])+0.01 {
+			t.Fatalf("%s: sustainable exceeds zero-queue bound", row[0])
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 2's motivation figures and Section 6's results).
+// Each experiment returns a render.Table carrying the same rows/series the
+// paper plots; bench_test.go and cmd/chiron-bench expose them.
+//
+// Absolute numbers come from this repository's calibrated virtual-time
+// substrate, not the authors' 8-node testbed; the point of each table is
+// the paper's *shape*: who wins, by roughly what factor, and where the
+// crossovers fall. EXPERIMENTS.md records paper-vs-measured for all of
+// them.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"chiron/internal/dag"
+	"chiron/internal/engine"
+	"chiron/internal/metrics"
+	"chiron/internal/model"
+	"chiron/internal/node"
+	"chiron/internal/platform"
+	"chiron/internal/profiler"
+	"chiron/internal/render"
+	"chiron/internal/workloads"
+	"chiron/internal/wrap"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Const is the substrate calibration (model.Default unless testing).
+	Const model.Constants
+	// Seed drives every deterministic jitter stream.
+	Seed int64
+	// Requests is the per-configuration sample count for distributional
+	// metrics (Figures 14-15).
+	Requests int
+	// Quick trims sweeps for unit tests (fewer requests, smaller
+	// FINRA instances, fewer ML candidates).
+	Quick bool
+}
+
+// Default returns the standard configuration.
+func Default() Config {
+	return Config{Const: model.Default(), Seed: 1, Requests: 100}
+}
+
+func (c *Config) defaults() {
+	if c.Const.NodeCores == 0 {
+		c.Const = model.Default()
+	}
+	if c.Requests <= 0 {
+		c.Requests = 100
+		if c.Quick {
+			c.Requests = 25
+		}
+	}
+}
+
+// Func is one experiment driver.
+type Func func(Config) (*render.Table, error)
+
+// Registry maps experiment IDs to drivers, and Order lists them in paper
+// order.
+var (
+	Registry = map[string]Func{
+		"fig3":   Fig3SchedulingOverhead,
+		"fig4":   Fig4Transmission,
+		"fig5":   Fig5Timelines,
+		"fig6":   Fig6LatencyComparison,
+		"fig7":   Fig7NoGILCPUs,
+		"fig8":   Fig8Resources,
+		"table1": Table1Isolation,
+		"fig11":  Fig11PGPTrace,
+		"fig12":  Fig12PredictionError,
+		"fig13":  Fig13OverallLatency,
+		"fig14":  Fig14SLOViolations,
+		"fig15":  Fig15LatencyCDF,
+		"fig16":  Fig16MemoryThroughput,
+		"fig17":  Fig17CPUAllocation,
+		"fig18":  Fig18NoGIL,
+		"fig19":  Fig19DollarCost,
+	}
+	Order = []string{
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"fig18", "fig19",
+	}
+)
+
+// Run executes one experiment by ID.
+func Run(id string, cfg Config) (*render.Table, error) {
+	f, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, Order)
+	}
+	return f(cfg)
+}
+
+// ---- shared harness helpers ----
+
+// deployment is a planned system ready to execute.
+type deployment struct {
+	sys  *platform.System
+	plan *wrap.Plan
+}
+
+// profileOf profiles a workflow with the standard options.
+func profileOf(w *dag.Workflow, cfg Config) (profiler.Set, error) {
+	opt := profiler.DefaultOptions()
+	opt.Seed = cfg.Seed
+	return profiler.ProfileWorkflow(w, opt)
+}
+
+// faastlaneSLO derives the paper's SLO convention: Faastlane's average
+// end-to-end latency plus 10 ms of slack (Section 6.2).
+func faastlaneSLO(w *dag.Workflow, cfg Config) (time.Duration, error) {
+	fl := platform.Faastlane(cfg.Const)
+	plan, err := fl.Plan(w, nil, 0)
+	if err != nil {
+		return 0, err
+	}
+	env := fl.Env()
+	env.Seed = cfg.Seed
+	lats, err := engine.RunMany(w, plan, env, 10)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.Mean(lats) + 10*time.Millisecond, nil
+}
+
+// deploy plans one system against a workload.
+func deploy(sys *platform.System, w *dag.Workflow, set profiler.Set, slo time.Duration) (*deployment, error) {
+	plan, err := sys.Plan(w, set, slo)
+	if err != nil {
+		return nil, err
+	}
+	return &deployment{sys: sys, plan: plan}, nil
+}
+
+// runOnce executes a single request.
+func (d *deployment) runOnce(w *dag.Workflow, cfg Config) (*engine.Result, error) {
+	env := d.sys.Env()
+	env.Seed = cfg.Seed
+	return engine.Run(w, d.plan, env)
+}
+
+// meanLatency averages n requests.
+func (d *deployment) meanLatency(w *dag.Workflow, cfg Config, n int) (time.Duration, error) {
+	env := d.sys.Env()
+	env.Seed = cfg.Seed
+	lats, err := engine.RunMany(w, d.plan, env, n)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.Mean(lats), nil
+}
+
+// throughput computes the per-node maximum RPS (Figure 16's metric): how
+// many whole instances fit into one Table 2 worker divided by the
+// end-to-end latency.
+func (d *deployment) throughput(w *dag.Workflow, cfg Config) (float64, error) {
+	lat, err := d.meanLatency(w, cfg, 5)
+	if err != nil {
+		return 0, err
+	}
+	ledgers, err := d.plan.Ledgers(w)
+	if err != nil {
+		return 0, err
+	}
+	demand := node.DemandOf(cfg.Const, ledgers)
+	instances := node.FromConstants(cfg.Const).MaxInstances(demand)
+	if instances < 1 {
+		instances = 1 // a deployment larger than one node still serves from the cluster
+	}
+	return metrics.Throughput(instances, lat), nil
+}
+
+// memoryMB sums the deployment's resident memory.
+func (d *deployment) memoryMB(w *dag.Workflow, cfg Config) (float64, error) {
+	ledgers, err := d.plan.Ledgers(w)
+	if err != nil {
+		return 0, err
+	}
+	var mb float64
+	for _, sb := range ledgers {
+		mb += sb.MemoryMB(cfg.Const)
+	}
+	return mb, nil
+}
+
+// finraSizes returns the FINRA parallelism sweep, trimmed under Quick.
+func finraSizes(cfg Config) []int {
+	if cfg.Quick {
+		return []int{5, 25}
+	}
+	return []int{5, 25, 50}
+}
+
+// suite returns the eight evaluation workloads, trimmed under Quick.
+func suite(cfg Config) []workloads.Entry {
+	s := workloads.Suite()
+	if cfg.Quick {
+		return []workloads.Entry{s[0], s[2], s[4], s[5]} // SN, SLApp, FINRA-5, FINRA-50
+	}
+	return s
+}
+
+// sortedKeys returns map keys in sorted order (stable table rows).
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,451 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func quickCfg() Config {
+	return Config{Seed: 1, Quick: true, Requests: 25}
+}
+
+// parse helpers for table cells ("12.3ms", "45.6%", "1.23").
+func cellMs(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "ms"), 64)
+	if err != nil {
+		t.Fatalf("cell %q not a millisecond value: %v", s, err)
+	}
+	return v
+}
+
+func cellPct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q not a percentage: %v", s, err)
+	}
+	return v
+}
+
+func cellF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not a float: %v", s, err)
+	}
+	return v
+}
+
+func TestRegistryCoversPaper(t *testing.T) {
+	want := []string{
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+	}
+	if len(Order) != len(want) {
+		t.Fatalf("Order has %d entries, want %d", len(Order), len(want))
+	}
+	for _, id := range want {
+		if Registry[id] == nil {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if _, err := Run("fig99", quickCfg()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFig3ASFDominatesScheduling(t *testing.T) {
+	tab, err := Fig3SchedulingOverhead(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: parallel, system, sched, e2e, sched%.
+	var asf25, ofs25 float64
+	for _, row := range tab.Rows {
+		if row[0] == "25" && row[1] == "ASF" {
+			asf25 = cellPct(t, row[4])
+		}
+		if row[0] == "25" && row[1] == "OpenFaaS" {
+			ofs25 = cellPct(t, row[4])
+		}
+	}
+	if asf25 < 50 {
+		t.Errorf("ASF scheduling share at 25-way = %.1f%%, want dominant (>50%%)", asf25)
+	}
+	if ofs25 >= asf25 {
+		t.Errorf("OpenFaaS share %.1f%% >= ASF %.1f%%", ofs25, asf25)
+	}
+}
+
+func TestFig4OrderingAndMagnitudes(t *testing.T) {
+	tab, err := Fig4Transmission(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	oneB := cellMs(t, tab.Rows[0][1])
+	oneGB := cellMs(t, tab.Rows[3][1])
+	if oneB < 45 || oneB > 60 {
+		t.Errorf("1B over S3 = %.1fms, want ~52ms", oneB)
+	}
+	if oneGB < 20000 || oneGB > 30000 {
+		t.Errorf("1GB over S3 = %.1fms, want ~25s", oneGB)
+	}
+	for _, row := range tab.Rows {
+		if cellMs(t, row[2]) >= cellMs(t, row[1]) {
+			t.Errorf("MinIO (%s) not cheaper than S3 (%s) at %s", row[2], row[1], row[0])
+		}
+	}
+}
+
+func TestFig5ThreadStartupTiny(t *testing.T) {
+	tab, err := Fig5Timelines(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var procSpawnMax, threadSpawnMax float64
+	for _, row := range tab.Rows {
+		spawn := cellMs(t, row[2])
+		switch row[0] {
+		case "process":
+			if spawn > procSpawnMax {
+				procSpawnMax = spawn
+			}
+		case "thread":
+			if spawn > threadSpawnMax {
+				threadSpawnMax = spawn
+			}
+		}
+	}
+	if procSpawnMax < 15 {
+		t.Errorf("last process spawned at %.1fms; block+startup cascade missing", procSpawnMax)
+	}
+	if threadSpawnMax > procSpawnMax/4 {
+		t.Errorf("threads spawn at %.1fms vs processes %.1fms; expected ~96%% cheaper", threadSpawnMax, procSpawnMax)
+	}
+}
+
+func TestFig6ChironWinsAndCrossover(t *testing.T) {
+	tab, err := Fig6LatencyComparison(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: parallel, OpenFaaS, Faastlane, Faastlane-T, Faastlane+, Chiron.
+	for _, row := range tab.Rows {
+		chiron := cellMs(t, row[5])
+		for i := 1; i <= 4; i++ {
+			if cellMs(t, row[i]) < chiron*0.98 {
+				t.Errorf("par=%s: %s (%.1f) beats Chiron (%.1f)", row[0], tab.Columns[i], cellMs(t, row[i]), chiron)
+			}
+		}
+	}
+	// Observation 3 crossover: Faastlane-T beats Faastlane at 5, loses at 25.
+	var t5, f5, t25, f25 float64
+	for _, row := range tab.Rows {
+		if row[0] == "5" {
+			f5, t5 = cellMs(t, row[2]), cellMs(t, row[3])
+		}
+		if row[0] == "25" {
+			f25, t25 = cellMs(t, row[2]), cellMs(t, row[3])
+		}
+	}
+	if t5 >= f5 {
+		t.Errorf("FINRA-5: threads (%.1f) should beat processes (%.1f)", t5, f5)
+	}
+	if t25 <= f25 {
+		t.Errorf("FINRA-25: processes (%.1f) should beat threads (%.1f)", f25, t25)
+	}
+}
+
+func TestFig7FewerCPUsModestPenalty(t *testing.T) {
+	tab, err := Fig7NoGILCPUs(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := map[string]map[string]float64{}
+	for _, row := range tab.Rows {
+		if means[row[0]] == nil {
+			means[row[0]] = map[string]float64{}
+		}
+		means[row[0]][row[1]] = cellMs(t, row[2])
+	}
+	for mech, byCPU := range means {
+		if byCPU["3"] < byCPU["4"]*0.99 {
+			t.Errorf("%s: 3 CPUs (%f) faster than 4 (%f)", mech, byCPU["3"], byCPU["4"])
+		}
+		penalty := byCPU["3"]/byCPU["4"] - 1
+		if penalty > 0.45 {
+			t.Errorf("%s: dropping one CPU costs %.0f%%, paper says ~11.7%%", mech, penalty*100)
+		}
+		if byCPU["1"] <= byCPU["4"]*1.5 {
+			t.Errorf("%s: 1 CPU (%f) should serialize well beyond 4 CPUs (%f)", mech, byCPU["1"], byCPU["4"])
+		}
+	}
+}
+
+func TestFig8ChironMostEfficient(t *testing.T) {
+	tab, err := Fig8Resources(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]map[string][]string{}
+	for _, row := range tab.Rows {
+		if byKey[row[0]] == nil {
+			byKey[row[0]] = map[string][]string{}
+		}
+		byKey[row[0]][row[1]] = row
+	}
+	for par, rows := range byKey {
+		ofsMem := cellF(t, rows["OpenFaaS"][2])
+		flMem := cellF(t, rows["Faastlane"][2])
+		chMem := cellF(t, rows["Chiron"][2])
+		if !(chMem <= flMem && flMem < ofsMem) {
+			t.Errorf("par=%s: memory ordering broken: %f / %f / %f", par, ofsMem, flMem, chMem)
+		}
+		if cellF(t, rows["Chiron"][3]) > cellF(t, rows["Faastlane"][3]) {
+			t.Errorf("par=%s: Chiron reserves more CPUs than Faastlane", par)
+		}
+	}
+}
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	tab, err := Table1Isolation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	sfi, mpk := tab.Rows[0], tab.Rows[1]
+	if cellMs(t, mpk[1]) >= cellMs(t, sfi[1]) {
+		t.Error("MPK startup must undercut SFI")
+	}
+	if cellPct(t, mpk[3]) >= cellPct(t, sfi[3]) {
+		t.Error("MPK fibonacci overhead must undercut SFI")
+	}
+	if cellPct(t, mpk[4]) >= cellPct(t, sfi[4]) {
+		t.Error("MPK disk-io overhead must undercut SFI")
+	}
+	// CPU-bound suffers more than IO-bound under both mechanisms.
+	if cellPct(t, mpk[3]) <= cellPct(t, mpk[4]) {
+		t.Error("fibonacci should suffer more than disk-io under MPK")
+	}
+}
+
+func TestFig11TraceEndsWithinSLO(t *testing.T) {
+	tab, err := Fig11PGPTrace(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty trace")
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[3] != "true" {
+		t.Fatalf("final step does not meet the SLO: %v", last)
+	}
+}
+
+func TestFig12ChironBeatsLearnedModels(t *testing.T) {
+	tab, err := Fig12PredictionError(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		chiron := cellPct(t, row[2])
+		if chiron > 25 {
+			t.Errorf("%s/%s: Chiron error %.1f%% too high", row[0], row[1], chiron)
+		}
+		worst := cellPct(t, row[3])
+		for _, c := range []int{4, 5} {
+			if v := cellPct(t, row[c]); v > worst {
+				worst = v
+			}
+		}
+		if worst < chiron {
+			t.Errorf("%s/%s: every learned model beat the white-box predictor (best learned %.1f%% vs %.1f%%)",
+				row[0], row[1], worst, chiron)
+		}
+	}
+}
+
+func TestFig13ChironIsBaselineWinner(t *testing.T) {
+	tab, err := Fig13OverallLatency(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := tab.Columns
+	chironCol := -1
+	asfCol := -1
+	for i, c := range cols {
+		if c == "Chiron" {
+			chironCol = i
+		}
+		if c == "ASF" {
+			asfCol = i
+		}
+	}
+	if chironCol < 0 || asfCol < 0 {
+		t.Fatalf("columns: %v", cols)
+	}
+	for _, row := range tab.Rows[:len(tab.Rows)-1] { // skip avg row
+		if norm := cellF(t, row[chironCol]); norm != 1.0 {
+			t.Errorf("%s: Chiron normalized to %.2f", row[0], norm)
+		}
+		if asf := cellF(t, row[asfCol]); asf < 3 {
+			t.Errorf("%s: ASF only %.2fx Chiron; one-to-one overhead missing", row[0], asf)
+		}
+	}
+}
+
+func TestFig14ChironViolatesLessThanFaastlane(t *testing.T) {
+	tab, err := Fig14SLOViolations(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flSum, chSum float64
+	for _, row := range tab.Rows {
+		flSum += cellPct(t, row[2])
+		chSum += cellPct(t, row[3])
+	}
+	if chSum >= flSum {
+		t.Fatalf("Chiron violations (%.1f total) not below Faastlane (%.1f)", chSum, flSum)
+	}
+	if chSum/float64(len(tab.Rows)) > 8 {
+		t.Fatalf("Chiron averages %.1f%% violations, paper says ~1.3%%", chSum/float64(len(tab.Rows)))
+	}
+}
+
+func TestFig15ChironFinishesEarly(t *testing.T) {
+	tab, err := Fig15LatencyCDF(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99 := map[string]float64{}
+	for _, row := range tab.Rows {
+		p99[row[0]] = cellMs(t, row[5])
+	}
+	if p99["Chiron"] >= p99["Faastlane"] {
+		t.Errorf("Chiron p99 %.1f >= Faastlane %.1f", p99["Chiron"], p99["Faastlane"])
+	}
+	if p99["Chiron-M"] >= p99["Faastlane-M"] {
+		t.Errorf("Chiron-M p99 %.1f >= Faastlane-M %.1f", p99["Chiron-M"], p99["Faastlane-M"])
+	}
+}
+
+func TestFig16ChironLeadsThroughput(t *testing.T) {
+	tab, err := Fig16MemoryThroughput(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[1] == "memory" {
+			// OpenFaaS (first system column, index 3) pays heavy redundancy.
+			if v := cellF(t, row[3]); v < 2 {
+				t.Errorf("%s: OpenFaaS memory only %.2fx Chiron", row[0], v)
+			}
+		}
+		if row[1] == "throughput" {
+			// Chiron (column of Chiron) normalized 1.0; Faastlane below 1.
+			for i, c := range tab.Columns {
+				if c == "Faastlane" {
+					if v := cellF(t, row[i]); v >= 1.0 {
+						t.Errorf("%s: Faastlane throughput %.2fx >= Chiron", row[0], v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFig17ChironReservesFewestCPUs(t *testing.T) {
+	tab, err := Fig17CPUAllocation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		for i := 2; i < len(row); i++ {
+			if v := cellF(t, row[i]); v < 0.99 {
+				t.Errorf("%s: %s uses %.2fx Chiron's CPUs (<1)", row[0], tab.Columns[i], v)
+			}
+		}
+	}
+}
+
+func TestFig18ChironThroughputLeadsWithoutGIL(t *testing.T) {
+	tab, err := Fig18NoGIL(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := map[string]map[string]float64{}
+	for _, row := range tab.Rows {
+		if thr[row[0]] == nil {
+			thr[row[0]] = map[string]float64{}
+		}
+		thr[row[0]][row[1]] = cellF(t, row[3])
+	}
+	for app, by := range thr {
+		if by["Chiron"] <= by["One-to-One"] || by["Chiron"] <= by["Many-to-One"] {
+			t.Errorf("%s: Chiron throughput %.1f not ahead (1:1 %.1f, m:1 %.1f)",
+				app, by["Chiron"], by["One-to-One"], by["Many-to-One"])
+		}
+	}
+}
+
+func TestFig19ChironCheapest(t *testing.T) {
+	tab, err := Fig19DollarCost(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		for i := 2; i < len(row); i++ {
+			v := cellF(t, row[i])
+			if tab.Columns[i] == "Chiron" {
+				if v != 1.0 {
+					t.Errorf("%s: Chiron normalized cost %.1f", row[0], v)
+				}
+				continue
+			}
+			if tab.Columns[i] == "ASF" && v < 5 {
+				t.Errorf("%s: ASF only %.1fx Chiron's cost; transition fees missing", row[0], v)
+			}
+			if v < 0.5 {
+				t.Errorf("%s: %s drastically cheaper than Chiron (%.2fx)", row[0], tab.Columns[i], v)
+			}
+		}
+	}
+}
+
+func TestAllExperimentsRenderNonEmpty(t *testing.T) {
+	for _, id := range Order {
+		tab, err := Run(id, quickCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out := tab.String()
+		if len(out) < 50 || !strings.Contains(out, tab.ID) {
+			t.Errorf("%s: implausible rendering (%d bytes)", id, len(out))
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: no rows", id)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := Default()
+	if cfg.Requests != 100 || cfg.Const.NodeCores == 0 {
+		t.Fatalf("Default() = %+v", cfg)
+	}
+	var c Config
+	c.defaults()
+	if c.Requests == 0 || c.Const.NodeCores == 0 {
+		t.Fatal("defaults() did not fill zero config")
+	}
+	_ = time.Second
+}

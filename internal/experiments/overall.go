@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"chiron/internal/engine"
+	"chiron/internal/metrics"
+	"chiron/internal/platform"
+	"chiron/internal/render"
+	"chiron/internal/workloads"
+)
+
+// Fig13OverallLatency reproduces Figure 13: end-to-end workflow latency of
+// the nine systems across all eight workloads, normalized to Chiron (with
+// Chiron's absolute latency annotated, as in the paper).
+func Fig13OverallLatency(cfg Config) (*render.Table, error) {
+	cfg.defaults()
+	systems := platform.All(cfg.Const)
+	t := &render.Table{
+		ID:      "fig13",
+		Title:   "Normalized end-to-end latency (Chiron = 1.0)",
+		Columns: append([]string{"workload", "Chiron-ms"}, names(systems)...),
+	}
+	var sums = map[string]float64{}
+	count := 0
+	for _, entry := range suite(cfg) {
+		set, err := profileOf(entry.Workflow, cfg)
+		if err != nil {
+			return nil, err
+		}
+		slo, err := faastlaneSLO(entry.Workflow, cfg)
+		if err != nil {
+			return nil, err
+		}
+		lat := map[string]time.Duration{}
+		for _, sys := range systems {
+			d, err := deploy(sys, entry.Workflow, set, slo)
+			if err != nil {
+				return nil, err
+			}
+			l, err := d.meanLatency(entry.Workflow, cfg, 10)
+			if err != nil {
+				return nil, err
+			}
+			lat[sys.Name] = l
+		}
+		base := float64(lat["Chiron"])
+		row := []string{entry.Name, render.Ms(lat["Chiron"])}
+		for _, sys := range systems {
+			norm := float64(lat[sys.Name]) / base
+			row = append(row, render.F2(norm))
+			sums[sys.Name] += norm
+			_ = norm
+		}
+		count++
+		t.AddRow(row...)
+	}
+	avg := []string{"geo-mean-ish(avg)", ""}
+	for _, sys := range systems {
+		avg = append(avg, render.F2(sums[sys.Name]/float64(count)))
+	}
+	t.AddRow(avg...)
+	t.AddNote("paper: Chiron cuts latency 89.9%%/37.5%%/32.1%%/25.1%% on average vs ASF/OpenFaaS/SAND/Faastlane")
+	return t, nil
+}
+
+// Fig14SLOViolations reproduces Figure 14: the fraction of requests that
+// miss the workload SLO under Faastlane vs Chiron.
+func Fig14SLOViolations(cfg Config) (*render.Table, error) {
+	cfg.defaults()
+	t := &render.Table{
+		ID:      "fig14",
+		Title:   "SLO violation rate (SLO = Faastlane mean + 10ms)",
+		Columns: []string{"workload", "slo", "Faastlane", "Chiron"},
+	}
+	var flSum, chSum float64
+	rows := 0
+	for _, entry := range suite(cfg) {
+		set, err := profileOf(entry.Workflow, cfg)
+		if err != nil {
+			return nil, err
+		}
+		slo, err := faastlaneSLO(entry.Workflow, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rates := map[string]float64{}
+		for _, sys := range []*platform.System{platform.Faastlane(cfg.Const), platform.Chiron(cfg.Const)} {
+			d, err := deploy(sys, entry.Workflow, set, slo)
+			if err != nil {
+				return nil, err
+			}
+			env := d.sys.Env()
+			env.Seed = cfg.Seed + 7
+			lats, err := engine.RunMany(entry.Workflow, d.plan, env, cfg.Requests)
+			if err != nil {
+				return nil, err
+			}
+			rates[sys.Name] = metrics.ViolationRate(lats, slo)
+		}
+		t.AddRow(entry.Name, render.Ms(slo), render.Pct(rates["Faastlane"]), render.Pct(rates["Chiron"]))
+		flSum += rates["Faastlane"]
+		chSum += rates["Chiron"]
+		rows++
+	}
+	t.AddNote("means: Faastlane %.1f%%, Chiron %.1f%%", flSum/float64(rows)*100, chSum/float64(rows)*100)
+	t.AddNote("paper: Chiron averages 1.3%% violations, far below Faastlane")
+	return t, nil
+}
+
+// Fig15LatencyCDF reproduces Figure 15: the per-function completion-time
+// CDF for FINRA-50 under seven systems, read out at fixed percentiles.
+func Fig15LatencyCDF(cfg Config) (*render.Table, error) {
+	cfg.defaults()
+	par := 50
+	if cfg.Quick {
+		par = 10
+	}
+	w := workloads.FINRA(par)
+	set, err := profileOf(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	slo, err := faastlaneSLO(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	systems := []*platform.System{
+		platform.OpenFaaS(cfg.Const),
+		platform.Faastlane(cfg.Const), platform.Chiron(cfg.Const),
+		platform.FaastlaneM(cfg.Const), platform.ChironM(cfg.Const),
+		platform.FaastlaneP(cfg.Const), platform.ChironP(cfg.Const),
+	}
+	t := &render.Table{
+		ID:      "fig15",
+		Title:   fmt.Sprintf("FINRA-%d per-function completion time percentiles", par),
+		Columns: []string{"system", "p25", "p50", "p75", "p90", "p99"},
+	}
+	for _, sys := range systems {
+		d, err := deploy(sys, w, set, slo)
+		if err != nil {
+			return nil, err
+		}
+		env := sys.Env()
+		env.Seed = cfg.Seed
+		env.Fidelity = true
+		res, err := engine.Run(w, d.plan, env)
+		if err != nil {
+			return nil, err
+		}
+		var finishes []time.Duration
+		for _, ft := range res.Functions {
+			if ft.Stage == 1 {
+				finishes = append(finishes, ft.Finish)
+			}
+		}
+		t.AddRow(sys.Name,
+			render.Ms(metrics.Percentile(finishes, 0.25)),
+			render.Ms(metrics.Percentile(finishes, 0.50)),
+			render.Ms(metrics.Percentile(finishes, 0.75)),
+			render.Ms(metrics.Percentile(finishes, 0.90)),
+			render.Ms(metrics.Percentile(finishes, 0.99)))
+	}
+	t.AddNote("paper: pool systems start fastest but long-tail under skew; Chiron variants start and finish fastest overall (up to 32.5%% faster)")
+	return t, nil
+}

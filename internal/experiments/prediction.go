@@ -1,0 +1,465 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"chiron/internal/dag"
+	"chiron/internal/engine"
+	"chiron/internal/gnn"
+	"chiron/internal/lstm"
+	"chiron/internal/mlbase"
+	"chiron/internal/pgp"
+	"chiron/internal/platform"
+	"chiron/internal/predict"
+	"chiron/internal/profiler"
+	"chiron/internal/render"
+	"chiron/internal/rfr"
+	"chiron/internal/workloads"
+	"chiron/internal/wrap"
+)
+
+// Fig11PGPTrace reproduces Figure 11: PGP's exploration of FINRA-100
+// under a latency SLO — the incremental process-count search, the
+// predicted latency at each step, and the final wrap packing.
+func Fig11PGPTrace(cfg Config) (*render.Table, error) {
+	cfg.defaults()
+	par := 100
+	slo := 200 * time.Millisecond // the paper's Figure 11 example SLO
+	if cfg.Quick {
+		par = 25
+		slo = 120 * time.Millisecond
+	}
+	w := workloads.FINRA(par)
+	set, err := profileOf(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := pgp.Plan(w, set, pgp.Options{Const: cfg.Const, SLO: slo})
+	if err != nil {
+		return nil, err
+	}
+	t := &render.Table{
+		ID:      "fig11",
+		Title:   fmt.Sprintf("PGP scheduling FINRA-%d (SLO %s)", par, render.Ms(slo)),
+		Columns: []string{"step", "processes", "predicted", "meets-slo"},
+	}
+	for i, step := range res.Trace {
+		t.AddRow(fmt.Sprint(i+1), fmt.Sprint(step.N), render.Ms(step.Predicted), fmt.Sprint(step.Meets))
+	}
+	perWrap := map[int]map[int]bool{}
+	for name, loc := range res.Plan.Loc {
+		if w.Lookup(name) == nil || loc.Proc == 0 {
+			continue
+		}
+		m := perWrap[loc.Sandbox]
+		if m == nil {
+			m = map[int]bool{}
+			perWrap[loc.Sandbox] = m
+		}
+		m[loc.Proc] = true
+	}
+	t.AddNote("final plan: %d wraps, %d CPUs, predicted %s (meets SLO: %v)",
+		res.Plan.NumWraps(), res.Plan.TotalCPUs(), render.Ms(res.Predicted), res.MeetsSLO)
+	for _, sb := range sortedInts(perWrap) {
+		t.AddNote("wrap %d packs %d processes", sb, len(perWrap[sb]))
+	}
+	t.AddNote("paper: 17 processes packed 5+4+4+4 into 4 wraps at 197ms under a 200ms SLO")
+	return t, nil
+}
+
+func sortedInts(m map[int]map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ---- Figure 12: prediction error across models and execution modes ----
+
+// candidatePlan is one enumerated wrap deployment with its engine ground
+// truth.
+type candidatePlan struct {
+	plan  *wrap.Plan
+	truth time.Duration
+}
+
+// enumerateWraps produces the candidate deployments of one workflow under
+// one execution mode: all process counts with three wrap packings each
+// (the paper "exploits all possible wraps").
+func enumerateWraps(w *dag.Workflow, mode string, cfg Config) []*wrap.Plan {
+	var out []*wrap.Plan
+	maxPar := w.MaxParallelism()
+	if cfg.Quick && maxPar > 4 {
+		maxPar = 4
+	}
+	switch mode {
+	case "pool":
+		workers := w.MaxParallelism()
+		for cpus := 1; cpus <= workers; cpus++ {
+			p := &wrap.Plan{Workflow: w.Name, Loc: map[string]wrap.Loc{}}
+			for i, fn := range w.Functions() {
+				p.Loc[fn.Name] = wrap.Loc{Sandbox: 0, Proc: i + 1}
+			}
+			p.Sandboxes = []wrap.SandboxCfg{{CPUs: cpus, Pool: true, Workers: workers}}
+			out = append(out, p)
+		}
+		return out
+	}
+	iso := wrap.IsoNone
+	if mode == "mpk" {
+		iso = wrap.IsoMPK
+	}
+	for n := 1; n <= maxPar; n++ {
+		for _, split := range []int{1, 2} {
+			if split > n {
+				continue
+			}
+			p := buildHybridPlan(w, n, split, iso)
+			if p != nil {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// buildHybridPlan round-robins each parallel stage into n processes spread
+// over `wraps` sandboxes; sequential functions ride sandbox 0's main
+// process.
+func buildHybridPlan(w *dag.Workflow, n, wraps int, iso wrap.IsolationKind) *wrap.Plan {
+	p := &wrap.Plan{Workflow: w.Name, Loc: map[string]wrap.Loc{}}
+	cpus := map[int]int{0: 1}
+	maxSb := 1
+	for _, st := range w.Stages {
+		if len(st.Functions) == 1 {
+			p.Loc[st.Functions[0].Name] = wrap.Loc{Sandbox: 0, Proc: 0}
+			continue
+		}
+		k := n
+		if k > len(st.Functions) {
+			k = len(st.Functions)
+		}
+		kw := wraps
+		if kw > k {
+			kw = k
+		}
+		if kw > maxSb {
+			maxSb = kw
+		}
+		// process g of stage -> sandbox g%kw, proc index 1+g/kw.
+		for i, fn := range st.Functions {
+			g := i % k
+			sb := g % kw
+			pr := 1 + g/kw
+			p.Loc[fn.Name] = wrap.Loc{Sandbox: sb, Proc: pr}
+			if pr > cpus[sb] {
+				cpus[sb] = pr
+			}
+		}
+	}
+	for sb := 0; sb < maxSb; sb++ {
+		c := cpus[sb]
+		if c == 0 {
+			c = 1
+		}
+		p.Sandboxes = append(p.Sandboxes, wrap.SandboxCfg{CPUs: c, Iso: iso})
+	}
+	if err := p.Validate(w); err != nil {
+		return nil
+	}
+	return p
+}
+
+// groundTruth measures a candidate on the engine (mean of three seeds).
+func groundTruth(w *dag.Workflow, p *wrap.Plan, cfg Config) (time.Duration, error) {
+	env := platform.Chiron(cfg.Const).Env()
+	env.Seed = cfg.Seed
+	lats, err := engine.RunMany(w, p, env, 3)
+	if err != nil {
+		return 0, err
+	}
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	return sum / time.Duration(len(lats)), nil
+}
+
+// Fig12PredictionError reproduces Figure 12: the Chiron Predictor against
+// RFR, LSTM and GNN baselines across five applications and three
+// execution modes (native thread, Intel MPK, process pool). Reported
+// values are mean absolute percentage errors on held-out candidates.
+func Fig12PredictionError(cfg Config) (*render.Table, error) {
+	cfg.defaults()
+	apps := []workloads.Entry{
+		{Name: "SN", Workflow: workloads.SocialNetwork()},
+		{Name: "MR", Workflow: workloads.MovieReviewing()},
+		{Name: "FINRA-5", Workflow: workloads.FINRA(5)},
+		{Name: "SLApp", Workflow: workloads.SLApp()},
+		{Name: "SLApp-V", Workflow: workloads.SLAppV()},
+	}
+	modes := []string{"thread", "mpk", "pool"}
+	if cfg.Quick {
+		apps = apps[:2]
+		modes = modes[:1]
+	}
+	t := &render.Table{
+		ID:      "fig12",
+		Title:   "Latency prediction error by model and execution mode (learned models trained leave-one-app-out)",
+		Columns: []string{"app", "mode", "Chiron", "RFR", "LSTM", "GNN", "candidates"},
+	}
+	var chironAll, rfrAll, lstmAll, gnnAll float64
+	rows := 0
+	for _, mode := range modes {
+		// Gather every app's candidates for this mode first: the learned
+		// baselines train on the *other* apps' deployments, which is what
+		// exposes their core weakness — "lack of diversity in training
+		// data, including various structures of workflows and function
+		// workloads, can limit their applicability".
+		data := make([]*appData, len(apps))
+		for ai, app := range apps {
+			set, err := profileOf(app.Workflow, cfg)
+			if err != nil {
+				return nil, err
+			}
+			d, err := buildAppData(app.Workflow, set, mode, cfg)
+			if err != nil {
+				return nil, err
+			}
+			data[ai] = d
+		}
+		for ai, app := range apps {
+			d := data[ai]
+			chironErr := meanF(d.chironErrs)
+			rfrErr, lstmErr, gnnErr, err := learnedErrors(data, ai, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(app.Name, mode,
+				render.Pct(chironErr), render.Pct(rfrErr), render.Pct(lstmErr), render.Pct(gnnErr),
+				fmt.Sprint(len(d.y)))
+			chironAll += chironErr
+			rfrAll += rfrErr
+			lstmAll += lstmErr
+			gnnAll += gnnErr
+			rows++
+		}
+	}
+	n := float64(rows)
+	t.AddNote("means: Chiron %.1f%%, RFR %.1f%%, LSTM %.1f%%, GNN %.1f%%",
+		chironAll/n*100, rfrAll/n*100, lstmAll/n*100, gnnAll/n*100)
+	t.AddNote("paper: Chiron averages 6.7%% error (1.4-14.2%%), cutting 78.1%%/86.6%%/70.1%% vs RFR/LSTM/GNN")
+	return t, nil
+}
+
+// appData is one app's candidate deployments with ground truth, Chiron
+// predictor errors, and the three baselines' feature encodings.
+type appData struct {
+	y          []float64 // ground-truth latency, ms
+	chironErrs []float64
+	flat       [][]float64
+	seqs       [][][]float64
+	graphs     []*gnn.Graph
+}
+
+func buildAppData(w *dag.Workflow, set profiler.Set, mode string, cfg Config) (*appData, error) {
+	pred := predict.New(cfg.Const, set)
+	d := &appData{}
+	for _, p := range enumerateWraps(w, mode, cfg) {
+		truth, err := groundTruth(w, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		est, err := pred.Workflow(w, p)
+		if err != nil {
+			return nil, err
+		}
+		d.y = append(d.y, truth.Seconds()*1000)
+		d.chironErrs = append(d.chironErrs, absFrac(est, truth))
+		d.flat = append(d.flat, flatFeatures(w, set, p, cfg))
+		d.seqs = append(d.seqs, seqFeatures(w, set, p, cfg))
+		d.graphs = append(d.graphs, graphFeatures(w, set, p, cfg))
+	}
+	return d, nil
+}
+
+// learnedErrors trains RFR/LSTM/GNN on every app except data[holdout] and
+// reports their MAPE on the held-out app's candidates.
+func learnedErrors(data []*appData, holdout int, cfg Config) (rfrE, lstmE, gnnE float64, err error) {
+	var flat [][]float64
+	var seqs [][][]float64
+	var graphs []*gnn.Graph
+	var y []float64
+	for ai, d := range data {
+		if ai == holdout {
+			continue
+		}
+		flat = append(flat, d.flat...)
+		seqs = append(seqs, d.seqs...)
+		graphs = append(graphs, d.graphs...)
+		y = append(y, d.y...)
+	}
+	test := data[holdout]
+	if len(y) < 4 || len(test.y) == 0 {
+		return 1, 1, 1, nil
+	}
+	std := mlbase.FitStandardizer(flat)
+	fx, e := rfr.Train(std.TransformAll(flat), y, rfr.Options{Seed: cfg.Seed})
+	if e != nil {
+		return 0, 0, 0, e
+	}
+	lm, e := lstm.Train(seqs, y, lstm.Options{Seed: cfg.Seed, Epochs: lstmEpochs(cfg)})
+	if e != nil {
+		return 0, 0, 0, e
+	}
+	gm, e := gnn.Train(graphs, y, gnn.Options{Seed: cfg.Seed, Epochs: gnnEpochs(cfg)})
+	if e != nil {
+		return 0, 0, 0, e
+	}
+	var rp, lp, gp []float64
+	for i := range test.y {
+		rp = append(rp, fx.Predict(std.Transform(test.flat[i])))
+		lp = append(lp, lm.Predict(test.seqs[i]))
+		gp = append(gp, gm.Predict(test.graphs[i]))
+	}
+	return mlbase.MAPE(rp, test.y), mlbase.MAPE(lp, test.y), mlbase.MAPE(gp, test.y), nil
+}
+
+func lstmEpochs(cfg Config) int {
+	if cfg.Quick {
+		return 10
+	}
+	return 60
+}
+
+func gnnEpochs(cfg Config) int {
+	if cfg.Quick {
+		return 15
+	}
+	return 80
+}
+
+// fnFeatures synthesizes the Gsight-style feature vector for one function:
+// profile-derived timings plus deterministic microarchitectural nuisance
+// features (MPKIs, utilizations) correlated with the behaviour.
+func fnFeatures(p *profiler.Profile, loc wrap.Loc, cfg wrap.SandboxCfg, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	soloMS := p.Solo.Seconds() * 1000
+	cpuMS := p.CPUTime().Seconds() * 1000
+	blockMS := soloMS - cpuMS
+	noise := func(base float64) float64 { return base * (0.9 + 0.2*rng.Float64()) }
+	return []float64{
+		soloMS, cpuMS, blockMS, float64(len(p.Periods)),
+		p.MemMB, float64(p.OutputBytes) / 1024,
+		noise(2 + cpuMS/3),             // context switches
+		noise(0.4),                     // L1I MPKI
+		noise(1.1),                     // L1D MPKI
+		noise(0.8),                     // L2 MPKI
+		noise(0.3),                     // L3 MPKI
+		noise(0.2),                     // TLBD MPKI
+		noise(0.1),                     // TLBI MPKI
+		noise(1.5),                     // branch MPKI
+		noise(2.5),                     // MLP
+		noise(cpuMS / (soloMS + 0.01)), // CPU utilization
+		noise(p.MemMB / 8),             // memory utilization
+		float64(loc.Sandbox), float64(loc.Proc), float64(cfg.CPUs), boolF(cfg.Pool),
+	}
+}
+
+func boolF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// flatFeatures aggregates per-function features to a fixed-width vector
+// for the RFR (sums, means, maxima plus deployment shape).
+func flatFeatures(w *dag.Workflow, set profiler.Set, plan *wrap.Plan, cfg Config) []float64 {
+	fns := w.Functions()
+	width := 21
+	sum := make([]float64, width)
+	maxv := make([]float64, width)
+	for i, fn := range fns {
+		f := fnFeatures(set[fn.Name], plan.Loc[fn.Name], plan.Sandboxes[plan.Loc[fn.Name].Sandbox], cfg.Seed+int64(i))
+		for j, v := range f {
+			sum[j] += v
+			if v > maxv[j] {
+				maxv[j] = v
+			}
+		}
+	}
+	out := append(sum, maxv...)
+	out = append(out,
+		float64(len(fns)), float64(plan.NumWraps()), float64(plan.TotalCPUs()),
+		float64(w.MaxParallelism()), float64(len(w.Stages)))
+	return out
+}
+
+// seqFeatures orders per-function features by stage for the LSTM.
+func seqFeatures(w *dag.Workflow, set profiler.Set, plan *wrap.Plan, cfg Config) [][]float64 {
+	var out [][]float64
+	for i, fn := range w.Functions() {
+		out = append(out, fnFeatures(set[fn.Name], plan.Loc[fn.Name], plan.Sandboxes[plan.Loc[fn.Name].Sandbox], cfg.Seed+int64(i)))
+	}
+	return out
+}
+
+// graphFeatures builds the GNN instance: nodes are functions, edges link
+// same-process and same-wrap co-residents and consecutive stages.
+func graphFeatures(w *dag.Workflow, set profiler.Set, plan *wrap.Plan, cfg Config) *gnn.Graph {
+	fns := w.Functions()
+	idx := map[string]int{}
+	g := &gnn.Graph{}
+	for i, fn := range fns {
+		idx[fn.Name] = i
+		g.X = append(g.X, fnFeatures(set[fn.Name], plan.Loc[fn.Name], plan.Sandboxes[plan.Loc[fn.Name].Sandbox], cfg.Seed+int64(i)))
+	}
+	for i, a := range fns {
+		for j := i + 1; j < len(fns); j++ {
+			b := fns[j]
+			la, lb := plan.Loc[a.Name], plan.Loc[b.Name]
+			if la.Sandbox == lb.Sandbox {
+				g.Edges = append(g.Edges, [2]int{i, j})
+			}
+		}
+	}
+	for si := 0; si < len(w.Stages)-1; si++ {
+		for _, a := range w.Stages[si].Functions {
+			for _, b := range w.Stages[si+1].Functions {
+				g.Edges = append(g.Edges, [2]int{idx[a.Name], idx[b.Name]})
+			}
+		}
+	}
+	return g
+}
+
+func absFrac(est, truth time.Duration) float64 {
+	if truth == 0 {
+		return 0
+	}
+	d := float64(est-truth) / float64(truth)
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+func meanF(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

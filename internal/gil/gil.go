@@ -1,0 +1,541 @@
+// Package gil simulates how a set of functions executes as threads inside
+// one OS process, under three runtime regimes:
+//
+//   - CPython/Node.js pseudo-parallelism: one global interpreter lock, the
+//     holder is asked to drop it after a switch interval when others wait,
+//     and blocking syscalls release it (paper Figure 2, Algorithm 1);
+//   - true parallelism over a limited CPU set (Java threads, Figure 18, or
+//     GIL-free runtimes, Figure 7);
+//   - process pools (ProcessPoolExecutor): warm workers give near-zero
+//     startup, a dispatcher admits tasks, and CPU pinning/sharing decides
+//     contention (Section 4 "True Parallelism").
+//
+// One event-driven simulator covers all three because they differ only in
+// (a) how many CPU slots exist, (b) how tasks are admitted, and (c) what a
+// task admission costs. The white-box Predictor runs this simulator with
+// idealized options; the ground-truth engine runs it with fidelity knobs
+// (syscall overhead, spawn jitter, main-thread lag) turned on — the gap
+// between the two is the prediction error studied in Figure 12.
+package gil
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/cfs"
+	"chiron/internal/sim"
+)
+
+// SpawnMode selects how threads come into existence.
+type SpawnMode int
+
+const (
+	// MainThread models CPython Thread.start(): the orchestrator's main
+	// thread holds the GIL while cloning, starting SpawnBatch threads per
+	// scheduling turn (Algorithm 1 lines 4-5).
+	MainThread SpawnMode = iota
+	// Dispatcher models a pool executor: a parent process submits tasks
+	// serially at SpawnCost each; tasks then wait for a free worker.
+	Dispatcher
+)
+
+// Options parameterize one simulation.
+type Options struct {
+	// Procs is the number of CPU slots threads may occupy concurrently:
+	// 1 under the GIL, the cpuset size under true parallelism.
+	Procs int
+	// Quantum is the scheduler switch interval (CPython's 5 ms switch
+	// interval, or the CFS slice under true parallelism).
+	Quantum time.Duration
+	// Spawn selects the admission model.
+	Spawn SpawnMode
+	// SpawnBatch caps how many threads the main thread starts per turn
+	// (MainThread mode only).
+	SpawnBatch int
+	// SpawnCost is the cost of creating/admitting one thread or task:
+	// thread clone time in MainThread mode, dispatch cost in Dispatcher
+	// mode.
+	SpawnCost time.Duration
+	// ExtraStartup is additional per-task initialization that runs after
+	// spawn/dispatch completes but off the spawner's critical path: a
+	// forked process's interpreter re-initialization. The spawner moves on
+	// to the next task while this elapses.
+	ExtraStartup time.Duration
+	// Workers caps concurrently-admitted tasks in Dispatcher mode (pool
+	// size); 0 means unlimited (MainThread mode ignores it).
+	Workers int
+	// LongestFirst makes the dispatcher admit tasks in descending
+	// solo-latency order, Chiron-P's skew mitigation ("long-running
+	// functions are started preferentially", Section 6.2).
+	LongestFirst bool
+
+	// CPUFactor and IOFactor scale CPU and blocking segment durations;
+	// isolation mechanisms (MPK/SFI, Table 1) set them above 1.
+	CPUFactor float64
+	IOFactor  float64
+
+	// ---- Fidelity knobs (engine only; the Predictor leaves them zero) ----
+
+	// SyscallOverhead is extra on-CPU time charged on entry to every
+	// blocking syscall.
+	SyscallOverhead time.Duration
+	// MainLag delays the first admission (watchdog hand-off).
+	MainLag time.Duration
+	// JitterPct applies +/- seeded jitter to every spawn cost.
+	JitterPct float64
+	// Seed drives the deterministic jitter stream.
+	Seed int64
+
+	// Record enables per-thread slice timelines (Figure 5 rendering).
+	Record bool
+}
+
+func (o *Options) normalize() {
+	if o.Procs <= 0 {
+		o.Procs = 1
+	}
+	if o.Quantum <= 0 {
+		o.Quantum = 5 * time.Millisecond
+	}
+	if o.SpawnBatch <= 0 {
+		o.SpawnBatch = 8
+	}
+	if o.CPUFactor <= 0 {
+		o.CPUFactor = 1
+	}
+	if o.IOFactor <= 0 {
+		o.IOFactor = 1
+	}
+}
+
+// SliceKind labels a timeline slice.
+type SliceKind int
+
+const (
+	// Startup covers thread creation / task dispatch.
+	Startup SliceKind = iota
+	// Run is on-CPU execution.
+	Run
+	// Block is off-CPU time in a blocking syscall.
+	Block
+	// Wait is runnable time spent waiting for the GIL/CPU or a pool
+	// worker.
+	Wait
+)
+
+func (k SliceKind) String() string {
+	switch k {
+	case Startup:
+		return "startup"
+	case Run:
+		return "run"
+	case Block:
+		return "block"
+	case Wait:
+		return "wait"
+	}
+	return "?"
+}
+
+// Slice is one span of a thread's timeline.
+type Slice struct {
+	From, To time.Duration
+	Kind     SliceKind
+}
+
+// ThreadResult reports one function-thread's fate.
+type ThreadResult struct {
+	Name string
+	// SpawnedAt is when creation/dispatch of the thread completed.
+	SpawnedAt time.Duration
+	// FirstRun is when the thread first got a CPU slot (-1 if never ran).
+	FirstRun time.Duration
+	// Finish is when the thread's last segment completed.
+	Finish time.Duration
+	// CPUTime and BlockTime are totals actually consumed.
+	CPUTime   time.Duration
+	BlockTime time.Duration
+	// Slices is the recorded timeline (only when Options.Record).
+	Slices []Slice
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	// Total is the makespan: the time at which every thread has finished,
+	// measured from process start (this is Algorithm 1's T_exec).
+	Total time.Duration
+	// Threads are per-function results in input order.
+	Threads []ThreadResult
+	// CPUBusy is the total on-CPU time across all threads; with Total and
+	// Procs it yields utilization.
+	CPUBusy time.Duration
+}
+
+type threadState int
+
+const (
+	stSpawning threadState = iota
+	stWaitWorker
+	stReady
+	stRunning
+	stBlocked
+	stDone
+)
+
+type thread struct {
+	idx       int
+	spec      *behavior.Spec
+	segments  []behavior.Segment // duration-scaled copy
+	segIdx    int
+	segRem    time.Duration
+	cpuUsed   time.Duration
+	state     threadState
+	extraDone bool
+	res       *ThreadResult
+
+	waitFrom time.Duration // when the current Ready/WaitWorker span began
+}
+
+// VRuntime implements cfs.Entity.
+func (t *thread) VRuntime() time.Duration { return t.cpuUsed }
+
+// mainEnt is the orchestrator's main thread: it competes for the CPU
+// through the same CFS queue as function threads (so under the GIL, thread
+// creation is interleaved with function execution exactly as in Figure 2)
+// and spends its slices cloning the next batch of threads.
+type mainEnt struct {
+	cpuUsed time.Duration
+	next    int // index of the next thread to spawn
+}
+
+// VRuntime implements cfs.Entity.
+func (m *mainEnt) VRuntime() time.Duration { return m.cpuUsed }
+
+type simulator struct {
+	opt     Options
+	k       *sim.Kernel
+	rng     *rand.Rand
+	ready   cfs.Queue
+	waitQ   []*thread // Dispatcher mode: admitted but no worker yet
+	free    int       // free CPU slots
+	workers int       // free pool workers (Dispatcher mode)
+	threads []*thread
+	main    *mainEnt
+	alive   int
+	res     *Result
+}
+
+// Simulate runs the given function set to completion and returns per-thread
+// results. It never touches the wall clock and is fully deterministic for a
+// given (specs, Options) pair.
+func Simulate(specs []*behavior.Spec, opt Options) *Result {
+	opt.normalize()
+	s := &simulator{
+		opt:     opt,
+		k:       sim.New(),
+		rng:     rand.New(rand.NewSource(opt.Seed)),
+		free:    opt.Procs,
+		workers: opt.Workers,
+		res:     &Result{Threads: make([]ThreadResult, len(specs))},
+	}
+	if opt.Workers <= 0 {
+		s.workers = len(specs) + 1 // effectively unlimited
+	}
+	s.threads = make([]*thread, len(specs))
+	for i, sp := range specs {
+		th := &thread{idx: i, spec: sp, res: &s.res.Threads[i]}
+		th.res.Name = sp.Name
+		th.res.FirstRun = -1
+		th.segments = make([]behavior.Segment, len(sp.Segments))
+		for j, seg := range sp.Segments {
+			f := opt.CPUFactor
+			if seg.Kind.Blocking() {
+				f = opt.IOFactor
+			}
+			seg.Dur = time.Duration(float64(seg.Dur) * f)
+			if seg.Dur <= 0 {
+				seg.Dur = time.Nanosecond
+			}
+			th.segments[j] = seg
+		}
+		th.segRem = th.segments[0].Dur
+		s.threads[i] = th
+	}
+	s.alive = len(specs)
+
+	if len(specs) == 0 {
+		return s.res
+	}
+
+	switch opt.Spawn {
+	case Dispatcher:
+		s.k.At(opt.MainLag, s.dispatchAll)
+	default:
+		s.main = &mainEnt{}
+		s.k.At(opt.MainLag, func() {
+			s.ready.Add(s.main)
+			s.schedule()
+		})
+	}
+
+	s.k.SetBudget(50_000_000)
+	if err := s.k.Run(); err != nil {
+		panic("gil: simulation did not converge: " + err.Error())
+	}
+	return s.res
+}
+
+// jittered returns d with +/- JitterPct deterministic noise.
+func (s *simulator) jittered(d time.Duration) time.Duration {
+	if s.opt.JitterPct <= 0 || d <= 0 {
+		return d
+	}
+	u := s.rng.Float64()*2 - 1
+	out := time.Duration(float64(d) * (1 + s.opt.JitterPct*u))
+	if out <= 0 {
+		out = time.Nanosecond
+	}
+	return out
+}
+
+// runMain executes one of the main thread's scheduling turns: while holding
+// a CPU slot it clones the next batch of threads, each at SpawnCost
+// (Algorithm 1 lines 4-5: "the same amount of functions is started in each
+// interval"). If spawns remain afterwards, the main thread re-enters the
+// run queue and competes on vruntime like everyone else.
+func (s *simulator) runMain() {
+	batch := s.opt.SpawnBatch
+	if rem := len(s.threads) - s.main.next; rem < batch {
+		batch = rem
+	}
+	var busy time.Duration
+	for i := 0; i < batch; i++ {
+		busy += s.jittered(s.opt.SpawnCost)
+		th := s.threads[s.main.next+i]
+		at := s.k.Now() + busy
+		s.k.At(at, func() { s.admit(th) })
+		if s.opt.Record {
+			th.res.Slices = append(th.res.Slices, Slice{From: s.k.Now(), To: at, Kind: Startup})
+		}
+	}
+	s.main.next += batch
+	s.main.cpuUsed += busy
+	s.k.At(s.k.Now()+busy, func() {
+		s.free++
+		if s.main.next < len(s.threads) {
+			s.ready.Add(s.main)
+		}
+		s.schedule()
+	})
+}
+
+// dispatchAll models a pool dispatcher submitting every task serially.
+func (s *simulator) dispatchAll() {
+	order := make([]*thread, len(s.threads))
+	copy(order, s.threads)
+	if s.opt.LongestFirst {
+		sort.SliceStable(order, func(a, b int) bool {
+			return order[a].spec.SoloLatency() > order[b].spec.SoloLatency()
+		})
+	}
+	// Task j is issued after j prior dispatches: the first fork/submit
+	// waits nothing, matching Eq. 4's (j-1) x T_Block.
+	var busy time.Duration
+	for _, th := range order {
+		th := th
+		at := s.k.Now() + busy
+		s.k.At(at, func() { s.admit(th) })
+		if s.opt.Record && busy > 0 {
+			th.res.Slices = append(th.res.Slices, Slice{From: s.k.Now(), To: at, Kind: Wait})
+		}
+		busy += s.jittered(s.opt.SpawnCost)
+	}
+}
+
+// admit makes a spawned thread runnable, subject to worker availability.
+// Per-task ExtraStartup elapses first, off the spawner's critical path.
+func (s *simulator) admit(th *thread) {
+	if s.opt.ExtraStartup > 0 && !th.extraDone {
+		th.extraDone = true
+		extra := s.jittered(s.opt.ExtraStartup)
+		from := s.k.Now()
+		if s.opt.Record {
+			th.res.Slices = append(th.res.Slices, Slice{From: from, To: from + extra, Kind: Startup})
+		}
+		s.k.At(from+extra, func() { s.admitReady(th) })
+		return
+	}
+	s.admitReady(th)
+}
+
+func (s *simulator) admitReady(th *thread) {
+	th.res.SpawnedAt = s.k.Now()
+	if s.workers > 0 {
+		s.workers--
+		s.makeReady(th)
+		s.schedule()
+		return
+	}
+	th.state = stWaitWorker
+	th.waitFrom = s.k.Now()
+	s.waitQ = append(s.waitQ, th)
+}
+
+func (s *simulator) makeReady(th *thread) {
+	th.state = stReady
+	th.waitFrom = s.k.Now()
+	s.ready.Add(th)
+}
+
+// schedule fills free CPU slots from the ready queue.
+func (s *simulator) schedule() {
+	for s.free > 0 && s.ready.Len() > 0 {
+		e := s.ready.PopMin()
+		s.free--
+		switch ent := e.(type) {
+		case *thread:
+			s.startSlice(ent)
+		case *mainEnt:
+			s.runMain()
+		}
+	}
+}
+
+// cpuChain returns the contiguous on-CPU time from the thread's current
+// position to the next blocking segment or the end, plus whether a block
+// or the end follows.
+func (t *thread) cpuChain() (d time.Duration, nextBlock bool, done bool) {
+	i, rem := t.segIdx, t.segRem
+	for i < len(t.segments) {
+		seg := t.segments[i]
+		if seg.Kind.Blocking() {
+			return d, true, false
+		}
+		d += rem
+		i++
+		if i < len(t.segments) {
+			rem = t.segments[i].Dur
+		}
+	}
+	return d, false, true
+}
+
+// consumeCPU advances the thread's position by d of on-CPU time across CPU
+// segments.
+func (t *thread) consumeCPU(d time.Duration) {
+	for d > 0 {
+		if t.segRem > d {
+			t.segRem -= d
+			return
+		}
+		d -= t.segRem
+		t.segIdx++
+		if t.segIdx >= len(t.segments) {
+			t.segRem = 0
+			return
+		}
+		t.segRem = t.segments[t.segIdx].Dur
+	}
+}
+
+func (s *simulator) startSlice(th *thread) {
+	now := s.k.Now()
+	if th.res.FirstRun < 0 {
+		th.res.FirstRun = now
+	}
+	if s.opt.Record && now > th.waitFrom {
+		th.res.Slices = append(th.res.Slices, Slice{From: th.waitFrom, To: now, Kind: Wait})
+	}
+	th.state = stRunning
+
+	chain, nextBlock, _ := th.cpuChain()
+	runFor := chain
+	preempt := false
+	if runFor > s.opt.Quantum {
+		runFor = s.opt.Quantum
+		preempt = true
+	}
+	syscall := time.Duration(0)
+	if !preempt && nextBlock {
+		syscall = s.opt.SyscallOverhead
+	}
+	total := runFor + syscall
+	end := now + total
+	s.k.At(end, func() { s.endSlice(th, runFor, syscall, preempt, nextBlock) })
+	if s.opt.Record && total > 0 {
+		th.res.Slices = append(th.res.Slices, Slice{From: now, To: end, Kind: Run})
+	}
+}
+
+func (s *simulator) endSlice(th *thread, ran, syscall time.Duration, preempt, nextBlock bool) {
+	th.cpuUsed += ran + syscall
+	th.res.CPUTime += ran + syscall
+	th.consumeCPU(ran)
+	s.free++
+
+	switch {
+	case preempt:
+		s.makeReady(th)
+	case nextBlock:
+		seg := th.segments[th.segIdx]
+		th.state = stBlocked
+		from := s.k.Now()
+		until := from + seg.Dur
+		th.res.BlockTime += seg.Dur
+		if s.opt.Record {
+			th.res.Slices = append(th.res.Slices, Slice{From: from, To: until, Kind: Block})
+		}
+		s.k.At(until, func() { s.unblock(th) })
+	default:
+		s.finish(th)
+	}
+	s.schedule()
+}
+
+func (s *simulator) unblock(th *thread) {
+	th.segIdx++
+	if th.segIdx >= len(th.segments) {
+		// Block was the final segment: the thread exits as the syscall
+		// returns (the brief GIL reacquisition to unwind is part of the
+		// engine/predictor model gap, not simulated).
+		s.finish(th)
+		s.schedule()
+		return
+	}
+	th.segRem = th.segments[th.segIdx].Dur
+	s.makeReady(th)
+	s.schedule()
+}
+
+func (s *simulator) finish(th *thread) {
+	if th.state == stDone {
+		return
+	}
+	th.state = stDone
+	th.res.Finish = s.k.Now()
+	s.alive--
+	if s.res.Total < th.res.Finish {
+		s.res.Total = th.res.Finish
+	}
+	s.res.CPUBusy += th.res.CPUTime
+	// A finished task's pool worker frees up for the wait queue.
+	if s.opt.Spawn == Dispatcher {
+		s.workers++
+		s.releaseWorker()
+	}
+}
+
+// releaseWorker admits the next waiting task if a worker is free.
+func (s *simulator) releaseWorker() {
+	for s.workers > 0 && len(s.waitQ) > 0 {
+		th := s.waitQ[0]
+		s.waitQ = s.waitQ[1:]
+		s.workers--
+		if s.opt.Record && s.k.Now() > th.waitFrom {
+			th.res.Slices = append(th.res.Slices, Slice{From: th.waitFrom, To: s.k.Now(), Kind: Wait})
+		}
+		s.makeReady(th)
+	}
+}

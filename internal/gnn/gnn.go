@@ -1,0 +1,296 @@
+// Package gnn is a from-scratch two-layer graph convolutional network,
+// the stand-in for Figure 12's GNN baseline (a BRP-NAS-style latency
+// predictor).
+//
+// A candidate deployment becomes a graph whose nodes are functions with
+// Gsight-style feature vectors and whose edges encode co-residency
+// (same process, same wrap) and stage adjacency. Two symmetric-normalized
+// graph convolutions with ReLU, mean pooling and a linear head regress
+// end-to-end latency. Backpropagation is hand-derived and verified by a
+// numerical gradient check in the tests.
+package gnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chiron/internal/mlbase"
+)
+
+// Graph is one training/prediction instance.
+type Graph struct {
+	// X is the node feature matrix, one row per function.
+	X [][]float64
+	// Edges are undirected node-index pairs; self-loops are added
+	// internally per the GCN normalization.
+	Edges [][2]int
+}
+
+// Validate reports malformed graphs.
+func (g *Graph) Validate() error {
+	n := len(g.X)
+	if n == 0 {
+		return fmt.Errorf("gnn: graph has no nodes")
+	}
+	d := len(g.X[0])
+	for i, row := range g.X {
+		if len(row) != d {
+			return fmt.Errorf("gnn: node %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	for _, e := range g.Edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			return fmt.Errorf("gnn: edge %v out of range", e)
+		}
+	}
+	return nil
+}
+
+// norm builds the symmetric-normalized adjacency D^-1/2 (A+I) D^-1/2.
+func (g *Graph) norm() *mlbase.Mat {
+	n := len(g.X)
+	a := mlbase.NewMat(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	for _, e := range g.Edges {
+		if e[0] == e[1] {
+			continue
+		}
+		a.Set(e[0], e[1], 1)
+		a.Set(e[1], e[0], 1)
+	}
+	deg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			deg[i] += a.At(i, j)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := a.At(i, j); v != 0 {
+				a.Set(i, j, v/math.Sqrt(deg[i]*deg[j]))
+			}
+		}
+	}
+	return a
+}
+
+// Options configure training.
+type Options struct {
+	// Hidden is the width of both graph convolution layers (default 16).
+	Hidden int
+	// Epochs is the number of SGD passes (default 80).
+	Epochs int
+	// LR is the learning rate (default 0.005).
+	LR float64
+	// Clip bounds each gradient's L2 norm (default 5).
+	Clip float64
+	// Seed drives initialization and shuffling.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.Hidden <= 0 {
+		o.Hidden = 16
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 80
+	}
+	if o.LR <= 0 {
+		o.LR = 0.005
+	}
+	if o.Clip <= 0 {
+		o.Clip = 5
+	}
+}
+
+// Model is a trained GCN regressor.
+type Model struct {
+	in, hidden int
+	W1, W2     *mlbase.Mat // (in x h), (h x h)
+	wOut       []float64
+	bOut       float64
+}
+
+// Train fits the model.
+func Train(graphs []*Graph, y []float64, opt Options) (*Model, error) {
+	opt.defaults()
+	if len(graphs) == 0 || len(graphs) != len(y) {
+		return nil, fmt.Errorf("gnn: need matching non-empty graphs (%d) and y (%d)", len(graphs), len(y))
+	}
+	in := -1
+	for _, g := range graphs {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		if in == -1 {
+			in = len(g.X[0])
+		}
+		if len(g.X[0]) != in {
+			return nil, fmt.Errorf("gnn: inconsistent feature width")
+		}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	h := opt.Hidden
+	m := &Model{
+		in: in, hidden: h,
+		W1:   mlbase.RandMat(in, h, 1/math.Sqrt(float64(in)), rng),
+		W2:   mlbase.RandMat(h, h, 1/math.Sqrt(float64(h)), rng),
+		wOut: make([]float64, h),
+	}
+	for j := range m.wOut {
+		m.wOut[j] = (rng.Float64()*2 - 1) / math.Sqrt(float64(h))
+	}
+
+	order := make([]int, len(graphs))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			m.step(graphs[idx], y[idx], opt)
+		}
+	}
+	return m, nil
+}
+
+// matMul multiplies (r x k) by (k x c).
+func matMul(a, b *mlbase.Mat) *mlbase.Mat {
+	if a.C != b.R {
+		panic("gnn: matMul shape mismatch")
+	}
+	out := mlbase.NewMat(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		ar := a.Row(i)
+		or := out.Row(i)
+		for k, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b.Row(k)
+			for j := range br {
+				or[j] += av * br[j]
+			}
+		}
+	}
+	return out
+}
+
+func transpose(a *mlbase.Mat) *mlbase.Mat {
+	out := mlbase.NewMat(a.C, a.R)
+	for i := 0; i < a.R; i++ {
+		for j := 0; j < a.C; j++ {
+			out.Set(j, i, a.At(i, j))
+		}
+	}
+	return out
+}
+
+type fwd struct {
+	s          *mlbase.Mat // normalized adjacency
+	xm         *mlbase.Mat // node features
+	sx, z1, h1 *mlbase.Mat
+	sh1, z2    *mlbase.Mat
+	h2         *mlbase.Mat
+	pooled     []float64
+	pred       float64
+}
+
+func (m *Model) forward(g *Graph) *fwd {
+	n := len(g.X)
+	f := &fwd{s: g.norm(), xm: mlbase.NewMat(n, m.in)}
+	for i, row := range g.X {
+		copy(f.xm.Row(i), row)
+	}
+	f.sx = matMul(f.s, f.xm)
+	f.z1 = matMul(f.sx, m.W1)
+	f.h1 = f.z1.Clone()
+	for i := range f.h1.Data {
+		f.h1.Data[i] = mlbase.ReLU(f.h1.Data[i])
+	}
+	f.sh1 = matMul(f.s, f.h1)
+	f.z2 = matMul(f.sh1, m.W2)
+	f.h2 = f.z2.Clone()
+	for i := range f.h2.Data {
+		f.h2.Data[i] = mlbase.ReLU(f.h2.Data[i])
+	}
+	f.pooled = make([]float64, m.hidden)
+	for i := 0; i < n; i++ {
+		mlbase.AddScaled(f.pooled, 1/float64(n), f.h2.Row(i))
+	}
+	f.pred = mlbase.Dot(m.wOut, f.pooled) + m.bOut
+	return f
+}
+
+// grads returns hand-derived gradients of the squared-error loss.
+func (m *Model) grads(g *Graph, target float64) (dW1, dW2 *mlbase.Mat, dwOut []float64, dbOut float64) {
+	f := m.forward(g)
+	n := len(g.X)
+	dPred := f.pred - target
+
+	dwOut = make([]float64, m.hidden)
+	mlbase.AddScaled(dwOut, dPred, f.pooled)
+	dbOut = dPred
+
+	// dH2: every row receives dPred * wOut / n.
+	dH2 := mlbase.NewMat(n, m.hidden)
+	for i := 0; i < n; i++ {
+		mlbase.AddScaled(dH2.Row(i), dPred/float64(n), m.wOut)
+	}
+	// Through ReLU of layer 2.
+	dZ2 := dH2
+	for i := range dZ2.Data {
+		if f.z2.Data[i] <= 0 {
+			dZ2.Data[i] = 0
+		}
+	}
+	dW2 = matMul(transpose(f.sh1), dZ2)
+	// dH1 = S^T dZ2 W2^T (S symmetric).
+	dH1 := matMul(matMul(f.s, dZ2), transpose(m.W2))
+	dZ1 := dH1
+	for i := range dZ1.Data {
+		if f.z1.Data[i] <= 0 {
+			dZ1.Data[i] = 0
+		}
+	}
+	dW1 = matMul(transpose(f.sx), dZ1)
+	return dW1, dW2, dwOut, dbOut
+}
+
+func (m *Model) step(g *Graph, target float64, opt Options) {
+	dW1, dW2, dwOut, dbOut := m.grads(g, target)
+	clip := func(v []float64) {
+		n := math.Sqrt(mlbase.Dot(v, v))
+		if n > opt.Clip {
+			s := opt.Clip / n
+			for i := range v {
+				v[i] *= s
+			}
+		}
+	}
+	clip(dW1.Data)
+	clip(dW2.Data)
+	clip(dwOut)
+	m.W1.AXPY(-opt.LR, dW1)
+	m.W2.AXPY(-opt.LR, dW2)
+	mlbase.AddScaled(m.wOut, -opt.LR, dwOut)
+	m.bOut -= opt.LR * dbOut
+}
+
+// Predict returns the model's estimate for one graph.
+func (m *Model) Predict(g *Graph) float64 {
+	if err := g.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return m.forward(g).pred
+}
+
+// Loss returns the squared-error loss on one example (for gradient-check
+// tests).
+func (m *Model) Loss(g *Graph, target float64) float64 {
+	d := m.Predict(g) - target
+	return 0.5 * d * d
+}

@@ -1,0 +1,152 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chiron/internal/mlbase"
+)
+
+func chainGraph(rng *rand.Rand, n int) (*Graph, float64) {
+	g := &Graph{}
+	var sum float64
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		g.X = append(g.X, []float64{a, b})
+		sum += a
+		if i > 0 {
+			g.Edges = append(g.Edges, [2]int{i - 1, i})
+		}
+	}
+	return g, sum / 4
+}
+
+func TestGradientsMatchNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, target := chainGraph(rng, 4)
+	m, err := Train([]*Graph{g}, []float64{target}, Options{Hidden: 4, Epochs: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dW1, dW2, dwOut, dbOut := m.grads(g, target)
+
+	const eps = 1e-6
+	check := func(name string, got float64, bump func(delta float64)) {
+		bump(eps)
+		up := m.Loss(g, target)
+		bump(-2 * eps)
+		down := m.Loss(g, target)
+		bump(eps)
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-got) > 1e-4*(1+math.Abs(num)) {
+			t.Errorf("%s: analytic %v vs numerical %v", name, got, num)
+		}
+	}
+	for _, idx := range []int{0, len(m.W1.Data) / 2, len(m.W1.Data) - 1} {
+		idx := idx
+		check("W1", dW1.Data[idx], func(d float64) { m.W1.Data[idx] += d })
+	}
+	for _, idx := range []int{0, len(m.W2.Data) / 2, len(m.W2.Data) - 1} {
+		idx := idx
+		check("W2", dW2.Data[idx], func(d float64) { m.W2.Data[idx] += d })
+	}
+	check("wOut", dwOut[2], func(d float64) { m.wOut[2] += d })
+	check("bOut", dbOut, func(d float64) { m.bOut += d })
+}
+
+func TestLearnsNodeFeatureSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var graphs []*Graph
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		g, y := chainGraph(rng, 3+rng.Intn(4))
+		graphs = append(graphs, g)
+		ys = append(ys, y)
+	}
+	m, err := Train(graphs, ys, Options{Hidden: 12, Epochs: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := make([]float64, len(graphs))
+	for i, g := range graphs {
+		pred[i] = m.Predict(g)
+	}
+	if mae := mlbase.MAE(pred, ys); mae > 0.25 {
+		t.Fatalf("train MAE %v; GCN failed to learn", mae)
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var graphs []*Graph
+	var ys []float64
+	for i := 0; i < 80; i++ {
+		g, y := chainGraph(rng, 4)
+		graphs = append(graphs, g)
+		ys = append(ys, y)
+	}
+	early, _ := Train(graphs, ys, Options{Hidden: 8, Epochs: 1, Seed: 7})
+	late, _ := Train(graphs, ys, Options{Hidden: 8, Epochs: 60, Seed: 7})
+	var lossEarly, lossLate float64
+	for i := range graphs {
+		lossEarly += early.Loss(graphs[i], ys[i])
+		lossLate += late.Loss(graphs[i], ys[i])
+	}
+	if lossLate >= lossEarly {
+		t.Fatalf("training did not reduce loss: %v -> %v", lossEarly, lossLate)
+	}
+}
+
+func TestNormalizedAdjacency(t *testing.T) {
+	g := &Graph{X: [][]float64{{1}, {1}}, Edges: [][2]int{{0, 1}}}
+	s := g.norm()
+	// Two nodes, one edge, self-loops: every degree is 2, so every entry
+	// of the normalized adjacency is 1/2.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(s.At(i, j)-0.5) > 1e-12 {
+				t.Fatalf("S[%d][%d] = %v, want 0.5", i, j, s.At(i, j))
+			}
+		}
+	}
+}
+
+func TestIsolatedNodeGraph(t *testing.T) {
+	g := &Graph{X: [][]float64{{0.5, 0.5}}}
+	m, err := Train([]*Graph{g}, []float64{1}, Options{Hidden: 3, Epochs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(m.Predict(g)) {
+		t.Fatal("NaN on single-node graph")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := (&Graph{}).Validate(); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if err := (&Graph{X: [][]float64{{1}, {1, 2}}}).Validate(); err == nil {
+		t.Error("ragged features accepted")
+	}
+	if err := (&Graph{X: [][]float64{{1}}, Edges: [][2]int{{0, 5}}}).Validate(); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := Train(nil, nil, Options{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := Train([]*Graph{{X: [][]float64{{1}}}, {X: [][]float64{{1, 2}}}}, []float64{1, 2}, Options{}); err == nil {
+		t.Error("inconsistent widths accepted")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g, y := chainGraph(rng, 5)
+	a, _ := Train([]*Graph{g}, []float64{y}, Options{Hidden: 4, Epochs: 5, Seed: 9})
+	b, _ := Train([]*Graph{g}, []float64{y}, Options{Hidden: 4, Epochs: 5, Seed: 9})
+	if a.Predict(g) != b.Predict(g) {
+		t.Fatal("same seed, different models")
+	}
+}

@@ -1,0 +1,255 @@
+// Package integration holds cross-package properties: the contracts that
+// make the whole reproduction trustworthy, checked on randomized
+// workflows via testing/quick.
+package integration
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+	"chiron/internal/deploy"
+	"chiron/internal/engine"
+	"chiron/internal/model"
+	"chiron/internal/pgp"
+	"chiron/internal/platform"
+	"chiron/internal/profiler"
+)
+
+// randomWorkflow builds a random but valid workflow: 1-4 stages, 1-6
+// functions each, mixed behaviours.
+func randomWorkflow(rng *rand.Rand) *dag.Workflow {
+	nStages := 1 + rng.Intn(4)
+	w := &dag.Workflow{Name: "rand-wf"}
+	id := 0
+	for s := 0; s < nStages; s++ {
+		nFns := 1 + rng.Intn(6)
+		var fns []*behavior.Spec
+		for f := 0; f < nFns; f++ {
+			spec := behavior.Random(nameOf(id), rng, time.Millisecond, 25*time.Millisecond)
+			id++
+			fns = append(fns, spec)
+		}
+		w.Stages = append(w.Stages, dag.Stage{Functions: fns})
+	}
+	return w
+}
+
+func nameOf(i int) string {
+	return "fn-" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}
+
+// TestPropertyPredictorTracksEngine is the repository's keystone property:
+// for random workflows, the white-box Predictor's estimate of the
+// PGP-chosen plan stays within a modest band of the engine's ground truth
+// (Figure 12's premise).
+func TestPropertyPredictorTracksEngine(t *testing.T) {
+	c := model.Default()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomWorkflow(rng)
+		if err := w.Validate(); err != nil {
+			return true // skip degenerate draws
+		}
+		set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+		if err != nil {
+			t.Logf("seed %d: profile: %v", seed, err)
+			return false
+		}
+		res, err := pgp.Plan(w, set, pgp.Options{Const: c, SLO: 0})
+		if err != nil {
+			t.Logf("seed %d: pgp: %v", seed, err)
+			return false
+		}
+		env := platform.Chiron(c).Env()
+		env.Seed = seed
+		lats, err := engine.RunMany(w, res.Plan, env, 3)
+		if err != nil {
+			t.Logf("seed %d: engine: %v", seed, err)
+			return false
+		}
+		var sum time.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		truth := sum / time.Duration(len(lats))
+		// res.Predicted carries the 1.1x safety margin; strip it.
+		pred := time.Duration(float64(res.Predicted) / 1.1)
+		gap := float64(pred - truth)
+		if gap < 0 {
+			gap = -gap
+		}
+		// 35% relative band with a 2ms absolute floor: on sub-5ms
+		// micro-workflows the engine's fixed fidelity overheads
+		// (hand-off lag, syscall entry costs) dominate any relative
+		// measure.
+		limit := 0.35 * float64(truth)
+		if floor := float64(2 * time.Millisecond); limit < floor {
+			limit = floor
+		}
+		if gap > limit {
+			t.Logf("seed %d: predictor %v vs engine %v", seed, pred, truth)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEverySystemHandlesRandomWorkflows: all eleven platforms
+// plan and execute arbitrary (single-runtime, conflict-free) workflows.
+func TestPropertyEverySystemHandlesRandomWorkflows(t *testing.T) {
+	c := model.Default()
+	systems := append(platform.All(c), platform.FaastlaneT(c), platform.FaastlanePlus(c))
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomWorkflow(rng)
+		set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+		if err != nil {
+			return false
+		}
+		for _, sys := range systems {
+			plan, err := sys.Plan(w, set, 500*time.Millisecond)
+			if err != nil {
+				t.Logf("seed %d: %s plan: %v", seed, sys.Name, err)
+				return false
+			}
+			if err := plan.Validate(w); err != nil {
+				t.Logf("seed %d: %s invalid plan: %v", seed, sys.Name, err)
+				return false
+			}
+			env := sys.Env()
+			env.Seed = seed
+			res, err := engine.Run(w, plan, env)
+			if err != nil {
+				t.Logf("seed %d: %s run: %v", seed, sys.Name, err)
+				return false
+			}
+			if res.E2E <= 0 || len(res.Functions) != w.NumFunctions() {
+				t.Logf("seed %d: %s result %v / %d fns", seed, sys.Name, res.E2E, len(res.Functions))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyFullPipelineDeterminism: profile -> plan -> run is
+// bit-stable for a fixed seed across repetitions.
+func TestPropertyFullPipelineDeterminism(t *testing.T) {
+	c := model.Default()
+	f := func(seed int64) bool {
+		once := func() (time.Duration, int) {
+			rng := rand.New(rand.NewSource(seed))
+			w := randomWorkflow(rng)
+			set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+			if err != nil {
+				return 0, 0
+			}
+			res, err := pgp.Plan(w, set, pgp.Options{Const: c, SLO: 300 * time.Millisecond})
+			if err != nil {
+				return 0, 0
+			}
+			env := platform.Chiron(c).Env()
+			env.Seed = seed
+			out, err := engine.Run(w, res.Plan, env)
+			if err != nil {
+				return 0, 0
+			}
+			return out.E2E, res.Plan.NumWraps()
+		}
+		a1, w1 := once()
+		a2, w2 := once()
+		return a1 == a2 && w1 == w2 && a1 > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCodegenCoversEveryFunctionOnce: across all generated
+// handlers, each function appears in exactly one execution site.
+func TestPropertyCodegenCoversEveryFunctionOnce(t *testing.T) {
+	c := model.Default()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomWorkflow(rng)
+		set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+		if err != nil {
+			return false
+		}
+		res, err := pgp.Plan(w, set, pgp.Options{Const: c, SLO: 200 * time.Millisecond})
+		if err != nil {
+			return false
+		}
+		orcs, err := deploy.Generate(w, res.Plan)
+		if err != nil {
+			t.Logf("seed %d: codegen: %v", seed, err)
+			return false
+		}
+		all := ""
+		for _, o := range orcs {
+			all += o.Source
+		}
+		for _, fn := range w.Functions() {
+			py := strings.ReplaceAll(fn.Name, "-", "_")
+			execs := strings.Count(all, "functions."+py+",") + strings.Count(all, "functions."+py+"]") + strings.Count(all, "functions."+py+")")
+			if execs == 0 {
+				t.Logf("seed %d: %s never executed in generated code", seed, fn.Name)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyResourceLedgerConsistency: the plan's ledger accounts for at
+// least the runtime plus all function working sets, and sandbox count
+// matches the plan.
+func TestPropertyResourceLedgerConsistency(t *testing.T) {
+	c := model.Default()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomWorkflow(rng)
+		set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+		if err != nil {
+			return false
+		}
+		res, err := pgp.Plan(w, set, pgp.Options{Const: c, SLO: 200 * time.Millisecond})
+		if err != nil {
+			return false
+		}
+		ledgers, err := res.Plan.Ledgers(w)
+		if err != nil {
+			t.Logf("seed %d: ledgers: %v", seed, err)
+			return false
+		}
+		if len(ledgers) != res.Plan.NumWraps() {
+			return false
+		}
+		var fnMem, total float64
+		for _, fn := range w.Functions() {
+			fnMem += fn.MemMB
+		}
+		for _, sb := range ledgers {
+			total += sb.MemoryMB(c)
+		}
+		floor := fnMem + c.SandboxRuntimeMB // at least one runtime image
+		return total >= floor
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,413 @@
+// Package live executes a deployment plan with real goroutines on the
+// wall clock — the in-process equivalent of deploying the generated
+// orchestrators (package deploy) onto a worker.
+//
+// Where package engine *models* a request on virtual time, live *runs*
+// one: every process group is a goroutine tree, threads of a
+// pseudo-parallel runtime contend on a real token-passing GIL (held for
+// CPU spans, released on blocking spans and at every switch interval),
+// forks are serialized by the orchestrator exactly like Observation 2's
+// block time, pools are worker goroutines fed from a channel, and
+// functions can be bound to real Go code that reads and writes a real
+// in-memory store. Wall-clock scheduling noise makes results
+// non-deterministic — that is the point; tests assert envelopes, not
+// equalities.
+package live
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+	"chiron/internal/model"
+	"chiron/internal/storage"
+	"chiron/internal/wrap"
+)
+
+// Ctx is handed to bound functions: access to the shared intermediate
+// store and the function's own spec.
+type Ctx struct {
+	// Store is the request's intermediate-data store (shared memory /
+	// MinIO stand-in).
+	Store *storage.MemStore
+	// Spec is the function being executed.
+	Spec *behavior.Spec
+	// Context carries cancellation.
+	Context context.Context
+}
+
+// Fn is user code bound to a function name. When bound, the function's
+// live duration is whatever the code takes (plus GIL contention); when
+// not bound, the runtime replays the spec's segments.
+type Fn func(*Ctx) error
+
+// Options configure a live run.
+type Options struct {
+	// Const supplies block/startup/IPC/RPC costs.
+	Const model.Constants
+	// Scale multiplies every modelled duration before sleeping: 0.25
+	// runs four times faster than nominal; reported timings are scaled
+	// back. Zero means 1.0. Bound functions are never scaled.
+	Scale float64
+	// Bindings maps function names to real code.
+	Bindings map[string]Fn
+	// Timeout aborts the request (default 30s wall time).
+	Timeout time.Duration
+}
+
+func (o *Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 1
+	}
+	return o.Scale
+}
+
+// FnTiming is one function's measured schedule (nominal time: wall time
+// divided by Scale).
+type FnTiming struct {
+	Name    string
+	Stage   int
+	Sandbox int
+	Start   time.Duration
+	Finish  time.Duration
+}
+
+// Result is one live request.
+type Result struct {
+	// E2E is the nominal end-to-end latency.
+	E2E time.Duration
+	// Functions in completion order.
+	Functions []FnTiming
+	// Store is the final intermediate-data store (bound functions'
+	// outputs survive here).
+	Store *storage.MemStore
+}
+
+// Run executes one request of w under plan.
+func Run(w *dag.Workflow, plan *wrap.Plan, opt Options) (*Result, error) {
+	if err := plan.Validate(w); err != nil {
+		return nil, err
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 30 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), opt.Timeout)
+	defer cancel()
+
+	r := &runner{
+		opt:   opt,
+		ctx:   ctx,
+		store: storage.NewMem(),
+		t0:    time.Now(),
+	}
+	for si := range w.Stages {
+		wraps, err := plan.StageWraps(w, si)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.runStage(si, wraps); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{
+		E2E:       r.nominalSince(r.t0),
+		Functions: r.timings,
+		Store:     r.store,
+	}
+	return res, nil
+}
+
+type runner struct {
+	opt   Options
+	ctx   context.Context
+	store *storage.MemStore
+	t0    time.Time
+
+	mu      sync.Mutex
+	timings []FnTiming
+	runErr  error
+}
+
+// nominalSince converts a wall-clock span back to nominal time.
+func (r *runner) nominalSince(from time.Time) time.Duration {
+	return time.Duration(float64(time.Since(from)) / r.opt.scale())
+}
+
+// sleep waits d nominal time (scaled), honouring cancellation.
+func (r *runner) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	scaled := time.Duration(float64(d) * r.opt.scale())
+	t := time.NewTimer(scaled)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-r.ctx.Done():
+	}
+}
+
+func (r *runner) fail(err error) {
+	r.mu.Lock()
+	if r.runErr == nil {
+		r.runErr = err
+	}
+	r.mu.Unlock()
+}
+
+func (r *runner) record(t FnTiming) {
+	r.mu.Lock()
+	r.timings = append(r.timings, t)
+	r.mu.Unlock()
+}
+
+// runStage executes one stage: the local wrap in place, remote wraps with
+// invocation stride and RPC cost, all joined at a barrier (stages are
+// strictly ordered).
+func (r *runner) runStage(si int, wraps []wrap.StageWrap) error {
+	var wg sync.WaitGroup
+	remoteRank := 0
+	for i := range wraps {
+		sw := wraps[i]
+		delay := time.Duration(0)
+		rpc := time.Duration(0)
+		if sw.Sandbox != 0 {
+			remoteRank++
+			delay = time.Duration(remoteRank) * r.opt.Const.InvokeCost
+			rpc = r.opt.Const.RPCCost
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.sleep(delay)
+			r.runWrap(si, sw)
+			r.sleep(rpc)
+		}()
+	}
+	wg.Wait()
+	select {
+	case <-r.ctx.Done():
+		return fmt.Errorf("live: request timed out in stage %d", si)
+	default:
+	}
+	r.mu.Lock()
+	err := r.runErr
+	r.mu.Unlock()
+	return err
+}
+
+// runWrap executes one wrap's process groups: the resident main group
+// immediately, forked groups serialized by block time; results gathered
+// over pipes (modelled as a final sleep).
+func (r *runner) runWrap(si int, sw wrap.StageWrap) {
+	if sw.Cfg.Pool {
+		r.runPool(si, sw)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, g := range sw.Procs {
+		g := g
+		resident := g.Proc == 0 && !sw.Cfg.ForkPerRequest
+		if !resident {
+			// The orchestrator issues this fork, then blocks the next
+			// one (Observation 2's sequential forking).
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r.sleep(r.opt.Const.ProcStartup)
+				r.runProcess(si, sw, g)
+			}()
+			r.sleep(r.opt.Const.ProcBlockStep)
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.runProcess(si, sw, g)
+		}()
+	}
+	wg.Wait()
+	if n := len(sw.Procs); n > 1 {
+		r.sleep(time.Duration(n-1) * r.opt.Const.IPCCost)
+	}
+}
+
+// runProcess executes one process's functions as threads sharing a GIL
+// (for pseudo-parallel runtimes) or truly in parallel (GIL-free).
+func (r *runner) runProcess(si int, sw wrap.StageWrap, g wrap.ProcGroup) {
+	if len(g.Functions) == 0 {
+		return
+	}
+	var lock *gilLock
+	if g.Functions[0].Runtime.PseudoParallel() {
+		lock = newGIL(time.Duration(float64(r.opt.Const.GILInterval) * r.opt.scale()))
+	}
+	var wg sync.WaitGroup
+	for i, fn := range g.Functions {
+		fn := fn
+		// Thread clone cost, paid serially by the process main.
+		if len(g.Functions) > 1 || g.Proc == 0 {
+			r.sleep(r.opt.Const.ThreadStartup)
+		}
+		_ = i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.runFunction(si, sw.Sandbox, fn, lock)
+		}()
+	}
+	wg.Wait()
+}
+
+// runPool executes the wrap's functions on a worker pool.
+func (r *runner) runPool(si int, sw wrap.StageWrap) {
+	var fns []*behavior.Spec
+	for _, g := range sw.Procs {
+		fns = append(fns, g.Functions...)
+	}
+	workers := sw.Cfg.Workers
+	if workers <= 0 {
+		workers = len(fns)
+	}
+	// CPU slots bound concurrent CPU spans; pool workers are GIL-free
+	// processes.
+	cpus := newCPUSet(max(sw.Cfg.CPUs, 1))
+	tasks := make(chan *behavior.Spec)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for fn := range tasks {
+				r.runFunctionOnCPUs(si, sw.Sandbox, fn, cpus)
+			}
+		}()
+	}
+	for _, fn := range fns {
+		r.sleep(r.opt.Const.PoolDispatch)
+		select {
+		case tasks <- fn:
+		case <-r.ctx.Done():
+		}
+	}
+	close(tasks)
+	wg.Wait()
+}
+
+// runFunction executes one function: bound code if present, spec replay
+// otherwise, under the process GIL when one exists.
+func (r *runner) runFunction(si, sandbox int, fn *behavior.Spec, lock *gilLock) {
+	start := r.nominalSince(r.t0)
+	if bound, ok := r.opt.Bindings[fn.Name]; ok {
+		if lock != nil {
+			lock.acquire()
+		}
+		err := bound(&Ctx{Store: r.store, Spec: fn, Context: r.ctx})
+		if lock != nil {
+			lock.release()
+		}
+		if err != nil {
+			r.fail(fmt.Errorf("live: function %s: %w", fn.Name, err))
+		}
+	} else {
+		for _, seg := range fn.Segments {
+			if seg.Kind.Blocking() || lock == nil {
+				r.sleep(seg.Dur)
+				continue
+			}
+			// CPU span: hold the GIL, yielding every switch interval.
+			lock.run(func(quantum time.Duration) {
+				r.sleepWall(quantum)
+			}, time.Duration(float64(seg.Dur)*r.opt.scale()))
+		}
+	}
+	r.record(FnTiming{Name: fn.Name, Stage: si, Sandbox: sandbox, Start: start, Finish: r.nominalSince(r.t0)})
+}
+
+// runFunctionOnCPUs executes a pool task: CPU spans occupy a cpu slot.
+func (r *runner) runFunctionOnCPUs(si, sandbox int, fn *behavior.Spec, cpus *cpuSet) {
+	start := r.nominalSince(r.t0)
+	if bound, ok := r.opt.Bindings[fn.Name]; ok {
+		cpus.acquire()
+		err := bound(&Ctx{Store: r.store, Spec: fn, Context: r.ctx})
+		cpus.release()
+		if err != nil {
+			r.fail(fmt.Errorf("live: function %s: %w", fn.Name, err))
+		}
+	} else {
+		for _, seg := range fn.Segments {
+			if seg.Kind.Blocking() {
+				r.sleep(seg.Dur)
+				continue
+			}
+			cpus.acquire()
+			r.sleep(seg.Dur)
+			cpus.release()
+		}
+	}
+	r.record(FnTiming{Name: fn.Name, Stage: si, Sandbox: sandbox, Start: start, Finish: r.nominalSince(r.t0)})
+}
+
+// sleepWall sleeps a wall-clock duration (already scaled).
+func (r *runner) sleepWall(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-r.ctx.Done():
+	}
+}
+
+// ---- GIL emulation ----
+
+// gilLock is a token-passing global interpreter lock: one holder at a
+// time; holders of long CPU spans yield at every switch interval so
+// waiters interleave, exactly like Figure 2's timeout-triggered drop.
+type gilLock struct {
+	token   chan struct{}
+	quantum time.Duration
+}
+
+func newGIL(quantum time.Duration) *gilLock {
+	g := &gilLock{token: make(chan struct{}, 1), quantum: quantum}
+	g.token <- struct{}{}
+	return g
+}
+
+func (g *gilLock) acquire() { <-g.token }
+func (g *gilLock) release() { g.token <- struct{}{} }
+
+// run executes total wall-time of CPU work in quantum-sized slices,
+// acquiring the token for each slice.
+func (g *gilLock) run(slice func(time.Duration), total time.Duration) {
+	for total > 0 {
+		q := g.quantum
+		if q <= 0 || q > total {
+			q = total
+		}
+		g.acquire()
+		slice(q)
+		g.release()
+		total -= q
+	}
+}
+
+// cpuSet is a counted semaphore standing for a cpuset.
+type cpuSet struct{ slots chan struct{} }
+
+func newCPUSet(n int) *cpuSet {
+	c := &cpuSet{slots: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		c.slots <- struct{}{}
+	}
+	return c
+}
+
+func (c *cpuSet) acquire() { <-c.slots }
+func (c *cpuSet) release() { c.slots <- struct{}{} }

@@ -1,0 +1,127 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+func fixedServer(instances int, svc time.Duration) Server {
+	return Server{Instances: instances, ServiceTimes: []time.Duration{svc}}
+}
+
+func TestLowLoadSojournNearService(t *testing.T) {
+	s := fixedServer(4, 10*time.Millisecond)
+	st, err := Simulate(s, 20, Options{Seed: 1}) // 5% of capacity
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mean < 10*time.Millisecond {
+		t.Fatalf("mean %v below the service time", st.Mean)
+	}
+	if st.Mean > 12*time.Millisecond {
+		t.Fatalf("mean %v at 5%% load; queueing should be negligible", st.Mean)
+	}
+	if st.Served < 400 {
+		t.Fatalf("served only %d requests in 30s at 20 rps", st.Served)
+	}
+}
+
+func TestNearCapacityQueues(t *testing.T) {
+	s := fixedServer(4, 10*time.Millisecond)
+	cap := s.Capacity() // 400 rps
+	light, err := Simulate(s, cap*0.3, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := Simulate(s, cap*0.97, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.P95 <= light.P95 {
+		t.Fatalf("p95 did not grow with load: %v vs %v", heavy.P95, light.P95)
+	}
+	if heavy.MaxQueue == 0 {
+		t.Fatal("no queueing observed at 97% load")
+	}
+}
+
+func TestOverloadExplodesLatency(t *testing.T) {
+	s := fixedServer(2, 10*time.Millisecond)
+	over, err := Simulate(s, s.Capacity()*1.5, Options{Seed: 3, Duration: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overload: the queue grows without bound, so late requests wait far
+	// beyond the 10ms service time.
+	if over.P99 < 100*time.Millisecond {
+		t.Fatalf("p99 %v under 1.5x overload; queue model broken", over.P99)
+	}
+}
+
+func TestMaxRateBelowCapacityAboveZero(t *testing.T) {
+	s := fixedServer(4, 10*time.Millisecond)
+	rate, err := MaxRate(s, 25*time.Millisecond, Options{Seed: 4, Duration: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 {
+		t.Fatal("sustainable rate is zero for a comfortably meetable SLO")
+	}
+	if rate >= s.Capacity() {
+		t.Fatalf("sustainable rate %v >= zero-queueing capacity %v", rate, s.Capacity())
+	}
+	// A server whose service time alone misses the SLO sustains nothing.
+	zero, err := MaxRate(fixedServer(4, 50*time.Millisecond), 25*time.Millisecond, Options{Seed: 4, Duration: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != 0 {
+		t.Fatalf("impossible SLO sustained %v rps", zero)
+	}
+}
+
+func TestMoreInstancesSustainMore(t *testing.T) {
+	slo := 30 * time.Millisecond
+	opt := Options{Seed: 5, Duration: 10 * time.Second}
+	small, err := MaxRate(fixedServer(2, 10*time.Millisecond), slo, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := MaxRate(fixedServer(8, 10*time.Millisecond), slo, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big <= small {
+		t.Fatalf("8 instances (%v rps) should sustain more than 2 (%v rps)", big, small)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	s := fixedServer(3, 8*time.Millisecond)
+	a, err := Simulate(s, 100, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(s, 100, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean != b.Mean || a.Served != b.Served {
+		t.Fatal("same seed differed")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Simulate(Server{}, 10, Options{}); err == nil {
+		t.Error("empty server accepted")
+	}
+	if _, err := Simulate(fixedServer(1, time.Millisecond), 0, Options{}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Simulate(Server{Instances: 1, ServiceTimes: []time.Duration{0}}, 1, Options{}); err == nil {
+		t.Error("zero service time accepted")
+	}
+	if _, err := MaxRate(fixedServer(1, time.Millisecond), 0, Options{}); err == nil {
+		t.Error("zero SLO accepted")
+	}
+}

@@ -1,0 +1,249 @@
+// Package lstm is a from-scratch single-layer LSTM regressor, the
+// stand-in for the PyTorch LSTM baseline of Figure 12.
+//
+// A wrap's functions form a sequence of feature vectors; the network
+// consumes them in deployment order and regresses end-to-end latency from
+// the final hidden state. Training is per-sample SGD (the paper sets
+// batch size 1) with full backpropagation through time and gradient
+// clipping; the learning rate defaults to the paper's best-found 0.01.
+package lstm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chiron/internal/mlbase"
+)
+
+// Options configure training.
+type Options struct {
+	// Hidden is the hidden-state width (default 16).
+	Hidden int
+	// Epochs is the number of SGD passes (default 60).
+	Epochs int
+	// LR is the learning rate (default 0.01, the paper's pick).
+	LR float64
+	// Clip bounds each gradient's L2 norm (default 5).
+	Clip float64
+	// Seed drives initialization and shuffling.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.Hidden <= 0 {
+		o.Hidden = 16
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 60
+	}
+	if o.LR <= 0 {
+		o.LR = 0.01
+	}
+	if o.Clip <= 0 {
+		o.Clip = 5
+	}
+}
+
+// Model is a trained LSTM regressor.
+type Model struct {
+	in, hidden int
+	// W maps [x; h] -> the four stacked gates (i, f, o, g); b is its
+	// bias.
+	W *mlbase.Mat
+	b []float64
+	// wOut/bOut read the final hidden state out to a scalar.
+	wOut []float64
+	bOut float64
+}
+
+// Train fits the model to variable-length sequences seqs with targets y.
+func Train(seqs [][][]float64, y []float64, opt Options) (*Model, error) {
+	opt.defaults()
+	if len(seqs) == 0 || len(seqs) != len(y) {
+		return nil, fmt.Errorf("lstm: need matching non-empty seqs (%d) and y (%d)", len(seqs), len(y))
+	}
+	in := -1
+	for i, s := range seqs {
+		if len(s) == 0 {
+			return nil, fmt.Errorf("lstm: sequence %d is empty", i)
+		}
+		for _, x := range s {
+			if in == -1 {
+				in = len(x)
+			}
+			if len(x) != in {
+				return nil, fmt.Errorf("lstm: inconsistent feature width %d vs %d", len(x), in)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	h := opt.Hidden
+	scale := 1 / math.Sqrt(float64(in+h))
+	m := &Model{
+		in: in, hidden: h,
+		W:    mlbase.RandMat(4*h, in+h, scale, rng),
+		b:    make([]float64, 4*h),
+		wOut: make([]float64, h),
+	}
+	for j := range m.wOut {
+		m.wOut[j] = (rng.Float64()*2 - 1) * scale
+	}
+	// Forget-gate bias starts positive, the standard trick for gradient
+	// flow on short sequences.
+	for j := h; j < 2*h; j++ {
+		m.b[j] = 1
+	}
+
+	order := make([]int, len(seqs))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			m.step(seqs[idx], y[idx], opt)
+		}
+	}
+	return m, nil
+}
+
+// cache holds one forward pass for BPTT.
+type cache struct {
+	u    [][]float64 // [x; h_{t-1}]
+	i    [][]float64
+	f    [][]float64
+	o    [][]float64
+	g    [][]float64
+	c    [][]float64
+	h    [][]float64
+	pred float64
+}
+
+func (m *Model) forward(seq [][]float64) *cache {
+	h := m.hidden
+	T := len(seq)
+	cc := &cache{
+		u: make([][]float64, T), i: make([][]float64, T), f: make([][]float64, T),
+		o: make([][]float64, T), g: make([][]float64, T), c: make([][]float64, T),
+		h: make([][]float64, T),
+	}
+	prevH := make([]float64, h)
+	prevC := make([]float64, h)
+	for t, x := range seq {
+		u := make([]float64, m.in+h)
+		copy(u, x)
+		copy(u[m.in:], prevH)
+		z := m.W.MulVec(u)
+		it := make([]float64, h)
+		ft := make([]float64, h)
+		ot := make([]float64, h)
+		gt := make([]float64, h)
+		ct := make([]float64, h)
+		ht := make([]float64, h)
+		for j := 0; j < h; j++ {
+			it[j] = mlbase.Sigmoid(z[j] + m.b[j])
+			ft[j] = mlbase.Sigmoid(z[h+j] + m.b[h+j])
+			ot[j] = mlbase.Sigmoid(z[2*h+j] + m.b[2*h+j])
+			gt[j] = mlbase.Tanh(z[3*h+j] + m.b[3*h+j])
+			ct[j] = ft[j]*prevC[j] + it[j]*gt[j]
+			ht[j] = ot[j] * math.Tanh(ct[j])
+		}
+		cc.u[t], cc.i[t], cc.f[t], cc.o[t], cc.g[t], cc.c[t], cc.h[t] = u, it, ft, ot, gt, ct, ht
+		prevH, prevC = ht, ct
+	}
+	cc.pred = mlbase.Dot(m.wOut, prevH) + m.bOut
+	return cc
+}
+
+// step performs one SGD update on a single (sequence, target) pair.
+func (m *Model) step(seq [][]float64, target float64, opt Options) {
+	dW, db, dwOut, dbOut := m.grads(seq, target)
+	clip := func(v []float64) {
+		n := math.Sqrt(mlbase.Dot(v, v))
+		if n > opt.Clip {
+			s := opt.Clip / n
+			for i := range v {
+				v[i] *= s
+			}
+		}
+	}
+	clip(dW.Data)
+	clip(db)
+	clip(dwOut)
+
+	m.W.AXPY(-opt.LR, dW)
+	mlbase.AddScaled(m.b, -opt.LR, db)
+	mlbase.AddScaled(m.wOut, -opt.LR, dwOut)
+	m.bOut -= opt.LR * dbOut
+}
+
+// grads backpropagates the squared-error loss of one example through time
+// and returns the parameter gradients.
+func (m *Model) grads(seq [][]float64, target float64) (*mlbase.Mat, []float64, []float64, float64) {
+	h := m.hidden
+	cc := m.forward(seq)
+	T := len(seq)
+	dPred := cc.pred - target
+
+	dW := mlbase.NewMat(4*h, m.in+h)
+	db := make([]float64, 4*h)
+	dwOut := make([]float64, h)
+	mlbase.AddScaled(dwOut, dPred, cc.h[T-1])
+	dbOut := dPred
+
+	dh := make([]float64, h)
+	mlbase.AddScaled(dh, dPred, m.wOut)
+	dc := make([]float64, h)
+
+	for t := T - 1; t >= 0; t-- {
+		prevC := make([]float64, h)
+		if t > 0 {
+			copy(prevC, cc.c[t-1])
+		}
+		dz := make([]float64, 4*h)
+		for j := 0; j < h; j++ {
+			tc := math.Tanh(cc.c[t][j])
+			do := dh[j] * tc
+			dcj := dc[j] + dh[j]*cc.o[t][j]*(1-tc*tc)
+			di := dcj * cc.g[t][j]
+			dg := dcj * cc.i[t][j]
+			df := dcj * prevC[j]
+			dz[j] = di * cc.i[t][j] * (1 - cc.i[t][j])
+			dz[h+j] = df * cc.f[t][j] * (1 - cc.f[t][j])
+			dz[2*h+j] = do * cc.o[t][j] * (1 - cc.o[t][j])
+			dz[3*h+j] = dg * (1 - cc.g[t][j]*cc.g[t][j])
+			dc[j] = dcj * cc.f[t][j] // flows to c_{t-1}
+		}
+		// Accumulate parameter gradients and the input gradient.
+		du := make([]float64, m.in+h)
+		for r := 0; r < 4*h; r++ {
+			if dz[r] == 0 {
+				continue
+			}
+			row := m.W.Row(r)
+			for cIdx, uv := range cc.u[t] {
+				dW.Add(r, cIdx, dz[r]*uv)
+				du[cIdx] += row[cIdx] * dz[r]
+			}
+			db[r] += dz[r]
+		}
+		copy(dh, du[m.in:]) // flows to h_{t-1}
+	}
+	return dW, db, dwOut, dbOut
+}
+
+// Predict returns the model's estimate for one sequence.
+func (m *Model) Predict(seq [][]float64) float64 {
+	if len(seq) == 0 {
+		panic("lstm: empty sequence")
+	}
+	return m.forward(seq).pred
+}
+
+// Loss returns the squared-error loss on one example (exposed for
+// gradient-check tests).
+func (m *Model) Loss(seq [][]float64, target float64) float64 {
+	d := m.Predict(seq) - target
+	return 0.5 * d * d
+}

@@ -1,0 +1,152 @@
+package lstm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chiron/internal/mlbase"
+)
+
+// seqSum builds sequences whose target is the (scaled) sum of the first
+// feature across steps — learnable by an LSTM accumulating state.
+func seqSum(rng *rand.Rand, n int) ([][][]float64, []float64) {
+	var seqs [][][]float64
+	var ys []float64
+	for i := 0; i < n; i++ {
+		T := 2 + rng.Intn(4)
+		seq := make([][]float64, T)
+		var sum float64
+		for t := range seq {
+			a, b := rng.Float64(), rng.Float64()
+			seq[t] = []float64{a, b}
+			sum += a
+		}
+		seqs = append(seqs, seq)
+		ys = append(ys, sum/4)
+	}
+	return seqs, ys
+}
+
+func TestGradientsMatchNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	seq := [][]float64{{0.3, -0.2}, {0.7, 0.1}, {-0.4, 0.5}}
+	target := 0.6
+	m, err := Train([][][]float64{seq}, []float64{target}, Options{Hidden: 4, Epochs: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dW, db, dwOut, dbOut := m.grads(seq, target)
+
+	const eps = 1e-6
+	check := func(name string, got float64, bump func(delta float64)) {
+		bump(eps)
+		up := m.Loss(seq, target)
+		bump(-2 * eps)
+		down := m.Loss(seq, target)
+		bump(eps)
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-got) > 1e-4*(1+math.Abs(num)) {
+			t.Errorf("%s: analytic %v vs numerical %v", name, got, num)
+		}
+	}
+	// Spot-check a spread of W entries, biases, and the head.
+	for _, idx := range []int{0, 7, len(m.W.Data) / 2, len(m.W.Data) - 1} {
+		idx := idx
+		check("W", dW.Data[idx], func(d float64) { m.W.Data[idx] += d })
+	}
+	for _, idx := range []int{0, len(m.b) / 2, len(m.b) - 1} {
+		idx := idx
+		check("b", db[idx], func(d float64) { m.b[idx] += d })
+	}
+	check("wOut", dwOut[1], func(d float64) { m.wOut[1] += d })
+	check("bOut", dbOut, func(d float64) { m.bOut += d })
+	_ = rng
+}
+
+func TestLearnsSequenceSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	seqs, ys := seqSum(rng, 250)
+	m, err := Train(seqs, ys, Options{Hidden: 12, Epochs: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := make([]float64, len(seqs))
+	for i, s := range seqs {
+		pred[i] = m.Predict(s)
+	}
+	if mae := mlbase.MAE(pred, ys); mae > 0.12 {
+		t.Fatalf("train MAE %v; LSTM failed to learn an additive sequence signal", mae)
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	seqs, ys := seqSum(rng, 120)
+	early, err := Train(seqs, ys, Options{Hidden: 8, Epochs: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := Train(seqs, ys, Options{Hidden: 8, Epochs: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lossEarly, lossLate float64
+	for i := range seqs {
+		lossEarly += early.Loss(seqs[i], ys[i])
+		lossLate += late.Loss(seqs[i], ys[i])
+	}
+	if lossLate >= lossEarly {
+		t.Fatalf("training did not reduce loss: %v -> %v", lossEarly, lossLate)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	seqs, ys := seqSum(rng, 40)
+	a, _ := Train(seqs, ys, Options{Hidden: 6, Epochs: 5, Seed: 9})
+	b, _ := Train(seqs, ys, Options{Hidden: 6, Epochs: 5, Seed: 9})
+	for i := range seqs {
+		if a.Predict(seqs[i]) != b.Predict(seqs[i]) {
+			t.Fatal("same seed, different models")
+		}
+	}
+}
+
+func TestVariableLengthSequences(t *testing.T) {
+	seqs := [][][]float64{
+		{{0.1, 0.2}},
+		{{0.3, 0.4}, {0.5, 0.6}, {0.7, 0.8}, {0.9, 1.0}, {0.2, 0.1}},
+	}
+	m, err := Train(seqs, []float64{0.1, 0.5}, Options{Hidden: 4, Epochs: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range seqs {
+		if math.IsNaN(m.Predict(s)) {
+			t.Fatal("NaN prediction")
+		}
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := Train(nil, nil, Options{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Train([][][]float64{{}}, []float64{1}, Options{}); err == nil {
+		t.Fatal("empty sequence accepted")
+	}
+	if _, err := Train([][][]float64{{{1, 2}}, {{1}}}, []float64{1, 2}, Options{}); err == nil {
+		t.Fatal("ragged features accepted")
+	}
+}
+
+func TestPredictEmptyPanics(t *testing.T) {
+	m, _ := Train([][][]float64{{{0.5}}}, []float64{1}, Options{Hidden: 2, Epochs: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty sequence")
+		}
+	}()
+	m.Predict(nil)
+}

@@ -1,0 +1,119 @@
+// Package metrics computes the evaluation's derived quantities: latency
+// statistics and CDFs (Figure 15), SLO violation rates (Figure 14), and
+// per-node maximum throughput (Figure 16).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Mean returns the arithmetic mean latency.
+func Mean(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	return sum / time.Duration(len(samples))
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) by nearest-rank on a
+// copy of the samples; it does not mutate its input.
+func Percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("metrics: percentile %v out of [0,1]", p))
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Latency time.Duration
+	// Frac is the fraction of samples at or below Latency, in [0,1].
+	Frac float64
+}
+
+// CDF returns the full empirical CDF (one point per distinct sample).
+func CDF(samples []time.Duration) []CDFPoint {
+	if len(samples) == 0 {
+		return nil
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var out []CDFPoint
+	n := float64(len(sorted))
+	for i, s := range sorted {
+		frac := float64(i+1) / n
+		if len(out) > 0 && out[len(out)-1].Latency == s {
+			out[len(out)-1].Frac = frac
+			continue
+		}
+		out = append(out, CDFPoint{Latency: s, Frac: frac})
+	}
+	return out
+}
+
+// AtOrBelow returns the CDF value at latency x (the Figure 15 read-out).
+func AtOrBelow(cdf []CDFPoint, x time.Duration) float64 {
+	frac := 0.0
+	for _, p := range cdf {
+		if p.Latency > x {
+			break
+		}
+		frac = p.Frac
+	}
+	return frac
+}
+
+// ViolationRate returns the fraction of samples exceeding the SLO
+// (Figure 14's metric).
+func ViolationRate(samples []time.Duration, slo time.Duration) float64 {
+	if len(samples) == 0 || slo <= 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range samples {
+		if s > slo {
+			n++
+		}
+	}
+	return float64(n) / float64(len(samples))
+}
+
+// Throughput returns the maximum sustainable requests/second when
+// `instances` copies of a deployment run on one worker node, each
+// completing a request in `latency` (Figure 16's metric).
+func Throughput(instances int, latency time.Duration) float64 {
+	if instances <= 0 || latency <= 0 {
+		return 0
+	}
+	return float64(instances) / latency.Seconds()
+}
+
+// Normalize divides each value by base, guarding zero.
+func Normalize(values []float64, base float64) []float64 {
+	out := make([]float64, len(values))
+	if base == 0 {
+		return out
+	}
+	for i, v := range values {
+		out[i] = v / base
+	}
+	return out
+}

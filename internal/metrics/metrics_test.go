@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]time.Duration{ms(10), ms(20), ms(30)}); got != ms(20) {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	samples := []time.Duration{ms(50), ms(10), ms(30), ms(20), ms(40)}
+	if got := Percentile(samples, 0.5); got != ms(20) {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(samples, 1.0); got != ms(50) {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(samples, 0.0); got != ms(10) {
+		t.Fatalf("p0 = %v", got)
+	}
+	// Input must not be mutated.
+	if samples[0] != ms(50) {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Fatalf("Percentile(nil) = %v", got)
+	}
+}
+
+func TestPercentileOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Percentile([]time.Duration{ms(1)}, 1.5)
+}
+
+func TestCDFShape(t *testing.T) {
+	cdf := CDF([]time.Duration{ms(30), ms(10), ms(10), ms(20)})
+	if len(cdf) != 3 {
+		t.Fatalf("CDF has %d distinct points, want 3", len(cdf))
+	}
+	if cdf[0].Latency != ms(10) || cdf[0].Frac != 0.5 {
+		t.Fatalf("cdf[0] = %+v, want 10ms@0.5 (duplicates collapse)", cdf[0])
+	}
+	if cdf[2].Latency != ms(30) || cdf[2].Frac != 1.0 {
+		t.Fatalf("cdf[2] = %+v", cdf[2])
+	}
+	if CDF(nil) != nil {
+		t.Fatal("CDF(nil) should be nil")
+	}
+}
+
+func TestAtOrBelow(t *testing.T) {
+	cdf := CDF([]time.Duration{ms(10), ms(20), ms(30), ms(40)})
+	cases := []struct {
+		x    time.Duration
+		want float64
+	}{
+		{ms(5), 0}, {ms(10), 0.25}, {ms(25), 0.5}, {ms(40), 1}, {ms(99), 1},
+	}
+	for _, tc := range cases {
+		if got := AtOrBelow(cdf, tc.x); got != tc.want {
+			t.Errorf("AtOrBelow(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestViolationRate(t *testing.T) {
+	samples := []time.Duration{ms(90), ms(110), ms(100), ms(150)}
+	if got := ViolationRate(samples, ms(100)); got != 0.5 {
+		t.Fatalf("violations = %v, want 0.5", got)
+	}
+	if got := ViolationRate(samples, 0); got != 0 {
+		t.Fatal("zero SLO must yield zero rate")
+	}
+	if got := ViolationRate(nil, ms(1)); got != 0 {
+		t.Fatal("empty samples must yield zero rate")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(10, 100*time.Millisecond); got != 100 {
+		t.Fatalf("throughput = %v, want 100 rps", got)
+	}
+	if Throughput(0, time.Second) != 0 || Throughput(5, 0) != 0 {
+		t.Fatal("degenerate throughput must be 0")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 6}, 2)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Normalize = %v", got)
+	}
+	if z := Normalize([]float64{1}, 0); z[0] != 0 {
+		t.Fatal("zero base should yield zeros")
+	}
+}
+
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%50) + 1
+		samples := make([]time.Duration, count)
+		for i := range samples {
+			samples[i] = time.Duration(rng.Int63n(1e9))
+		}
+		cdf := CDF(samples)
+		prevL, prevF := time.Duration(-1), 0.0
+		for _, p := range cdf {
+			if p.Latency <= prevL || p.Frac <= prevF {
+				return false
+			}
+			prevL, prevF = p.Latency, p.Frac
+		}
+		return cdf[len(cdf)-1].Frac == 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPercentileWithinRange(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		samples := make([]time.Duration, 1+int(pRaw%20))
+		for i := range samples {
+			samples[i] = time.Duration(rng.Int63n(1e9))
+		}
+		p := float64(pRaw) / 255
+		v := Percentile(samples, p)
+		min, max := samples[0], samples[0]
+		for _, s := range samples {
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		return v >= min && v <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

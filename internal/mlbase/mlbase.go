@@ -1,0 +1,234 @@
+// Package mlbase supplies the shared numeric plumbing for the learned
+// latency-prediction baselines of Figure 12 (random forest, LSTM, GNN):
+// small dense matrices, feature standardization, deterministic splits and
+// error metrics. Everything is plain float64 slices — no BLAS, no
+// dependencies — because the models are deliberately small: the paper's
+// point is that with realistic profiling budgets they underperform the
+// white-box Predictor.
+package mlbase
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	R, C int
+	Data []float64
+}
+
+// NewMat allocates an R x C zero matrix.
+func NewMat(r, c int) *Mat {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mlbase: invalid matrix shape %dx%d", r, c))
+	}
+	return &Mat{R: r, C: c, Data: make([]float64, r*c)}
+}
+
+// RandMat allocates an R x C matrix with entries uniform in
+// [-scale, scale], deterministically from rng.
+func RandMat(r, c int, scale float64, rng *rand.Rand) *Mat {
+	m := NewMat(r, c)
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return m
+}
+
+// At returns m[i,j].
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.C+j] }
+
+// Set assigns m[i,j] = v.
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.C+j] = v }
+
+// Add accumulates m[i,j] += v.
+func (m *Mat) Add(i, j int, v float64) { m.Data[i*m.C+j] += v }
+
+// Row returns a view of row i.
+func (m *Mat) Row(i int) []float64 { return m.Data[i*m.C : (i+1)*m.C] }
+
+// Clone deep-copies the matrix.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.R, m.C)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets all entries.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// AXPY performs m += alpha * g (shapes must match).
+func (m *Mat) AXPY(alpha float64, g *Mat) {
+	if m.R != g.R || m.C != g.C {
+		panic("mlbase: AXPY shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += alpha * g.Data[i]
+	}
+}
+
+// MulVec returns m * x for a length-C vector x.
+func (m *Mat) MulVec(x []float64) []float64 {
+	if len(x) != m.C {
+		panic(fmt.Sprintf("mlbase: MulVec dim %d != %d", len(x), m.C))
+	}
+	out := make([]float64, m.R)
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mlbase: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// AddScaled performs dst += alpha * src element-wise.
+func AddScaled(dst []float64, alpha float64, src []float64) {
+	if len(dst) != len(src) {
+		panic("mlbase: AddScaled length mismatch")
+	}
+	for i := range dst {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// Sigmoid is the logistic function.
+func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Tanh wraps math.Tanh for symmetry with Sigmoid.
+func Tanh(x float64) float64 { return math.Tanh(x) }
+
+// ReLU is max(0, x).
+func ReLU(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+// Standardizer centers and scales features to zero mean / unit variance.
+type Standardizer struct {
+	Mean, Std []float64
+}
+
+// FitStandardizer learns per-column statistics from X (rows = samples).
+func FitStandardizer(X [][]float64) *Standardizer {
+	if len(X) == 0 {
+		return &Standardizer{}
+	}
+	d := len(X[0])
+	s := &Standardizer{Mean: make([]float64, d), Std: make([]float64, d)}
+	for _, row := range X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			dv := v - s.Mean[j]
+			s.Std[j] += dv * dv
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Transform returns a standardized copy of x.
+func (s *Standardizer) Transform(x []float64) []float64 {
+	if len(s.Mean) == 0 {
+		return append([]float64(nil), x...)
+	}
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// TransformAll standardizes every row.
+func (s *Standardizer) TransformAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.Transform(row)
+	}
+	return out
+}
+
+// Split deterministically shuffles [0,n) and cuts it into train and test
+// index sets with the given train fraction.
+func Split(n int, trainFrac float64, seed int64) (train, test []int) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		panic(fmt.Sprintf("mlbase: train fraction %v out of (0,1)", trainFrac))
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	cut := int(float64(n) * trainFrac)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= n {
+		cut = n - 1
+	}
+	return idx[:cut], idx[cut:]
+}
+
+// MAPE returns the mean absolute percentage error of predictions against
+// ground truth (the paper's prediction-error metric, |P^ - P| / P).
+func MAPE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		panic("mlbase: MAPE needs equal non-empty slices")
+	}
+	var s float64
+	for i := range pred {
+		if truth[i] == 0 {
+			continue
+		}
+		s += math.Abs(pred[i]-truth[i]) / math.Abs(truth[i])
+	}
+	return s / float64(len(pred))
+}
+
+// MAE returns the mean absolute error.
+func MAE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		panic("mlbase: MAE needs equal non-empty slices")
+	}
+	var s float64
+	for i := range pred {
+		s += math.Abs(pred[i] - truth[i])
+	}
+	return s / float64(len(pred))
+}

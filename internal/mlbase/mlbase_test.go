@@ -1,0 +1,165 @@
+package mlbase
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatBasics(t *testing.T) {
+	m := NewMat(2, 3)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2)
+	if m.At(0, 1) != 7 {
+		t.Fatalf("At = %v", m.At(0, 1))
+	}
+	if len(m.Row(1)) != 3 {
+		t.Fatal("Row width wrong")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Fatal("Clone aliases")
+	}
+	m.Zero()
+	if m.At(0, 1) != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMat(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	out := m.MulVec([]float64{5, 6})
+	if out[0] != 17 || out[1] != 39 {
+		t.Fatalf("MulVec = %v", out)
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	a := NewMat(1, 2)
+	b := NewMat(1, 2)
+	b.Set(0, 0, 2)
+	b.Set(0, 1, 3)
+	a.AXPY(0.5, b)
+	if a.At(0, 0) != 1 || a.At(0, 1) != 1.5 {
+		t.Fatalf("AXPY = %v", a.Data)
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"NewMat":    func() { NewMat(0, 1) },
+		"MulVec":    func() { NewMat(1, 2).MulVec([]float64{1}) },
+		"AXPY":      func() { NewMat(1, 2).AXPY(1, NewMat(2, 1)) },
+		"Dot":       func() { Dot([]float64{1}, []float64{1, 2}) },
+		"AddScaled": func() { AddScaled([]float64{1}, 1, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on shape mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	X := [][]float64{{1, 100}, {3, 300}, {5, 500}}
+	s := FitStandardizer(X)
+	out := s.TransformAll(X)
+	for j := 0; j < 2; j++ {
+		var mean, v float64
+		for i := range out {
+			mean += out[i][j]
+		}
+		mean /= 3
+		for i := range out {
+			d := out[i][j] - mean
+			v += d * d
+		}
+		if math.Abs(mean) > 1e-9 || math.Abs(v/3-1) > 1e-9 {
+			t.Fatalf("column %d not standardized: mean=%v var=%v", j, mean, v/3)
+		}
+	}
+}
+
+func TestStandardizerConstantColumn(t *testing.T) {
+	s := FitStandardizer([][]float64{{7}, {7}})
+	out := s.Transform([]float64{7})
+	if out[0] != 0 {
+		t.Fatalf("constant column -> %v, want 0 (no div-by-zero blowup)", out[0])
+	}
+}
+
+func TestSplitDeterministicDisjoint(t *testing.T) {
+	tr1, te1 := Split(100, 0.8, 42)
+	tr2, te2 := Split(100, 0.8, 42)
+	if len(tr1) != 80 || len(te1) != 20 {
+		t.Fatalf("split sizes %d/%d", len(tr1), len(te1))
+	}
+	for i := range tr1 {
+		if tr1[i] != tr2[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+	_ = te2
+	seen := map[int]bool{}
+	for _, i := range append(append([]int{}, tr1...), te1...) {
+		if seen[i] {
+			t.Fatal("index repeated across train/test")
+		}
+		seen[i] = true
+	}
+	if len(seen) != 100 {
+		t.Fatal("indices lost")
+	}
+}
+
+func TestSplitExtremesStayNonEmpty(t *testing.T) {
+	tr, te := Split(3, 0.99, 1)
+	if len(tr) == 0 || len(te) == 0 {
+		t.Fatal("split produced empty side")
+	}
+}
+
+func TestMAPEAndMAE(t *testing.T) {
+	pred := []float64{110, 90}
+	truth := []float64{100, 100}
+	if got := MAPE(pred, truth); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MAPE = %v", got)
+	}
+	if got := MAE(pred, truth); got != 10 {
+		t.Fatalf("MAE = %v", got)
+	}
+}
+
+func TestActivations(t *testing.T) {
+	if Sigmoid(0) != 0.5 {
+		t.Fatal("Sigmoid(0)")
+	}
+	if ReLU(-1) != 0 || ReLU(2) != 2 {
+		t.Fatal("ReLU")
+	}
+	if Tanh(0) != 0 {
+		t.Fatal("Tanh")
+	}
+}
+
+func TestRandMatDeterministic(t *testing.T) {
+	a := RandMat(3, 3, 0.5, rand.New(rand.NewSource(1)))
+	b := RandMat(3, 3, 0.5, rand.New(rand.NewSource(1)))
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("RandMat not deterministic")
+		}
+		if a.Data[i] < -0.5 || a.Data[i] > 0.5 {
+			t.Fatal("RandMat out of scale")
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package model holds the calibrated timing, memory and pricing constants
+// that parameterize every substrate in the repository.
+//
+// The paper's evaluation ran on a physical OpenFaaS/Kubernetes cluster
+// (Table 2: 8 nodes, Intel Xeon Gold 6230 @ 2.1 GHz × 40, 128 GB DRAM,
+// 10 GbE). This reproduction replaces the testbed with a deterministic
+// virtual-time engine; the constants below are calibrated from the numbers
+// the paper itself reports (Figures 3-6, Observations 1-2, Table 1) so that
+// the reproduced experiments preserve the paper's shapes: who wins, by what
+// factor, and where the crossovers fall.
+//
+// All durations are time.Duration on a virtual clock; nothing in the
+// simulation sleeps for real.
+package model
+
+import "time"
+
+// Constants is the full calibration set. A zero value is NOT usable; obtain
+// one from Default and override fields as needed. Every platform, predictor
+// and experiment receives its Constants explicitly so tests can perturb a
+// single knob without global state.
+type Constants struct {
+	// ---- Process execution mode (Observation 2, Figure 5) ----
+
+	// ProcStartup is the mean time from issuing fork() to the first user
+	// instruction of the child function: interpreter fork, module re-init,
+	// runtime handshake. The paper measures 7.5 ms on CPython 3.11.
+	ProcStartup time.Duration
+	// ProcBlockStep is the additional wait the j-th forked process suffers
+	// because forks are issued sequentially by the orchestrator (Eq. 4:
+	// (j-1) x T_Block). Calibrated from "50 parallel functions -> blocking
+	// time up to 169 ms": 169ms/49 = 3.45 ms.
+	ProcBlockStep time.Duration
+	// IPCCost is the cost of moving one function's state to/from another
+	// process over a Linux pipe (Eq. 3: T_IPC x (|P|-1)). Figure 5 reports
+	// 4.3 ms of IPC for FINRA-5 (4 transfers) = 1.08 ms each.
+	IPCCost time.Duration
+
+	// ---- Thread execution mode (Figure 2, Observation 2) ----
+
+	// ThreadStartup is the cost of cloning a thread inside a warm process.
+	// The paper reports threads reduce startup latency by 96% vs processes:
+	// 7.5 ms x 0.04 = 0.3 ms.
+	ThreadStartup time.Duration
+	// NodeWorkerStartup is Node.js's far heavier per-thread cost: "worker
+	// threads incur more than 50 ms of startup overhead for each
+	// function, leading to doubled latency" (Section 2.1).
+	NodeWorkerStartup time.Duration
+	// GILInterval is the CPython switch interval: a thread holding the GIL
+	// is asked to drop it after this long when other threads wait
+	// (sys.getswitchinterval() default 5 ms).
+	GILInterval time.Duration
+	// ThreadSpawnBatch is how many threads the main thread can start per
+	// GIL interval while it holds the GIL (Algorithm 1 lines 4-5).
+	ThreadSpawnBatch int
+
+	// ---- Sandbox / container substrate (Section 1, Figure 1) ----
+
+	// ColdStart is the time to pull-free cold start a warm-image container
+	// with a language runtime ("starting a Hello-world Python container
+	// takes 167 ms").
+	ColdStart time.Duration
+	// SandboxRuntimeMB is the resident memory of one sandbox's language
+	// runtime + base libraries, duplicated per sandbox under one-to-one
+	// deployment (Figure 16 calibration: ~30 MB per Python sandbox).
+	SandboxRuntimeMB float64
+	// ProcOverheadMB is the incremental private memory of one extra forked
+	// process inside a sandbox (interpreter COW residue, heap arenas).
+	ProcOverheadMB float64
+	// ThreadOverheadMB is the incremental memory of one extra thread
+	// (stack + TLS) inside a process.
+	ThreadOverheadMB float64
+	// PoolResidentFactor multiplies process memory for pool-based systems:
+	// long-running pool workers keep arenas resident ("more than 5x memory
+	// to avoid duplicate startup overhead").
+	PoolResidentFactor float64
+
+	// ---- Interaction substrate (Observation 1, Figures 3-4) ----
+
+	// RPCCost is one wrap-to-wrap (sandbox-to-sandbox) invocation over the
+	// local cluster network: HTTP through the gateway, T_RPC in Eq. 2.
+	RPCCost time.Duration
+	// InvokeCost is the per-extra-wrap client-side overhead when wrap1
+	// fans out to sibling wraps ((k-1) x T_INV in Eq. 2): serialization and
+	// connection setup in the orchestrator library.
+	InvokeCost time.Duration
+
+	// ASFSchedPerFn is AWS Step Functions' per-state scheduling latency
+	// (Figure 3: "ASF uses 150 ms for scheduling a function").
+	ASFSchedPerFn time.Duration
+	// ASFConcurrency is ASF's dispatch window ("only able to run up-to 10
+	// functions concurrently").
+	ASFConcurrency int
+	// ASFControlPerFn is the serialized control-plane cost ASF pays per
+	// state transition beyond the parallel window (fits Fig. 3's growth to
+	// 874 ms / 1628 ms at 25 / 50 functions).
+	ASFControlPerFn time.Duration
+	// GatewaySchedPerFn is the local OpenFaaS gateway's serialized
+	// per-function dispatch cost (fits Fig. 3: 180 ms for 50 functions).
+	GatewaySchedPerFn time.Duration
+
+	// ---- Remote storage (Figure 4) ----
+
+	// S3BaseLatency / S3BandwidthMBps model AWS S3 from Lambda: 52 ms
+	// floor, ~43 MB/s effective (1 GB -> ~25 s).
+	S3BaseLatency   time.Duration
+	S3BandwidthMBps float64
+	// MinIOBaseLatency / MinIOBandwidthMBps model MinIO on the local
+	// cluster: ~10 ms floor, 1 GB -> ~10 s.
+	MinIOBaseLatency   time.Duration
+	MinIOBandwidthMBps float64
+
+	// ---- Isolation mechanisms (Table 1) ----
+
+	// MPK* model Intel Memory Protection Keys thread isolation.
+	MPKStartup     time.Duration // pkey alloc + WRPKRU setup per function
+	MPKInteraction time.Duration // shared-memory handoff (measured 0)
+	MPKCPUFactor   float64       // CPU-segment slowdown (fibonacci +35.2%)
+	MPKIOFactor    float64       // IO-segment slowdown (disk-io +7.3% overall)
+
+	// SFI* model WebAssembly software-fault isolation (Faasm-style).
+	SFIStartup     time.Duration // module instantiation, 18 ms
+	SFIInteraction time.Duration // cross-module call + copy, 8 ms
+	SFICPUFactor   float64       // fibonacci +52.9%
+	SFIIOFactor    float64       // disk-io +29.4% overall
+
+	// ---- Process pool (Section 4 "True Parallelism") ----
+
+	// PoolDispatch is the cost of handing a task to a warm pool worker.
+	PoolDispatch time.Duration
+
+	// ---- Worker node (Table 2) ----
+
+	NodeCores  int     // CPUs per worker node (40)
+	NodeMemMB  float64 // DRAM per worker node (128 GB)
+	CPUBaseGHz float64 // base clock, for GHz-second pricing (2.1)
+
+	// ---- Pricing (Figure 19, Google Cloud Functions rates) ----
+
+	PricePerGBSecond  float64 // $0.0000025 per GB-second of memory
+	PricePerGHzSecond float64 // $0.0000100 per GHz-second of CPU
+	// PricePerTransition is what one-to-one orchestrators charge per state
+	// transition (AWS Step Functions: $25 per million).
+	PricePerTransition float64
+
+	// ---- Engine fidelity knobs (Section 5 of DESIGN.md) ----
+
+	// SyscallOverhead is the engine-side entry/exit cost added to every
+	// block operation; the white-box Predictor ignores it, which is one
+	// source of its (small) prediction error.
+	SyscallOverhead time.Duration
+	// StartupJitterPct is the +/- percentage of deterministic, seeded
+	// jitter the engine applies to each fork's startup cost.
+	StartupJitterPct float64
+	// MainThreadLag is the engine-side delay before the orchestrator's
+	// main thread begins spawning workers (watchdog hand-off).
+	MainThreadLag time.Duration
+}
+
+// Default returns the calibration used throughout the paper reproduction.
+// See the field comments for the provenance of each number.
+func Default() Constants {
+	return Constants{
+		ProcStartup:   7500 * time.Microsecond,
+		ProcBlockStep: 3450 * time.Microsecond,
+		IPCCost:       1080 * time.Microsecond,
+
+		ThreadStartup:     300 * time.Microsecond,
+		NodeWorkerStartup: 52 * time.Millisecond,
+		GILInterval:       5 * time.Millisecond,
+		ThreadSpawnBatch:  8,
+
+		ColdStart:          167 * time.Millisecond,
+		SandboxRuntimeMB:   30,
+		ProcOverheadMB:     4.5,
+		ThreadOverheadMB:   0.35,
+		PoolResidentFactor: 5.2,
+
+		RPCCost:    17500 * time.Microsecond,
+		InvokeCost: 1500 * time.Microsecond,
+
+		ASFSchedPerFn:     150 * time.Millisecond,
+		ASFConcurrency:    10,
+		ASFControlPerFn:   17 * time.Millisecond,
+		GatewaySchedPerFn: 3600 * time.Microsecond,
+
+		S3BaseLatency:      52 * time.Millisecond,
+		S3BandwidthMBps:    43,
+		MinIOBaseLatency:   10 * time.Millisecond,
+		MinIOBandwidthMBps: 105,
+
+		MPKStartup:     200 * time.Microsecond,
+		MPKInteraction: 0,
+		MPKCPUFactor:   1.352,
+		MPKIOFactor:    1.048,
+
+		SFIStartup:     18 * time.Millisecond,
+		SFIInteraction: 8 * time.Millisecond,
+		SFICPUFactor:   1.529,
+		SFIIOFactor:    1.21,
+
+		PoolDispatch: 450 * time.Microsecond,
+
+		NodeCores:  40,
+		NodeMemMB:  128 * 1024,
+		CPUBaseGHz: 2.1,
+
+		PricePerGBSecond:   0.0000025,
+		PricePerGHzSecond:  0.0000100,
+		PricePerTransition: 0.000025,
+
+		SyscallOverhead:  35 * time.Microsecond,
+		StartupJitterPct: 0.12,
+		MainThreadLag:    400 * time.Microsecond,
+	}
+}
+
+// MaxProcsPerWrap returns how many processes Algorithm 2 (line 7) initially
+// packs into wrap1: min(floor(T_RPC / T_Block), n). Grouping more processes
+// than this into one sandbox would accumulate more fork block time than one
+// network hop costs, so the partitioner prefers a new wrap beyond it.
+func (c Constants) MaxProcsPerWrap(n int) int {
+	if c.ProcBlockStep <= 0 {
+		return n
+	}
+	m := int(c.RPCCost / c.ProcBlockStep)
+	if m < 1 {
+		m = 1
+	}
+	if m > n {
+		m = n
+	}
+	return m
+}
+
+// Validate reports a non-nil error when a Constants value is internally
+// inconsistent (non-positive core timings, zero node resources, factors
+// below 1). It exists so fuzz/property tests can reject nonsense inputs.
+func (c Constants) Validate() error {
+	type check struct {
+		ok  bool
+		msg string
+	}
+	checks := []check{
+		{c.ProcStartup > 0, "ProcStartup must be positive"},
+		{c.ProcBlockStep >= 0, "ProcBlockStep must be non-negative"},
+		{c.ThreadStartup > 0, "ThreadStartup must be positive"},
+		{c.ThreadStartup < c.ProcStartup, "thread startup must undercut process startup"},
+		{c.GILInterval > 0, "GILInterval must be positive"},
+		{c.ThreadSpawnBatch > 0, "ThreadSpawnBatch must be positive"},
+		{c.RPCCost > 0, "RPCCost must be positive"},
+		{c.NodeCores > 0, "NodeCores must be positive"},
+		{c.NodeMemMB > 0, "NodeMemMB must be positive"},
+		{c.MPKCPUFactor >= 1 && c.MPKIOFactor >= 1, "MPK factors must be >= 1"},
+		{c.SFICPUFactor >= 1 && c.SFIIOFactor >= 1, "SFI factors must be >= 1"},
+		{c.SandboxRuntimeMB > 0, "SandboxRuntimeMB must be positive"},
+		{c.PoolResidentFactor >= 1, "PoolResidentFactor must be >= 1"},
+	}
+	for _, ch := range checks {
+		if !ch.ok {
+			return &InvalidConstantsError{Reason: ch.msg}
+		}
+	}
+	return nil
+}
+
+// InvalidConstantsError reports why a Constants value failed Validate.
+type InvalidConstantsError struct{ Reason string }
+
+func (e *InvalidConstantsError) Error() string {
+	return "model: invalid constants: " + e.Reason
+}

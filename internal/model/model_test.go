@@ -1,0 +1,108 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default() fails its own validation: %v", err)
+	}
+}
+
+func TestThreadStartupIs96PercentBelowProcess(t *testing.T) {
+	// Observation 2: "thread reduces startup latency by 96% compared to
+	// process". Guard the calibration.
+	c := Default()
+	ratio := float64(c.ThreadStartup) / float64(c.ProcStartup)
+	if ratio < 0.02 || ratio > 0.06 {
+		t.Fatalf("thread/process startup ratio = %.3f, want ~0.04", ratio)
+	}
+}
+
+func TestBlockTimeCalibration(t *testing.T) {
+	// Observation 2: "when 50 parallel functions execute simultaneously,
+	// the blocking time can reach up to 169 ms".
+	c := Default()
+	block49 := time.Duration(49) * c.ProcBlockStep
+	if block49 < 150*time.Millisecond || block49 > 190*time.Millisecond {
+		t.Fatalf("49-fork block time = %v, want ~169ms", block49)
+	}
+}
+
+func TestMaxProcsPerWrap(t *testing.T) {
+	c := Default()
+	cases := []struct {
+		n    int
+		want int
+	}{
+		{1, 1},
+		{3, 3},
+		{100, int(c.RPCCost / c.ProcBlockStep)},
+	}
+	for _, tc := range cases {
+		if got := c.MaxProcsPerWrap(tc.n); got != tc.want {
+			t.Errorf("MaxProcsPerWrap(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+	// Figure 11 packs 17 processes into 4 wraps of at most 5: the default
+	// calibration must yield 5.
+	if got := c.MaxProcsPerWrap(17); got != 5 {
+		t.Errorf("MaxProcsPerWrap(17) = %d, want 5 (Figure 11)", got)
+	}
+}
+
+func TestMaxProcsPerWrapDegenerateBlockStep(t *testing.T) {
+	c := Default()
+	c.ProcBlockStep = 0
+	if got := c.MaxProcsPerWrap(7); got != 7 {
+		t.Fatalf("with zero block step, MaxProcsPerWrap(7) = %d, want 7", got)
+	}
+	c = Default()
+	c.ProcBlockStep = c.RPCCost * 2 // block dearer than a network hop
+	if got := c.MaxProcsPerWrap(7); got != 1 {
+		t.Fatalf("with huge block step, MaxProcsPerWrap(7) = %d, want 1", got)
+	}
+}
+
+func TestValidateCatchesBrokenCalibrations(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Constants)
+	}{
+		{"zero proc startup", func(c *Constants) { c.ProcStartup = 0 }},
+		{"thread slower than process", func(c *Constants) { c.ThreadStartup = c.ProcStartup * 2 }},
+		{"zero gil interval", func(c *Constants) { c.GILInterval = 0 }},
+		{"zero spawn batch", func(c *Constants) { c.ThreadSpawnBatch = 0 }},
+		{"zero rpc", func(c *Constants) { c.RPCCost = 0 }},
+		{"zero cores", func(c *Constants) { c.NodeCores = 0 }},
+		{"zero memory", func(c *Constants) { c.NodeMemMB = 0 }},
+		{"mpk speedup", func(c *Constants) { c.MPKCPUFactor = 0.5 }},
+		{"sfi speedup", func(c *Constants) { c.SFIIOFactor = 0.9 }},
+		{"zero runtime mem", func(c *Constants) { c.SandboxRuntimeMB = 0 }},
+		{"pool factor below 1", func(c *Constants) { c.PoolResidentFactor = 0.3 }},
+	}
+	for _, m := range mutations {
+		c := Default()
+		m.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken calibration", m.name)
+		}
+	}
+}
+
+func TestInvalidConstantsErrorMessage(t *testing.T) {
+	c := Default()
+	c.NodeCores = 0
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if _, ok := err.(*InvalidConstantsError); !ok {
+		t.Fatalf("error type %T, want *InvalidConstantsError", err)
+	}
+	if msg := err.Error(); msg == "" {
+		t.Fatal("empty error message")
+	}
+}

@@ -1,0 +1,65 @@
+// Package netsim models the interaction fabrics of Observation 1: what it
+// costs to move a payload of a given size between two serverless functions
+// over each medium the paper measures (Figure 4), from AWS Lambda + S3 down
+// to same-process shared memory.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"chiron/internal/model"
+)
+
+// Profile is a latency/bandwidth model for one interaction medium.
+type Profile struct {
+	// Name identifies the medium in reports.
+	Name string
+	// Base is the size-independent floor: connection setup, request
+	// framing, storage-service request handling.
+	Base time.Duration
+	// MBps is the sustained payload bandwidth; zero means size-free
+	// (shared memory).
+	MBps float64
+}
+
+// Transfer returns the time to move n bytes over the medium.
+func (p Profile) Transfer(n int64) time.Duration {
+	if n < 0 {
+		panic(fmt.Sprintf("netsim: negative transfer size %d", n))
+	}
+	d := p.Base
+	if p.MBps > 0 {
+		d += time.Duration(float64(n) / (p.MBps * 1e6) * float64(time.Second))
+	}
+	return d
+}
+
+// AWSS3 models function interaction through Amazon S3 from AWS Lambda
+// ("even the smallest data transfer can take up to 52 ms ... for 1 GB data
+// the overhead can reach up-to 25 s").
+func AWSS3(c model.Constants) Profile {
+	return Profile{Name: "asf+s3", Base: c.S3BaseLatency, MBps: c.S3BandwidthMBps}
+}
+
+// LocalMinIO models interaction through MinIO on the paper's 10 GbE local
+// cluster ("the interaction overhead still range from 10 ms to 10 s").
+func LocalMinIO(c model.Constants) Profile {
+	return Profile{Name: "openfaas+minio", Base: c.MinIOBaseLatency, MBps: c.MinIOBandwidthMBps}
+}
+
+// ClusterRPC models one direct sandbox-to-sandbox HTTP invocation on the
+// local cluster (Eq. 2's T_RPC); payloads ride the same 10 GbE link.
+func ClusterRPC(c model.Constants) Profile {
+	return Profile{Name: "cluster-rpc", Base: c.RPCCost, MBps: 1100}
+}
+
+// Pipe models parent/child pipe IPC inside one sandbox (Eq. 3's T_IPC).
+func Pipe(c model.Constants) Profile {
+	return Profile{Name: "pipe", Base: c.IPCCost, MBps: 2800}
+}
+
+// SharedMemory models thread interaction through load/store instructions:
+// the paper treats it as free ("no interaction time for thread
+// communication within a process due to the shared memory").
+func SharedMemory() Profile { return Profile{Name: "shared-memory"} }

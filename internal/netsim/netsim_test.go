@@ -1,0 +1,80 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"chiron/internal/model"
+)
+
+func TestS3CalibrationMatchesFigure4(t *testing.T) {
+	p := AWSS3(model.Default())
+	// "even the smallest data transfer can take up to 52ms"
+	if got := p.Transfer(1); got < 50*time.Millisecond || got > 55*time.Millisecond {
+		t.Errorf("1B over S3 = %v, want ~52ms", got)
+	}
+	// "For 1GB data, the overhead can reach up-to 25s"
+	if got := p.Transfer(1 << 30); got < 20*time.Second || got > 30*time.Second {
+		t.Errorf("1GB over S3 = %v, want ~25s", got)
+	}
+}
+
+func TestMinIOCalibrationMatchesFigure4(t *testing.T) {
+	p := LocalMinIO(model.Default())
+	// "the interaction overhead still range from 10 ms to 10 s"
+	if got := p.Transfer(1); got < 8*time.Millisecond || got > 15*time.Millisecond {
+		t.Errorf("1B over MinIO = %v, want ~10ms", got)
+	}
+	if got := p.Transfer(1 << 30); got < 8*time.Second || got > 12*time.Second {
+		t.Errorf("1GB over MinIO = %v, want ~10s", got)
+	}
+}
+
+func TestSharedMemoryIsFree(t *testing.T) {
+	p := SharedMemory()
+	if got := p.Transfer(1 << 30); got != 0 {
+		t.Errorf("shared memory transfer = %v, want 0", got)
+	}
+}
+
+func TestMediaOrdering(t *testing.T) {
+	// For any payload, the media must be strictly ordered by cost:
+	// shared memory < pipe < cluster RPC < MinIO < S3 (at small sizes).
+	c := model.Default()
+	sizes := []int64{0, 1, 1 << 10, 1 << 20}
+	for _, n := range sizes {
+		sm := SharedMemory().Transfer(n)
+		pipe := Pipe(c).Transfer(n)
+		rpc := ClusterRPC(c).Transfer(n)
+		minio := LocalMinIO(c).Transfer(n)
+		s3 := AWSS3(c).Transfer(n)
+		if !(sm < pipe && pipe < rpc && minio < s3) {
+			t.Errorf("size %d: ordering broken: shm=%v pipe=%v rpc=%v minio=%v s3=%v", n, sm, pipe, rpc, minio, s3)
+		}
+	}
+}
+
+func TestTransferMonotoneInSize(t *testing.T) {
+	c := model.Default()
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		p := LocalMinIO(c)
+		return p.Transfer(x) <= p.Transfer(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size did not panic")
+		}
+	}()
+	SharedMemory().Transfer(-1)
+}

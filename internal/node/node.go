@@ -1,0 +1,138 @@
+// Package node models worker nodes and the packing of sandboxes onto them.
+//
+// The paper's throughput metric (Figure 16) is "the normalized maximum
+// RPS in a worker node": how many copies of a workflow's full sandbox set
+// fit into one node's cores and DRAM, divided by the end-to-end latency.
+// This package supplies the fitting; package metrics does the division.
+package node
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"chiron/internal/model"
+	"chiron/internal/sandbox"
+)
+
+// Node is one worker's capacity.
+type Node struct {
+	Cores int
+	MemMB float64
+}
+
+// FromConstants returns the testbed worker of Table 2.
+func FromConstants(c model.Constants) Node {
+	return Node{Cores: c.NodeCores, MemMB: c.NodeMemMB}
+}
+
+// Demand aggregates a deployment's per-instance resource footprint.
+type Demand struct {
+	CPUs  int
+	MemMB float64
+	// Sandboxes is how many containers one instance comprises.
+	Sandboxes int
+}
+
+// DemandOf sums the footprint of one instance (one deployed copy) of a
+// workflow: all its sandboxes.
+func DemandOf(c model.Constants, sbs []*sandbox.Sandbox) Demand {
+	var d Demand
+	for _, s := range sbs {
+		d.CPUs += s.CPUs
+		d.MemMB += s.MemoryMB(c)
+		d.Sandboxes++
+	}
+	return d
+}
+
+// MaxInstances returns how many whole instances of demand d fit on the
+// node: the binding resource decides (Observation 4: one-to-one is
+// memory-bound long before it is CPU-bound).
+func (n Node) MaxInstances(d Demand) int {
+	if d.CPUs <= 0 || d.MemMB <= 0 {
+		return 0
+	}
+	byCPU := n.Cores / d.CPUs
+	byMem := int(math.Floor(n.MemMB / d.MemMB))
+	if byMem < byCPU {
+		return byMem
+	}
+	return byCPU
+}
+
+// BindingResource names which resource caps MaxInstances ("cpu" or
+// "memory"), for reporting.
+func (n Node) BindingResource(d Demand) string {
+	if d.CPUs <= 0 || d.MemMB <= 0 {
+		return "none"
+	}
+	byCPU := n.Cores / d.CPUs
+	byMem := int(math.Floor(n.MemMB / d.MemMB))
+	if byMem < byCPU {
+		return "memory"
+	}
+	return "cpu"
+}
+
+// Cluster is a set of worker nodes.
+type Cluster struct {
+	Nodes []Node
+}
+
+// Uniform returns a cluster of n identical nodes (the paper's 8-node
+// testbed).
+func Uniform(n int, spec Node) Cluster {
+	c := Cluster{Nodes: make([]Node, n)}
+	for i := range c.Nodes {
+		c.Nodes[i] = spec
+	}
+	return c
+}
+
+// Placement maps sandbox index -> node index.
+type Placement []int
+
+// Place assigns sandboxes to nodes first-fit-decreasing by CPU (then
+// memory), respecting both capacities. It returns an error when the
+// cluster cannot hold them.
+func (c Cluster) Place(con model.Constants, sbs []*sandbox.Sandbox) (Placement, error) {
+	type free struct {
+		cores int
+		mem   float64
+	}
+	rem := make([]free, len(c.Nodes))
+	for i, n := range c.Nodes {
+		rem[i] = free{cores: n.Cores, mem: n.MemMB}
+	}
+	order := make([]int, len(sbs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := sbs[order[a]], sbs[order[b]]
+		if sa.CPUs != sb.CPUs {
+			return sa.CPUs > sb.CPUs
+		}
+		return sa.MemoryMB(con) > sb.MemoryMB(con)
+	})
+	place := make(Placement, len(sbs))
+	for _, i := range order {
+		s := sbs[i]
+		mem := s.MemoryMB(con)
+		placed := false
+		for j := range rem {
+			if rem[j].cores >= s.CPUs && rem[j].mem >= mem {
+				rem[j].cores -= s.CPUs
+				rem[j].mem -= mem
+				place[i] = j
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("node: sandbox %d (%d CPUs, %.1f MB) does not fit in the cluster", i, s.CPUs, mem)
+		}
+	}
+	return place, nil
+}

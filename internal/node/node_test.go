@@ -1,0 +1,115 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/model"
+	"chiron/internal/sandbox"
+)
+
+func sb(cpus int, fnMem float64) *sandbox.Sandbox {
+	f := &behavior.Spec{
+		Name: "f", Runtime: behavior.Python,
+		Segments: []behavior.Segment{{Kind: behavior.CPU, Dur: time.Millisecond}},
+		MemMB:    fnMem,
+	}
+	s := sandbox.ForSingle(f, cpus)
+	return s
+}
+
+func TestFromConstants(t *testing.T) {
+	c := model.Default()
+	n := FromConstants(c)
+	if n.Cores != 40 || n.MemMB != 128*1024 {
+		t.Fatalf("testbed node = %+v, want Table 2's 40 cores / 128GB", n)
+	}
+}
+
+func TestMaxInstancesCPUBound(t *testing.T) {
+	c := model.Default()
+	n := FromConstants(c)
+	d := DemandOf(c, []*sandbox.Sandbox{sb(4, 1)})
+	if got := n.MaxInstances(d); got != 10 {
+		t.Fatalf("40 cores / 4 CPUs = %d instances, want 10", got)
+	}
+	if n.BindingResource(d) != "cpu" {
+		t.Fatalf("binding resource = %s, want cpu", n.BindingResource(d))
+	}
+}
+
+func TestMaxInstancesMemoryBound(t *testing.T) {
+	c := model.Default()
+	n := Node{Cores: 1000, MemMB: 1000}
+	d := DemandOf(c, []*sandbox.Sandbox{sb(1, 70)}) // ~100MB each
+	got := n.MaxInstances(d)
+	if got < 9 || got > 10 {
+		t.Fatalf("memory-bound instances = %d, want ~10", got)
+	}
+	if n.BindingResource(d) != "memory" {
+		t.Fatalf("binding resource = %s, want memory", n.BindingResource(d))
+	}
+}
+
+func TestMaxInstancesDegenerate(t *testing.T) {
+	n := Node{Cores: 4, MemMB: 100}
+	if n.MaxInstances(Demand{}) != 0 {
+		t.Fatal("zero demand should fit zero instances (guard against div-by-zero)")
+	}
+	if n.BindingResource(Demand{}) != "none" {
+		t.Fatal("zero demand binding resource should be none")
+	}
+}
+
+func TestDemandAggregates(t *testing.T) {
+	c := model.Default()
+	d := DemandOf(c, []*sandbox.Sandbox{sb(2, 5), sb(3, 1)})
+	if d.CPUs != 5 || d.Sandboxes != 2 {
+		t.Fatalf("demand = %+v", d)
+	}
+	if d.MemMB <= 2*c.SandboxRuntimeMB {
+		t.Fatalf("memory %f should include both runtimes", d.MemMB)
+	}
+}
+
+func TestPlaceFirstFitDecreasing(t *testing.T) {
+	c := model.Default()
+	cl := Uniform(2, Node{Cores: 4, MemMB: 1024})
+	sbs := []*sandbox.Sandbox{sb(1, 1), sb(4, 1), sb(3, 1)}
+	place, err := cl.Place(c, sbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 4-CPU sandbox fills node 0; the 3-CPU goes to node 1; the 1-CPU
+	// fits beside it on node 1.
+	if place[1] != 0 {
+		t.Errorf("4-CPU sandbox on node %d, want 0", place[1])
+	}
+	if place[2] != 1 {
+		t.Errorf("3-CPU sandbox on node %d, want 1", place[2])
+	}
+	if place[0] != 1 {
+		t.Errorf("1-CPU sandbox on node %d, want 1 (remaining core)", place[0])
+	}
+}
+
+func TestPlaceOverflowErrors(t *testing.T) {
+	c := model.Default()
+	cl := Uniform(1, Node{Cores: 2, MemMB: 1024})
+	if _, err := cl.Place(c, []*sandbox.Sandbox{sb(3, 1)}); err == nil {
+		t.Fatal("oversized sandbox placed without error")
+	}
+}
+
+func TestPlaceRespectsMemory(t *testing.T) {
+	c := model.Default()
+	cl := Uniform(1, Node{Cores: 100, MemMB: 40})
+	// One sandbox (~31MB) fits; two exceed 40MB.
+	if _, err := cl.Place(c, []*sandbox.Sandbox{sb(1, 1)}); err != nil {
+		t.Fatalf("single sandbox should fit: %v", err)
+	}
+	if _, err := cl.Place(c, []*sandbox.Sandbox{sb(1, 1), sb(1, 1)}); err == nil {
+		t.Fatal("memory overflow not detected")
+	}
+}

@@ -1,0 +1,729 @@
+// Package pgp implements PGP, the prediction-based graph partitioning
+// scheduler of Section 3.4 (Algorithm 2).
+//
+// Given a workflow's profiles and an SLO, PGP searches for the cheapest
+// deployment that the Predictor says will meet the SLO:
+//
+//  1. Incrementally try n = 1..M processes per parallel stage (M = max
+//     parallelism). Candidate partitions start as a round-robin split with
+//     wrap sizes {min(floor(T_RPC/T_Block), n), 1, 1, ...} (line 7).
+//  2. Refine each stage's partition with the Kernighan-Lin swap heuristic
+//     (lines 18-25), minimizing the predicted stage latency.
+//  3. At the first n whose predicted workflow latency meets the SLO,
+//     repack the processes into as few wraps as possible while keeping
+//     the SLO (lines 13-16), maximizing resource efficiency.
+//
+// The Discussion section's scalability remedies are implemented: process
+// counts are explored concurrently (the paper's Scheduler "can use
+// multiple processes to explore wrap partition under various number of
+// processes in parallel"), per-group execution predictions are memoized,
+// and Kernighan-Lin's candidate scan is capped for very wide stages.
+package pgp
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+	"chiron/internal/model"
+	"chiron/internal/predict"
+	"chiron/internal/profiler"
+	"chiron/internal/wrap"
+)
+
+// Style selects the execution-mode family PGP plans with.
+type Style int
+
+const (
+	// Hybrid combines processes and threads freely (native Chiron).
+	Hybrid Style = iota
+	// ProcOnly never groups parallel functions as threads: each parallel
+	// function gets its own process, and PGP only decides wrap packing
+	// (the Chiron-M configuration of Section 4: MPK threads for
+	// sequential functions, processes for parallel ones).
+	ProcOnly
+	// PoolStyle deploys everything in a single warm-pool wrap and picks
+	// the minimum cpuset that holds the SLO (Chiron-P).
+	PoolStyle
+)
+
+// Options parameterize a PGP run.
+type Options struct {
+	// Const is the calibrated substrate timing.
+	Const model.Constants
+	// SLO is the latency target. Zero means "no SLO": PGP then returns
+	// the lowest-latency plan it finds.
+	SLO time.Duration
+	// Safety is the Predictor inflation used during SLO checks (default
+	// 1.1; Section 6.2's misprediction guard).
+	Safety float64
+	// Iso is the thread isolation mechanism for functions that share a
+	// process (wrap.IsoNone or wrap.IsoMPK).
+	Iso wrap.IsolationKind
+	// Style selects the execution-mode family.
+	Style Style
+	// Parallelism caps concurrent exploration of process counts
+	// (default: GOMAXPROCS).
+	Parallelism int
+	// MaxSwapCandidates caps the Kernighan-Lin candidate scan per
+	// iteration (default 400), the scalability guard for very wide
+	// stages.
+	MaxSwapCandidates int
+	// DisableKL skips the Kernighan-Lin refinement entirely, leaving the
+	// round-robin partition (ablation knob: how much does Algorithm 2's
+	// swapping pass actually buy?).
+	DisableKL bool
+}
+
+func (o *Options) defaults() {
+	if o.Safety <= 0 {
+		o.Safety = 1.1
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxSwapCandidates <= 0 {
+		o.MaxSwapCandidates = 400
+	}
+}
+
+// Step records one exploration step for reporting (Figure 11's trace).
+type Step struct {
+	// N is the process count tried.
+	N int
+	// Predicted is the workflow latency predicted for this N (after
+	// Kernighan-Lin refinement, before repacking).
+	Predicted time.Duration
+	// Meets reports whether Predicted fits the SLO.
+	Meets bool
+}
+
+// Result is PGP's output.
+type Result struct {
+	// Plan is the chosen deployment.
+	Plan *wrap.Plan
+	// Predicted is the plan's predicted end-to-end latency (with safety).
+	Predicted time.Duration
+	// MeetsSLO reports whether Predicted fits the SLO (always true when
+	// some N did; false only if even N = M misses, in which case Plan is
+	// the best-effort lowest-latency plan).
+	MeetsSLO bool
+	// ProcsPerStage is the process count per stage in the chosen plan.
+	ProcsPerStage []int
+	// WrapsPerStage is the wrap count per stage.
+	WrapsPerStage []int
+	// Trace is the exploration history in N order.
+	Trace []Step
+}
+
+// Plan runs PGP.
+func Plan(w *dag.Workflow, profiles profiler.Set, opt Options) (*Result, error) {
+	opt.defaults()
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	for _, fn := range w.Functions() {
+		if _, ok := profiles[fn.Name]; !ok {
+			return nil, fmt.Errorf("pgp: function %q is not profiled", fn.Name)
+		}
+	}
+	pred := predict.New(opt.Const, profiles)
+	pred.Safety = opt.Safety
+	pl := &planner{w: w, opt: opt, pred: pred, execMemo: make(map[string]time.Duration)}
+	pl.findPinned()
+	if opt.Style == PoolStyle {
+		if len(pl.pinned) > 0 {
+			return nil, fmt.Errorf("pgp: pool style cannot honour sandbox-conflict constraints (%d pinned functions); use Hybrid", len(pl.pinned))
+		}
+		return pl.planPool()
+	}
+	return pl.planHybrid()
+}
+
+// findPinned identifies functions that must not share the main sandboxes
+// (Section 3.4): functions on a different language runtime than the
+// workflow's dominant one, and all-but-the-first writers of a shared file.
+// Each pinned function becomes "a wrap that only contains one function".
+func (pl *planner) findPinned() {
+	pl.pinned = make(map[string]bool)
+	counts := map[behavior.Runtime]int{}
+	for _, fn := range pl.w.Functions() {
+		counts[fn.Runtime]++
+	}
+	// Dominant runtime: highest count, first-seen tie-break (deterministic).
+	dominant := pl.w.Functions()[0].Runtime
+	for _, fn := range pl.w.Functions() {
+		if counts[fn.Runtime] > counts[dominant] {
+			dominant = fn.Runtime
+		}
+	}
+	fileOwner := map[string]string{}
+	for _, fn := range pl.w.Functions() {
+		if fn.Runtime != dominant {
+			pl.pinned[fn.Name] = true
+		}
+		for _, f := range fn.Files {
+			owner, taken := fileOwner[f]
+			if !taken {
+				fileOwner[f] = fn.Name
+				continue
+			}
+			if owner != fn.Name {
+				pl.pinned[fn.Name] = true
+			}
+		}
+	}
+}
+
+type planner struct {
+	w    *dag.Workflow
+	opt  Options
+	pred *predict.Predictor
+	// pinned names functions that must occupy a dedicated single-function
+	// wrap (runtime or shared-file conflicts, Section 3.4).
+	pinned map[string]bool
+
+	memoMu   sync.Mutex
+	execMemo map[string]time.Duration
+}
+
+// exec returns the memoized Algorithm 1 prediction for one process group.
+func (pl *planner) exec(group []string) time.Duration {
+	key := strings.Join(group, "\x00")
+	pl.memoMu.Lock()
+	if d, ok := pl.execMemo[key]; ok {
+		pl.memoMu.Unlock()
+		return d
+	}
+	pl.memoMu.Unlock()
+	d, err := pl.pred.ExecThreads(group, pl.opt.Iso)
+	if err != nil {
+		// Profiles were checked up front; this is a programming error.
+		panic("pgp: " + err.Error())
+	}
+	pl.memoMu.Lock()
+	pl.execMemo[key] = d
+	pl.memoMu.Unlock()
+	return d
+}
+
+// stageLatency prices a candidate stage partition analytically from the
+// memoized group predictions (Eq. 2-4 arithmetic; no extra simulation).
+// Under the hybrid style each wrap's first group runs as threads cloned
+// from the wrap's existing main process — no fork block or startup — per
+// Section 3.1's "cloning a thread from an existing process or forking a
+// new process".
+func (pl *planner) stageLatency(groups [][]string, wrapSizes []int, pinned []string) time.Duration {
+	c := pl.opt.Const
+	mainFirst := pl.opt.Style == Hybrid
+	idx := 0
+	var local time.Duration
+	var remoteMax time.Duration
+	hasRemote := false
+	remoteRank := 0
+	for wi, size := range wrapSizes {
+		var wrapLat time.Duration
+		fork := 0
+		for r := 0; r < size; r++ {
+			var t time.Duration
+			if mainFirst && r == 0 {
+				t = pl.exec(groups[idx])
+			} else {
+				t = time.Duration(fork)*c.ProcBlockStep + c.ProcStartup + pl.exec(groups[idx])
+				fork++
+			}
+			idx++
+			if t > wrapLat {
+				wrapLat = t
+			}
+		}
+		if size > 1 {
+			wrapLat += time.Duration(size-1) * c.IPCCost
+		}
+		if wi == 0 {
+			local = wrapLat
+			continue
+		}
+		hasRemote = true
+		remoteRank++
+		if cand := wrapLat + time.Duration(remoteRank)*c.InvokeCost; cand > remoteMax {
+			remoteMax = cand
+		}
+	}
+	// Pinned functions run in dedicated single-function wraps (Section
+	// 3.4's conflict rule): each is one more remote invocation, executing
+	// as its sandbox's resident main (no fork).
+	for _, name := range pinned {
+		hasRemote = true
+		remoteRank++
+		if cand := pl.exec([]string{name}) + time.Duration(remoteRank)*c.InvokeCost; cand > remoteMax {
+			remoteMax = cand
+		}
+	}
+	total := local
+	if hasRemote {
+		if r := remoteMax + c.RPCCost; r > total {
+			total = r
+		}
+	}
+	if pl.opt.Safety > 1 {
+		total = time.Duration(float64(total) * pl.opt.Safety)
+	}
+	return total
+}
+
+// initSizes is Algorithm 2 line 7: wrap1 takes min(maxPer, n) processes,
+// every further wrap takes one.
+func (pl *planner) initSizes(n int) []int {
+	maxPer := pl.opt.Const.MaxProcsPerWrap(n)
+	sizes := []int{maxPer}
+	for rest := n - maxPer; rest > 0; rest-- {
+		sizes = append(sizes, 1)
+	}
+	return sizes
+}
+
+// balancedSizes splits n processes over k wraps as evenly as possible.
+func balancedSizes(n, k int) []int {
+	sizes := make([]int, k)
+	base, extra := n/k, n%k
+	for i := range sizes {
+		sizes[i] = base
+		if i < extra {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+// roundRobin is Algorithm 2 line 9: {{f1, f(n+1), ...}, {f2, ...}, ...}.
+func roundRobin(names []string, n int) [][]string {
+	groups := make([][]string, n)
+	for i, f := range names {
+		groups[i%n] = append(groups[i%n], f)
+	}
+	return groups
+}
+
+// stageSolution is one stage's partition under a candidate N.
+type stageSolution struct {
+	seq      bool
+	seqName  string
+	groups   [][]string
+	sizes    []int
+	pinned   []string // functions in dedicated conflict wraps
+	latency  time.Duration
+	homogene bool
+}
+
+// solveStage partitions one stage for a given process budget n.
+func (pl *planner) solveStage(stage int, n int) stageSolution {
+	fns := pl.w.Stages[stage].Functions
+	var names, pinned []string
+	for _, f := range fns {
+		if pl.pinned[f.Name] {
+			pinned = append(pinned, f.Name)
+		} else {
+			names = append(names, f.Name)
+		}
+	}
+	if len(fns) == 1 && len(pinned) == 0 {
+		lat, err := pl.pred.SequentialStage(fns[0].Name, pl.opt.Iso)
+		if err != nil {
+			panic("pgp: " + err.Error())
+		}
+		return stageSolution{seq: true, seqName: fns[0].Name, latency: lat}
+	}
+	if len(names) == 0 {
+		// Every function of this stage is conflict-pinned.
+		sol := stageSolution{pinned: pinned, homogene: true}
+		sol.latency = pl.stageLatency(nil, nil, pinned)
+		return sol
+	}
+	k := n
+	if pl.opt.Style == ProcOnly || k > len(names) {
+		k = len(names)
+	}
+	groups := roundRobin(names, k)
+	sizes := pl.initSizes(k)
+
+	sol := stageSolution{groups: groups, sizes: sizes, pinned: pinned, homogene: pl.homogeneous(names)}
+	if !sol.homogene && pl.opt.Style != ProcOnly && !pl.opt.DisableKL {
+		pl.kernighanLinAll(groups, sizes, pinned)
+	}
+	sol.latency = pl.stageLatency(groups, sizes, pinned)
+	return sol
+}
+
+// homogeneous reports whether all functions of a stage have near-identical
+// profiles (solo latency and CPU share within 25%). A balanced round-robin
+// split of such functions is already within scheduling noise of optimal,
+// so Kernighan-Lin cannot materially improve it and PGP skips the pass —
+// one of the Discussion section's scalability levers. Genuinely mixed
+// stages (SLApp's CPU- vs IO-intensive classes differ by >3x in CPU share)
+// still get refined.
+func (pl *planner) homogeneous(names []string) bool {
+	if len(names) < 2 {
+		return true
+	}
+	p0 := pl.pred.Profiles[names[0]]
+	for _, n := range names[1:] {
+		p := pl.pred.Profiles[n]
+		if !within(float64(p.Solo), float64(p0.Solo), 0.25) {
+			return false
+		}
+		if !within(float64(p.CPUTime()), float64(p0.CPUTime()), 0.25) {
+			return false
+		}
+	}
+	return true
+}
+
+func within(a, b, tol float64) bool {
+	if b == 0 {
+		return a == 0
+	}
+	r := a/b - 1
+	return r >= -tol && r <= tol
+}
+
+// kernighanLinAll refines pairs of process groups (Algorithm 2 lines
+// 10-11): every pair for modest group counts, a ring of near neighbours
+// beyond that (the Discussion section's scalability concession).
+func (pl *planner) kernighanLinAll(groups [][]string, sizes []int, pinned []string) {
+	n := len(groups)
+	span := n
+	if n*(n-1)/2 > 96 {
+		span = 2
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n && j <= i+span; j++ {
+			pl.kernighanLin(groups, sizes, pinned, i, j)
+		}
+	}
+}
+
+type swapRec struct {
+	ai, bi int // positions swapped (indices into groups[a], groups[b])
+	gain   time.Duration
+}
+
+// kernighanLin performs the paper's swap pass between groups a and b
+// (Algorithm 2 lines 18-25): greedily pick the swap that minimizes the
+// predicted stage latency, lock the swapped elements, repeat until one
+// side is exhausted; then keep only the prefix of swaps with the best
+// cumulative gain.
+func (pl *planner) kernighanLin(groups [][]string, sizes []int, pinned []string, a, b int) {
+	ga, gb := groups[a], groups[b]
+	lockedA := make([]bool, len(ga))
+	lockedB := make([]bool, len(gb))
+	cur := pl.stageLatency(groups, sizes, pinned)
+	var recs []swapRec
+
+	for {
+		bestAi, bestBi := -1, -1
+		bestAfter := time.Duration(1<<62 - 1)
+		scanned := 0
+	scan:
+		for ai := range ga {
+			if lockedA[ai] {
+				continue
+			}
+			for bi := range gb {
+				if lockedB[bi] {
+					continue
+				}
+				if scanned >= pl.opt.MaxSwapCandidates {
+					break scan
+				}
+				scanned++
+				ga[ai], gb[bi] = gb[bi], ga[ai]
+				after := pl.stageLatency(groups, sizes, pinned)
+				ga[ai], gb[bi] = gb[bi], ga[ai]
+				if after < bestAfter {
+					bestAfter = after
+					bestAi, bestBi = ai, bi
+				}
+			}
+		}
+		if bestAi < 0 {
+			break
+		}
+		ga[bestAi], gb[bestBi] = gb[bestBi], ga[bestAi]
+		recs = append(recs, swapRec{ai: bestAi, bi: bestBi, gain: cur - bestAfter})
+		cur = bestAfter
+		lockedA[bestAi] = true
+		lockedB[bestBi] = true
+	}
+
+	// Keep the prefix with the best cumulative gain (line 24); undo the
+	// rest in reverse order.
+	bestK, bestSum, sum := 0, time.Duration(0), time.Duration(0)
+	for i, r := range recs {
+		sum += r.gain
+		if sum > bestSum {
+			bestSum = sum
+			bestK = i + 1
+		}
+	}
+	for i := len(recs) - 1; i >= bestK; i-- {
+		r := recs[i]
+		ga[r.ai], gb[r.bi] = gb[r.bi], ga[r.ai]
+	}
+}
+
+// candidate is one explored process count.
+type candidate struct {
+	n      int
+	stages []stageSolution
+	total  time.Duration
+}
+
+// planHybrid runs the incremental n search (Algorithm 2 lines 3-17): it
+// explores process counts in ascending windows, each window's candidates
+// in parallel (the Scheduler's multi-process exploration), and stops at
+// the smallest n that meets the SLO. Without an SLO it keeps going until
+// latency stops improving for two windows, then returns the fastest plan.
+func (pl *planner) planHybrid() (*Result, error) {
+	m := pl.w.MaxParallelism()
+	if pl.opt.Style == ProcOnly {
+		// Parallel functions are never grouped, so every n yields the
+		// same partition; one candidate suffices.
+		m = 1
+	}
+	window := pl.opt.Parallelism
+
+	evalOne := func(n int) candidate {
+		c := candidate{n: n, stages: make([]stageSolution, len(pl.w.Stages))}
+		for i := range pl.w.Stages {
+			c.stages[i] = pl.solveStage(i, n)
+			c.total += c.stages[i].latency
+		}
+		return c
+	}
+
+	res := &Result{}
+	var final candidate
+	chosen := false
+	bestLat := time.Duration(1<<62 - 1)
+	var bestCand candidate
+	stall := 0
+	for base := 1; base <= m && !chosen; base += window {
+		hi := base + window - 1
+		if hi > m {
+			hi = m
+		}
+		cands := make([]candidate, hi-base+1)
+		var wg sync.WaitGroup
+		for n := base; n <= hi; n++ {
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				cands[n-base] = evalOne(n)
+			}(n)
+		}
+		wg.Wait()
+		improved := false
+		for _, c := range cands {
+			meets := pl.opt.SLO > 0 && c.total <= pl.opt.SLO
+			res.Trace = append(res.Trace, Step{N: c.n, Predicted: c.total, Meets: meets})
+			if c.total < bestLat {
+				bestLat = c.total
+				bestCand = c
+				improved = true
+			}
+			if meets && !chosen {
+				final = c
+				chosen = true
+				break
+			}
+		}
+		if pl.opt.SLO <= 0 {
+			if improved {
+				stall = 0
+			} else if stall++; stall >= 2 {
+				break
+			}
+		}
+	}
+	if !chosen {
+		final = bestCand
+	}
+	res.MeetsSLO = pl.opt.SLO > 0 && final.total <= pl.opt.SLO
+
+	// Repack: as few wraps as possible while holding the SLO (lines
+	// 13-16). Wrap capacity stays bounded by maxPer (Figure 11 packs 17
+	// processes as 5+4+4+4).
+	pl.repack(&final)
+	res.Predicted = final.total
+	plan, err := pl.materialize(final)
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = plan
+	for _, s := range final.stages {
+		if s.seq {
+			res.ProcsPerStage = append(res.ProcsPerStage, 1)
+			res.WrapsPerStage = append(res.WrapsPerStage, 1)
+		} else {
+			res.ProcsPerStage = append(res.ProcsPerStage, len(s.groups))
+			res.WrapsPerStage = append(res.WrapsPerStage, len(s.sizes))
+		}
+	}
+	return res, nil
+}
+
+// repack rebalances each parallel stage into the fewest wraps that keep
+// the whole workflow inside the SLO.
+func (pl *planner) repack(c *candidate) {
+	budget := pl.opt.SLO
+	for si := range c.stages {
+		s := &c.stages[si]
+		if s.seq || len(s.groups) == 0 {
+			continue
+		}
+		n := len(s.groups)
+		maxPer := pl.opt.Const.MaxProcsPerWrap(n)
+		minWraps := (n + maxPer - 1) / maxPer
+		others := c.total - s.latency
+
+		// Price every feasible wrap count; prefer the fewest wraps that
+		// hold the SLO, falling back to the latency-minimal packing when
+		// none does (or when no SLO is set).
+		bestK, bestLat := 0, time.Duration(1<<62-1)
+		chosen := false
+		var chosenSizes []int
+		var chosenLat time.Duration
+		for k := minWraps; k <= n; k++ {
+			sizes := balancedSizes(n, k)
+			lat := pl.stageLatency(s.groups, sizes, s.pinned)
+			if lat < bestLat {
+				bestLat, bestK = lat, k
+			}
+			if budget > 0 && others+lat <= budget {
+				chosenSizes, chosenLat, chosen = sizes, lat, true
+				break
+			}
+		}
+		if !chosen {
+			chosenSizes = balancedSizes(n, bestK)
+			chosenLat = bestLat
+		}
+		c.total = others + chosenLat
+		s.sizes = chosenSizes
+		s.latency = chosenLat
+	}
+}
+
+// materialize converts stage solutions into a wrap.Plan: sandbox 0 hosts
+// the orchestrator main process (sequential functions as its threads) plus
+// the first wrap of every parallel stage; wrap j of a parallel stage maps
+// to sandbox j.
+func (pl *planner) materialize(c candidate) (*wrap.Plan, error) {
+	plan := &wrap.Plan{Workflow: pl.w.Name, Loc: make(map[string]wrap.Loc)}
+	maxSandboxes := 1
+	cpus := map[int]int{0: 1}
+	for _, s := range c.stages {
+		if s.seq {
+			plan.Loc[s.seqName] = wrap.Loc{Sandbox: 0, Proc: 0}
+			continue
+		}
+		if len(s.sizes) > maxSandboxes {
+			maxSandboxes = len(s.sizes)
+		}
+		gi := 0
+		mainFirst := pl.opt.Style == Hybrid
+		for wi, size := range s.sizes {
+			for r := 0; r < size; r++ {
+				pr := r + 1
+				if mainFirst {
+					// The first group runs as threads of the wrap's
+					// resident main process.
+					pr = r
+				}
+				for _, name := range s.groups[gi] {
+					plan.Loc[name] = wrap.Loc{Sandbox: wi, Proc: pr}
+				}
+				gi++
+			}
+			if size > cpus[wi] {
+				cpus[wi] = size
+			}
+		}
+	}
+	for i := 0; i < maxSandboxes; i++ {
+		cfg := wrap.SandboxCfg{CPUs: max(cpus[i], 1), Iso: pl.opt.Iso}
+		plan.Sandboxes = append(plan.Sandboxes, cfg)
+	}
+	// Conflict-pinned functions each get a dedicated single-function wrap
+	// appended after the main sandboxes ("a wrap that only contains one
+	// function", Section 3.4). They run as their sandbox's resident main,
+	// so no thread isolation is needed there.
+	next := maxSandboxes
+	for _, fn := range pl.w.Functions() {
+		if !pl.pinned[fn.Name] {
+			continue
+		}
+		plan.Loc[fn.Name] = wrap.Loc{Sandbox: next, Proc: 0}
+		plan.Sandboxes = append(plan.Sandboxes, wrap.SandboxCfg{CPUs: 1})
+		next++
+	}
+	if err := plan.Validate(pl.w); err != nil {
+		return nil, fmt.Errorf("pgp: materialized plan invalid: %w", err)
+	}
+	return plan, nil
+}
+
+// planPool builds the Chiron-P deployment: one pool wrap holding every
+// function, workers = max parallelism, cpuset = the smallest count that
+// meets the SLO (Section 4: "Chiron enables CPU sharing between processes
+// ... to derive the optimal resource efficiency").
+func (pl *planner) planPool() (*Result, error) {
+	workers := pl.w.MaxParallelism()
+	res := &Result{}
+	var best *wrap.Plan
+	var bestLat time.Duration
+	for cpus := 1; cpus <= workers; cpus++ {
+		plan := pl.poolPlan(cpus, workers)
+		lat, err := pl.pred.Workflow(pl.w, plan)
+		if err != nil {
+			return nil, err
+		}
+		meets := pl.opt.SLO > 0 && lat <= pl.opt.SLO
+		res.Trace = append(res.Trace, Step{N: cpus, Predicted: lat, Meets: meets})
+		if best == nil || lat < bestLat {
+			best, bestLat = plan, lat
+		}
+		if meets {
+			res.Plan, res.Predicted, res.MeetsSLO = plan, lat, true
+			break
+		}
+	}
+	if res.Plan == nil {
+		res.Plan, res.Predicted = best, bestLat
+		res.MeetsSLO = false
+	}
+	for range pl.w.Stages {
+		res.ProcsPerStage = append(res.ProcsPerStage, workers)
+		res.WrapsPerStage = append(res.WrapsPerStage, 1)
+	}
+	return res, nil
+}
+
+func (pl *planner) poolPlan(cpus, workers int) *wrap.Plan {
+	plan := &wrap.Plan{
+		Workflow: pl.w.Name,
+		Loc:      make(map[string]wrap.Loc),
+		Sandboxes: []wrap.SandboxCfg{{
+			CPUs: cpus, Pool: true, Workers: workers, LongestFirst: true,
+		}},
+	}
+	for i, fn := range pl.w.Functions() {
+		plan.Loc[fn.Name] = wrap.Loc{Sandbox: 0, Proc: i + 1}
+	}
+	return plan
+}

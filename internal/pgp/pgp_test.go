@@ -1,0 +1,481 @@
+package pgp
+
+import (
+	"testing"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+	"chiron/internal/model"
+	"chiron/internal/predict"
+	"chiron/internal/profiler"
+	"chiron/internal/wrap"
+)
+
+func cpuFn(name string, d time.Duration) *behavior.Spec {
+	return &behavior.Spec{
+		Name: name, Runtime: behavior.Python,
+		Segments: []behavior.Segment{{Kind: behavior.CPU, Dur: d}},
+		MemMB:    1.2,
+	}
+}
+
+func finraN(t *testing.T, par int, exec time.Duration) (*dag.Workflow, profiler.Set) {
+	t.Helper()
+	vs := make([]*behavior.Spec, par)
+	for i := range vs {
+		vs[i] = cpuFn(vname(i), exec)
+	}
+	w, err := dag.FromStages("finra", 0,
+		[]*behavior.Spec{cpuFn("fetch", 3*time.Millisecond)},
+		vs,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, set
+}
+
+func vname(i int) string { return "v" + string(rune('a'+i/26)) + string(rune('a'+i%26)) }
+
+func opts(slo time.Duration) Options {
+	return Options{Const: model.Default(), SLO: slo}
+}
+
+func TestTightSLONeedsMoreProcesses(t *testing.T) {
+	// 20 functions x 4ms CPU: one GIL process serializes to ~80ms+. A
+	// 40ms SLO forces PGP to split into multiple true-parallel processes.
+	w, set := finraN(t, 20, 4*time.Millisecond)
+	loose, err := Plan(w, set, opts(500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Plan(w, set, opts(60*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loose.MeetsSLO || !tight.MeetsSLO {
+		t.Fatalf("both plans should meet their SLOs: loose=%v tight=%v", loose.MeetsSLO, tight.MeetsSLO)
+	}
+	if loose.ProcsPerStage[1] >= tight.ProcsPerStage[1] {
+		t.Fatalf("tight SLO should need more processes: loose=%d tight=%d",
+			loose.ProcsPerStage[1], tight.ProcsPerStage[1])
+	}
+	if loose.Plan.TotalCPUs() >= tight.Plan.TotalCPUs() {
+		t.Fatalf("loose SLO should reserve fewer CPUs: %d vs %d",
+			loose.Plan.TotalCPUs(), tight.Plan.TotalCPUs())
+	}
+}
+
+func TestPredictionMatchesPlanEvaluation(t *testing.T) {
+	// PGP's internal arithmetic must agree with the Predictor's Eq. 1
+	// evaluation of the materialized plan.
+	w, set := finraN(t, 12, 2*time.Millisecond)
+	res, err := Plan(w, set, opts(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := predict.New(model.Default(), set)
+	pred.Safety = 1.1
+	got, err := pred.Workflow(w, res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := float64(got-res.Predicted) / float64(res.Predicted)
+	if diff < -0.05 || diff > 0.05 {
+		t.Fatalf("plan evaluation %v vs PGP prediction %v (%.1f%%)", got, res.Predicted, diff*100)
+	}
+}
+
+func TestIncrementalSearchStopsAtFirstFit(t *testing.T) {
+	w, set := finraN(t, 10, 5*time.Millisecond)
+	res, err := Plan(w, set, opts(45*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MeetsSLO {
+		t.Fatalf("SLO not met: predicted %v", res.Predicted)
+	}
+	chosen := res.ProcsPerStage[1]
+	for _, step := range res.Trace {
+		if step.N < chosen && step.Meets {
+			t.Fatalf("n=%d already met the SLO but PGP chose n=%d", step.N, chosen)
+		}
+	}
+}
+
+func TestNoSLOMinimizesLatency(t *testing.T) {
+	w, set := finraN(t, 8, 5*time.Millisecond)
+	res, err := Plan(w, set, opts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeetsSLO {
+		t.Fatal("MeetsSLO must be false without an SLO")
+	}
+	for _, step := range res.Trace {
+		if step.Predicted < res.Predicted {
+			t.Fatalf("n=%d predicted %v beats chosen %v", step.N, step.Predicted, res.Predicted)
+		}
+	}
+}
+
+func TestImpossibleSLOReturnsBestEffort(t *testing.T) {
+	w, set := finraN(t, 6, 10*time.Millisecond)
+	res, err := Plan(w, set, opts(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeetsSLO {
+		t.Fatal("1ms SLO cannot be met")
+	}
+	if res.Plan == nil || res.Predicted <= 0 {
+		t.Fatal("best-effort plan missing")
+	}
+}
+
+func TestRepackRespectsWrapCapacity(t *testing.T) {
+	// Figure 11: processes per wrap never exceed floor(T_RPC/T_Block).
+	c := model.Default()
+	w, set := finraN(t, 40, 6*time.Millisecond)
+	res, err := Plan(w, set, opts(80*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxPer := c.MaxProcsPerWrap(1 << 30)
+	perSandbox := map[int]map[int]bool{}
+	for name, loc := range res.Plan.Loc {
+		if name == "fetch" {
+			continue
+		}
+		m := perSandbox[loc.Sandbox]
+		if m == nil {
+			m = map[int]bool{}
+			perSandbox[loc.Sandbox] = m
+		}
+		m[loc.Proc] = true
+	}
+	for sb, procs := range perSandbox {
+		if len(procs) > maxPer {
+			t.Fatalf("sandbox %d holds %d processes, capacity %d", sb, len(procs), maxPer)
+		}
+	}
+}
+
+func TestSequentialFunctionRidesMainProcess(t *testing.T) {
+	w, set := finraN(t, 5, 2*time.Millisecond)
+	res, err := Plan(w, set, opts(200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Loc["fetch"] != (wrap.Loc{Sandbox: 0, Proc: 0}) {
+		t.Fatalf("sequential function placed at %+v, want sandbox0/proc0", res.Plan.Loc["fetch"])
+	}
+}
+
+func TestKernighanLinImprovesSkewedPartitions(t *testing.T) {
+	// Stage with 4 long (20ms) and 4 short (1ms) functions. Round-robin
+	// into 2 groups puts 2 long in each (balanced); force a bad start by
+	// checking KL at n=2 yields a balanced (low) latency: the groups must
+	// not end up with all long functions together.
+	long := 20 * time.Millisecond
+	short := time.Millisecond
+	fns := []*behavior.Spec{
+		cpuFn("l1", long), cpuFn("s1", short), cpuFn("l2", long), cpuFn("s2", short),
+		cpuFn("l3", long), cpuFn("s3", short), cpuFn("l4", long), cpuFn("s4", short),
+	}
+	w, err := dag.FromStages("skew", 0, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SLO requiring 2 processes: serialized = ~84ms; 2 procs ~42ms+.
+	res, err := Plan(w, set, Options{Const: model.Default(), SLO: 65 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MeetsSLO {
+		t.Fatalf("SLO missed: %v", res.Predicted)
+	}
+	// A KL-refined 2-way split must beat the worst-case (all-long
+	// together = 80ms+fork) clearly.
+	if res.ProcsPerStage[0] == 2 && res.Predicted > 62*time.Millisecond {
+		t.Fatalf("2-process partition predicted %v; KL failed to balance", res.Predicted)
+	}
+}
+
+func TestPoolStylePicksMinimalCPUs(t *testing.T) {
+	w, set := finraN(t, 8, 10*time.Millisecond)
+	res, err := Plan(w, set, Options{Const: model.Default(), SLO: 60 * time.Millisecond, Style: PoolStyle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MeetsSLO {
+		t.Fatalf("pool SLO missed: %v", res.Predicted)
+	}
+	cfg := res.Plan.Sandboxes[0]
+	if !cfg.Pool || !cfg.LongestFirst {
+		t.Fatalf("pool config = %+v", cfg)
+	}
+	if cfg.CPUs >= 8 {
+		t.Fatalf("pool reserved %d CPUs; CPU sharing should need fewer than one per worker", cfg.CPUs)
+	}
+	// And a tighter SLO needs more CPUs.
+	tight, err := Plan(w, set, Options{Const: model.Default(), SLO: 35 * time.Millisecond, Style: PoolStyle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.MeetsSLO && tight.Plan.Sandboxes[0].CPUs <= cfg.CPUs {
+		t.Fatalf("tighter SLO used %d CPUs <= loose %d", tight.Plan.Sandboxes[0].CPUs, cfg.CPUs)
+	}
+}
+
+func TestProcOnlyNeverGroupsParallelFunctions(t *testing.T) {
+	w, set := finraN(t, 12, 2*time.Millisecond)
+	res, err := Plan(w, set, Options{Const: model.Default(), SLO: 300 * time.Millisecond, Style: ProcOnly, Iso: wrap.IsoMPK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	procCount := map[[2]int]int{}
+	for name, loc := range res.Plan.Loc {
+		if name == "fetch" {
+			continue
+		}
+		procCount[[2]int{loc.Sandbox, loc.Proc}]++
+	}
+	for k, n := range procCount {
+		if n != 1 {
+			t.Fatalf("sandbox %d proc %d hosts %d parallel functions; ProcOnly forbids grouping", k[0], k[1], n)
+		}
+	}
+	for _, cfg := range res.Plan.Sandboxes {
+		if cfg.Iso != wrap.IsoMPK {
+			t.Fatalf("isolation lost: %+v", cfg)
+		}
+	}
+}
+
+func TestUnprofiledFunctionRejected(t *testing.T) {
+	w, set := finraN(t, 4, time.Millisecond)
+	delete(set, "fetch")
+	if _, err := Plan(w, set, opts(time.Second)); err == nil {
+		t.Fatal("missing profile accepted")
+	}
+}
+
+func TestPlanValidatesAgainstWorkflow(t *testing.T) {
+	w, set := finraN(t, 6, 2*time.Millisecond)
+	res, err := Plan(w, set, opts(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(w); err != nil {
+		t.Fatalf("materialized plan invalid: %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w, set := finraN(t, 16, 3*time.Millisecond)
+	a, err := Plan(w, set, opts(90*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(w, set, opts(90*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Predicted != b.Predicted || a.Plan.NumWraps() != b.Plan.NumWraps() {
+		t.Fatal("PGP is nondeterministic across runs")
+	}
+	for name, loc := range a.Plan.Loc {
+		if b.Plan.Loc[name] != loc {
+			t.Fatalf("placement of %s differs across runs", name)
+		}
+	}
+}
+
+func TestBalancedSizes(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want []int
+	}{
+		{17, 4, []int{5, 4, 4, 4}},
+		{10, 2, []int{5, 5}},
+		{3, 3, []int{1, 1, 1}},
+		{7, 1, []int{7}},
+	}
+	for _, tc := range cases {
+		got := balancedSizes(tc.n, tc.k)
+		if len(got) != len(tc.want) {
+			t.Fatalf("balancedSizes(%d,%d) = %v", tc.n, tc.k, got)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("balancedSizes(%d,%d) = %v, want %v", tc.n, tc.k, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	groups := roundRobin([]string{"a", "b", "c", "d", "e"}, 2)
+	if len(groups) != 2 || len(groups[0]) != 3 || len(groups[1]) != 2 {
+		t.Fatalf("roundRobin = %v", groups)
+	}
+	if groups[0][1] != "c" || groups[1][0] != "b" {
+		t.Fatalf("roundRobin order = %v, want Algorithm 2 line 9's stride layout", groups)
+	}
+}
+
+// ---- Section 3.4 conflict constraints ----
+
+func mixedRuntimeWorkflow(t *testing.T) *dag.Workflow {
+	t.Helper()
+	vs := []*behavior.Spec{
+		cpuFn("py-a", 3*time.Millisecond),
+		cpuFn("py-b", 3*time.Millisecond),
+		cpuFn("py-c", 3*time.Millisecond),
+	}
+	legacy := cpuFn("legacy-java", 3*time.Millisecond)
+	legacy.Runtime = behavior.Java
+	vs = append(vs, legacy)
+	w, err := dag.FromStages("mixed", 0,
+		[]*behavior.Spec{cpuFn("fetch", 2*time.Millisecond)}, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRuntimeConflictGetsDedicatedWrap(t *testing.T) {
+	w := mixedRuntimeWorkflow(t)
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Plan(w, set, opts(500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(w); err != nil {
+		t.Fatalf("conflict-aware plan invalid: %v", err)
+	}
+	legacy := res.Plan.Loc["legacy-java"]
+	if legacy.Proc != 0 {
+		t.Fatalf("pinned function should be its wrap's resident main, got proc %d", legacy.Proc)
+	}
+	for name, loc := range res.Plan.Loc {
+		if name != "legacy-java" && loc.Sandbox == legacy.Sandbox {
+			t.Fatalf("%s shares the conflict wrap with legacy-java", name)
+		}
+	}
+	// The remote hop must be priced in.
+	c := model.Default()
+	if res.Predicted < c.RPCCost {
+		t.Fatalf("predicted %v cannot undercut the conflict wrap's RPC %v", res.Predicted, c.RPCCost)
+	}
+}
+
+func TestFileConflictSplitsSandboxes(t *testing.T) {
+	a := cpuFn("writer-a", 3*time.Millisecond)
+	b := cpuFn("writer-b", 3*time.Millisecond)
+	a.Files = []string{"/data/ledger.db"}
+	b.Files = []string{"/data/ledger.db"}
+	w, err := dag.FromStages("filewf", 0, []*behavior.Spec{a, b, cpuFn("other", 3*time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Plan(w, set, opts(500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(w); err != nil {
+		t.Fatalf("plan invalid: %v", err)
+	}
+	la, lb := res.Plan.Loc["writer-a"], res.Plan.Loc["writer-b"]
+	if la.Sandbox == lb.Sandbox {
+		t.Fatalf("file-conflicting writers share sandbox %d", la.Sandbox)
+	}
+}
+
+func TestPoolStyleRejectsConflicts(t *testing.T) {
+	w := mixedRuntimeWorkflow(t)
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Plan(w, set, Options{Const: model.Default(), SLO: time.Second, Style: PoolStyle}); err == nil {
+		t.Fatal("pool style accepted a conflicted workflow")
+	}
+}
+
+func TestFullyPinnedStage(t *testing.T) {
+	// A stage whose only function is on a conflicting runtime.
+	head := cpuFn("head", 2*time.Millisecond)
+	alien := cpuFn("alien", 2*time.Millisecond)
+	alien.Runtime = behavior.Java
+	w, err := dag.FromStages("pinwf", 0,
+		[]*behavior.Spec{head},
+		[]*behavior.Spec{alien},
+		[]*behavior.Spec{cpuFn("tail", 2*time.Millisecond)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Plan(w, set, opts(500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(w); err != nil {
+		t.Fatalf("plan invalid: %v", err)
+	}
+	if res.Plan.Loc["alien"].Sandbox == 0 {
+		t.Fatal("alien-runtime function placed in the main sandbox")
+	}
+}
+
+func TestNodeWorkflowPrefersProcesses(t *testing.T) {
+	// With >50ms per worker-thread clone, grouping Node.js functions as
+	// threads is a losing move; PGP should reach for more processes than
+	// it does for the identical Python workflow under the same SLO.
+	mk := func(rt behavior.Runtime) int {
+		vs := make([]*behavior.Spec, 6)
+		for i := range vs {
+			vs[i] = cpuFn(vname(i), 4*time.Millisecond)
+			vs[i].Runtime = rt
+		}
+		w, err := dag.FromStages("rt-finra", 0, vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Plan(w, set, opts(60*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ProcsPerStage[0]
+	}
+	py := mk(behavior.Python)
+	node := mk(behavior.NodeJS)
+	if node <= py {
+		t.Fatalf("Node plan uses %d processes, Python %d; worker-thread cost should push PGP toward forks", node, py)
+	}
+}

@@ -1,0 +1,305 @@
+// Package platform assembles the comparison systems of the evaluation
+// (Section 6): for each system, how it deploys a workflow (the wrap.Plan)
+// and what environment its requests execute in (the engine.Env).
+//
+// One-to-one systems (Table: ASF, OpenFaaS) give every function its own
+// sandbox, pay platform scheduling per function and move intermediate data
+// through a remote object store. Many-to-one systems (SAND, Faastlane and
+// its -T/-+/-M/-P variants) share one sandbox per workflow. The m-to-n
+// systems are Chiron and its -M/-P variants, planned by PGP.
+package platform
+
+import (
+	"fmt"
+	"time"
+
+	"chiron/internal/dag"
+	"chiron/internal/engine"
+	"chiron/internal/model"
+	"chiron/internal/netsim"
+	"chiron/internal/pgp"
+	"chiron/internal/profiler"
+	"chiron/internal/wrap"
+)
+
+// System is one deployable platform.
+type System struct {
+	// Name is the system's evaluation label ("OpenFaaS", "Chiron-M", ...).
+	Name string
+	// Model classifies the deployment model ("one-to-one", "many-to-one",
+	// "m-to-n") for reporting.
+	Model string
+	// BillsPerTransition marks commercial orchestrators that charge every
+	// state transition (Figure 19: ASF).
+	BillsPerTransition bool
+
+	plan func(w *dag.Workflow, set profiler.Set, slo time.Duration) (*wrap.Plan, error)
+	env  engine.Env
+}
+
+// Plan deploys workflow w (profiles and SLO are used only by PGP-based
+// systems).
+func (s *System) Plan(w *dag.Workflow, set profiler.Set, slo time.Duration) (*wrap.Plan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := s.plan(w, set, slo)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", s.Name, err)
+	}
+	if err := p.Validate(w); err != nil {
+		return nil, fmt.Errorf("%s: %w", s.Name, err)
+	}
+	return p, nil
+}
+
+// Env returns the system's execution environment.
+func (s *System) Env() engine.Env { return s.env }
+
+// ---- one-to-one ----
+
+func oneToOnePlan(w *dag.Workflow, _ profiler.Set, _ time.Duration) (*wrap.Plan, error) {
+	p := &wrap.Plan{Workflow: w.Name, Loc: make(map[string]wrap.Loc)}
+	for i, fn := range w.Functions() {
+		p.Loc[fn.Name] = wrap.Loc{Sandbox: i, Proc: 0}
+		p.Sandboxes = append(p.Sandboxes, wrap.SandboxCfg{CPUs: 1})
+	}
+	return p, nil
+}
+
+// ASF is AWS Step Functions: one-to-one, windowed 150 ms state scheduling,
+// S3 for intermediate data.
+func ASF(c model.Constants) *System {
+	return &System{
+		Name: "ASF", Model: "one-to-one", BillsPerTransition: true,
+		plan: oneToOnePlan,
+		env: engine.Env{
+			Const:    c,
+			Dispatch: engine.DispatchASF,
+			Boundary: engine.BoundaryStore,
+			Store:    netsim.AWSS3(c),
+			Fidelity: true,
+		},
+	}
+}
+
+// OpenFaaS is the local one-to-one baseline: serialized gateway dispatch,
+// MinIO for intermediate data.
+func OpenFaaS(c model.Constants) *System {
+	return &System{
+		Name: "OpenFaaS", Model: "one-to-one",
+		plan: oneToOnePlan,
+		env: engine.Env{
+			Const:    c,
+			Dispatch: engine.DispatchGateway,
+			Boundary: engine.BoundaryStore,
+			Store:    netsim.LocalMinIO(c),
+			Fidelity: true,
+		},
+	}
+}
+
+// ---- many-to-one ----
+
+func sharedEnv(c model.Constants) engine.Env {
+	return engine.Env{
+		Const:    c,
+		Dispatch: engine.DispatchNone,
+		Boundary: engine.BoundaryShared,
+		Fidelity: true,
+	}
+}
+
+// sandPlan: one sandbox, every function a separate forked process.
+func sandPlan(w *dag.Workflow, _ profiler.Set, _ time.Duration) (*wrap.Plan, error) {
+	p := &wrap.Plan{Workflow: w.Name, Loc: make(map[string]wrap.Loc)}
+	proc := 1
+	for _, fn := range w.Functions() {
+		p.Loc[fn.Name] = wrap.Loc{Sandbox: 0, Proc: proc}
+		proc++
+	}
+	p.Sandboxes = []wrap.SandboxCfg{{CPUs: w.MaxParallelism()}}
+	return p, nil
+}
+
+// SAND executes each function in a separate process inside one
+// application sandbox.
+func SAND(c model.Constants) *System {
+	return &System{Name: "SAND", Model: "many-to-one", plan: sandPlan, env: sharedEnv(c)}
+}
+
+// faastlanePlan: one sandbox; sequential functions as threads of the main
+// process, parallel functions as forked processes.
+func faastlanePlan(iso wrap.IsolationKind) func(*dag.Workflow, profiler.Set, time.Duration) (*wrap.Plan, error) {
+	return func(w *dag.Workflow, _ profiler.Set, _ time.Duration) (*wrap.Plan, error) {
+		p := &wrap.Plan{Workflow: w.Name, Loc: make(map[string]wrap.Loc)}
+		proc := 1
+		for _, st := range w.Stages {
+			if len(st.Functions) == 1 {
+				p.Loc[st.Functions[0].Name] = wrap.Loc{Sandbox: 0, Proc: 0}
+				continue
+			}
+			for _, fn := range st.Functions {
+				p.Loc[fn.Name] = wrap.Loc{Sandbox: 0, Proc: proc}
+				proc++
+			}
+		}
+		p.Sandboxes = []wrap.SandboxCfg{{CPUs: w.MaxParallelism(), Iso: iso}}
+		return p, nil
+	}
+}
+
+// Faastlane uses thread execution for sequential functions and processes
+// for concurrent ones, all in one sandbox.
+func Faastlane(c model.Constants) *System {
+	return &System{Name: "Faastlane", Model: "many-to-one", plan: faastlanePlan(wrap.IsoNone), env: sharedEnv(c)}
+}
+
+// FaastlaneM is Faastlane with Intel MPK protecting its thread execution.
+func FaastlaneM(c model.Constants) *System {
+	return &System{Name: "Faastlane-M", Model: "many-to-one", plan: faastlanePlan(wrap.IsoMPK), env: sharedEnv(c)}
+}
+
+// FaastlaneT runs every function — concurrent or sequential — as a thread
+// of one process (the thread-only configuration of Section 2.2).
+func FaastlaneT(c model.Constants) *System {
+	return &System{
+		Name: "Faastlane-T", Model: "many-to-one",
+		plan: func(w *dag.Workflow, _ profiler.Set, _ time.Duration) (*wrap.Plan, error) {
+			p := &wrap.Plan{Workflow: w.Name, Loc: make(map[string]wrap.Loc)}
+			for _, fn := range w.Functions() {
+				p.Loc[fn.Name] = wrap.Loc{Sandbox: 0, Proc: 0}
+			}
+			p.Sandboxes = []wrap.SandboxCfg{{CPUs: 1}}
+			return p, nil
+		},
+		env: sharedEnv(c),
+	}
+}
+
+// FaastlanePlus fixes five function processes per sandbox (the static
+// m-to-n configuration of Section 2.2).
+func FaastlanePlus(c model.Constants) *System {
+	const perSandbox = 5
+	return &System{
+		Name: "Faastlane+", Model: "m-to-n",
+		plan: func(w *dag.Workflow, _ profiler.Set, _ time.Duration) (*wrap.Plan, error) {
+			p := &wrap.Plan{Workflow: w.Name, Loc: make(map[string]wrap.Loc)}
+			cpus := map[int]int{0: 1}
+			for _, st := range w.Stages {
+				if len(st.Functions) == 1 {
+					p.Loc[st.Functions[0].Name] = wrap.Loc{Sandbox: 0, Proc: 0}
+					continue
+				}
+				for i, fn := range st.Functions {
+					sb, pr := i/perSandbox, i%perSandbox+1
+					p.Loc[fn.Name] = wrap.Loc{Sandbox: sb, Proc: pr}
+					if pr > cpus[sb] {
+						cpus[sb] = pr
+					}
+				}
+			}
+			maxSb := 0
+			for sb := range cpus {
+				if sb > maxSb {
+					maxSb = sb
+				}
+			}
+			for sb := 0; sb <= maxSb; sb++ {
+				n := cpus[sb]
+				if n == 0 {
+					n = 1
+				}
+				p.Sandboxes = append(p.Sandboxes, wrap.SandboxCfg{CPUs: n})
+			}
+			return p, nil
+		},
+		env: sharedEnv(c),
+	}
+}
+
+// FaastlaneP replaces per-request forks with a uniform warm process pool:
+// one worker and one CPU per parallel function.
+func FaastlaneP(c model.Constants) *System {
+	return &System{
+		Name: "Faastlane-P", Model: "many-to-one",
+		plan: func(w *dag.Workflow, _ profiler.Set, _ time.Duration) (*wrap.Plan, error) {
+			p := &wrap.Plan{Workflow: w.Name, Loc: make(map[string]wrap.Loc)}
+			for i, fn := range w.Functions() {
+				p.Loc[fn.Name] = wrap.Loc{Sandbox: 0, Proc: i + 1}
+			}
+			m := w.MaxParallelism()
+			p.Sandboxes = []wrap.SandboxCfg{{CPUs: m, Pool: true, Workers: m}}
+			return p, nil
+		},
+		env: sharedEnv(c),
+	}
+}
+
+// ---- m-to-n (Chiron) ----
+
+func chironPlan(style pgp.Style, iso wrap.IsolationKind, c model.Constants) func(*dag.Workflow, profiler.Set, time.Duration) (*wrap.Plan, error) {
+	return func(w *dag.Workflow, set profiler.Set, slo time.Duration) (*wrap.Plan, error) {
+		if len(set) == 0 {
+			return nil, fmt.Errorf("chiron requires profiles")
+		}
+		st := style
+		if st == pgp.Hybrid && !w.Functions()[0].Runtime.PseudoParallel() {
+			// GIL-free runtimes get true parallelism from a warm pool
+			// (Section 4 "True Parallelism"): no fork cost, CPU sharing.
+			st = pgp.PoolStyle
+		}
+		res, err := pgp.Plan(w, set, pgp.Options{
+			Const: c, SLO: slo, Iso: iso, Style: st,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Plan, nil
+	}
+}
+
+// Chiron is the paper's system: PGP-planned m-to-n deployment with
+// combined processes and native threads.
+func Chiron(c model.Constants) *System {
+	return &System{Name: "Chiron", Model: "m-to-n", plan: chironPlan(pgp.Hybrid, wrap.IsoNone, c), env: sharedEnv(c)}
+}
+
+// ChironM is Chiron with Intel MPK isolating thread execution: MPK threads
+// for sequential functions, processes for parallel ones (Section 4).
+func ChironM(c model.Constants) *System {
+	return &System{Name: "Chiron-M", Model: "m-to-n", plan: chironPlan(pgp.ProcOnly, wrap.IsoMPK, c), env: sharedEnv(c)}
+}
+
+// ChironP is Chiron over a warm process pool with PGP-minimized CPU
+// sharing.
+func ChironP(c model.Constants) *System {
+	return &System{Name: "Chiron-P", Model: "m-to-n", plan: chironPlan(pgp.PoolStyle, wrap.IsoNone, c), env: sharedEnv(c)}
+}
+
+// All returns the nine systems of Figure 13, in the paper's order.
+func All(c model.Constants) []*System {
+	return []*System{
+		ASF(c), OpenFaaS(c), SAND(c), Faastlane(c), Chiron(c),
+		FaastlaneM(c), ChironM(c), FaastlaneP(c), ChironP(c),
+	}
+}
+
+// ResourceComparison returns the eight systems of Figure 16 (ASF is
+// excluded: its resources are not observable on the local cluster).
+func ResourceComparison(c model.Constants) []*System {
+	return []*System{
+		OpenFaaS(c), SAND(c), Faastlane(c), Chiron(c),
+		FaastlaneM(c), ChironM(c), FaastlaneP(c), ChironP(c),
+	}
+}
+
+// Lookup returns the named system or nil.
+func Lookup(c model.Constants, name string) *System {
+	for _, s := range append(All(c), FaastlaneT(c), FaastlanePlus(c)) {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}

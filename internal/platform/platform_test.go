@@ -1,0 +1,316 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"chiron/internal/dag"
+	"chiron/internal/engine"
+	"chiron/internal/model"
+	"chiron/internal/profiler"
+	"chiron/internal/workloads"
+	"chiron/internal/wrap"
+)
+
+// fixture profiles a workload once and derives the paper's SLO convention
+// (Faastlane's latency + 10 ms).
+type fixture struct {
+	set profiler.Set
+	slo time.Duration
+}
+
+func setup(t *testing.T, name string) (*fixture, *System) {
+	t.Helper()
+	c := model.Default()
+	var w = mustWorkload(t, name)
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := Faastlane(c)
+	plan, err := fl.Plan(w, set, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(w, plan, fl.Env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{set: set, slo: res.E2E + 10*time.Millisecond}, fl
+}
+
+func mustWorkload(t *testing.T, name string) *dag.Workflow {
+	t.Helper()
+	for _, e := range workloads.Suite() {
+		if e.Name == name {
+			return e.Workflow
+		}
+	}
+	t.Fatalf("unknown workload %s", name)
+	return nil
+}
+
+func TestAllSystemsPlanAndRunEveryWorkload(t *testing.T) {
+	c := model.Default()
+	for _, entry := range workloads.Suite() {
+		set, err := profiler.ProfileWorkflow(entry.Workflow, profiler.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl := Faastlane(c)
+		fplan, err := fl.Plan(entry.Workflow, set, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fres, err := engine.Run(entry.Workflow, fplan, fl.Env())
+		if err != nil {
+			t.Fatal(err)
+		}
+		slo := fres.E2E + 10*time.Millisecond
+		for _, sys := range append(All(c), FaastlaneT(c), FaastlanePlus(c)) {
+			p, err := sys.Plan(entry.Workflow, set, slo)
+			if err != nil {
+				t.Fatalf("%s/%s plan: %v", entry.Name, sys.Name, err)
+			}
+			r, err := engine.Run(entry.Workflow, p, sys.Env())
+			if err != nil {
+				t.Fatalf("%s/%s run: %v", entry.Name, sys.Name, err)
+			}
+			if r.E2E <= 0 {
+				t.Fatalf("%s/%s: non-positive latency", entry.Name, sys.Name)
+			}
+			if len(r.Functions) != entry.Workflow.NumFunctions() {
+				t.Fatalf("%s/%s: %d function timings, want %d",
+					entry.Name, sys.Name, len(r.Functions), entry.Workflow.NumFunctions())
+			}
+		}
+	}
+}
+
+func TestChironBeatsFaastlaneOnEveryWorkload(t *testing.T) {
+	// The headline claim: Chiron reduces latency vs Faastlane (25.1% on
+	// average in the paper).
+	c := model.Default()
+	var totalGain float64
+	n := 0
+	for _, entry := range workloads.Suite() {
+		set, err := profiler.ProfileWorkflow(entry.Workflow, profiler.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl := Faastlane(c)
+		fplan, _ := fl.Plan(entry.Workflow, set, 0)
+		fres, err := engine.Run(entry.Workflow, fplan, fl.Env())
+		if err != nil {
+			t.Fatal(err)
+		}
+		slo := fres.E2E + 10*time.Millisecond
+		ch := Chiron(c)
+		cplan, err := ch.Plan(entry.Workflow, set, slo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cres, err := engine.Run(entry.Workflow, cplan, ch.Env())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cres.E2E >= fres.E2E {
+			t.Errorf("%s: Chiron %v >= Faastlane %v", entry.Name, cres.E2E, fres.E2E)
+		}
+		totalGain += 1 - float64(cres.E2E)/float64(fres.E2E)
+		n++
+	}
+	avg := totalGain / float64(n)
+	if avg < 0.10 || avg > 0.60 {
+		t.Fatalf("average latency reduction vs Faastlane = %.0f%%, want within the paper's ballpark (25%%)", avg*100)
+	}
+}
+
+func TestChironUsesFewerCPUsThanFaastlane(t *testing.T) {
+	c := model.Default()
+	for _, name := range []string{"FINRA-50", "SocialNetwork"} {
+		entry := mustWorkload(t, name)
+		set, err := profiler.ProfileWorkflow(entry, profiler.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl := Faastlane(c)
+		fplan, _ := fl.Plan(entry, set, 0)
+		fres, _ := engine.Run(entry, fplan, fl.Env())
+		slo := fres.E2E + 10*time.Millisecond
+		cplan, err := Chiron(c).Plan(entry, set, slo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cplan.TotalCPUs() >= fplan.TotalCPUs() {
+			t.Errorf("%s: Chiron CPUs %d >= Faastlane %d", name, cplan.TotalCPUs(), fplan.TotalCPUs())
+		}
+	}
+}
+
+func TestOneToOnePlansShape(t *testing.T) {
+	c := model.Default()
+	w := workloads.FINRA(5)
+	p, err := OpenFaaS(c).Plan(w, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumWraps() != 6 {
+		t.Fatalf("one-to-one wraps = %d, want 6", p.NumWraps())
+	}
+	for _, loc := range p.Loc {
+		if loc.Proc != 0 {
+			t.Fatal("one-to-one functions must be resident mains")
+		}
+	}
+}
+
+func TestFaastlaneSequentialAsThreads(t *testing.T) {
+	c := model.Default()
+	w := workloads.FINRA(5)
+	p, err := Faastlane(c).Plan(w, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Loc["fetch-portfolio"].Proc != 0 {
+		t.Fatal("sequential function should ride the main process")
+	}
+	procs := map[int]bool{}
+	for name, loc := range p.Loc {
+		if name == "fetch-portfolio" {
+			continue
+		}
+		if loc.Proc == 0 {
+			t.Fatalf("parallel function %s placed on main process", name)
+		}
+		if procs[loc.Proc] {
+			t.Fatalf("parallel functions share process %d", loc.Proc)
+		}
+		procs[loc.Proc] = true
+	}
+	if p.NumWraps() != 1 {
+		t.Fatal("Faastlane is many-to-one: a single sandbox")
+	}
+}
+
+func TestFaastlaneTAllThreads(t *testing.T) {
+	c := model.Default()
+	p, err := FaastlaneT(c).Plan(workloads.FINRA(5), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, loc := range p.Loc {
+		if loc != (wrap.Loc{Sandbox: 0, Proc: 0}) {
+			t.Fatalf("%s at %+v; Faastlane-T runs everything as threads", name, loc)
+		}
+	}
+	if p.Sandboxes[0].CPUs != 1 {
+		t.Fatal("thread-only execution needs one CPU")
+	}
+}
+
+func TestFaastlanePlusFiveProcessesPerSandbox(t *testing.T) {
+	c := model.Default()
+	p, err := FaastlanePlus(c).Plan(workloads.FINRA(12), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 parallel functions / 5 per sandbox = 3 sandboxes (last with 2).
+	if p.NumWraps() != 3 {
+		t.Fatalf("Faastlane+ wraps = %d, want 3", p.NumWraps())
+	}
+	count := map[int]int{}
+	for name, loc := range p.Loc {
+		if name == "fetch-portfolio" {
+			continue
+		}
+		count[loc.Sandbox]++
+	}
+	if count[0] != 5 || count[1] != 5 || count[2] != 2 {
+		t.Fatalf("function distribution = %v, want 5/5/2", count)
+	}
+}
+
+func TestFaastlanePUniformPool(t *testing.T) {
+	c := model.Default()
+	w := workloads.FINRA(8)
+	p, err := FaastlaneP(c).Plan(w, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := p.Sandboxes[0]
+	if !cfg.Pool || cfg.Workers != 8 || cfg.CPUs != 8 {
+		t.Fatalf("Faastlane-P config = %+v, want uniform 8-worker/8-CPU pool", cfg)
+	}
+	if cfg.LongestFirst {
+		t.Fatal("Faastlane-P has no skew mitigation")
+	}
+}
+
+func TestChironRequiresProfiles(t *testing.T) {
+	c := model.Default()
+	if _, err := Chiron(c).Plan(workloads.FINRA(5), nil, time.Second); err == nil {
+		t.Fatal("Chiron planned without profiles")
+	}
+}
+
+func TestChironJavaFallsBackToPool(t *testing.T) {
+	c := model.Default()
+	w := workloads.InJava(workloads.SLApp())
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Chiron(c).Plan(w, set, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Sandboxes[0].Pool {
+		t.Fatal("GIL-free workflow should deploy as a warm pool (Section 4)")
+	}
+}
+
+func TestEnvsMatchDeploymentModels(t *testing.T) {
+	c := model.Default()
+	if env := ASF(c).Env(); env.Dispatch != engine.DispatchASF || env.Boundary != engine.BoundaryStore {
+		t.Error("ASF env misconfigured")
+	}
+	if env := OpenFaaS(c).Env(); env.Dispatch != engine.DispatchGateway || env.Store.Name != "openfaas+minio" {
+		t.Error("OpenFaaS env misconfigured")
+	}
+	if env := Chiron(c).Env(); env.Dispatch != engine.DispatchNone || env.Boundary != engine.BoundaryShared {
+		t.Error("Chiron env misconfigured")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	c := model.Default()
+	for _, name := range []string{"ASF", "OpenFaaS", "SAND", "Faastlane", "Faastlane-T", "Faastlane+", "Faastlane-M", "Faastlane-P", "Chiron", "Chiron-M", "Chiron-P"} {
+		if Lookup(c, name) == nil {
+			t.Errorf("Lookup(%s) = nil", name)
+		}
+	}
+	if Lookup(c, "Lambda") != nil {
+		t.Error("unknown system resolved")
+	}
+}
+
+func TestBillsPerTransitionOnlyASF(t *testing.T) {
+	c := model.Default()
+	for _, s := range All(c) {
+		want := s.Name == "ASF"
+		if s.BillsPerTransition != want {
+			t.Errorf("%s BillsPerTransition = %v", s.Name, s.BillsPerTransition)
+		}
+	}
+}
+
+func TestSetupHelper(t *testing.T) {
+	fx, fl := setup(t, "FINRA-5")
+	if fx.slo <= 10*time.Millisecond {
+		t.Fatal("SLO not derived")
+	}
+	if fl.Name != "Faastlane" {
+		t.Fatal("unexpected system")
+	}
+}

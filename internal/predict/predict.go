@@ -1,0 +1,302 @@
+// Package predict implements Chiron's white-box latency Predictor
+// (Section 3.3): the end-to-end model of Eq. (1)-(4) plus Algorithm 1's
+// multi-thread GIL simulation.
+//
+// The Predictor sees functions only through their Profiles (package
+// profiler) and prices deployments with the calibrated constants — never
+// with engine-grade fidelity knobs. The difference between its estimates
+// and the engine's ground truth is exactly the prediction error evaluated
+// in Figure 12.
+package predict
+
+import (
+	"fmt"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+	"chiron/internal/gil"
+	"chiron/internal/model"
+	"chiron/internal/proc"
+	"chiron/internal/profiler"
+	"chiron/internal/wrap"
+)
+
+// Predictor estimates workflow latency under a deployment plan.
+type Predictor struct {
+	// Const is the calibrated timing set.
+	Const model.Constants
+	// Profiles supplies the per-function behaviour estimates.
+	Profiles profiler.Set
+	// Safety inflates every estimate by this factor when > 1. PGP plans
+	// with a safety margin ("Chiron adopts larger parameters to estimate
+	// the latency, avoiding performance violation resulting from
+	// mispredictions", Section 6.2).
+	Safety float64
+}
+
+// New returns a Predictor with no safety margin.
+func New(c model.Constants, profiles profiler.Set) *Predictor {
+	return &Predictor{Const: c, Profiles: profiles, Safety: 1}
+}
+
+func (p *Predictor) safety(d time.Duration) time.Duration {
+	if p.Safety > 1 {
+		return time.Duration(float64(d) * p.Safety)
+	}
+	return d
+}
+
+// isolation maps a sandbox's configured mechanism to its cost model.
+func (p *Predictor) isolation(kind wrap.IsolationKind) proc.Isolation {
+	switch kind {
+	case wrap.IsoMPK:
+		return proc.MPK(p.Const)
+	case wrap.IsoSFI:
+		return proc.SFI(p.Const)
+	default:
+		return proc.NoIsolation()
+	}
+}
+
+// ExecThreads is Algorithm 1: the predicted makespan of running the given
+// functions as threads of one process under the GIL (or truly in parallel
+// for GIL-free runtimes). Inputs are function names resolved through the
+// profile set.
+func (p *Predictor) ExecThreads(names []string, iso wrap.IsolationKind) (time.Duration, error) {
+	specs, err := p.Profiles.Specs(names)
+	if err != nil {
+		return 0, err
+	}
+	return p.execThreadsSpecs(specs, iso), nil
+}
+
+func (p *Predictor) execThreadsSpecs(specs []*behavior.Spec, isoKind wrap.IsolationKind) time.Duration {
+	if len(specs) == 0 {
+		return 0
+	}
+	iso := p.isolation(isoKind)
+	spawn := p.Const.ThreadStartup + iso.ThreadStartupExtra
+	if specs[0].Runtime == behavior.NodeJS {
+		// Node.js worker threads pay tens of milliseconds per clone
+		// (Section 2.1).
+		spawn = p.Const.NodeWorkerStartup + iso.ThreadStartupExtra
+	}
+	procs := 1
+	if !specs[0].Runtime.PseudoParallel() {
+		// GIL-free runtime: threads are truly parallel (Figure 18); they
+		// still share the process's cpuset, priced at one CPU per thread
+		// by the planner, so contention is not modelled here.
+		procs = len(specs)
+	}
+	if len(specs) == 1 {
+		spawn = 0
+	}
+	res := gil.Simulate(specs, gil.Options{
+		Procs:      procs,
+		Quantum:    p.Const.GILInterval,
+		Spawn:      gil.MainThread,
+		SpawnBatch: p.Const.ThreadSpawnBatch,
+		SpawnCost:  spawn,
+		CPUFactor:  iso.CPUFactor,
+		IOFactor:   iso.IOFactor,
+	})
+	total := res.Total
+	if n := len(specs); n > 1 && iso.Interaction > 0 {
+		total += time.Duration(n-1) * iso.Interaction
+	}
+	return total
+}
+
+// Process is Eq. 4: the completion time of the process holding the given
+// functions, forked as the forkRank-th process of its wrap (0-based; rank
+// -1 marks the resident main process, which pays no fork cost).
+func (p *Predictor) Process(names []string, forkRank int, isoKind wrap.IsolationKind) (time.Duration, error) {
+	exec, err := p.ExecThreads(names, isoKind)
+	if err != nil {
+		return 0, err
+	}
+	if forkRank < 0 {
+		return exec, nil
+	}
+	return time.Duration(forkRank)*p.Const.ProcBlockStep + p.Const.ProcStartup + exec, nil
+}
+
+// groupNames extracts function names from a stage wrap's process groups.
+func groupNames(g wrap.ProcGroup) []string {
+	names := make([]string, len(g.Functions))
+	for i, f := range g.Functions {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Wrap is Eq. 3: the latency of one wrap within one stage — the slowest
+// process plus pipe IPC for result gathering.
+func (p *Predictor) Wrap(sw wrap.StageWrap) (time.Duration, error) {
+	if sw.Cfg.Pool {
+		return p.poolWrap(sw)
+	}
+	var slowest time.Duration
+	forkRank := 0
+	for _, g := range sw.Procs {
+		rank := forkRank
+		if g.Proc == 0 && !sw.Cfg.ForkPerRequest {
+			rank = -1
+		} else {
+			forkRank++
+		}
+		t, err := p.Process(groupNames(g), rank, sw.Cfg.Iso)
+		if err != nil {
+			return 0, err
+		}
+		if t > slowest {
+			slowest = t
+		}
+	}
+	// Eq. 3: T_IPC x (|P|-1) across the wrap's function processes.
+	if n := len(sw.Procs); n > 1 {
+		slowest += time.Duration(n-1) * p.Const.IPCCost
+	}
+	return slowest, nil
+}
+
+// poolWrap prices a warm-pool wrap: dispatcher admission, true
+// parallelism over the cpuset, workers bounded.
+func (p *Predictor) poolWrap(sw wrap.StageWrap) (time.Duration, error) {
+	var names []string
+	for _, g := range sw.Procs {
+		names = append(names, groupNames(g)...)
+	}
+	specs, err := p.Profiles.Specs(names)
+	if err != nil {
+		return 0, err
+	}
+	workers := sw.Cfg.Workers
+	if workers == 0 {
+		workers = len(specs)
+	}
+	res := gil.Simulate(specs, gil.Options{
+		Procs:        sw.Cfg.CPUs,
+		Quantum:      p.Const.GILInterval,
+		Spawn:        gil.Dispatcher,
+		SpawnCost:    p.Const.PoolDispatch,
+		Workers:      workers,
+		LongestFirst: sw.Cfg.LongestFirst,
+	})
+	total := res.Total
+	if n := min(workers, len(specs)); n > 1 {
+		total += time.Duration(n-1) * p.Const.IPCCost
+	}
+	return total, nil
+}
+
+// Stage is Eq. 2: wrap 1 (the orchestrator's own sandbox, when it hosts
+// stage functions) runs locally; every other wrap pays invocation overhead
+// (k-1) x T_INV plus one network round T_RPC.
+func (p *Predictor) Stage(w *dag.Workflow, plan *wrap.Plan, stage int) (time.Duration, error) {
+	wraps, err := plan.StageWraps(w, stage)
+	if err != nil {
+		return 0, err
+	}
+	return p.stageWraps(wraps)
+}
+
+func (p *Predictor) stageWraps(wraps []wrap.StageWrap) (time.Duration, error) {
+	if len(wraps) == 0 {
+		return 0, fmt.Errorf("predict: stage has no wraps")
+	}
+	var local time.Duration
+	var remoteMax time.Duration
+	remoteRank := 0
+	hasRemote := false
+	for _, sw := range wraps {
+		t, err := p.Wrap(sw)
+		if err != nil {
+			return 0, err
+		}
+		if sw.Sandbox == 0 {
+			local = t
+			continue
+		}
+		hasRemote = true
+		remoteRank++
+		if cand := t + time.Duration(remoteRank)*p.Const.InvokeCost; cand > remoteMax {
+			remoteMax = cand
+		}
+	}
+	total := local
+	if hasRemote {
+		if r := remoteMax + p.Const.RPCCost; r > total {
+			total = r
+		}
+	}
+	return total, nil
+}
+
+// Workflow is Eq. 1: the sum of all stage latencies, inflated by the
+// safety margin.
+func (p *Predictor) Workflow(w *dag.Workflow, plan *wrap.Plan) (time.Duration, error) {
+	if err := plan.Validate(w); err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	for i := range w.Stages {
+		t, err := p.Stage(w, plan, i)
+		if err != nil {
+			return 0, err
+		}
+		total += t
+	}
+	return p.safety(total), nil
+}
+
+// StageGroups prices a candidate partition during PGP's search without
+// materializing a full plan: groups[i] is the function-name set of the
+// i-th process; wrapSizes distributes those processes over wraps in order
+// (wrap 0 is the orchestrator's sandbox). Iso applies to every process.
+// When mainFirst is set, each wrap's first group runs as threads of the
+// wrap's existing main process (cloned, not forked) — the hybrid m-to-n
+// mode's "thread from an existing process".
+func (p *Predictor) StageGroups(groups [][]string, wrapSizes []int, iso wrap.IsolationKind, mainFirst bool) (time.Duration, error) {
+	var wraps []wrap.StageWrap
+	idx := 0
+	for wi, size := range wrapSizes {
+		sw := wrap.StageWrap{Sandbox: wi, Cfg: wrap.SandboxCfg{CPUs: max(size, 1), Iso: iso}}
+		for j := 0; j < size; j++ {
+			if idx >= len(groups) {
+				return 0, fmt.Errorf("predict: wrapSizes exceed %d groups", len(groups))
+			}
+			specs, err := p.Profiles.Specs(groups[idx])
+			if err != nil {
+				return 0, err
+			}
+			pr := j + 1
+			if mainFirst {
+				pr = j
+			}
+			sw.Procs = append(sw.Procs, wrap.ProcGroup{Proc: pr, Functions: specs})
+			idx++
+		}
+		wraps = append(wraps, sw)
+	}
+	if idx != len(groups) {
+		return 0, fmt.Errorf("predict: wrapSizes cover %d of %d groups", idx, len(groups))
+	}
+	t, err := p.stageWraps(wraps)
+	if err != nil {
+		return 0, err
+	}
+	return p.safety(t), nil
+}
+
+// SequentialStage prices a single-function stage executed as a thread of
+// the orchestrator's main process (rank -1), the treatment Chiron and
+// Faastlane give sequential functions.
+func (p *Predictor) SequentialStage(name string, iso wrap.IsolationKind) (time.Duration, error) {
+	t, err := p.Process([]string{name}, -1, iso)
+	if err != nil {
+		return 0, err
+	}
+	return p.safety(t), nil
+}

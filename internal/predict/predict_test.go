@@ -1,0 +1,354 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+	"chiron/internal/model"
+	"chiron/internal/profiler"
+	"chiron/internal/wrap"
+)
+
+func cpuFn(name string, d time.Duration) *behavior.Spec {
+	return &behavior.Spec{
+		Name: name, Runtime: behavior.Python,
+		Segments: []behavior.Segment{{Kind: behavior.CPU, Dur: d}},
+		MemMB:    1,
+	}
+}
+
+func mixFn(name string, cpu, block time.Duration) *behavior.Spec {
+	return &behavior.Spec{
+		Name: name, Runtime: behavior.Python,
+		Segments: []behavior.Segment{
+			{Kind: behavior.CPU, Dur: cpu},
+			{Kind: behavior.Sleep, Dur: block},
+			{Kind: behavior.CPU, Dur: cpu},
+		},
+		MemMB: 1,
+	}
+}
+
+// harness profiles a workflow and returns a predictor over it.
+func harness(t *testing.T, w *dag.Workflow) *Predictor {
+	t.Helper()
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(model.Default(), set)
+}
+
+func finra(t *testing.T, par int) *dag.Workflow {
+	t.Helper()
+	var vs []*behavior.Spec
+	for i := 0; i < par; i++ {
+		vs = append(vs, cpuFn("v"+string(rune('a'+i)), 900*time.Microsecond))
+	}
+	w, err := dag.FromStages("finra", 0,
+		[]*behavior.Spec{mixFn("fetch", 2*time.Millisecond, 5*time.Millisecond)},
+		vs,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestExecThreadsMatchesAlgorithmOneShape(t *testing.T) {
+	w := finra(t, 5)
+	p := harness(t, w)
+	names := []string{"va", "vb", "vc", "vd", "ve"}
+	exec, err := p.ExecThreads(names, wrap.IsoNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five ~0.9ms CPU functions serialized under the GIL plus clone costs:
+	// at least 4.5ms, well under 10ms.
+	if exec < 4500*time.Microsecond || exec > 10*time.Millisecond {
+		t.Fatalf("ExecThreads = %v, want ~5-7ms", exec)
+	}
+	single, err := p.ExecThreads([]string{"va"}, wrap.IsoNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single > 1100*time.Microsecond {
+		t.Fatalf("single thread exec %v should be near solo latency", single)
+	}
+}
+
+func TestProcessEquationFour(t *testing.T) {
+	w := finra(t, 5)
+	p := harness(t, w)
+	c := p.Const
+	exec, _ := p.ExecThreads([]string{"va"}, wrap.IsoNone)
+	for rank := 0; rank < 3; rank++ {
+		got, err := p.Process([]string{"va"}, rank, wrap.IsoNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := time.Duration(rank)*c.ProcBlockStep + c.ProcStartup + exec
+		if got != want {
+			t.Fatalf("rank %d: %v, want %v", rank, got, want)
+		}
+	}
+	main, _ := p.Process([]string{"va"}, -1, wrap.IsoNone)
+	if main != exec {
+		t.Fatalf("main-process rank must skip fork cost: %v vs %v", main, exec)
+	}
+}
+
+func TestWrapEquationThree(t *testing.T) {
+	w := finra(t, 4)
+	p := harness(t, w)
+	c := p.Const
+	sw := wrap.StageWrap{
+		Sandbox: 0,
+		Cfg:     wrap.SandboxCfg{CPUs: 4},
+		Procs: []wrap.ProcGroup{
+			{Proc: 1, Functions: []*behavior.Spec{w.Stages[1].Functions[0]}},
+			{Proc: 2, Functions: []*behavior.Spec{w.Stages[1].Functions[1]}},
+			{Proc: 3, Functions: []*behavior.Spec{w.Stages[1].Functions[2]}},
+		},
+	}
+	got, err := p.Wrap(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slowest process is rank 2; IPC for 3 processes adds 2 x T_IPC.
+	slowest, _ := p.Process([]string{sw.Procs[2].Functions[0].Name}, 2, wrap.IsoNone)
+	want := slowest + 2*c.IPCCost
+	if got != want {
+		t.Fatalf("Wrap = %v, want %v", got, want)
+	}
+}
+
+func TestStageEquationTwoRemoteWrapPaysRPC(t *testing.T) {
+	w := finra(t, 4)
+	p := harness(t, w)
+	c := p.Const
+
+	// All four functions local in sandbox 0.
+	local := &wrap.Plan{
+		Workflow: "finra",
+		Loc: map[string]wrap.Loc{
+			"fetch": {Sandbox: 0, Proc: 0}, "va": {Sandbox: 0, Proc: 1}, "vb": {Sandbox: 0, Proc: 2}, "vc": {Sandbox: 0, Proc: 3}, "vd": {Sandbox: 0, Proc: 4},
+		},
+		Sandboxes: []wrap.SandboxCfg{{CPUs: 4}},
+	}
+	// Two split across sandboxes.
+	split := &wrap.Plan{
+		Workflow: "finra",
+		Loc: map[string]wrap.Loc{
+			"fetch": {Sandbox: 0, Proc: 0}, "va": {Sandbox: 0, Proc: 1}, "vb": {Sandbox: 0, Proc: 2}, "vc": {Sandbox: 1, Proc: 1}, "vd": {Sandbox: 1, Proc: 2},
+		},
+		Sandboxes: []wrap.SandboxCfg{{CPUs: 2}, {CPUs: 2}},
+	}
+	tl, err := p.Stage(w, local, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := p.Stage(w, split, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With sub-ms functions the RPC (17.5ms) dominates: splitting loses.
+	if ts <= tl {
+		t.Fatalf("split stage (%v) should exceed local stage (%v) for tiny functions", ts, tl)
+	}
+	if ts < c.RPCCost {
+		t.Fatalf("split stage %v cannot undercut one RPC %v", ts, c.RPCCost)
+	}
+}
+
+func TestStageSplittingWinsWhenBlockDominates(t *testing.T) {
+	// 40 sub-ms functions: one wrap accrues 39 x 3.45ms of fork block
+	// time (~134ms); two wraps halve it, easily buying back one 17.5ms
+	// RPC. This is the m-to-n model's core trade (Observation 2/3).
+	w := finra(t, 40)
+	p := harness(t, w)
+	names := make([]string, 40)
+	for i := range names {
+		names[i] = w.Stages[1].Functions[i].Name
+	}
+	groups := make([][]string, 40)
+	for i, n := range names {
+		groups[i] = []string{n}
+	}
+	one, err := p.StageGroups(groups, []int{40}, wrap.IsoNone, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := p.StageGroups(groups, []int{20, 20}, wrap.IsoNone, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two >= one {
+		t.Fatalf("two wraps (%v) should beat one wrap (%v) at 40-way parallelism", two, one)
+	}
+}
+
+func TestStageGroupsValidatesCoverage(t *testing.T) {
+	w := finra(t, 4)
+	p := harness(t, w)
+	groups := [][]string{{"va"}, {"vb"}}
+	if _, err := p.StageGroups(groups, []int{1}, wrap.IsoNone, false); err == nil {
+		t.Error("under-covering wrapSizes accepted")
+	}
+	if _, err := p.StageGroups(groups, []int{3}, wrap.IsoNone, false); err == nil {
+		t.Error("over-covering wrapSizes accepted")
+	}
+	if _, err := p.StageGroups([][]string{{"ghost"}}, []int{1}, wrap.IsoNone, false); err == nil {
+		t.Error("unknown function accepted")
+	}
+}
+
+func TestWorkflowEquationOneSumsStages(t *testing.T) {
+	w := finra(t, 4)
+	p := harness(t, w)
+	plan := &wrap.Plan{
+		Workflow: "finra",
+		Loc: map[string]wrap.Loc{
+			"fetch": {Sandbox: 0, Proc: 0}, "va": {Sandbox: 0, Proc: 1}, "vb": {Sandbox: 0, Proc: 2}, "vc": {Sandbox: 0, Proc: 3}, "vd": {Sandbox: 0, Proc: 4},
+		},
+		Sandboxes: []wrap.SandboxCfg{{CPUs: 4}},
+	}
+	total, err := p.Workflow(w, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, _ := p.Stage(w, plan, 0)
+	s1, _ := p.Stage(w, plan, 1)
+	if total != s0+s1 {
+		t.Fatalf("Workflow = %v, want %v + %v", total, s0, s1)
+	}
+}
+
+func TestSafetyMarginInflates(t *testing.T) {
+	w := finra(t, 4)
+	p := harness(t, w)
+	plan := &wrap.Plan{
+		Workflow: "finra",
+		Loc: map[string]wrap.Loc{
+			"fetch": {Sandbox: 0, Proc: 0}, "va": {Sandbox: 0, Proc: 1}, "vb": {Sandbox: 0, Proc: 2}, "vc": {Sandbox: 0, Proc: 3}, "vd": {Sandbox: 0, Proc: 4},
+		},
+		Sandboxes: []wrap.SandboxCfg{{CPUs: 4}},
+	}
+	base, _ := p.Workflow(w, plan)
+	p.Safety = 1.15
+	inflated, _ := p.Workflow(w, plan)
+	ratio := float64(inflated) / float64(base)
+	if ratio < 1.14 || ratio > 1.16 {
+		t.Fatalf("safety ratio %.3f, want 1.15", ratio)
+	}
+}
+
+func TestMPKDearerThanNativeCheaperThanSFI(t *testing.T) {
+	w := finra(t, 5)
+	p := harness(t, w)
+	names := []string{"va", "vb", "vc"}
+	native, _ := p.ExecThreads(names, wrap.IsoNone)
+	mpk, _ := p.ExecThreads(names, wrap.IsoMPK)
+	sfi, _ := p.ExecThreads(names, wrap.IsoSFI)
+	if !(native < mpk && mpk < sfi) {
+		t.Fatalf("isolation ordering broken: native=%v mpk=%v sfi=%v", native, mpk, sfi)
+	}
+}
+
+func TestPoolWrapUsesDispatcher(t *testing.T) {
+	w := finra(t, 4)
+	p := harness(t, w)
+	fns := w.Stages[1].Functions
+	mk := func(pool bool) wrap.StageWrap {
+		sw := wrap.StageWrap{Sandbox: 0, Cfg: wrap.SandboxCfg{CPUs: 4, Pool: pool}}
+		for i, f := range fns {
+			sw.Procs = append(sw.Procs, wrap.ProcGroup{Proc: i + 1, Functions: []*behavior.Spec{f}})
+		}
+		return sw
+	}
+	forked, err := p.Wrap(mk(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := p.Wrap(mk(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled >= forked {
+		t.Fatalf("pool (%v) must beat per-request forks (%v)", pooled, forked)
+	}
+}
+
+func TestJavaThreadsTrueParallel(t *testing.T) {
+	// GIL-free runtime: 4 CPU-bound threads finish in ~one solo latency.
+	var fns []*behavior.Spec
+	for i := 0; i < 4; i++ {
+		f := cpuFn("j"+string(rune('a'+i)), 10*time.Millisecond)
+		f.Runtime = behavior.Java
+		fns = append(fns, f)
+	}
+	w, err := dag.FromStages("java-wf", 0, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := harness(t, w)
+	exec, err := p.ExecThreads([]string{"ja", "jb", "jc", "jd"}, wrap.IsoNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec > 13*time.Millisecond {
+		t.Fatalf("Java threads took %v, want ~10-12ms (true parallelism)", exec)
+	}
+}
+
+func TestSequentialStage(t *testing.T) {
+	w := finra(t, 4)
+	p := harness(t, w)
+	seq, err := p.SequentialStage("fetch", wrap.IsoNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := p.Profiles["fetch"].Solo
+	if seq < solo || seq > solo+time.Millisecond {
+		t.Fatalf("sequential stage %v, want ~solo %v (no fork cost)", seq, solo)
+	}
+}
+
+func TestWorkflowRejectsInvalidPlan(t *testing.T) {
+	w := finra(t, 4)
+	p := harness(t, w)
+	bad := &wrap.Plan{Workflow: "finra", Loc: map[string]wrap.Loc{}, Sandboxes: []wrap.SandboxCfg{{CPUs: 1}}}
+	if _, err := p.Workflow(w, bad); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}
+
+func TestNodeWorkerThreadsCostly(t *testing.T) {
+	// Section 2.1: Node.js worker threads pay >50ms startup each, unlike
+	// CPython's sub-millisecond clones.
+	mk := func(rt behavior.Runtime) time.Duration {
+		var fns []*behavior.Spec
+		for i := 0; i < 3; i++ {
+			f := cpuFn("n"+string(rune('a'+i)), 2*time.Millisecond)
+			f.Runtime = rt
+			fns = append(fns, f)
+		}
+		w, err := dag.FromStages("rtwf", 0, fns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := harness(t, w)
+		exec, err := p.ExecThreads([]string{"na", "nb", "nc"}, wrap.IsoNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return exec
+	}
+	py := mk(behavior.Python)
+	node := mk(behavior.NodeJS)
+	if node < py+100*time.Millisecond {
+		t.Fatalf("Node worker threads (%v) should far exceed CPython threads (%v)", node, py)
+	}
+}

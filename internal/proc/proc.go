@@ -1,0 +1,407 @@
+// Package proc executes one wrap: a set of OS processes inside a single
+// sandbox, each process hosting one or more functions as threads.
+//
+// It reproduces the paper's many-to-one execution semantics (Observation 2,
+// Figure 5, Eq. 3-4):
+//
+//   - forks are issued sequentially by the orchestrator, so the j-th
+//     process waits (j-1) x T_Block before its fork even starts;
+//   - each fork then pays T_Startup of interpreter re-initialization,
+//     overlapping with subsequent forks;
+//   - threads inside one process contend on that process's GIL, simulated
+//     by package gil; separate processes run truly in parallel on their
+//     pinned CPUs;
+//   - results are gathered over pipes at T_IPC per extra process.
+//
+// The same entry point also covers pool-based wraps (warm workers, shared
+// CPUs) and GIL-free runtimes (Java), because those are option settings of
+// the underlying scheduler simulation.
+package proc
+
+import (
+	"fmt"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/gil"
+	"chiron/internal/model"
+)
+
+// Isolation describes the thread-level memory isolation mechanism applied
+// inside a process (Section 4, Table 1). The zero value means unrestricted
+// sharing (native threads).
+type Isolation struct {
+	// Name identifies the mechanism ("none", "mpk", "sfi").
+	Name string
+	// ThreadStartupExtra is added to every thread clone (pkey setup,
+	// module instantiation).
+	ThreadStartupExtra time.Duration
+	// Interaction is the per-handoff cost of moving data between
+	// functions that no longer share memory freely.
+	Interaction time.Duration
+	// CPUFactor and IOFactor scale function segment durations (1 = none).
+	CPUFactor float64
+	IOFactor  float64
+}
+
+// NoIsolation returns the native-thread (unrestricted sharing) mechanism.
+func NoIsolation() Isolation { return Isolation{Name: "none", CPUFactor: 1, IOFactor: 1} }
+
+// MPK returns the Intel Memory Protection Keys mechanism calibrated from
+// Table 1.
+func MPK(c model.Constants) Isolation {
+	return Isolation{
+		Name:               "mpk",
+		ThreadStartupExtra: c.MPKStartup,
+		Interaction:        c.MPKInteraction,
+		CPUFactor:          c.MPKCPUFactor,
+		IOFactor:           c.MPKIOFactor,
+	}
+}
+
+// SFI returns the WebAssembly software-fault-isolation mechanism calibrated
+// from Table 1.
+func SFI(c model.Constants) Isolation {
+	return Isolation{
+		Name:               "sfi",
+		ThreadStartupExtra: c.SFIStartup,
+		Interaction:        c.SFIInteraction,
+		CPUFactor:          c.SFICPUFactor,
+		IOFactor:           c.SFIIOFactor,
+	}
+}
+
+// Options parameterize one wrap execution.
+type Options struct {
+	// Const supplies the calibrated substrate timings.
+	Const model.Constants
+	// CPUs is the sandbox's cpuset size. Zero means "one per process"
+	// (the Faastlane/Chiron thread-mode allocation).
+	CPUs int
+	// Iso is the thread isolation mechanism (zero value = native).
+	Iso Isolation
+	// MainResident marks processes[0] as the sandbox's long-lived main
+	// process (the of-watchdog worker / wrap orchestrator): its functions
+	// pay thread startup, never fork block/startup. Fork ranks then start
+	// at processes[1].
+	MainResident bool
+	// Pool switches to warm-pool execution: no fork cost, dispatcher
+	// admission, Workers warm processes sharing CPUs.
+	Pool bool
+	// Workers is the pool size when Pool is set (0 = one per function).
+	Workers int
+	// LongestFirst admits pool tasks longest-solo-latency first
+	// (Chiron-P's skew mitigation).
+	LongestFirst bool
+	// Fidelity enables the engine-grade model: seeded startup jitter,
+	// per-syscall overhead, orchestrator hand-off lag. The white-box
+	// Predictor leaves it off; the gap is Figure 12's subject.
+	Fidelity bool
+	// Seed drives deterministic jitter when Fidelity is set.
+	Seed int64
+	// Record enables per-function timeline slices (Figure 5).
+	Record bool
+}
+
+func (o *Options) iso() Isolation {
+	if o.Iso.Name == "" {
+		return NoIsolation()
+	}
+	return o.Iso
+}
+
+// FunctionTiming is one function's wrap-relative schedule.
+type FunctionTiming struct {
+	Name string
+	// Proc is the index of the hosting process within the wrap.
+	Proc int
+	// SpawnedAt is when the function's thread/task existed and could
+	// contend for CPU (fork+startup done, or thread clone done).
+	SpawnedAt time.Duration
+	// FirstRun is when it first got on CPU.
+	FirstRun time.Duration
+	// Finish is when its last segment completed.
+	Finish time.Duration
+	// CPUTime and BlockTime are consumed totals.
+	CPUTime, BlockTime time.Duration
+	// Slices is the recorded timeline (Options.Record).
+	Slices []gil.Slice
+}
+
+// ProcTiming is one process's wrap-relative schedule.
+type ProcTiming struct {
+	// ForkAt is when the orchestrator issued this process's fork.
+	ForkAt time.Duration
+	// ExecStart is when the process began running user code.
+	ExecStart time.Duration
+	// Finish is when the last function in the process completed.
+	Finish time.Duration
+}
+
+// Result is the outcome of one wrap execution.
+type Result struct {
+	// Compute is when the slowest process finished.
+	Compute time.Duration
+	// IPC is the result-gathering cost: T_IPC x (processes-1), plus any
+	// isolation interaction costs.
+	IPC time.Duration
+	// Total = Compute + IPC: the wrap's contribution to Eq. 3.
+	Total time.Duration
+	// Procs has one entry per process, in input order.
+	Procs []ProcTiming
+	// Functions has one entry per function, process-major order.
+	Functions []FunctionTiming
+}
+
+// Run executes a wrap: processes[j] lists the functions hosted as threads
+// in process j. It panics on configurations PGP never emits (see Validate).
+func Run(processes [][]*behavior.Spec, opt Options) *Result {
+	if err := Validate(processes, opt); err != nil {
+		panic("proc: " + err.Error())
+	}
+	if opt.Pool {
+		return runPool(processes, opt)
+	}
+	if allSingle(processes) && !opt.MainResident {
+		return runFlat(processes, opt)
+	}
+	return runPerProcess(processes, opt)
+}
+
+// Validate reports whether the wrap shape is executable: non-empty
+// processes, and no CPU oversubscription for multi-thread processes (the
+// hierarchical GIL-over-shared-CPU case does not occur in the paper's
+// deployments and is rejected rather than approximated).
+func Validate(processes [][]*behavior.Spec, opt Options) error {
+	if len(processes) == 0 {
+		return fmt.Errorf("wrap has no processes")
+	}
+	for j, fns := range processes {
+		if len(fns) == 0 {
+			return fmt.Errorf("process %d hosts no functions", j)
+		}
+	}
+	if !opt.Pool && !allSingle(processes) && opt.CPUs != 0 && opt.CPUs < len(processes) {
+		return fmt.Errorf("%d multi-thread processes over %d CPUs is not schedulable without hierarchical contention", len(processes), opt.CPUs)
+	}
+	return nil
+}
+
+func allSingle(processes [][]*behavior.Spec) bool {
+	for _, fns := range processes {
+		if len(fns) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func (o *Options) fidelity() (syscall time.Duration, jitter float64, lag time.Duration) {
+	if !o.Fidelity {
+		return 0, 0, 0
+	}
+	return o.Const.SyscallOverhead, o.Const.StartupJitterPct, o.Const.MainThreadLag
+}
+
+// runFlat handles the common all-single-thread case (SAND, Faastlane
+// parallel stages, Chiron process wraps) with one scheduler simulation:
+// forks serialized at ProcBlockStep, per-process ProcStartup off the
+// critical path, true parallelism over the cpuset.
+func runFlat(processes [][]*behavior.Spec, opt Options) *Result {
+	fns := make([]*behavior.Spec, len(processes))
+	for j, p := range processes {
+		fns[j] = p[0]
+	}
+	cpus := opt.CPUs
+	if cpus == 0 {
+		cpus = len(processes)
+	}
+	syscall, jitter, lag := opt.fidelity()
+	g := gil.Simulate(fns, gil.Options{
+		Procs:        cpus,
+		Quantum:      opt.Const.GILInterval,
+		Spawn:        gil.Dispatcher,
+		SpawnCost:    opt.Const.ProcBlockStep,
+		ExtraStartup: opt.Const.ProcStartup,
+		// Single-function processes need no thread isolation mechanism;
+		// the process boundary already isolates them.
+		CPUFactor:       1,
+		IOFactor:        1,
+		SyscallOverhead: syscall,
+		JitterPct:       jitter,
+		MainLag:         lag,
+		Seed:            opt.Seed,
+		Record:          opt.Record,
+	})
+
+	res := &Result{
+		Compute: g.Total,
+		Procs:   make([]ProcTiming, len(processes)),
+	}
+	for j, th := range g.Threads {
+		res.Procs[j] = ProcTiming{
+			ForkAt:    lag + time.Duration(j)*opt.Const.ProcBlockStep,
+			ExecStart: th.SpawnedAt,
+			Finish:    th.Finish,
+		}
+		res.Functions = append(res.Functions, FunctionTiming{
+			Name:      th.Name,
+			Proc:      j,
+			SpawnedAt: th.SpawnedAt,
+			FirstRun:  th.FirstRun,
+			Finish:    th.Finish,
+			CPUTime:   th.CPUTime,
+			BlockTime: th.BlockTime,
+			Slices:    th.Slices,
+		})
+	}
+	res.IPC = ipcCost(len(processes), opt)
+	res.Total = res.Compute + res.IPC
+	return res
+}
+
+// runPerProcess handles wraps whose processes host multiple threads, with
+// a dedicated CPU per process: each process is an independent GIL
+// simulation offset by its fork admission time.
+func runPerProcess(processes [][]*behavior.Spec, opt Options) *Result {
+	syscall, jitter, lag := opt.fidelity()
+	iso := opt.iso()
+	res := &Result{Procs: make([]ProcTiming, len(processes))}
+	var interactions int
+	forked := 0
+	for j, fns := range processes {
+		resident := opt.MainResident && j == 0
+		var forkAt, execStart time.Duration
+		if resident {
+			forkAt, execStart = lag, lag
+		} else {
+			forkAt = lag + time.Duration(forked)*opt.Const.ProcBlockStep
+			execStart = forkAt + opt.Const.ProcStartup
+			forked++
+		}
+		spawnCost := threadSpawnCost(opt.Const, fns) + iso.ThreadStartupExtra
+		if len(fns) == 1 && !resident {
+			// The function runs on the process main thread: no clone.
+			spawnCost = 0
+		}
+		// GIL-free runtimes (Java, Figure 18) run their threads truly in
+		// parallel across the sandbox's cpuset.
+		innerProcs := 1
+		if len(fns) > 0 && !fns[0].Runtime.PseudoParallel() {
+			innerProcs = len(fns)
+			if len(processes) == 1 && opt.CPUs > 0 && opt.CPUs < innerProcs {
+				innerProcs = opt.CPUs
+			}
+		}
+		g := gil.Simulate(fns, gil.Options{
+			Procs:           innerProcs,
+			Quantum:         opt.Const.GILInterval,
+			Spawn:           gil.MainThread,
+			SpawnBatch:      opt.Const.ThreadSpawnBatch,
+			SpawnCost:       spawnCost,
+			CPUFactor:       iso.CPUFactor,
+			IOFactor:        iso.IOFactor,
+			SyscallOverhead: syscall,
+			JitterPct:       jitter,
+			Seed:            opt.Seed + int64(j)*7919,
+			Record:          opt.Record,
+		})
+		finish := execStart + g.Total
+		res.Procs[j] = ProcTiming{ForkAt: forkAt, ExecStart: execStart, Finish: finish}
+		if finish > res.Compute {
+			res.Compute = finish
+		}
+		for _, th := range g.Threads {
+			ft := FunctionTiming{
+				Name:      th.Name,
+				Proc:      j,
+				SpawnedAt: execStart + th.SpawnedAt,
+				FirstRun:  execStart + th.FirstRun,
+				Finish:    execStart + th.Finish,
+				CPUTime:   th.CPUTime,
+				BlockTime: th.BlockTime,
+			}
+			if opt.Record {
+				ft.Slices = make([]gil.Slice, len(th.Slices))
+				for i, sl := range th.Slices {
+					ft.Slices[i] = gil.Slice{From: execStart + sl.From, To: execStart + sl.To, Kind: sl.Kind}
+				}
+			}
+			res.Functions = append(res.Functions, ft)
+		}
+		if len(fns) > 1 {
+			interactions += len(fns) - 1
+		}
+	}
+	// Pipe IPC follows Eq. 3: T_IPC x (|P|-1) over the wrap's function
+	// processes (the resident main counts as one of them; its threads
+	// share memory internally).
+	res.IPC = ipcCost(len(processes), opt) + time.Duration(interactions)*iso.Interaction
+	res.Total = res.Compute + res.IPC
+	return res
+}
+
+// runPool handles warm-pool wraps: every function is a task dispatched to
+// Workers long-lived processes sharing CPUs CPUs (Section 4).
+func runPool(processes [][]*behavior.Spec, opt Options) *Result {
+	var fns []*behavior.Spec
+	for _, p := range processes {
+		fns = append(fns, p...)
+	}
+	workers := opt.Workers
+	if workers == 0 {
+		workers = len(fns)
+	}
+	cpus := opt.CPUs
+	if cpus == 0 {
+		cpus = workers
+	}
+	syscall, jitter, lag := opt.fidelity()
+	g := gil.Simulate(fns, gil.Options{
+		Procs:           cpus,
+		Quantum:         opt.Const.GILInterval,
+		Spawn:           gil.Dispatcher,
+		SpawnCost:       opt.Const.PoolDispatch,
+		Workers:         workers,
+		LongestFirst:    opt.LongestFirst,
+		SyscallOverhead: syscall,
+		JitterPct:       jitter,
+		MainLag:         lag,
+		Seed:            opt.Seed,
+		Record:          opt.Record,
+	})
+	res := &Result{Compute: g.Total}
+	for i, th := range g.Threads {
+		res.Functions = append(res.Functions, FunctionTiming{
+			Name:      th.Name,
+			Proc:      i % workers,
+			SpawnedAt: th.SpawnedAt,
+			FirstRun:  th.FirstRun,
+			Finish:    th.Finish,
+			CPUTime:   th.CPUTime,
+			BlockTime: th.BlockTime,
+			Slices:    th.Slices,
+		})
+	}
+	// Pool workers exchange results with the parent over pipes too.
+	res.IPC = ipcCost(min(workers, len(fns)), opt)
+	res.Total = res.Compute + res.IPC
+	return res
+}
+
+// threadSpawnCost returns the per-thread clone cost for the group's
+// runtime: CPython threads are near-free; Node.js worker threads pay tens
+// of milliseconds (Section 2.1).
+func threadSpawnCost(c model.Constants, fns []*behavior.Spec) time.Duration {
+	if len(fns) > 0 && fns[0].Runtime == behavior.NodeJS {
+		return c.NodeWorkerStartup
+	}
+	return c.ThreadStartup
+}
+
+func ipcCost(procs int, opt Options) time.Duration {
+	if procs <= 1 {
+		return 0
+	}
+	return time.Duration(procs-1) * opt.Const.IPCCost
+}

@@ -1,0 +1,323 @@
+package proc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/model"
+)
+
+func cpuFn(name string, d time.Duration) *behavior.Spec {
+	return &behavior.Spec{
+		Name: name, Runtime: behavior.Python,
+		Segments: []behavior.Segment{{Kind: behavior.CPU, Dur: d}},
+		MemMB:    1,
+	}
+}
+
+func singles(n int, d time.Duration) [][]*behavior.Spec {
+	out := make([][]*behavior.Spec, n)
+	for i := range out {
+		out[i] = []*behavior.Spec{cpuFn("f", d)}
+	}
+	return out
+}
+
+func ideal() Options { return Options{Const: model.Default()} }
+
+func TestSingleProcessSingleFunction(t *testing.T) {
+	c := model.Default()
+	res := Run(singles(1, 10*time.Millisecond), ideal())
+	// Process 1: no block wait, startup + exec, no IPC.
+	want := c.ProcStartup + 10*time.Millisecond
+	if res.Total != want {
+		t.Fatalf("Total = %v, want %v", res.Total, want)
+	}
+	if res.IPC != 0 {
+		t.Fatalf("single process should have no IPC, got %v", res.IPC)
+	}
+}
+
+func TestEquationFourBlockAndStartup(t *testing.T) {
+	// Eq. 4: T_P^j = (j-1) x T_Block + T_Startup + T_exec. With one CPU
+	// per process (true parallelism), process j finishes exactly there.
+	c := model.Default()
+	n := 5
+	exec := 2 * time.Millisecond
+	res := Run(singles(n, exec), ideal())
+	for j, p := range res.Procs {
+		want := time.Duration(j)*c.ProcBlockStep + c.ProcStartup + exec
+		if p.Finish != want {
+			t.Errorf("process %d finish = %v, want %v", j, p.Finish, want)
+		}
+	}
+	wantTotal := time.Duration(n-1)*c.ProcBlockStep + c.ProcStartup + exec +
+		time.Duration(n-1)*c.IPCCost
+	if res.Total != wantTotal {
+		t.Fatalf("Total = %v, want %v (Eq. 3+4)", res.Total, wantTotal)
+	}
+}
+
+func TestBlockTimeGrowsLinearlyWithParallelism(t *testing.T) {
+	// Observation 2: "when 50 parallel functions execute simultaneously,
+	// the blocking time can reach up to 169 ms, similar to cold start".
+	c := model.Default()
+	res := Run(singles(50, time.Millisecond), ideal())
+	lastFork := res.Procs[49].ForkAt
+	if lastFork < 160*time.Millisecond || lastFork > 180*time.Millisecond {
+		t.Fatalf("49th fork waited %v, want ~169ms", lastFork)
+	}
+	if res.Compute < lastFork+c.ProcStartup+time.Millisecond {
+		t.Fatalf("compute %v cannot precede last process's completion", res.Compute)
+	}
+}
+
+func TestStartupOverlapsSubsequentForks(t *testing.T) {
+	// Process startup (7.5ms) runs off the orchestrator's critical path:
+	// process 2's fork is issued at T_Block, not at T_Startup.
+	res := Run(singles(3, time.Millisecond), ideal())
+	c := model.Default()
+	if res.Procs[1].ForkAt != c.ProcBlockStep {
+		t.Fatalf("fork 2 issued at %v, want %v", res.Procs[1].ForkAt, c.ProcBlockStep)
+	}
+}
+
+func TestThreadModeProcessHostsMultipleFunctions(t *testing.T) {
+	c := model.Default()
+	// One process, three 4ms CPU functions as threads: GIL serializes
+	// execution; total ~= startup + 3 clones + 12ms.
+	fns := []*behavior.Spec{cpuFn("a", 4*time.Millisecond), cpuFn("b", 4*time.Millisecond), cpuFn("c", 4*time.Millisecond)}
+	res := Run([][]*behavior.Spec{fns}, ideal())
+	minWant := c.ProcStartup + 12*time.Millisecond
+	if res.Total < minWant {
+		t.Fatalf("Total = %v, below GIL-serialized floor %v", res.Total, minWant)
+	}
+	if res.Total > minWant+5*time.Millisecond {
+		t.Fatalf("Total = %v, too much overhead beyond %v", res.Total, minWant)
+	}
+	if res.IPC != 0 {
+		t.Fatalf("threads share memory: IPC should be 0, got %v", res.IPC)
+	}
+}
+
+func TestThreadsCheaperThanProcessesForShortFunctions(t *testing.T) {
+	// Observation 2/3: for sub-millisecond functions, fork startup (7.5ms)
+	// dwarfs execution, so one thread-mode process beats per-function
+	// processes (Faastlane-T vs Faastlane at FINRA-5).
+	short := 800 * time.Microsecond
+	var fns []*behavior.Spec
+	for i := 0; i < 5; i++ {
+		fns = append(fns, cpuFn("v", short))
+	}
+	procMode := Run(singles(5, short), ideal())
+	threadMode := Run([][]*behavior.Spec{fns}, ideal())
+	if threadMode.Total >= procMode.Total {
+		t.Fatalf("thread mode (%v) should beat process mode (%v) for short functions", threadMode.Total, procMode.Total)
+	}
+}
+
+func TestProcessesBeatThreadsForLongCPUFunctions(t *testing.T) {
+	// The flip side: 50ms CPU-bound functions want true parallelism.
+	long := 50 * time.Millisecond
+	var fns []*behavior.Spec
+	for i := 0; i < 5; i++ {
+		fns = append(fns, cpuFn("v", long))
+	}
+	procMode := Run(singles(5, long), ideal())
+	threadMode := Run([][]*behavior.Spec{fns}, ideal())
+	if procMode.Total >= threadMode.Total {
+		t.Fatalf("process mode (%v) should beat thread mode (%v) for long CPU functions", procMode.Total, threadMode.Total)
+	}
+}
+
+func TestMPKIsolationCosts(t *testing.T) {
+	c := model.Default()
+	fns := []*behavior.Spec{cpuFn("a", 4*time.Millisecond), cpuFn("b", 4*time.Millisecond)}
+	native := Run([][]*behavior.Spec{fns}, ideal())
+	opt := ideal()
+	opt.Iso = MPK(c)
+	mpk := Run([][]*behavior.Spec{fns}, opt)
+	if mpk.Total <= native.Total {
+		t.Fatalf("MPK (%v) must cost more than native threads (%v)", mpk.Total, native.Total)
+	}
+	// CPU work scaled by the Table 1 factor.
+	wantCPU := time.Duration(float64(4*time.Millisecond) * c.MPKCPUFactor)
+	if got := mpk.Functions[0].CPUTime; got != wantCPU {
+		t.Fatalf("MPK CPU time %v, want %v", got, wantCPU)
+	}
+}
+
+func TestSFICostlierThanMPK(t *testing.T) {
+	c := model.Default()
+	fns := []*behavior.Spec{cpuFn("a", 4*time.Millisecond), cpuFn("b", 4*time.Millisecond)}
+	optM := ideal()
+	optM.Iso = MPK(c)
+	optS := ideal()
+	optS.Iso = SFI(c)
+	mpk := Run([][]*behavior.Spec{fns}, optM)
+	sfi := Run([][]*behavior.Spec{fns}, optS)
+	if sfi.Total <= mpk.Total {
+		t.Fatalf("SFI (%v) must cost more than MPK (%v) per Table 1", sfi.Total, mpk.Total)
+	}
+	if sfi.IPC == 0 {
+		t.Fatal("SFI cross-function interaction cost missing")
+	}
+	if mpk.IPC != 0 {
+		t.Fatalf("MPK interaction should be free, got %v", mpk.IPC)
+	}
+}
+
+func TestPoolSkipsForkCost(t *testing.T) {
+	c := model.Default()
+	opt := ideal()
+	opt.Pool = true
+	opt.Workers = 5
+	res := Run(singles(5, time.Millisecond), opt)
+	// Warm pool: dispatch is hundreds of microseconds, not 7.5ms forks.
+	maxWant := 5*c.PoolDispatch + time.Millisecond + 5*c.IPCCost
+	if res.Compute+res.IPC > maxWant+time.Millisecond {
+		t.Fatalf("pool total %v, want under %v", res.Total, maxWant)
+	}
+	cold := Run(singles(5, time.Millisecond), ideal())
+	if res.Total >= cold.Total {
+		t.Fatalf("pool (%v) must start faster than forks (%v)", res.Total, cold.Total)
+	}
+}
+
+func TestPoolCPUSharingSlowdown(t *testing.T) {
+	// Figure 7: 4 parallel tasks on 3 CPUs lose only a little latency vs
+	// 4 CPUs; on 1 CPU they serialize.
+	mk := func(cpus int) time.Duration {
+		opt := ideal()
+		opt.Pool = true
+		opt.Workers = 4
+		opt.CPUs = cpus
+		return Run(singles(4, 40*time.Millisecond), opt).Total
+	}
+	l4, l3, l1 := mk(4), mk(3), mk(1)
+	if !(l4 <= l3 && l3 < l1) {
+		t.Fatalf("latency ordering broken: 4cpu=%v 3cpu=%v 1cpu=%v", l4, l3, l1)
+	}
+	if l1 < 160*time.Millisecond {
+		t.Fatalf("1 CPU must serialize 4x40ms: got %v", l1)
+	}
+	// The paper reports ~11.7% average inflation from dropping one CPU.
+	if float64(l3)/float64(l4) > 1.55 {
+		t.Fatalf("3-CPU inflation %.2fx too severe", float64(l3)/float64(l4))
+	}
+}
+
+func TestFidelityAddsOverheadDeterministically(t *testing.T) {
+	fns := singles(5, 2*time.Millisecond)
+	opt := ideal()
+	opt.Fidelity = true
+	opt.Seed = 1
+	a := Run(fns, opt)
+	b := Run(fns, opt)
+	if a.Total != b.Total {
+		t.Fatal("fidelity run not deterministic for equal seeds")
+	}
+	opt.Seed = 2
+	c := Run(fns, opt)
+	if c.Total == a.Total {
+		t.Fatal("different seeds gave identical totals; jitter inert")
+	}
+	ideal := Run(fns, Options{Const: model.Default()})
+	diff := float64(a.Total-ideal.Total) / float64(ideal.Total)
+	if diff < -0.3 || diff > 0.3 {
+		t.Fatalf("fidelity shifted total by %.0f%%, want modest model gap", diff*100)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	if err := Validate(nil, ideal()); err == nil {
+		t.Error("empty wrap accepted")
+	}
+	if err := Validate([][]*behavior.Spec{{}}, ideal()); err == nil {
+		t.Error("empty process accepted")
+	}
+	multi := [][]*behavior.Spec{
+		{cpuFn("a", time.Millisecond), cpuFn("b", time.Millisecond)},
+		{cpuFn("c", time.Millisecond)},
+	}
+	opt := ideal()
+	opt.CPUs = 1
+	if err := Validate(multi, opt); err == nil {
+		t.Error("hierarchical contention config accepted")
+	}
+}
+
+func TestRunPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Run did not panic on invalid wrap")
+		}
+	}()
+	Run(nil, ideal())
+}
+
+// TestPropertyFunctionAccounting verifies per-function CPU/block totals and
+// per-process ordering on random wraps.
+func TestPropertyFunctionAccounting(t *testing.T) {
+	f := func(seed int64, shape uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nProc := int(shape%4) + 1
+		procs := make([][]*behavior.Spec, nProc)
+		total := 0
+		for j := range procs {
+			nf := int((shape>>uint(2*j))%3) + 1
+			for i := 0; i < nf; i++ {
+				procs[j] = append(procs[j], behavior.Random("f", rng, time.Millisecond, 8*time.Millisecond))
+				total++
+			}
+		}
+		res := Run(procs, ideal())
+		if len(res.Functions) != total {
+			return false
+		}
+		k := 0
+		for j, fns := range procs {
+			for _, sp := range fns {
+				ft := res.Functions[k]
+				k++
+				if ft.Proc != j || ft.CPUTime != sp.TotalCPU() || ft.BlockTime != sp.TotalBlock() {
+					return false
+				}
+				if ft.Finish > res.Compute {
+					return false
+				}
+			}
+		}
+		return res.Total == res.Compute+res.IPC
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordPropagatesSlices(t *testing.T) {
+	opt := ideal()
+	opt.Record = true
+	res := Run(singles(2, time.Millisecond), opt)
+	for _, ft := range res.Functions {
+		if len(ft.Slices) == 0 {
+			t.Fatalf("%s: no slices with Record set", ft.Name)
+		}
+	}
+}
+
+func TestIsolationConstructors(t *testing.T) {
+	c := model.Default()
+	if iso := NoIsolation(); iso.CPUFactor != 1 || iso.IOFactor != 1 || iso.Name != "none" {
+		t.Errorf("NoIsolation = %+v", iso)
+	}
+	if iso := MPK(c); iso.ThreadStartupExtra != c.MPKStartup || iso.Name != "mpk" {
+		t.Errorf("MPK = %+v", iso)
+	}
+	if iso := SFI(c); iso.Interaction != c.SFIInteraction || iso.Name != "sfi" {
+		t.Errorf("SFI = %+v", iso)
+	}
+}

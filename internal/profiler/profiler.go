@@ -1,0 +1,182 @@
+// Package profiler implements Chiron's Profiler component (Section 3.2).
+//
+// For every function it performs a solo run without tracing (the latency
+// baseline), then a traced run whose strace log it parses to extract block
+// periods. Because tracing inflates the run, all periods are rescaled by
+// the untraced/traced latency ratio, exactly as the paper describes:
+// "Profiler scales down all block periods based on the average function
+// latency recorded without strace." The output Profile is the only view of
+// a function the Predictor and PGP ever see — prediction error therefore
+// includes honest profiling error.
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+	"chiron/internal/trace"
+)
+
+// Period is one rescaled block period within a solo run.
+type Period struct {
+	Start, End time.Duration
+	Kind       behavior.SegmentKind
+	Path       string
+}
+
+// Dur returns the period's length.
+func (p Period) Dur() time.Duration { return p.End - p.Start }
+
+// Profile is the Profiler's description of one function.
+type Profile struct {
+	Name string
+	// Solo is the untraced solo-run latency.
+	Solo time.Duration
+	// Periods are the rescaled block periods, in time order.
+	Periods []Period
+	// Runtime, MemMB, OutputBytes and Files are deployment metadata
+	// carried through from the registry.
+	Runtime     behavior.Runtime
+	MemMB       float64
+	OutputBytes int64
+	Files       []string
+}
+
+// CPUTime returns the solo CPU time implied by the profile: everything
+// that is not a block period.
+func (p *Profile) CPUTime() time.Duration {
+	var block time.Duration
+	for _, per := range p.Periods {
+		block += per.Dur()
+	}
+	if block > p.Solo {
+		return 0
+	}
+	return p.Solo - block
+}
+
+// Spec reconstructs the estimated behaviour spec the Predictor simulates:
+// CPU segments fill the gaps between block periods. The reconstruction is
+// close to, but not identical to, the function's true behaviour — that gap
+// is part of Figure 12's prediction error.
+func (p *Profile) Spec() *behavior.Spec {
+	s := &behavior.Spec{
+		Name:        p.Name,
+		Runtime:     p.Runtime,
+		MemMB:       p.MemMB,
+		OutputBytes: p.OutputBytes,
+		Files:       append([]string(nil), p.Files...),
+	}
+	cursor := time.Duration(0)
+	for _, per := range p.Periods {
+		if per.Start > cursor {
+			s.Segments = append(s.Segments, behavior.Segment{Kind: behavior.CPU, Dur: per.Start - cursor})
+		}
+		d := per.Dur()
+		if d <= 0 {
+			d = time.Nanosecond
+		}
+		s.Segments = append(s.Segments, behavior.Segment{Kind: per.Kind, Dur: d})
+		cursor = per.End
+	}
+	if cursor < p.Solo {
+		s.Segments = append(s.Segments, behavior.Segment{Kind: behavior.CPU, Dur: p.Solo - cursor})
+	}
+	if len(s.Segments) == 0 {
+		s.Segments = append(s.Segments, behavior.Segment{Kind: behavior.CPU, Dur: time.Nanosecond})
+	}
+	return s
+}
+
+// Options configure the Profiler.
+type Options struct {
+	// Overhead is the tracing perturbation applied during the strace run.
+	Overhead trace.Overhead
+	// Seed drives deterministic trace jitter.
+	Seed int64
+}
+
+// DefaultOptions returns the standard profiling setup.
+func DefaultOptions() Options {
+	return Options{Overhead: trace.DefaultOverhead(), Seed: 1}
+}
+
+// ProfileFunction profiles one function: untraced baseline, traced run,
+// log parse, rescale.
+func ProfileFunction(spec *behavior.Spec, opt Options) (*Profile, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	solo := spec.SoloLatency()
+
+	rec := trace.Record(spec, opt.Overhead, opt.Seed)
+	log := trace.FormatLog(rec)
+	events, err := trace.ParseLog(log)
+	if err != nil {
+		return nil, fmt.Errorf("profiler: parsing strace log for %s: %w", spec.Name, err)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+
+	scale := 1.0
+	if rec.Total > 0 {
+		scale = float64(solo) / float64(rec.Total)
+	}
+	p := &Profile{
+		Name:        spec.Name,
+		Solo:        solo,
+		Runtime:     spec.Runtime,
+		MemMB:       spec.MemMB,
+		OutputBytes: spec.OutputBytes,
+		Files:       append([]string(nil), spec.Files...),
+	}
+	for _, ev := range events {
+		start := time.Duration(float64(ev.At) * scale)
+		end := time.Duration(float64(ev.At+ev.Dur) * scale)
+		if end > solo {
+			end = solo
+		}
+		if end <= start {
+			continue
+		}
+		p.Periods = append(p.Periods, Period{Start: start, End: end, Kind: ev.Kind(), Path: ev.Path})
+	}
+	return p, nil
+}
+
+// Set is a profiled workflow: one profile per function, keyed by name.
+type Set map[string]*Profile
+
+// ProfileWorkflow profiles every function of a workflow.
+func ProfileWorkflow(w *dag.Workflow, opt Options) (Set, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	set := make(Set, w.NumFunctions())
+	for i, fn := range w.Functions() {
+		o := opt
+		o.Seed = opt.Seed + int64(i)*104729
+		p, err := ProfileFunction(fn, o)
+		if err != nil {
+			return nil, err
+		}
+		set[fn.Name] = p
+	}
+	return set, nil
+}
+
+// Specs returns the reconstructed specs for the named functions, in order.
+// It errors on names missing from the set (a PGP/Predictor wiring bug).
+func (s Set) Specs(names []string) ([]*behavior.Spec, error) {
+	out := make([]*behavior.Spec, len(names))
+	for i, n := range names {
+		p, ok := s[n]
+		if !ok {
+			return nil, fmt.Errorf("profiler: no profile for function %q", n)
+		}
+		out[i] = p.Spec()
+	}
+	return out, nil
+}

@@ -1,0 +1,190 @@
+package profiler
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+	"chiron/internal/trace"
+)
+
+func mixedSpec() *behavior.Spec {
+	return &behavior.Spec{
+		Name: "handle", Runtime: behavior.Python,
+		Segments: []behavior.Segment{
+			{Kind: behavior.CPU, Dur: 4 * time.Millisecond},
+			{Kind: behavior.Sleep, Dur: 10 * time.Millisecond},
+			{Kind: behavior.CPU, Dur: 2 * time.Millisecond},
+			{Kind: behavior.DiskIO, Dur: 3 * time.Millisecond},
+		},
+		MemMB: 2, OutputBytes: 512, Files: []string{"/tmp/x"},
+	}
+}
+
+func TestProfilePreservesSoloLatency(t *testing.T) {
+	p, err := ProfileFunction(mixedSpec(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Solo != mixedSpec().SoloLatency() {
+		t.Fatalf("Solo = %v, want %v", p.Solo, mixedSpec().SoloLatency())
+	}
+	if len(p.Periods) != 2 {
+		t.Fatalf("%d block periods, want 2", len(p.Periods))
+	}
+}
+
+func TestRescalingBoundsPeriods(t *testing.T) {
+	// Traced durations are inflated ~22%; after rescaling, everything
+	// must fit inside the untraced solo latency.
+	p, err := ProfileFunction(mixedSpec(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevEnd := time.Duration(0)
+	for i, per := range p.Periods {
+		if per.Start < prevEnd {
+			t.Errorf("period %d overlaps previous", i)
+		}
+		if per.End > p.Solo {
+			t.Errorf("period %d ends at %v, beyond solo %v", i, per.End, p.Solo)
+		}
+		prevEnd = per.End
+	}
+	if p.CPUTime() <= 0 {
+		t.Error("profile implies no CPU time")
+	}
+}
+
+func TestRescaledBlockCloseToTruth(t *testing.T) {
+	spec := mixedSpec()
+	p, err := ProfileFunction(spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got time.Duration
+	for _, per := range p.Periods {
+		got += per.Dur()
+	}
+	truth := spec.TotalBlock()
+	ratio := float64(got) / float64(truth)
+	// The uniform rescale cannot fully undo differential CPU/block
+	// inflation, but it should land within a few percent.
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("profiled block total %v vs truth %v (ratio %.3f)", got, truth, ratio)
+	}
+}
+
+func TestSpecReconstruction(t *testing.T) {
+	spec := mixedSpec()
+	p, err := ProfileFunction(spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := p.Spec()
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("reconstructed spec invalid: %v", err)
+	}
+	if rec.SoloLatency() != p.Solo {
+		t.Fatalf("reconstructed solo %v != profile solo %v", rec.SoloLatency(), p.Solo)
+	}
+	if rec.Runtime != spec.Runtime || rec.MemMB != spec.MemMB || rec.OutputBytes != spec.OutputBytes {
+		t.Fatal("metadata not carried through")
+	}
+	// Kinds preserved in order.
+	var kinds []behavior.SegmentKind
+	for _, s := range rec.Segments {
+		if s.Kind.Blocking() {
+			kinds = append(kinds, s.Kind)
+		}
+	}
+	if len(kinds) != 2 || kinds[0] != behavior.Sleep || kinds[1] != behavior.DiskIO {
+		t.Fatalf("block kinds %v", kinds)
+	}
+}
+
+func TestCPUOnlyFunctionProfile(t *testing.T) {
+	spec := &behavior.Spec{
+		Name: "fib", Runtime: behavior.Python,
+		Segments: []behavior.Segment{{Kind: behavior.CPU, Dur: 7 * time.Millisecond}},
+		MemMB:    1,
+	}
+	p, err := ProfileFunction(spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Periods) != 0 {
+		t.Fatalf("CPU-only profile has %d periods", len(p.Periods))
+	}
+	rec := p.Spec()
+	if rec.TotalCPU() != 7*time.Millisecond || rec.TotalBlock() != 0 {
+		t.Fatalf("reconstruction = %v CPU / %v block", rec.TotalCPU(), rec.TotalBlock())
+	}
+}
+
+func TestProfileWorkflow(t *testing.T) {
+	w, err := dag.FromStages("wf", 0,
+		[]*behavior.Spec{mixedSpec().Clone("a")},
+		[]*behavior.Spec{mixedSpec().Clone("b"), mixedSpec().Clone("c")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := ProfileWorkflow(w, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 3 {
+		t.Fatalf("profiled %d functions, want 3", len(set))
+	}
+	specs, err := set.Specs([]string{"b", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].Name != "b" || specs[1].Name != "a" {
+		t.Fatal("Specs order not preserved")
+	}
+	if _, err := set.Specs([]string{"ghost"}); err == nil {
+		t.Fatal("missing profile not reported")
+	}
+}
+
+func TestProfileFunctionRejectsInvalidSpec(t *testing.T) {
+	bad := &behavior.Spec{Name: "", Runtime: behavior.Python}
+	if _, err := ProfileFunction(bad, DefaultOptions()); err == nil {
+		t.Fatal("invalid spec profiled without error")
+	}
+}
+
+// TestPropertyReconstructionError: across random functions, the profiled
+// reconstruction's CPU and block totals stay within 10% of the truth —
+// tight enough for a useful white-box predictor, loose enough to be an
+// honest error source.
+func TestPropertyReconstructionError(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := behavior.Random("f", rng, 2*time.Millisecond, 50*time.Millisecond)
+		p, err := ProfileFunction(spec, Options{Overhead: trace.DefaultOverhead(), Seed: seed})
+		if err != nil {
+			return false
+		}
+		rec := p.Spec()
+		if rec.SoloLatency() != spec.SoloLatency() {
+			return false
+		}
+		if spec.TotalBlock() == 0 {
+			return rec.TotalBlock() == 0
+		}
+		// The uniform rescale cannot fully undo differential CPU/block
+		// inflation: in the CPU-dominated limit the residual bias tends
+		// to BlockFactor/CPUFactor = 1.22/1.03 ~= 1.18.
+		ratio := float64(rec.TotalBlock()) / float64(spec.TotalBlock())
+		return ratio > 0.82 && ratio < 1.20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

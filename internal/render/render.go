@@ -1,0 +1,160 @@
+// Package render formats experiment tables as aligned text for the bench
+// harness and CLI. It is deliberately dependency-free: the reproduction's
+// "figures" are tables whose rows carry the same series the paper plots.
+package render
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one reproduced figure or table.
+type Table struct {
+	// ID is the experiment identifier ("fig13", "table1", ...).
+	ID string
+	// Title describes what the paper's figure/table shows.
+	Title string
+	// Columns are the header labels.
+	Columns []string
+	// Rows are pre-formatted cells; ragged rows are padded.
+	Rows [][]string
+	// Notes are free-form caveats printed under the table.
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a caveat line.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, len(cell))
+			} else if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width(widths, i), cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", max(total-2, 4)))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func width(ws []int, i int) int {
+	if i < len(ws) {
+		return ws[i]
+	}
+	return 0
+}
+
+// Duration formats a duration in milliseconds with sensible precision.
+func Duration(d interface{ Milliseconds() int64 }) string {
+	return fmt.Sprintf("%dms", d.Milliseconds())
+}
+
+// F1 formats a float with one decimal.
+func F1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// Ms formats a duration as fractional milliseconds.
+func Ms(d interface{ Seconds() float64 }) string {
+	return fmt.Sprintf("%.1fms", d.Seconds()*1000)
+}
+
+// GanttRow is one labelled timeline for Gantt.
+type GanttRow struct {
+	Label string
+	// Spans are (from, to, glyph) triples; glyphs paint the row between
+	// the bounds (e.g. 's' startup, '#' run, '.' block).
+	Spans []GanttSpan
+}
+
+// GanttSpan is one painted interval.
+type GanttSpan struct {
+	From, To float64 // arbitrary shared unit (e.g. milliseconds)
+	Glyph    byte
+}
+
+// Gantt renders rows as a fixed-width ASCII chart over [0, max span end],
+// the textual equivalent of the paper's Figure 5 timelines. Later spans
+// overpaint earlier ones; a trailing axis line marks the scale.
+func Gantt(rows []GanttRow, width int) string {
+	if width < 10 {
+		width = 60
+	}
+	maxEnd := 0.0
+	labelW := 0
+	for _, r := range rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+		for _, s := range r.Spans {
+			if s.To > maxEnd {
+				maxEnd = s.To
+			}
+		}
+	}
+	if maxEnd <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	scale := float64(width) / maxEnd
+	for _, r := range rows {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		for _, s := range r.Spans {
+			lo := int(s.From * scale)
+			hi := int(s.To * scale)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			for i := lo; i < hi && i < width; i++ {
+				line[i] = s.Glyph
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelW, r.Label, line)
+	}
+	fmt.Fprintf(&b, "%-*s 0%*s\n", labelW, "", width, fmt.Sprintf("%.1f", maxEnd))
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package render
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := &Table{
+		ID: "t1", Title: "demo",
+		Columns: []string{"name", "value"},
+	}
+	tab.AddRow("short", "1")
+	tab.AddRow("much-longer-name", "22")
+	tab.AddNote("a note with %d args", 2)
+	out := tab.String()
+
+	if !strings.Contains(out, "== t1: demo ==") {
+		t.Error("header missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header, columns, rule, 2 rows, note.
+	if len(lines) != 6 {
+		t.Fatalf("%d lines: %q", len(lines), out)
+	}
+	// Column starts align: "value" column begins at the same offset in
+	// the header and both rows.
+	hdrIdx := strings.Index(lines[1], "value")
+	if hdrIdx < 0 {
+		t.Fatal("no value column")
+	}
+	if lines[3][hdrIdx] != '1' || lines[4][hdrIdx] != '2' {
+		t.Errorf("columns not aligned:\n%s", out)
+	}
+	if !strings.Contains(out, "note: a note with 2 args") {
+		t.Error("note missing")
+	}
+}
+
+func TestRaggedRowsPad(t *testing.T) {
+	tab := &Table{ID: "t", Title: "ragged", Columns: []string{"a"}}
+	tab.AddRow("x", "extra", "more")
+	out := tab.String()
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "more") {
+		t.Errorf("extra cells dropped:\n%s", out)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := Ms(1500 * time.Microsecond); got != "1.5ms" {
+		t.Errorf("Ms = %q", got)
+	}
+	if got := Duration(2500 * time.Millisecond); got != "2500ms" {
+		t.Errorf("Duration = %q", got)
+	}
+	if got := F1(3.14159); got != "3.1" {
+		t.Errorf("F1 = %q", got)
+	}
+	if got := F2(3.14159); got != "3.14" {
+		t.Errorf("F2 = %q", got)
+	}
+	if got := Pct(0.123); got != "12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestEmptyTableStillRenders(t *testing.T) {
+	tab := &Table{ID: "e", Title: "empty", Columns: []string{"c"}}
+	out := tab.String()
+	if !strings.Contains(out, "== e: empty ==") {
+		t.Errorf("empty table broken: %q", out)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	rows := []GanttRow{
+		{Label: "p1", Spans: []GanttSpan{{0, 5, 's'}, {5, 20, '#'}}},
+		{Label: "p2-long", Spans: []GanttSpan{{10, 15, 's'}, {15, 40, '#'}, {18, 25, '.'}}},
+	}
+	out := Gantt(rows, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "s") || !strings.Contains(lines[0], "#") {
+		t.Errorf("row 1 glyphs missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], ".") {
+		t.Errorf("overpaint glyph missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "40.0") {
+		t.Errorf("axis missing: %q", lines[2])
+	}
+	// Rows align: both pipes at the same column.
+	if strings.IndexByte(lines[0], '|') != strings.IndexByte(lines[1], '|') {
+		t.Error("rows misaligned")
+	}
+	if Gantt(nil, 40) != "" {
+		t.Error("empty input should render empty")
+	}
+	if out := Gantt(rows, 1); out == "" {
+		t.Error("tiny width should fall back, not vanish")
+	}
+}

@@ -1,0 +1,180 @@
+// Package rfr is a from-scratch random forest regressor, the stand-in for
+// the scikit-learn RandomForestRegressor baseline of Figure 12.
+//
+// It is a textbook implementation: bootstrap-sampled CART trees grown by
+// variance reduction with per-split feature subsampling, predictions
+// averaged across the ensemble. Defaults mirror scikit-learn's
+// ("default parameters" per the paper): 100 trees, unlimited depth,
+// min-samples-split 2.
+package rfr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Options configure training.
+type Options struct {
+	// Trees is the ensemble size (default 100).
+	Trees int
+	// MaxDepth caps tree depth (0 = unlimited).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 1).
+	MinLeaf int
+	// FeatureFrac is the fraction of features scanned per split
+	// (default 1.0, scikit-learn's regression default).
+	FeatureFrac float64
+	// Seed drives bootstrap and feature sampling.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.Trees <= 0 {
+		o.Trees = 100
+	}
+	if o.MinLeaf <= 0 {
+		o.MinLeaf = 1
+	}
+	if o.FeatureFrac <= 0 || o.FeatureFrac > 1 {
+		o.FeatureFrac = 1
+	}
+}
+
+type node struct {
+	feature int
+	thresh  float64
+	left    *node
+	right   *node
+	value   float64 // leaf mean
+	leaf    bool
+}
+
+// Forest is a trained ensemble.
+type Forest struct {
+	trees []*node
+	dim   int
+}
+
+// Train fits a forest to (X, y).
+func Train(X [][]float64, y []float64, opt Options) (*Forest, error) {
+	opt.defaults()
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("rfr: need matching non-empty X (%d) and y (%d)", len(X), len(y))
+	}
+	dim := len(X[0])
+	for i, row := range X {
+		if len(row) != dim {
+			return nil, fmt.Errorf("rfr: row %d has %d features, want %d", i, len(row), dim)
+		}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	f := &Forest{dim: dim}
+	for t := 0; t < opt.Trees; t++ {
+		idx := make([]int, len(X))
+		for i := range idx {
+			idx[i] = rng.Intn(len(X))
+		}
+		f.trees = append(f.trees, grow(X, y, idx, 0, opt, rng))
+	}
+	return f, nil
+}
+
+func mean(y []float64, idx []int) float64 {
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func sse(y []float64, idx []int) float64 {
+	m := mean(y, idx)
+	var s float64
+	for _, i := range idx {
+		d := y[i] - m
+		s += d * d
+	}
+	return s
+}
+
+func grow(X [][]float64, y []float64, idx []int, depth int, opt Options, rng *rand.Rand) *node {
+	if len(idx) <= opt.MinLeaf || (opt.MaxDepth > 0 && depth >= opt.MaxDepth) || pure(y, idx) {
+		return &node{leaf: true, value: mean(y, idx)}
+	}
+	dim := len(X[0])
+	nFeat := int(math.Ceil(opt.FeatureFrac * float64(dim)))
+	feats := rng.Perm(dim)[:nFeat]
+
+	bestFeat, bestThresh := -1, 0.0
+	bestScore := math.Inf(1)
+	var bestLeft, bestRight []int
+
+	for _, f := range feats {
+		order := append([]int(nil), idx...)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		for cut := opt.MinLeaf; cut <= len(order)-opt.MinLeaf; cut++ {
+			lo, hi := X[order[cut-1]][f], X[order[cut]][f]
+			if lo == hi {
+				continue
+			}
+			left, right := order[:cut], order[cut:]
+			score := sse(y, left) + sse(y, right)
+			if score < bestScore {
+				bestScore = score
+				bestFeat = f
+				bestThresh = (lo + hi) / 2
+				bestLeft = append([]int(nil), left...)
+				bestRight = append([]int(nil), right...)
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &node{leaf: true, value: mean(y, idx)}
+	}
+	return &node{
+		feature: bestFeat,
+		thresh:  bestThresh,
+		left:    grow(X, y, bestLeft, depth+1, opt, rng),
+		right:   grow(X, y, bestRight, depth+1, opt, rng),
+	}
+}
+
+func pure(y []float64, idx []int) bool {
+	for _, i := range idx[1:] {
+		if y[i] != y[idx[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+// Predict returns the forest's estimate for one feature vector.
+func (f *Forest) Predict(x []float64) float64 {
+	if len(x) != f.dim {
+		panic(fmt.Sprintf("rfr: predict dim %d != %d", len(x), f.dim))
+	}
+	var s float64
+	for _, t := range f.trees {
+		n := t
+		for !n.leaf {
+			if x[n.feature] <= n.thresh {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+		s += n.value
+	}
+	return s / float64(len(f.trees))
+}
+
+// PredictAll maps Predict over rows.
+func (f *Forest) PredictAll(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = f.Predict(x)
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package rfr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chiron/internal/mlbase"
+)
+
+func TestLearnsPiecewiseFunction(t *testing.T) {
+	// y = 10 if x0 < 0.5 else 20 — a single split a forest must nail.
+	rng := rand.New(rand.NewSource(1))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		x := rng.Float64()
+		X = append(X, []float64{x, rng.Float64()})
+		if x < 0.5 {
+			y = append(y, 10)
+		} else {
+			y = append(y, 20)
+		}
+	}
+	f, err := Train(X, y, Options{Trees: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := f.Predict([]float64{0.1, 0.9}); math.Abs(p-10) > 1 {
+		t.Fatalf("predict(0.1) = %v, want ~10", p)
+	}
+	if p := f.Predict([]float64{0.9, 0.1}); math.Abs(p-20) > 1 {
+		t.Fatalf("predict(0.9) = %v, want ~20", p)
+	}
+}
+
+func TestLearnsAdditiveSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 300; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		X = append(X, []float64{a, b, rng.Float64()})
+		y = append(y, 5*a+3*b)
+	}
+	f, err := Train(X, y, Options{Trees: 40, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := f.PredictAll(X)
+	if mae := mlbase.MAE(pred, y); mae > 0.6 {
+		t.Fatalf("train MAE %v too high", mae)
+	}
+}
+
+func TestGeneralizationBeatsMeanBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 400; i++ {
+		a := rng.Float64()
+		X = append(X, []float64{a, rng.Float64()})
+		y = append(y, 100*a*a)
+	}
+	tr, te := mlbase.Split(len(X), 0.75, 11)
+	var trX [][]float64
+	var trY []float64
+	for _, i := range tr {
+		trX = append(trX, X[i])
+		trY = append(trY, y[i])
+	}
+	f, err := Train(trX, trY, Options{Trees: 30, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meanY float64
+	for _, v := range trY {
+		meanY += v
+	}
+	meanY /= float64(len(trY))
+	var fErr, mErr float64
+	for _, i := range te {
+		fErr += math.Abs(f.Predict(X[i]) - y[i])
+		mErr += math.Abs(meanY - y[i])
+	}
+	if fErr >= mErr {
+		t.Fatalf("forest test error %v not better than mean baseline %v", fErr, mErr)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{1, 2, 3, 4}
+	a, _ := Train(X, y, Options{Trees: 5, Seed: 2})
+	b, _ := Train(X, y, Options{Trees: 5, Seed: 2})
+	for _, x := range X {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("same seed, different forests")
+		}
+	}
+}
+
+func TestMaxDepthLimitsTree(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}}
+	y := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	stump, _ := Train(X, y, Options{Trees: 1, MaxDepth: 1, Seed: 1})
+	deep, _ := Train(X, y, Options{Trees: 1, Seed: 1})
+	// A depth-1 tree can produce at most 2 distinct outputs.
+	got := map[float64]bool{}
+	for _, x := range X {
+		got[stump.Predict(x)] = true
+	}
+	if len(got) > 2 {
+		t.Fatalf("depth-1 tree produced %d distinct values", len(got))
+	}
+	gotDeep := map[float64]bool{}
+	for _, x := range X {
+		gotDeep[deep.Predict(x)] = true
+	}
+	if len(gotDeep) <= 2 {
+		t.Fatal("unlimited tree should split further")
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := Train(nil, nil, Options{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{1, 2}, Options{}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, []float64{1, 2}, Options{}); err == nil {
+		t.Fatal("ragged features accepted")
+	}
+}
+
+func TestPredictDimPanics(t *testing.T) {
+	f, _ := Train([][]float64{{1}, {2}}, []float64{1, 2}, Options{Trees: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wrong dimension")
+		}
+	}()
+	f.Predict([]float64{1, 2})
+}
+
+func TestConstantTargetsYieldConstantPrediction(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{7, 7, 7}
+	f, _ := Train(X, y, Options{Trees: 3, Seed: 1})
+	if p := f.Predict([]float64{99}); p != 7 {
+		t.Fatalf("constant target predicted %v", p)
+	}
+}

@@ -1,0 +1,128 @@
+// Package sandbox models the container substrate: what one sandbox costs
+// to start and to keep resident.
+//
+// Memory accounting follows Observation 4 / Figure 16: every sandbox pays
+// its language runtime once (the redundancy that makes one-to-one
+// deployment 11x-37x more expensive), each forked process adds private
+// interpreter residue, each extra thread adds only a stack, pool workers
+// keep arenas resident, and each distinct function brings its own private
+// working set.
+package sandbox
+
+import (
+	"fmt"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/model"
+)
+
+// Proc describes one process inside a sandbox by how many functions it
+// hosts as threads (>= 1; the first runs on the process main thread).
+type Proc struct {
+	Threads int
+}
+
+// Sandbox is a static description of one deployed instance: enough to
+// price its memory, CPU reservation and start latency. Execution dynamics
+// live in package proc; this package is the resource ledger.
+type Sandbox struct {
+	// Runtime is the language runtime baked into the image.
+	Runtime behavior.Runtime
+	// Procs lists the resident processes.
+	Procs []Proc
+	// Pool marks warm-pool sandboxes (long-lived workers, resident
+	// arenas).
+	Pool bool
+	// CPUs is the cpuset reservation.
+	CPUs int
+	// FnMemMB is the summed private working set of the functions deployed
+	// into this sandbox.
+	FnMemMB float64
+}
+
+// Validate reports structurally broken descriptions.
+func (s *Sandbox) Validate() error {
+	if len(s.Procs) == 0 {
+		return fmt.Errorf("sandbox: no processes")
+	}
+	for i, p := range s.Procs {
+		if p.Threads < 1 {
+			return fmt.Errorf("sandbox: process %d has %d threads", i, p.Threads)
+		}
+	}
+	if s.CPUs < 1 {
+		return fmt.Errorf("sandbox: %d CPUs reserved", s.CPUs)
+	}
+	if s.FnMemMB < 0 {
+		return fmt.Errorf("sandbox: negative function memory")
+	}
+	return nil
+}
+
+// NumProcs returns the resident process count.
+func (s *Sandbox) NumProcs() int { return len(s.Procs) }
+
+// NumFunctions returns the total functions hosted.
+func (s *Sandbox) NumFunctions() int {
+	n := 0
+	for _, p := range s.Procs {
+		n += p.Threads
+	}
+	return n
+}
+
+// MemoryMB prices the sandbox's resident memory under the calibration c.
+func (s *Sandbox) MemoryMB(c model.Constants) float64 {
+	mem := c.SandboxRuntimeMB + s.FnMemMB
+	procMB := c.ProcOverheadMB
+	if s.Pool {
+		procMB *= c.PoolResidentFactor
+	}
+	for _, p := range s.Procs {
+		// The first process is the sandbox's own runtime process, already
+		// covered by SandboxRuntimeMB; extra threads in it still pay
+		// stacks.
+		mem += float64(p.Threads-1) * c.ThreadOverheadMB
+	}
+	if n := len(s.Procs); n > 1 {
+		mem += float64(n-1) * procMB
+	} else if s.Pool {
+		// A pool of size 1 still keeps one resident worker beyond the
+		// parent.
+		mem += procMB
+	}
+	return mem
+}
+
+// StartLatency returns the sandbox's spawn cost: a cold start pays the
+// full container boot; a pre-warmed instance is immediately schedulable.
+func (s *Sandbox) StartLatency(c model.Constants, cold bool) time.Duration {
+	if cold {
+		return c.ColdStart
+	}
+	return 0
+}
+
+// ForWrap builds the ledger entry for a wrap deployment: processes[j]
+// hosts len(processes[j]) functions as threads.
+func ForWrap(rt behavior.Runtime, processes [][]*behavior.Spec, pool bool, cpus int) *Sandbox {
+	s := &Sandbox{Runtime: rt, Pool: pool, CPUs: cpus}
+	for _, fns := range processes {
+		s.Procs = append(s.Procs, Proc{Threads: len(fns)})
+		for _, f := range fns {
+			s.FnMemMB += f.MemMB
+		}
+	}
+	return s
+}
+
+// ForSingle builds the ledger entry for a one-to-one deployment of fn.
+func ForSingle(fn *behavior.Spec, cpus int) *Sandbox {
+	return &Sandbox{
+		Runtime: fn.Runtime,
+		Procs:   []Proc{{Threads: 1}},
+		CPUs:    cpus,
+		FnMemMB: fn.MemMB,
+	}
+}

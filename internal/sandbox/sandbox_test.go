@@ -1,0 +1,120 @@
+package sandbox
+
+import (
+	"testing"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/model"
+)
+
+func fn(mem float64) *behavior.Spec {
+	return &behavior.Spec{
+		Name: "f", Runtime: behavior.Python,
+		Segments: []behavior.Segment{{Kind: behavior.CPU, Dur: time.Millisecond}},
+		MemMB:    mem,
+	}
+}
+
+func TestOneToOneMemoryRedundancy(t *testing.T) {
+	// Observation 4: 10 one-to-one sandboxes pay the runtime 10 times;
+	// one shared sandbox with 10 threads pays it once. The paper measures
+	// ~77-85% memory savings.
+	c := model.Default()
+	var oneToOne float64
+	for i := 0; i < 10; i++ {
+		oneToOne += ForSingle(fn(2), 1).MemoryMB(c)
+	}
+	shared := ForWrap(behavior.Python, [][]*behavior.Spec{
+		{fn(2), fn(2), fn(2), fn(2), fn(2), fn(2), fn(2), fn(2), fn(2), fn(2)},
+	}, false, 1).MemoryMB(c)
+	saving := 1 - shared/oneToOne
+	if saving < 0.7 || saving > 0.95 {
+		t.Fatalf("thread sharing saves %.0f%% memory, want 70-95%% (1:1=%.1fMB shared=%.1fMB)", saving*100, oneToOne, shared)
+	}
+}
+
+func TestThreadsCheaperThanProcesses(t *testing.T) {
+	c := model.Default()
+	fns := []*behavior.Spec{fn(1), fn(1), fn(1), fn(1), fn(1)}
+	procs := make([][]*behavior.Spec, len(fns))
+	for i, f := range fns {
+		procs[i] = []*behavior.Spec{f}
+	}
+	processMode := ForWrap(behavior.Python, procs, false, 5).MemoryMB(c)
+	threadMode := ForWrap(behavior.Python, [][]*behavior.Spec{fns}, false, 1).MemoryMB(c)
+	if threadMode >= processMode {
+		t.Fatalf("threads (%.1fMB) must undercut processes (%.1fMB)", threadMode, processMode)
+	}
+}
+
+func TestPoolResidency(t *testing.T) {
+	// "the long-running processes consume more than 5x memory to avoid
+	// duplicate startup overhead".
+	c := model.Default()
+	fns := [][]*behavior.Spec{{fn(1)}, {fn(1)}, {fn(1)}, {fn(1)}, {fn(1)}}
+	forked := ForWrap(behavior.Python, fns, false, 5)
+	pooled := ForWrap(behavior.Python, fns, true, 5)
+	fm, pm := forked.MemoryMB(c), pooled.MemoryMB(c)
+	if pm <= fm {
+		t.Fatalf("pool (%.1fMB) must exceed forked (%.1fMB)", pm, fm)
+	}
+	procPart := pm - c.SandboxRuntimeMB - 5
+	forkedProcPart := fm - c.SandboxRuntimeMB - 5
+	ratio := procPart / forkedProcPart
+	if ratio < 4.5 || ratio > 6 {
+		t.Fatalf("pool process residency ratio %.1fx, want ~%.1fx", ratio, c.PoolResidentFactor)
+	}
+}
+
+func TestPoolOfOneStillPaysWorker(t *testing.T) {
+	c := model.Default()
+	single := ForWrap(behavior.Python, [][]*behavior.Spec{{fn(1)}}, false, 1)
+	pool1 := ForWrap(behavior.Python, [][]*behavior.Spec{{fn(1)}}, true, 1)
+	if pool1.MemoryMB(c) <= single.MemoryMB(c) {
+		t.Fatal("size-1 pool should cost more than a plain process")
+	}
+}
+
+func TestStartLatency(t *testing.T) {
+	c := model.Default()
+	s := ForSingle(fn(1), 1)
+	if got := s.StartLatency(c, true); got != c.ColdStart {
+		t.Errorf("cold start = %v, want %v", got, c.ColdStart)
+	}
+	if got := s.StartLatency(c, false); got != 0 {
+		t.Errorf("warm start = %v, want 0", got)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	s := ForWrap(behavior.Python, [][]*behavior.Spec{
+		{fn(1), fn(1)}, {fn(1)},
+	}, false, 2)
+	if s.NumProcs() != 2 || s.NumFunctions() != 3 {
+		t.Fatalf("counts = %d procs / %d fns, want 2/3", s.NumProcs(), s.NumFunctions())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := ForSingle(fn(1), 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Sandbox)
+	}{
+		{"no procs", func(s *Sandbox) { s.Procs = nil }},
+		{"zero threads", func(s *Sandbox) { s.Procs[0].Threads = 0 }},
+		{"zero cpus", func(s *Sandbox) { s.CPUs = 0 }},
+		{"negative mem", func(s *Sandbox) { s.FnMemMB = -1 }},
+	}
+	for _, tc := range cases {
+		s := ForSingle(fn(1), 1)
+		tc.mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunFiresInTimeOrder(t *testing.T) {
+	k := New()
+	var got []time.Duration
+	for _, d := range []time.Duration{30, 10, 20, 10, 5} {
+		d := d
+		k.At(d, func() { got = append(got, k.Now()) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{5, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTiesFireInInsertionOrder(t *testing.T) {
+	k := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(7, func() { order = append(order, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order %v, want insertion order", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	k := New()
+	var second time.Duration
+	k.At(100, func() {
+		k.After(50, func() { second = k.Now() })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if second != 150 {
+		t.Fatalf("After fired at %v, want 150ns", second)
+	}
+}
+
+func TestCancelSuppressesEvent(t *testing.T) {
+	k := New()
+	fired := false
+	ev := k.At(10, func() { fired = true })
+	ev.Cancel()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if k.Fired() != 0 {
+		t.Fatalf("Fired() = %d, want 0", k.Fired())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := New()
+	k.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(50, func() {})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	k := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	k.After(-1, func() {})
+}
+
+func TestBudgetStopsRunawayLoops(t *testing.T) {
+	k := New()
+	k.SetBudget(100)
+	var loop func()
+	loop = func() { k.After(1, loop) }
+	k.At(0, loop)
+	if err := k.Run(); err != ErrBudget {
+		t.Fatalf("Run returned %v, want ErrBudget", err)
+	}
+}
+
+func TestRunUntilLeavesLaterEventsQueued(t *testing.T) {
+	k := New()
+	fired := 0
+	k.At(10, func() { fired++ })
+	k.At(20, func() { fired++ })
+	k.At(30, func() { fired++ })
+	k.RunUntil(20)
+	if fired != 2 {
+		t.Fatalf("fired %d events by t=20, want 2", fired)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", k.Pending())
+	}
+	if k.Now() != 20 {
+		t.Fatalf("Now() = %v, want 20", k.Now())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d after final Run, want 3", fired)
+	}
+}
+
+func TestRunUntilAdvancesClockWithEmptyQueue(t *testing.T) {
+	k := New()
+	k.RunUntil(time.Second)
+	if k.Now() != time.Second {
+		t.Fatalf("Now() = %v, want 1s", k.Now())
+	}
+}
+
+func TestEventTimeAccessor(t *testing.T) {
+	k := New()
+	ev := k.At(42, func() {})
+	if ev.Time() != 42 {
+		t.Fatalf("Time() = %v, want 42", ev.Time())
+	}
+}
+
+func TestNestedSchedulingInterleaves(t *testing.T) {
+	// An event scheduled by a running event at the same timestamp must
+	// still fire in this Run.
+	k := New()
+	var seq []string
+	k.At(10, func() {
+		seq = append(seq, "a")
+		k.At(10, func() { seq = append(seq, "b") })
+	})
+	k.At(15, func() { seq = append(seq, "c") })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b,c"
+	got := ""
+	for i, s := range seq {
+		if i > 0 {
+			got += ","
+		}
+		got += s
+	}
+	if got != want {
+		t.Fatalf("sequence %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,226 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// TCPServer exposes a MemStore over a minimal line-oriented TCP protocol,
+// standing in for the MinIO endpoint of the paper's local cluster so the
+// live examples exercise a real network hop:
+//
+//	PUT <key> <size>\n<size raw bytes>   -> OK 0\n
+//	GET <key>\n                          -> OK <size>\n<raw bytes> | ERR <msg>\n
+//	DEL <key>\n                          -> OK 0\n
+//
+// Keys must not contain whitespace.
+type TCPServer struct {
+	store *MemStore
+	ln    net.Listener
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ServeTCP starts a server on addr (use "127.0.0.1:0" for an ephemeral
+// port) backed by the given store.
+func ServeTCP(addr string, store *MemStore) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &TCPServer{store: store, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and waits for in-flight connections.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *TCPServer) serve(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "PUT":
+			if len(fields) != 3 {
+				writeErr(w, "PUT needs key and size")
+				continue
+			}
+			n, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil || n < 0 || n > 1<<30 {
+				writeErr(w, "bad size")
+				continue
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return
+			}
+			s.store.Put(fields[1], buf)
+			writeOK(w, nil)
+		case "GET":
+			if len(fields) != 2 {
+				writeErr(w, "GET needs key")
+				continue
+			}
+			v, err := s.store.Get(fields[1])
+			if err != nil {
+				writeErr(w, "not found")
+				continue
+			}
+			writeOK(w, v)
+		case "DEL":
+			if len(fields) != 2 {
+				writeErr(w, "DEL needs key")
+				continue
+			}
+			s.store.Delete(fields[1])
+			writeOK(w, nil)
+		default:
+			writeErr(w, "unknown command")
+		}
+	}
+}
+
+func writeOK(w *bufio.Writer, payload []byte) {
+	fmt.Fprintf(w, "OK %d\n", len(payload))
+	w.Write(payload)
+	w.Flush()
+}
+
+func writeErr(w *bufio.Writer, msg string) {
+	fmt.Fprintf(w, "ERR %s\n", msg)
+	w.Flush()
+}
+
+// TCPClient is a single-connection client for TCPServer. It is safe for
+// concurrent use (operations are serialized on the connection).
+type TCPClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// DialTCP connects to a TCPServer.
+func DialTCP(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPClient{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Close tears down the connection.
+func (c *TCPClient) Close() error { return c.conn.Close() }
+
+// Put stores val under key.
+func (c *TCPClient) Put(key string, val []byte) error {
+	if strings.ContainsAny(key, " \t\n") {
+		return fmt.Errorf("storage: key %q contains whitespace", key)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintf(c.conn, "PUT %s %d\n", key, len(val)); err != nil {
+		return err
+	}
+	if _, err := c.conn.Write(val); err != nil {
+		return err
+	}
+	_, err := c.readReply()
+	return err
+}
+
+// Get fetches the value stored under key.
+func (c *TCPClient) Get(key string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintf(c.conn, "GET %s\n", key); err != nil {
+		return nil, err
+	}
+	return c.readReply()
+}
+
+// Delete removes key.
+func (c *TCPClient) Delete(key string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintf(c.conn, "DEL %s\n", key); err != nil {
+		return err
+	}
+	_, err := c.readReply()
+	return err
+}
+
+func (c *TCPClient) readReply() ([]byte, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	line = strings.TrimSpace(line)
+	switch {
+	case strings.HasPrefix(line, "OK "):
+		n, err := strconv.Atoi(strings.TrimPrefix(line, "OK "))
+		if err != nil {
+			return nil, fmt.Errorf("storage: malformed reply %q", line)
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(c.r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	case strings.HasPrefix(line, "ERR "):
+		return nil, fmt.Errorf("storage: %s", strings.TrimPrefix(line, "ERR "))
+	default:
+		return nil, fmt.Errorf("storage: malformed reply %q", line)
+	}
+}

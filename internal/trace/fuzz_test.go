@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"chiron/internal/behavior"
+)
+
+// FuzzParseLog hardens the strace-log parser against arbitrary input: it
+// must never panic, and on inputs it accepts, re-formatting and re-parsing
+// must be stable (a fixed point after one round trip).
+func FuzzParseLog(f *testing.F) {
+	spec := &behavior.Spec{
+		Name: "seed", Runtime: behavior.Python,
+		Segments: []behavior.Segment{
+			{Kind: behavior.CPU, Dur: 3 * time.Millisecond},
+			{Kind: behavior.Sleep, Dur: 7 * time.Millisecond},
+			{Kind: behavior.DiskIO, Dur: time.Millisecond, Bytes: 64},
+		},
+		MemMB: 1, Files: []string{"/tmp/x"},
+	}
+	f.Add(FormatLog(Record(spec, DefaultOverhead(), 1)))
+	f.Add("48.000000 select() = 0 <1001.000000>\n")
+	f.Add("1070.000000 write(</home/app/test.txt>) = 1 <0.042000>\n")
+	f.Add("")
+	f.Add("garbage\nmore garbage\n")
+	f.Add("1.0 read() = 0 <->\n")
+	f.Add("-5.5 sendto() = 0 <2.0>\n")
+
+	f.Fuzz(func(t *testing.T, log string) {
+		events, err := ParseLog(log)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Round trip: format accepted events and parse again.
+		out := FormatLog(&Recording{Events: events})
+		again, err := ParseLog(out)
+		if err != nil {
+			t.Fatalf("formatted output rejected: %v\n%q", err, out)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(events), len(again))
+		}
+		for i := range events {
+			if again[i].Syscall != events[i].Syscall || again[i].Path != events[i].Path {
+				t.Fatalf("round trip changed event %d: %+v -> %+v", i, events[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"chiron/internal/behavior"
+)
+
+func mixedSpec() *behavior.Spec {
+	return &behavior.Spec{
+		Name: "handle", Runtime: behavior.Python,
+		Segments: []behavior.Segment{
+			{Kind: behavior.CPU, Dur: 48 * time.Millisecond},
+			{Kind: behavior.Sleep, Dur: 1001 * time.Millisecond},
+			{Kind: behavior.CPU, Dur: 21 * time.Millisecond},
+			{Kind: behavior.DiskIO, Dur: 42 * time.Microsecond},
+			{Kind: behavior.CPU, Dur: 11 * time.Millisecond},
+			{Kind: behavior.DiskIO, Dur: 25 * time.Microsecond},
+		},
+		MemMB: 1,
+		Files: []string{"/home/app/test.txt"},
+	}
+}
+
+func TestRecordProducesOneEventPerBlockSegment(t *testing.T) {
+	rec := Record(mixedSpec(), Overhead{CPUFactor: 1, BlockFactor: 1}, 0)
+	if len(rec.Events) != 3 {
+		t.Fatalf("%d events, want 3", len(rec.Events))
+	}
+	// Figure 10's shape: select at ~48ms for ~1001ms, then write, read.
+	if rec.Events[0].Syscall != "select" || rec.Events[0].At != 48*time.Millisecond {
+		t.Errorf("event 0 = %+v", rec.Events[0])
+	}
+	if rec.Events[1].Syscall != "write" || rec.Events[1].Path != "/home/app/test.txt" {
+		t.Errorf("event 1 = %+v", rec.Events[1])
+	}
+	if rec.Events[2].Syscall != "read" {
+		t.Errorf("event 2 = %+v", rec.Events[2])
+	}
+	if rec.Total != mixedSpec().SoloLatency() {
+		t.Errorf("unit-overhead total %v, want solo latency %v", rec.Total, mixedSpec().SoloLatency())
+	}
+}
+
+func TestRecordOverheadInflates(t *testing.T) {
+	plain := Record(mixedSpec(), Overhead{CPUFactor: 1, BlockFactor: 1}, 0)
+	traced := Record(mixedSpec(), DefaultOverhead(), 0)
+	if traced.Total <= plain.Total {
+		t.Fatalf("tracing must inflate the run: %v <= %v", traced.Total, plain.Total)
+	}
+	if traced.Events[0].Dur <= plain.Events[0].Dur {
+		t.Fatal("tracing must inflate syscall durations")
+	}
+}
+
+func TestRecordDeterministic(t *testing.T) {
+	a := Record(mixedSpec(), DefaultOverhead(), 7)
+	b := Record(mixedSpec(), DefaultOverhead(), 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different recordings")
+	}
+	c := Record(mixedSpec(), DefaultOverhead(), 8)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical recordings")
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	rec := Record(mixedSpec(), DefaultOverhead(), 3)
+	log := FormatLog(rec)
+	events, err := ParseLog(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(rec.Events) {
+		t.Fatalf("parsed %d events, want %d", len(events), len(rec.Events))
+	}
+	for i, ev := range events {
+		orig := rec.Events[i]
+		if ev.Syscall != orig.Syscall || ev.Path != orig.Path {
+			t.Errorf("event %d: %+v != %+v", i, ev, orig)
+		}
+		// Millisecond text precision: allow sub-microsecond rounding.
+		dAt := ev.At - orig.At
+		if dAt < 0 {
+			dAt = -dAt
+		}
+		if dAt > time.Microsecond {
+			t.Errorf("event %d timestamp drift %v", i, dAt)
+		}
+	}
+}
+
+func TestParseLogErrors(t *testing.T) {
+	bad := []string{
+		"nonsense",
+		"12.5 noparens = 0 <1.0>",
+		"abc select() = 0 <1.0>",
+		"12.5 select() = 0",
+		"12.5 select() = 0 <xyz>",
+	}
+	for _, line := range bad {
+		if _, err := ParseLog(line + "\n"); err == nil {
+			t.Errorf("ParseLog accepted %q", line)
+		}
+	}
+}
+
+func TestParseLogSkipsBlankLines(t *testing.T) {
+	events, err := ParseLog("\n\n48.0 select() = 0 <10.0>\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("%d events, want 1", len(events))
+	}
+}
+
+func TestEventKindMapping(t *testing.T) {
+	cases := map[string]behavior.SegmentKind{
+		"select": behavior.Sleep, "poll": behavior.Sleep,
+		"read": behavior.DiskIO, "write": behavior.DiskIO,
+		"sendto": behavior.NetIO, "recvfrom": behavior.NetIO,
+		"mystery": behavior.Sleep,
+	}
+	for sys, want := range cases {
+		if got := (Event{Syscall: sys}).Kind(); got != want {
+			t.Errorf("Kind(%s) = %v, want %v", sys, got, want)
+		}
+	}
+}
+
+func TestFormatLogShape(t *testing.T) {
+	rec := &Recording{Events: []Event{
+		{At: 48 * time.Millisecond, Syscall: "select", Dur: 1001 * time.Millisecond},
+		{At: 1070 * time.Millisecond, Syscall: "write", Path: "/home/app/test.txt", Dur: 42 * time.Microsecond},
+	}}
+	log := FormatLog(rec)
+	lines := strings.Split(strings.TrimSpace(log), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("log has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "48.000000 select()") {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "write(</home/app/test.txt>)") {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+}
+
+func TestCPUOnlySpecYieldsNoEvents(t *testing.T) {
+	spec := &behavior.Spec{
+		Name: "fib", Runtime: behavior.Python,
+		Segments: []behavior.Segment{{Kind: behavior.CPU, Dur: 5 * time.Millisecond}},
+		MemMB:    1,
+	}
+	rec := Record(spec, DefaultOverhead(), 0)
+	if len(rec.Events) != 0 {
+		t.Fatalf("CPU-only function produced %d syscall events", len(rec.Events))
+	}
+	if rec.Total <= 0 {
+		t.Fatal("total must still be positive")
+	}
+}

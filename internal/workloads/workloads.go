@@ -1,0 +1,229 @@
+// Package workloads builds the five benchmark applications of the
+// evaluation (Section 6, "Testbed and Benchmarks"), as behaviour specs
+// calibrated so that the reproduced experiments land near the paper's
+// reported Chiron latencies (Figure 13 annotations: SN 26 ms, MR 22 ms,
+// SLApp 56 ms, SLApp-V 93 ms, FINRA-5 85 ms, FINRA-50 103 ms).
+//
+// Functions carry small deterministic per-instance heterogeneity (a few
+// percent) so partitioning has real work to do and latency CDFs look like
+// measurements rather than step functions.
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+)
+
+// vary deterministically perturbs d by up to +/-8% based on (salt, i).
+func vary(d time.Duration, salt, i int) time.Duration {
+	h := uint64(salt)*1099511628211 + uint64(i)*2654435761
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	frac := float64(h%1600)/10000 - 0.08 // [-0.08, +0.08)
+	return time.Duration(float64(d) * (1 + frac))
+}
+
+func ms(f float64) time.Duration { return time.Duration(f * float64(time.Millisecond)) }
+
+// webFn is a short interactive-service function: CPU around a remote call.
+func webFn(name string, cpu, net time.Duration, outBytes int64, salt, i int) *behavior.Spec {
+	return &behavior.Spec{
+		Name: name, Runtime: behavior.Python,
+		Segments: []behavior.Segment{
+			{Kind: behavior.CPU, Dur: vary(cpu*6/10, salt, i)},
+			{Kind: behavior.NetIO, Dur: vary(net, salt, i+100), Bytes: 2048},
+			{Kind: behavior.CPU, Dur: vary(cpu*4/10, salt, i+200)},
+		},
+		MemMB:       2.2,
+		OutputBytes: outBytes,
+	}
+}
+
+// FINRA is the Financial Industry Regulatory Authority trade-validation
+// application [2,30]: a fetch-and-parse stage followed by par parallel
+// rule validators.
+func FINRA(par int) *dag.Workflow {
+	if par < 1 {
+		panic(fmt.Sprintf("workloads: FINRA parallelism %d", par))
+	}
+	fetch := &behavior.Spec{
+		Name: "fetch-portfolio", Runtime: behavior.Python,
+		Segments: []behavior.Segment{
+			{Kind: behavior.CPU, Dur: ms(6)},
+			{Kind: behavior.NetIO, Dur: ms(45), Bytes: 96 << 10},
+			{Kind: behavior.CPU, Dur: ms(4)},
+		},
+		MemMB:       6,
+		OutputBytes: 96 << 10,
+	}
+	// Rule validators are CPU-dominated (audit arithmetic over the parsed
+	// batch) with a short ledger write. Their ~5.5ms of CPU sits right in
+	// the regime Observation 3 needs: below ~14-way parallelism the GIL's
+	// serialized threads beat fork block time, above it true parallelism
+	// wins — the Faastlane-T / Faastlane crossover of Figure 6.
+	validators := make([]*behavior.Spec, par)
+	for i := range validators {
+		validators[i] = &behavior.Spec{
+			Name: fmt.Sprintf("validate-%03d", i+1), Runtime: behavior.Python,
+			Segments: []behavior.Segment{
+				{Kind: behavior.CPU, Dur: vary(ms(4.3), 17, i)},
+				{Kind: behavior.DiskIO, Dur: vary(ms(0.45), 18, i), Bytes: 4096},
+				{Kind: behavior.CPU, Dur: vary(ms(1.15), 19, i)},
+			},
+			MemMB:       0.5,
+			OutputBytes: 512,
+		}
+	}
+	w, err := dag.FromStages(fmt.Sprintf("FINRA-%d", par), 0,
+		[]*behavior.Spec{fetch}, validators)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// SocialNetwork is the DeathStarBench compose-post path [23]: 4 stages, 10
+// functions, max parallelism 5.
+func SocialNetwork() *dag.Workflow {
+	stage2 := []*behavior.Spec{
+		webFn("text-filter", ms(2.4), ms(1.6), 4096, 31, 0),
+		webFn("media-check", ms(2.8), ms(2.2), 8192, 31, 1),
+		webFn("user-tag", ms(1.9), ms(1.8), 2048, 31, 2),
+		webFn("url-shorten", ms(1.6), ms(1.4), 1024, 31, 3),
+		webFn("mention-scan", ms(2.2), ms(1.7), 2048, 31, 4),
+	}
+	stage3 := []*behavior.Spec{
+		webFn("unique-id", ms(1.4), ms(1.1), 512, 32, 0),
+		webFn("post-store", ms(2.6), ms(2.4), 4096, 32, 1),
+		webFn("graph-update", ms(2.1), ms(1.9), 2048, 32, 2),
+	}
+	w, err := dag.FromStages("SocialNetwork", 0,
+		[]*behavior.Spec{webFn("compose-post", ms(1.8), ms(1.2), 8192, 30, 0)},
+		stage2,
+		stage3,
+		[]*behavior.Spec{webFn("write-timeline", ms(1.7), ms(1.5), 1024, 33, 0)},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// MovieReviewing is the DeathStarBench movie-review path [23]: 4 stages, 9
+// functions, max parallelism 4.
+func MovieReviewing() *dag.Workflow {
+	stage2 := []*behavior.Spec{
+		webFn("rate-movie", ms(1.8), ms(1.3), 1024, 41, 0),
+		webFn("review-text", ms(2.3), ms(1.5), 4096, 41, 1),
+		webFn("user-lookup", ms(1.5), ms(1.6), 1024, 41, 2),
+		webFn("movie-id", ms(1.3), ms(1.1), 512, 41, 3),
+	}
+	stage3 := []*behavior.Spec{
+		webFn("review-store", ms(2.2), ms(2.0), 4096, 42, 0),
+		webFn("rating-update", ms(1.7), ms(1.4), 1024, 42, 1),
+		webFn("user-review-link", ms(1.6), ms(1.3), 1024, 42, 2),
+	}
+	w, err := dag.FromStages("MovieReviewing", 0,
+		[]*behavior.Spec{webFn("front-review", ms(1.5), ms(1.0), 4096, 40, 0)},
+		stage2,
+		stage3,
+		[]*behavior.Spec{webFn("review-page", ms(1.4), ms(1.2), 1024, 43, 0)},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// slapp builds an SLApp function of the given class with ~solo latency.
+func slappFn(name string, class behavior.Class, solo time.Duration, salt, i int) *behavior.Spec {
+	s := behavior.FromClass(name, class, vary(solo, salt, i), behavior.Python)
+	s.OutputBytes = 1024
+	return s
+}
+
+// SLApp is the serverless application produced from [33]: 2 parallel
+// stages, 7 functions of similar latency across three workload types (CPU,
+// disk I/O and network I/O intensive); no sequential function, max
+// parallelism 4.
+func SLApp() *dag.Workflow {
+	solo := ms(10)
+	stage1 := []*behavior.Spec{
+		slappFn("factorial-a", behavior.Factorial, solo, 51, 0),
+		slappFn("disk-scan-a", behavior.DiskHeavy, solo, 51, 1),
+		slappFn("net-fetch-a", behavior.NetHeavy, solo, 51, 2),
+	}
+	stage2 := []*behavior.Spec{
+		slappFn("fibonacci-b", behavior.Fibonacci, solo, 52, 0),
+		slappFn("factorial-b", behavior.Factorial, solo, 52, 1),
+		slappFn("disk-scan-b", behavior.DiskHeavy, solo, 52, 2),
+		slappFn("net-fetch-b", behavior.NetHeavy, solo, 52, 3),
+	}
+	w, err := dag.FromStages("SLApp", 0, stage1, stage2)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// SLAppV is the SLApp variant [33]: 5 stages, 10 functions, max
+// parallelism 5.
+func SLAppV() *dag.Workflow {
+	solo := ms(12)
+	w, err := dag.FromStages("SLApp-V", 0,
+		[]*behavior.Spec{slappFn("ingest", behavior.NetHeavy, solo, 60, 0)},
+		[]*behavior.Spec{
+			slappFn("shard-1", behavior.Factorial, solo, 61, 0),
+			slappFn("shard-2", behavior.Fibonacci, solo, 61, 1),
+			slappFn("shard-3", behavior.DiskHeavy, solo, 61, 2),
+			slappFn("shard-4", behavior.NetHeavy, solo, 61, 3),
+			slappFn("shard-5", behavior.Factorial, solo, 61, 4),
+		},
+		[]*behavior.Spec{
+			slappFn("merge-a", behavior.DiskHeavy, solo, 62, 0),
+			slappFn("merge-b", behavior.Fibonacci, solo, 62, 1),
+		},
+		[]*behavior.Spec{slappFn("rank", behavior.Factorial, solo, 63, 0)},
+		[]*behavior.Spec{slappFn("publish", behavior.NetHeavy, solo, 64, 0)},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// InJava clones a workflow with every function on the GIL-free Java
+// runtime (Figure 18's no-GIL evaluation).
+func InJava(w *dag.Workflow) *dag.Workflow {
+	c := w.Clone()
+	c.Name = w.Name + "-Java"
+	for _, fn := range c.Functions() {
+		fn.Runtime = behavior.Java
+	}
+	return c
+}
+
+// Entry names one evaluation workload.
+type Entry struct {
+	Name     string
+	Workflow *dag.Workflow
+}
+
+// Suite returns the eight workloads of Figures 13-17 and 19, in the
+// paper's column order.
+func Suite() []Entry {
+	return []Entry{
+		{"SocialNetwork", SocialNetwork()},
+		{"MovieReviewing", MovieReviewing()},
+		{"SLApp", SLApp()},
+		{"SLApp-V", SLAppV()},
+		{"FINRA-5", FINRA(5)},
+		{"FINRA-50", FINRA(50)},
+		{"FINRA-100", FINRA(100)},
+		{"FINRA-200", FINRA(200)},
+	}
+}

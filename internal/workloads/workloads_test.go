@@ -1,0 +1,182 @@
+package workloads
+
+import (
+	"testing"
+	"time"
+
+	"chiron/internal/behavior"
+)
+
+func TestSuiteShapes(t *testing.T) {
+	// Section 6's benchmark table: stages / functions / max parallelism.
+	cases := []struct {
+		name            string
+		stages, fns, mp int
+	}{
+		{"SocialNetwork", 4, 10, 5},
+		{"MovieReviewing", 4, 9, 4},
+		{"SLApp", 2, 7, 4},
+		{"SLApp-V", 5, 10, 5},
+		{"FINRA-5", 2, 6, 5},
+		{"FINRA-50", 2, 51, 50},
+		{"FINRA-100", 2, 101, 100},
+		{"FINRA-200", 2, 201, 200},
+	}
+	suite := Suite()
+	if len(suite) != len(cases) {
+		t.Fatalf("suite has %d workloads, want %d", len(suite), len(cases))
+	}
+	for i, tc := range cases {
+		w := suite[i].Workflow
+		if suite[i].Name != tc.name {
+			t.Errorf("suite[%d] = %s, want %s", i, suite[i].Name, tc.name)
+		}
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+		if len(w.Stages) != tc.stages {
+			t.Errorf("%s: %d stages, want %d", tc.name, len(w.Stages), tc.stages)
+		}
+		if w.NumFunctions() != tc.fns {
+			t.Errorf("%s: %d functions, want %d", tc.name, w.NumFunctions(), tc.fns)
+		}
+		if w.MaxParallelism() != tc.mp {
+			t.Errorf("%s: max parallelism %d, want %d", tc.name, w.MaxParallelism(), tc.mp)
+		}
+	}
+}
+
+func TestSLAppHasNoSequentialStage(t *testing.T) {
+	// "there is no sequential function in SLApp"
+	for _, st := range SLApp().Stages {
+		if st.Parallelism() < 2 {
+			t.Fatal("SLApp must have only parallel stages")
+		}
+	}
+}
+
+func TestSLAppMixesWorkloadClasses(t *testing.T) {
+	// CPU-, disk- and network-intensive functions with similar latency.
+	w := SLApp()
+	var minSolo, maxSolo time.Duration
+	cpuHeavy, ioHeavy := false, false
+	for _, fn := range w.Functions() {
+		solo := fn.SoloLatency()
+		if minSolo == 0 || solo < minSolo {
+			minSolo = solo
+		}
+		if solo > maxSolo {
+			maxSolo = solo
+		}
+		if fn.TotalBlock() == 0 {
+			cpuHeavy = true
+		}
+		if fn.TotalBlock() > fn.TotalCPU() {
+			ioHeavy = true
+		}
+	}
+	if !cpuHeavy || !ioHeavy {
+		t.Fatal("SLApp must mix CPU-bound and IO-bound functions")
+	}
+	if float64(maxSolo)/float64(minSolo) > 1.3 {
+		t.Fatalf("SLApp latencies spread %v-%v; classes must have similar latency", minSolo, maxSolo)
+	}
+}
+
+func TestFINRAValidatorsAreShortAndFetchDominates(t *testing.T) {
+	w := FINRA(50)
+	fetch := w.Stages[0].Functions[0]
+	if fetch.SoloLatency() < 30*time.Millisecond {
+		t.Fatal("fetch stage should dominate FINRA's sequential time")
+	}
+	for _, v := range w.Stages[1].Functions {
+		solo := v.SoloLatency()
+		if solo < 3*time.Millisecond || solo > 8*time.Millisecond {
+			t.Fatalf("validator solo %v, want the few-millisecond regime that puts the thread/process crossover between 5 and 50 (Figure 6)", solo)
+		}
+	}
+}
+
+func TestFINRAHeterogeneityIsMild(t *testing.T) {
+	// Validators vary a few percent — enough for natural CDFs, not
+	// enough to defeat balanced partitioning.
+	w := FINRA(100)
+	var min, max time.Duration
+	for _, v := range w.Stages[1].Functions {
+		s := v.SoloLatency()
+		if min == 0 || s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if min == max {
+		t.Fatal("validators are identical; expected mild heterogeneity")
+	}
+	if float64(max)/float64(min) > 1.25 {
+		t.Fatalf("validator spread %.2fx too wide", float64(max)/float64(min))
+	}
+}
+
+func TestFINRAPanicsOnZeroParallelism(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	FINRA(0)
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	a, b := FINRA(25), FINRA(25)
+	for i, fa := range a.Functions() {
+		fb := b.Functions()[i]
+		if fa.Name != fb.Name || fa.SoloLatency() != fb.SoloLatency() {
+			t.Fatal("workload construction is nondeterministic")
+		}
+	}
+}
+
+func TestInJava(t *testing.T) {
+	w := InJava(SLApp())
+	if w.Name != "SLApp-Java" {
+		t.Fatalf("name = %s", w.Name)
+	}
+	for _, fn := range w.Functions() {
+		if fn.Runtime != behavior.Java {
+			t.Fatalf("%s still on %s", fn.Name, fn.Runtime)
+		}
+	}
+	// Original untouched.
+	for _, fn := range SLApp().Functions() {
+		if fn.Runtime != behavior.Python {
+			t.Fatal("InJava mutated the source workflow")
+		}
+	}
+}
+
+func TestWebServiceLatencyTargets(t *testing.T) {
+	// Interactive web workflows target < 100 ms (Section 1); the summed
+	// solo path should sit well under that so platform overhead is the
+	// story.
+	for _, name := range []string{"SocialNetwork", "MovieReviewing"} {
+		var w = SocialNetwork()
+		if name == "MovieReviewing" {
+			w = MovieReviewing()
+		}
+		var critical time.Duration
+		for _, st := range w.Stages {
+			var slowest time.Duration
+			for _, fn := range st.Functions {
+				if s := fn.SoloLatency(); s > slowest {
+					slowest = s
+				}
+			}
+			critical += slowest
+		}
+		if critical > 40*time.Millisecond {
+			t.Fatalf("%s critical path %v too slow for an interactive service", name, critical)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package wrap
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+	"chiron/internal/model"
+)
+
+func fn(name string) *behavior.Spec {
+	return &behavior.Spec{
+		Name: name, Runtime: behavior.Python,
+		Segments: []behavior.Segment{{Kind: behavior.CPU, Dur: time.Millisecond}},
+		MemMB:    2,
+	}
+}
+
+// finraLike: stage 0 = fetch; stage 1 = v1..v4.
+func finraLike(t *testing.T) *dag.Workflow {
+	t.Helper()
+	w, err := dag.FromStages("finra", 0,
+		[]*behavior.Spec{fn("fetch")},
+		[]*behavior.Spec{fn("v1"), fn("v2"), fn("v3"), fn("v4")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// chironPlan: fetch as thread in sandbox0/proc0; v1,v2 as processes in
+// sandbox 0; v3,v4 as processes in sandbox 1.
+func chironPlan() *Plan {
+	return &Plan{
+		Workflow: "finra",
+		Loc: map[string]Loc{
+			"fetch": {0, 0},
+			"v1":    {0, 1},
+			"v2":    {0, 2},
+			"v3":    {1, 1},
+			"v4":    {1, 2},
+		},
+		Sandboxes: []SandboxCfg{{CPUs: 2}, {CPUs: 2}},
+	}
+}
+
+func TestValidateAcceptsChironPlan(t *testing.T) {
+	if err := chironPlan().Validate(finraLike(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStageWrapsGrouping(t *testing.T) {
+	w := finraLike(t)
+	p := chironPlan()
+	s0, err := p.StageWraps(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s0) != 1 || s0[0].Sandbox != 0 || !s0[0].HasMainProc() {
+		t.Fatalf("stage 0 wraps = %+v", s0)
+	}
+	s1, err := p.StageWraps(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != 2 {
+		t.Fatalf("stage 1 has %d wraps, want 2", len(s1))
+	}
+	if s1[0].Sandbox != 0 || s1[1].Sandbox != 1 {
+		t.Fatalf("wrap order %d,%d; want sandbox order", s1[0].Sandbox, s1[1].Sandbox)
+	}
+	if s1[0].HasMainProc() {
+		t.Error("stage 1 places nothing in proc 0")
+	}
+	procs := s1[0].Processes()
+	if len(procs) != 2 || procs[0][0].Name != "v1" || procs[1][0].Name != "v2" {
+		t.Fatalf("stage1 wrap0 processes = %v", procs)
+	}
+	if _, err := p.StageWraps(w, 9); err == nil {
+		t.Error("out-of-range stage accepted")
+	}
+}
+
+func TestThreadGroupingInOneProcess(t *testing.T) {
+	w := finraLike(t)
+	p := &Plan{
+		Workflow: "finra",
+		Loc: map[string]Loc{
+			"fetch": {0, 0}, "v1": {0, 1}, "v2": {0, 1}, "v3": {0, 1}, "v4": {0, 2},
+		},
+		Sandboxes: []SandboxCfg{{CPUs: 2}},
+	}
+	if err := p.Validate(w); err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := p.StageWraps(w, 1)
+	if len(s1) != 1 || len(s1[0].Procs) != 2 {
+		t.Fatalf("stage 1 = %+v", s1)
+	}
+	if got := len(s1[0].Procs[0].Functions); got != 3 {
+		t.Fatalf("proc 1 hosts %d threads, want 3", got)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Plan, *dag.Workflow)
+	}{
+		{"wrong workflow", func(p *Plan, w *dag.Workflow) { p.Workflow = "other" }},
+		{"no sandboxes", func(p *Plan, w *dag.Workflow) { p.Sandboxes = nil }},
+		{"zero cpus", func(p *Plan, w *dag.Workflow) { p.Sandboxes[0].CPUs = 0 }},
+		{"bad iso", func(p *Plan, w *dag.Workflow) { p.Sandboxes[0].Iso = "tee" }},
+		{"negative workers", func(p *Plan, w *dag.Workflow) { p.Sandboxes[0].Workers = -1 }},
+		{"missing placement", func(p *Plan, w *dag.Workflow) { delete(p.Loc, "v1") }},
+		{"unknown sandbox", func(p *Plan, w *dag.Workflow) { p.Loc["v1"] = Loc{5, 0} }},
+		{"negative proc", func(p *Plan, w *dag.Workflow) { p.Loc["v1"] = Loc{0, -1} }},
+		{"phantom function", func(p *Plan, w *dag.Workflow) { p.Loc["ghost"] = Loc{0, 0} }},
+		{"empty sandbox", func(p *Plan, w *dag.Workflow) {
+			for n := range p.Loc {
+				p.Loc[n] = Loc{0, 0}
+			}
+		}},
+		{"mixed runtimes", func(p *Plan, w *dag.Workflow) { w.Stages[1].Functions[0].Runtime = behavior.Java }},
+		{"file conflict", func(p *Plan, w *dag.Workflow) {
+			w.Stages[1].Functions[0].Files = []string{"/tmp/shared"}
+			w.Stages[1].Functions[1].Files = []string{"/tmp/shared"}
+		}},
+	}
+	for _, tc := range cases {
+		w := finraLike(t)
+		p := chironPlan()
+		tc.mut(p, w)
+		if err := p.Validate(w); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestFileConflictAcrossSandboxesIsFine(t *testing.T) {
+	w := finraLike(t)
+	w.Stages[1].Functions[0].Files = []string{"/tmp/shared"} // v1 -> sandbox 0
+	w.Stages[1].Functions[2].Files = []string{"/tmp/shared"} // v3 -> sandbox 1
+	if err := chironPlan().Validate(w); err != nil {
+		t.Fatalf("cross-sandbox file use rejected: %v", err)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	p := chironPlan()
+	if p.NumWraps() != 2 {
+		t.Errorf("NumWraps = %d", p.NumWraps())
+	}
+	if p.TotalCPUs() != 4 {
+		t.Errorf("TotalCPUs = %d", p.TotalCPUs())
+	}
+}
+
+func TestLedgers(t *testing.T) {
+	c := model.Default()
+	w := finraLike(t)
+	p := chironPlan()
+	sbs, err := p.Ledgers(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sbs) != 2 {
+		t.Fatalf("%d ledgers", len(sbs))
+	}
+	// Sandbox 0: procs {0:fetch, 1:v1, 2:v2} = 3 procs, 3 fns.
+	if sbs[0].NumProcs() != 3 || sbs[0].NumFunctions() != 3 {
+		t.Fatalf("sandbox 0 = %d procs / %d fns", sbs[0].NumProcs(), sbs[0].NumFunctions())
+	}
+	if sbs[1].NumProcs() != 2 || sbs[1].NumFunctions() != 2 {
+		t.Fatalf("sandbox 1 = %d procs / %d fns", sbs[1].NumProcs(), sbs[1].NumFunctions())
+	}
+	if sbs[0].MemoryMB(c) <= sbs[1].MemoryMB(c) {
+		t.Error("sandbox 0 hosts more and must cost more memory")
+	}
+}
+
+func TestLedgersPool(t *testing.T) {
+	w := finraLike(t)
+	p := chironPlan()
+	p.Sandboxes[0].Pool = true
+	p.Sandboxes[0].Workers = 2
+	sbs, err := p.Ledgers(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sbs[0].NumProcs() != 2 {
+		t.Fatalf("pool sandbox keeps %d workers, want 2", sbs[0].NumProcs())
+	}
+	if !sbs[0].Pool {
+		t.Fatal("pool flag lost")
+	}
+	// Default pool size = one worker per function.
+	p.Sandboxes[0].Workers = 0
+	sbs, err = p.Ledgers(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sbs[0].NumProcs() != 3 {
+		t.Fatalf("default pool keeps %d workers, want 3", sbs[0].NumProcs())
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := chironPlan()
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Plan
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(finraLike(t)); err != nil {
+		t.Fatalf("round-tripped plan invalid: %v", err)
+	}
+	if back.Loc["v3"] != (Loc{1, 1}) {
+		t.Fatalf("placement lost: %+v", back.Loc["v3"])
+	}
+}
