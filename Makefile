@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race bench ci fmt vet tables
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x
+
+# tables regenerates every figure/table into results/.
+tables:
+	$(GO) run ./cmd/chiron-bench -out results
+	$(GO) run ./cmd/chiron-bench -exp ablations -out results
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# ci is the full gate: formatting, static analysis, race-enabled tests.
+ci: fmt vet race

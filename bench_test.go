@@ -8,6 +8,7 @@
 package chiron_test
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -17,8 +18,10 @@ import (
 	"chiron/internal/experiments"
 	"chiron/internal/gil"
 	"chiron/internal/model"
+	"chiron/internal/parallel"
 	"chiron/internal/pgp"
 	"chiron/internal/platform"
+	"chiron/internal/predict"
 	"chiron/internal/profiler"
 	"chiron/internal/workloads"
 )
@@ -203,5 +206,67 @@ func BenchmarkDeployFacade(b *testing.B) {
 		if _, err := dep.Invoke(int64(i)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- parallel harness benchmarks ----
+
+// benchSuiteQuick regenerates a representative slice of the evaluation
+// (one experiment per fan-out shape) at a given worker-pool width.
+func benchSuiteQuick(b *testing.B, workers int) {
+	b.Helper()
+	prev := parallel.Workers()
+	parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(prev)
+	ids := []string{"fig3", "fig6", "fig13", "fig15"}
+	cfg := experiments.Default()
+	cfg.Quick = true
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, id := range ids {
+			if _, err := experiments.Run(id, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSuiteQuickSequential is the 1-worker baseline for the harness:
+// compare against BenchmarkSuiteQuickParallel for the multi-core speedup
+// (tables are byte-identical either way).
+func BenchmarkSuiteQuickSequential(b *testing.B) { benchSuiteQuick(b, 1) }
+
+// BenchmarkSuiteQuickParallel runs the same slice with the pool at
+// NumCPU workers.
+func BenchmarkSuiteQuickParallel(b *testing.B) { benchSuiteQuick(b, runtime.NumCPU()) }
+
+// BenchmarkPGPPlanCachedReplan measures a warm re-plan: the second and
+// later Plan calls for an unchanged workload are served almost entirely
+// from the shared prediction cache (the adapt controller's steady-state
+// path). The first iteration pays the cold simulations; b.N iterations
+// amortize to the cached cost. Reported alongside: the cache hit rate.
+func BenchmarkPGPPlanCachedReplan(b *testing.B) {
+	w := workloads.FINRA(100)
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := pgp.Options{Const: model.Default(), SLO: 200 * time.Millisecond}
+	if _, err := pgp.Plan(w, set, opt); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	before := predict.ExecCacheStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pgp.Plan(w, set, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	after := predict.ExecCacheStats()
+	lookups := (after.Hits - before.Hits) + (after.Misses - before.Misses)
+	if lookups > 0 {
+		b.ReportMetric(float64(after.Hits-before.Hits)/float64(lookups), "hit-rate")
 	}
 }

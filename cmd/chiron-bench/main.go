@@ -7,8 +7,13 @@
 //	chiron-bench               # run everything, print to stdout
 //	chiron-bench -exp fig13    # one experiment
 //	chiron-bench -quick        # trimmed sweeps (CI-sized)
+//	chiron-bench -parallel 1   # sequential run (identical output)
 //	chiron-bench -out results  # additionally write one .txt per experiment
 //	chiron-bench -list         # list experiment IDs
+//
+// Experiments fan out across a worker pool (-parallel, default NumCPU);
+// every experiment derives its tables from fixed seeds, so the output is
+// byte-identical at any worker count — only the wall-clock changes.
 package main
 
 import (
@@ -16,19 +21,25 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"chiron/internal/experiments"
+	"chiron/internal/parallel"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment ID (fig3..fig19, table1, abl-*), 'all' (paper), or 'ablations'")
-		quick = flag.Bool("quick", false, "trim sweeps for a fast pass")
-		out   = flag.String("out", "", "directory to also write per-experiment .txt files")
-		seed  = flag.Int64("seed", 1, "jitter seed")
-		reqs  = flag.Int("requests", 0, "samples for distributional metrics (0 = default)")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		exp     = flag.String("exp", "all", "experiment ID (fig3..fig19, table1, abl-*), 'all' (paper), or 'ablations'")
+		quick   = flag.Bool("quick", false, "trim sweeps for a fast pass")
+		out     = flag.String("out", "", "directory to also write per-experiment .txt files")
+		seed    = flag.Int64("seed", 1, "jitter seed")
+		reqs    = flag.Int("requests", 0, "samples for distributional metrics (0 = default)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		workers = flag.Int("parallel", runtime.NumCPU(), "worker-pool width (1 = sequential; output is identical either way)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -41,6 +52,20 @@ func main() {
 		}
 		return
 	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	parallel.SetWorkers(*workers)
 
 	cfg := experiments.Default()
 	cfg.Quick = *quick
@@ -63,23 +88,47 @@ func main() {
 		}
 	}
 	start := time.Now()
-	for _, id := range ids {
+	// Fan the experiment drivers themselves across the pool; each one
+	// measures its own elapsed wall-clock. Results come back in paper
+	// order, so stdout reads the same as a sequential run.
+	type outcome struct {
+		text    string
+		elapsed time.Duration
+	}
+	results, err := parallel.Map(len(ids), func(i int) (outcome, error) {
 		t0 := time.Now()
-		tab, err := experiments.Run(id, cfg)
+		tab, err := experiments.Run(ids[i], cfg)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", id, err))
+			return outcome{}, fmt.Errorf("%s: %w", ids[i], err)
 		}
-		text := tab.String()
-		fmt.Print(text)
-		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(t0).Round(time.Millisecond))
+		return outcome{text: tab.String(), elapsed: time.Since(t0)}, nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for i, res := range results {
+		fmt.Print(res.text)
+		fmt.Printf("(%s regenerated in %v)\n\n", ids[i], res.elapsed.Round(time.Millisecond))
 		if *out != "" {
-			path := filepath.Join(*out, id+".txt")
-			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			path := filepath.Join(*out, ids[i]+".txt")
+			if err := os.WriteFile(path, []byte(res.text), 0o644); err != nil {
 				fatal(err)
 			}
 		}
 	}
 	fmt.Printf("done: %d experiment(s) in %v\n", len(ids), time.Since(start).Round(time.Millisecond))
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -20,6 +20,7 @@ import (
 	"chiron/internal/gil"
 	"chiron/internal/model"
 	"chiron/internal/netsim"
+	"chiron/internal/parallel"
 	"chiron/internal/proc"
 	"chiron/internal/wrap"
 )
@@ -349,19 +350,28 @@ func (r *runner) execWrap(sw wrap.StageWrap, stage int) *proc.Result {
 
 // RunMany executes n requests with distinct seeds and returns their
 // end-to-end latencies (the sampling behind Figures 14 and 15).
+//
+// Requests are independent seeded computations, so they fan out across the
+// parallel worker pool; each task builds its own runner state (and its own
+// event kernels underneath) and latencies are collected in request order,
+// making the output bit-for-bit identical at every worker count. The
+// per-request seed stream (base + i*65537) is a documented contract: every
+// recorded table in EXPERIMENTS.md was sampled from it.
 func RunMany(w *dag.Workflow, plan *wrap.Plan, env Env, n int) ([]time.Duration, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("engine: non-positive request count %d", n)
 	}
-	out := make([]time.Duration, n)
-	for i := range out {
+	// Validate once up front instead of once per fanned-out request.
+	if err := plan.Validate(w); err != nil {
+		return nil, err
+	}
+	return parallel.Map(n, func(i int) (time.Duration, error) {
 		e := env
 		e.Seed = env.Seed + int64(i)*65537
 		res, err := Run(w, plan, e)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		out[i] = res.E2E
-	}
-	return out, nil
+		return res.E2E, nil
+	})
 }

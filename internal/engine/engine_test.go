@@ -8,6 +8,7 @@ import (
 	"chiron/internal/dag"
 	"chiron/internal/model"
 	"chiron/internal/netsim"
+	"chiron/internal/parallel"
 	"chiron/internal/wrap"
 )
 
@@ -416,5 +417,27 @@ func TestSchedTotalSumsStages(t *testing.T) {
 	}
 	if sum == 0 {
 		t.Fatal("gateway dispatch produced zero scheduling time")
+	}
+}
+
+func TestRunManyParallelMatchesSequential(t *testing.T) {
+	w := twoStage(t, 8)
+	env := idealEnv()
+	env.Fidelity = true
+	parallel.SetWorkers(1)
+	seq, err := RunMany(w, sharedSandbox(w), env, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetWorkers(8)
+	defer parallel.SetWorkers(0)
+	par, err := RunMany(w, sharedSandbox(w), env, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("request %d: sequential %v != parallel %v", i, seq[i], par[i])
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"chiron/internal/loadgen"
 	"chiron/internal/metrics"
 	"chiron/internal/node"
+	"chiron/internal/parallel"
 	"chiron/internal/pgp"
 	"chiron/internal/platform"
 	"chiron/internal/render"
@@ -54,17 +55,30 @@ func AblWrapCount(cfg Config) (*render.Table, error) {
 		wraps int
 		lat   time.Duration
 	}
-	var rows []row
+	var counts []int
 	for wraps := 1; wraps <= procs; wraps *= 2 {
+		counts = append(counts, wraps)
+	}
+	all, err := parallel.Map(len(counts), func(i int) (row, error) {
+		wraps := counts[i]
 		p := buildHybridPlan(w, procs, wraps, wrap.IsoNone)
 		if p == nil {
-			continue
+			return row{}, nil
 		}
 		lats, err := engine.RunMany(w, p, env, 5)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
-		rows = append(rows, row{wraps, metrics.Mean(lats)})
+		return row{wraps, metrics.Mean(lats)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	for _, r := range all {
+		if r.wraps != 0 {
+			rows = append(rows, r)
+		}
 	}
 	best := rows[0].lat
 	for _, r := range rows {
@@ -91,12 +105,8 @@ func AblMainThread(cfg Config) (*render.Table, error) {
 		Title:   "Resident-main (of-watchdog) vs fork-per-request (classic-watchdog)",
 		Columns: []string{"workload", "of-watchdog", "classic-watchdog", "penalty"},
 	}
-	for _, entry := range suite(cfg) {
-		set, err := profileOf(entry.Workflow, cfg)
-		if err != nil {
-			return nil, err
-		}
-		slo, err := faastlaneSLO(entry.Workflow, cfg)
+	rows, err := mapEntries(suite(cfg), func(entry workloads.Entry) ([]string, error) {
+		set, slo, err := workloadBasics(entry.Workflow, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -120,8 +130,14 @@ func AblMainThread(cfg Config) (*render.Table, error) {
 			return nil, err
 		}
 		mOf, mCl := metrics.Mean(of), metrics.Mean(cl)
-		t.AddRow(entry.Name, render.Ms(mOf), render.Ms(mCl),
-			render.Pct(float64(mCl-mOf)/float64(mOf)))
+		return []string{entry.Name, render.Ms(mOf), render.Ms(mCl),
+			render.Pct(float64(mCl-mOf) / float64(mOf))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("the of-watchdog template avoids one fork (7.5ms startup) per main-process group per stage; Section 5 chose it 'for a better performance efficiency'")
 	return t, nil
@@ -169,22 +185,35 @@ func AblKernighanLin(cfg Config) (*render.Table, error) {
 	}
 	env := platform.Chiron(cfg.Const).Env()
 	env.Seed = cfg.Seed
+	type combo struct {
+		slo     time.Duration
+		label   string
+		disable bool
+	}
+	var combos []combo
 	for _, slo := range []time.Duration{45 * time.Millisecond, 35 * time.Millisecond} {
-		for _, variant := range []struct {
-			label   string
-			disable bool
-		}{{"round-robin", true}, {"kl-refined", false}} {
-			res, err := pgp.Plan(w, set, pgp.Options{Const: cfg.Const, SLO: slo, DisableKL: variant.disable})
-			if err != nil {
-				return nil, err
-			}
-			lats, err := engine.RunMany(w, res.Plan, env, 5)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(render.Ms(slo), variant.label,
-				fmt.Sprint(res.ProcsPerStage[0]), render.Ms(res.Predicted), render.Ms(metrics.Mean(lats)))
+		combos = append(combos,
+			combo{slo, "round-robin", true},
+			combo{slo, "kl-refined", false})
+	}
+	rows, err := parallel.Map(len(combos), func(i int) ([]string, error) {
+		c := combos[i]
+		res, err := pgp.Plan(w, set, pgp.Options{Const: cfg.Const, SLO: c.slo, DisableKL: c.disable})
+		if err != nil {
+			return nil, err
 		}
+		lats, err := engine.RunMany(w, res.Plan, env, 5)
+		if err != nil {
+			return nil, err
+		}
+		return []string{render.Ms(c.slo), c.label,
+			fmt.Sprint(res.ProcsPerStage[0]), render.Ms(res.Predicted), render.Ms(metrics.Mean(lats))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("KL balances long/short functions across processes, so the same SLO is met with fewer processes (or lower latency at equal processes)")
 	return t, nil
@@ -217,7 +246,9 @@ func AblSafetyMargin(cfg Config) (*render.Table, error) {
 		Columns: []string{"safety", "cpus", "wraps", "mean", "violations"},
 	}
 	env := platform.Chiron(cfg.Const).Env()
-	for _, safety := range []float64{1.0, 1.05, 1.1, 1.2, 1.35} {
+	margins := []float64{1.0, 1.05, 1.1, 1.2, 1.35}
+	rows, err := parallel.Map(len(margins), func(i int) ([]string, error) {
+		safety := margins[i]
 		res, err := pgp.Plan(w, set, pgp.Options{Const: cfg.Const, SLO: slo, Safety: safety})
 		if err != nil {
 			return nil, err
@@ -228,8 +259,14 @@ func AblSafetyMargin(cfg Config) (*render.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(render.F2(safety), fmt.Sprint(res.Plan.TotalCPUs()), fmt.Sprint(res.Plan.NumWraps()),
-			render.Ms(metrics.Mean(lats)), render.Pct(metrics.ViolationRate(lats, slo)))
+		return []string{render.F2(safety), fmt.Sprint(res.Plan.TotalCPUs()), fmt.Sprint(res.Plan.NumWraps()),
+			render.Ms(metrics.Mean(lats)), render.Pct(metrics.ViolationRate(lats, slo))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("the paper's Chiron 'adopts larger parameters to estimate the latency, avoiding performance violation resulting from mispredictions' — the sweep shows the cost of that insurance")
 	return t, nil
@@ -255,9 +292,10 @@ func AblColdStart(cfg Config) (*render.Table, error) {
 		Title:   fmt.Sprintf("Cold-start impact on FINRA-%d by deployment model", par),
 		Columns: []string{"system", "sandboxes", "warm", "cold", "cold-penalty"},
 	}
-	for _, sys := range []*platform.System{
+	systems := []*platform.System{
 		platform.OpenFaaS(cfg.Const), platform.Faastlane(cfg.Const), platform.Chiron(cfg.Const),
-	} {
+	}
+	rows, err := mapSystems(systems, func(sys *platform.System) ([]string, error) {
 		plan, err := sys.Plan(w, set, slo)
 		if err != nil {
 			return nil, err
@@ -273,9 +311,15 @@ func AblColdStart(cfg Config) (*render.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(sys.Name, fmt.Sprint(plan.NumWraps()),
+		return []string{sys.Name, fmt.Sprint(plan.NumWraps()),
 			render.Ms(warm.E2E), render.Ms(cold.E2E),
-			render.Pct(float64(cold.E2E-warm.E2E)/float64(warm.E2E)))
+			render.Pct(float64(cold.E2E-warm.E2E) / float64(warm.E2E))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("one-to-one pays a 167ms boot per function sandbox (pipelined but on the critical path); the m-to-n model boots n << m sandboxes")
 	return t, nil
@@ -307,10 +351,11 @@ func AblLoad(cfg Config) (*render.Table, error) {
 		Columns: []string{"system", "instances", "zero-queue-rps", "sustainable-rps", "utilization"},
 	}
 	worker := node.FromConstants(cfg.Const)
-	for _, sys := range []*platform.System{
+	systems := []*platform.System{
 		platform.OpenFaaS(cfg.Const), platform.Faastlane(cfg.Const),
 		platform.Chiron(cfg.Const), platform.ChironP(cfg.Const),
-	} {
+	}
+	rows, err := mapSystems(systems, func(sys *platform.System) ([]string, error) {
 		plan, err := sys.Plan(w, set, slo)
 		if err != nil {
 			return nil, err
@@ -338,8 +383,14 @@ func AblLoad(cfg Config) (*render.Table, error) {
 		if cap := srv.Capacity(); cap > 0 {
 			util = sustainable / cap
 		}
-		t.AddRow(sys.Name, fmt.Sprint(instances),
-			render.F1(srv.Capacity()), render.F1(sustainable), render.Pct(util))
+		return []string{sys.Name, fmt.Sprint(instances),
+			render.F1(srv.Capacity()), render.F1(sustainable), render.Pct(util)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("queueing claws back part of the zero-queue bound for everyone, but the m-to-n model's instance count keeps it far ahead under bursty arrivals")
 	return t, nil

@@ -20,6 +20,7 @@ import (
 	"chiron/internal/metrics"
 	"chiron/internal/model"
 	"chiron/internal/node"
+	"chiron/internal/parallel"
 	"chiron/internal/platform"
 	"chiron/internal/profiler"
 	"chiron/internal/render"
@@ -99,6 +100,36 @@ func Run(id string, cfg Config) (*render.Table, error) {
 }
 
 // ---- shared harness helpers ----
+
+// mapEntries evaluates fn once per workload entry on the parallel worker
+// pool, preserving entry order. Each entry's computation is independent
+// (its own profiles, plans and simulations); table rows are appended
+// sequentially from the ordered results, so output is byte-identical at
+// any worker count.
+func mapEntries[T any](entries []workloads.Entry, fn func(e workloads.Entry) (T, error)) ([]T, error) {
+	return parallel.Map(len(entries), func(i int) (T, error) { return fn(entries[i]) })
+}
+
+// mapSystems evaluates fn once per system on the parallel worker pool,
+// preserving system order.
+func mapSystems[T any](systems []*platform.System, fn func(sys *platform.System) (T, error)) ([]T, error) {
+	return parallel.Map(len(systems), func(i int) (T, error) { return fn(systems[i]) })
+}
+
+// workloadBasics computes the shared per-workload inputs — the profile set
+// and the Faastlane-derived SLO — that nearly every driver needs before
+// deploying systems.
+func workloadBasics(w *dag.Workflow, cfg Config) (profiler.Set, time.Duration, error) {
+	set, err := profileOf(w, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	slo, err := faastlaneSLO(w, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return set, slo, nil
+}
 
 // deployment is a planned system ready to execute.
 type deployment struct {

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"chiron/internal/parallel"
 )
 
 func quickCfg() Config {
@@ -448,4 +450,33 @@ func TestDefaultConfig(t *testing.T) {
 		t.Fatal("defaults() did not fill zero config")
 	}
 	_ = time.Second
+}
+
+// TestTablesDeterministicAcrossWorkerCounts is the harness's core
+// guarantee: every experiment renders byte-identical tables whether the
+// worker pool is sequential or wide. The subset below covers each fan-out
+// shape (per-size, per-system, per-workload, per-candidate, per-value).
+func TestTablesDeterministicAcrossWorkerCounts(t *testing.T) {
+	ids := []string{"fig3", "fig6", "fig11", "fig12", "fig13", "fig14", "fig15", "abl-safety", "abl-kl"}
+	render := func(workers int) map[string]string {
+		prev := parallel.Workers()
+		parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		out := map[string]string{}
+		for _, id := range ids {
+			tab, err := Run(id, quickCfg())
+			if err != nil {
+				t.Fatalf("%s at %d workers: %v", id, workers, err)
+			}
+			out[id] = tab.String()
+		}
+		return out
+	}
+	seq := render(1)
+	par := render(8)
+	for _, id := range ids {
+		if seq[id] != par[id] {
+			t.Errorf("%s: table differs between 1 and 8 workers\n--- sequential ---\n%s\n--- parallel ---\n%s", id, seq[id], par[id])
+		}
+	}
 }

@@ -11,6 +11,7 @@ import (
 	"chiron/internal/metrics"
 	"chiron/internal/model"
 	"chiron/internal/netsim"
+	"chiron/internal/parallel"
 	"chiron/internal/platform"
 	"chiron/internal/proc"
 	"chiron/internal/render"
@@ -27,9 +28,12 @@ func Fig3SchedulingOverhead(cfg Config) (*render.Table, error) {
 		Title:   "Scheduling overhead in FINRA (one-to-one model)",
 		Columns: []string{"parallel", "system", "sched", "e2e", "sched%"},
 	}
-	for _, par := range finraSizes(cfg) {
+	sizes := finraSizes(cfg)
+	rowsPer, err := parallel.Map(len(sizes), func(i int) ([][]string, error) {
+		par := sizes[i]
 		w := workloads.FINRA(par)
-		for _, sys := range []*platform.System{platform.ASF(cfg.Const), platform.OpenFaaS(cfg.Const)} {
+		systems := []*platform.System{platform.ASF(cfg.Const), platform.OpenFaaS(cfg.Const)}
+		return mapSystems(systems, func(sys *platform.System) ([]string, error) {
 			d, err := deploy(sys, w, nil, 0)
 			if err != nil {
 				return nil, err
@@ -39,8 +43,16 @@ func Fig3SchedulingOverhead(cfg Config) (*render.Table, error) {
 				return nil, err
 			}
 			sched := res.SchedTotal()
-			t.AddRow(fmt.Sprint(par), sys.Name, render.Ms(sched), render.Ms(res.E2E),
-				render.Pct(float64(sched)/float64(res.E2E)))
+			return []string{fmt.Sprint(par), sys.Name, render.Ms(sched), render.Ms(res.E2E),
+				render.Pct(float64(sched) / float64(res.E2E))}, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range rowsPer {
+		for _, row := range rows {
+			t.AddRow(row...)
 		}
 	}
 	t.AddNote("paper: ASF 150ms/874ms/1628ms and OpenFaaS 2ms/70ms/180ms of scheduling at 5/25/50; up to 95%% of latency")
@@ -163,18 +175,15 @@ func Fig6LatencyComparison(cfg Config) (*render.Table, error) {
 		Title:   "FINRA end-to-end latency across deployment models",
 		Columns: append([]string{"parallel"}, names(systems)...),
 	}
-	for _, par := range finraSizes(cfg) {
+	sizes := finraSizes(cfg)
+	rows, err := parallel.Map(len(sizes), func(i int) ([]string, error) {
+		par := sizes[i]
 		w := workloads.FINRA(par)
-		set, err := profileOf(w, cfg)
+		set, slo, err := workloadBasics(w, cfg)
 		if err != nil {
 			return nil, err
 		}
-		slo, err := faastlaneSLO(w, cfg)
-		if err != nil {
-			return nil, err
-		}
-		row := []string{fmt.Sprint(par)}
-		for _, sys := range systems {
+		lats, err := mapSystems(systems, func(sys *platform.System) (time.Duration, error) {
 			// Figure 6 explores the *optimal* deployment model, so Chiron
 			// plans latency-first here (no SLO -> PGP minimizes latency);
 			// the SLO-constrained comparison is Figure 13.
@@ -184,14 +193,23 @@ func Fig6LatencyComparison(cfg Config) (*render.Table, error) {
 			}
 			d, err := deploy(sys, w, set, sysSLO)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			lat, err := d.meanLatency(w, cfg, 5)
-			if err != nil {
-				return nil, err
-			}
+			return d.meanLatency(w, cfg, 5)
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprint(par)}
+		for _, lat := range lats {
 			row = append(row, render.Ms(lat))
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	t.AddNote("paper: Faastlane-T wins at 5 (+17.4%%) but is 77%% slower than OpenFaaS at 50; Chiron best everywhere (15.9-74.1%% reduction)")
@@ -215,37 +233,52 @@ func Fig7NoGILCPUs(cfg Config) (*render.Table, error) {
 		behavior.FromClass("disk-io", behavior.DiskHeavy, solo, behavior.Python),
 		behavior.FromClass("network-io", behavior.NetHeavy, solo, behavior.Python),
 	}
+	type combo struct {
+		mech string
+		cpus int
+	}
+	var combos []combo
 	for _, mech := range []string{"Python ProcessPool", "Java Thread"} {
 		for cpus := 4; cpus >= 1; cpus-- {
-			var lats []time.Duration
-			for rep := 0; rep < 10; rep++ {
-				var res *gil.Result
-				if mech == "Python ProcessPool" {
-					res = gil.Simulate(specs, gil.Options{
-						Procs: cpus, Quantum: cfg.Const.GILInterval,
-						Spawn: gil.Dispatcher, SpawnCost: cfg.Const.PoolDispatch,
-						Workers: 4, JitterPct: cfg.Const.StartupJitterPct,
-						SyscallOverhead: cfg.Const.SyscallOverhead,
-						Seed:            cfg.Seed + int64(rep),
-					})
-				} else {
-					jspecs := make([]*behavior.Spec, len(specs))
-					for i, s := range specs {
-						jspecs[i] = s.Clone(s.Name)
-						jspecs[i].Runtime = behavior.Java
-					}
-					res = gil.Simulate(jspecs, gil.Options{
-						Procs: cpus, Quantum: cfg.Const.GILInterval,
-						Spawn: gil.MainThread, SpawnCost: cfg.Const.ThreadStartup,
-						SpawnBatch: 8, JitterPct: cfg.Const.StartupJitterPct,
-						SyscallOverhead: cfg.Const.SyscallOverhead,
-						Seed:            cfg.Seed + int64(rep),
-					})
-				}
-				lats = append(lats, res.Total)
-			}
-			t.AddRow(mech, fmt.Sprint(cpus), render.Ms(metrics.Mean(lats)), render.Ms(metrics.Percentile(lats, 0.95)))
+			combos = append(combos, combo{mech, cpus})
 		}
+	}
+	rows, err := parallel.Map(len(combos), func(ci int) ([]string, error) {
+		mech, cpus := combos[ci].mech, combos[ci].cpus
+		var lats []time.Duration
+		for rep := 0; rep < 10; rep++ {
+			var res *gil.Result
+			if mech == "Python ProcessPool" {
+				res = gil.Simulate(specs, gil.Options{
+					Procs: cpus, Quantum: cfg.Const.GILInterval,
+					Spawn: gil.Dispatcher, SpawnCost: cfg.Const.PoolDispatch,
+					Workers: 4, JitterPct: cfg.Const.StartupJitterPct,
+					SyscallOverhead: cfg.Const.SyscallOverhead,
+					Seed:            cfg.Seed + int64(rep),
+				})
+			} else {
+				jspecs := make([]*behavior.Spec, len(specs))
+				for i, s := range specs {
+					jspecs[i] = s.Clone(s.Name)
+					jspecs[i].Runtime = behavior.Java
+				}
+				res = gil.Simulate(jspecs, gil.Options{
+					Procs: cpus, Quantum: cfg.Const.GILInterval,
+					Spawn: gil.MainThread, SpawnCost: cfg.Const.ThreadStartup,
+					SpawnBatch: 8, JitterPct: cfg.Const.StartupJitterPct,
+					SyscallOverhead: cfg.Const.SyscallOverhead,
+					Seed:            cfg.Seed + int64(rep),
+				})
+			}
+			lats = append(lats, res.Total)
+		}
+		return []string{mech, fmt.Sprint(cpus), render.Ms(metrics.Mean(lats)), render.Ms(metrics.Percentile(lats, 0.95))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("paper: dropping from 4 to 3 CPUs costs only ~11.7%% (4.2ms) — uniform allocation wastes CPU")
 	return t, nil
@@ -260,21 +293,20 @@ func Fig8Resources(cfg Config) (*render.Table, error) {
 		Title:   "FINRA resource consumption across deployment models",
 		Columns: []string{"parallel", "system", "memoryMB", "cpus", "norm-cpu"},
 	}
-	for _, par := range finraSizes(cfg) {
+	sizes := finraSizes(cfg)
+	rowsPer, err := parallel.Map(len(sizes), func(i int) ([][]string, error) {
+		par := sizes[i]
 		w := workloads.FINRA(par)
-		set, err := profileOf(w, cfg)
+		set, slo, err := workloadBasics(w, cfg)
 		if err != nil {
 			return nil, err
 		}
-		slo, err := faastlaneSLO(w, cfg)
-		if err != nil {
-			return nil, err
+		systems := []*platform.System{
+			platform.OpenFaaS(cfg.Const), platform.Faastlane(cfg.Const), platform.Chiron(cfg.Const),
 		}
 		var chironCPUs int
 		rows := [][]string{}
-		for _, sys := range []*platform.System{
-			platform.OpenFaaS(cfg.Const), platform.Faastlane(cfg.Const), platform.Chiron(cfg.Const),
-		} {
+		for _, sys := range systems {
 			d, err := deploy(sys, w, set, slo)
 			if err != nil {
 				return nil, err
@@ -292,6 +324,14 @@ func Fig8Resources(cfg Config) (*render.Table, error) {
 		for _, row := range rows {
 			c := atoiSafe(row[3])
 			row[4] = render.F2(float64(c) / float64(chironCPUs))
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range rowsPer {
+		for _, row := range rows {
 			t.AddRow(row...)
 		}
 	}

@@ -22,43 +22,51 @@ func Fig13OverallLatency(cfg Config) (*render.Table, error) {
 		Title:   "Normalized end-to-end latency (Chiron = 1.0)",
 		Columns: append([]string{"workload", "Chiron-ms"}, names(systems)...),
 	}
-	var sums = map[string]float64{}
-	count := 0
-	for _, entry := range suite(cfg) {
-		set, err := profileOf(entry.Workflow, cfg)
+	// Each workload is independent: profile, derive the SLO, then deploy
+	// and measure every system. Fan out both levels on the worker pool and
+	// assemble rows sequentially from the ordered results.
+	type entryLat struct {
+		name string
+		lat  map[string]time.Duration
+	}
+	results, err := mapEntries(suite(cfg), func(entry workloads.Entry) (entryLat, error) {
+		set, slo, err := workloadBasics(entry.Workflow, cfg)
 		if err != nil {
-			return nil, err
+			return entryLat{}, err
 		}
-		slo, err := faastlaneSLO(entry.Workflow, cfg)
-		if err != nil {
-			return nil, err
-		}
-		lat := map[string]time.Duration{}
-		for _, sys := range systems {
+		lats, err := mapSystems(systems, func(sys *platform.System) (time.Duration, error) {
 			d, err := deploy(sys, entry.Workflow, set, slo)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			l, err := d.meanLatency(entry.Workflow, cfg, 10)
-			if err != nil {
-				return nil, err
-			}
-			lat[sys.Name] = l
+			return d.meanLatency(entry.Workflow, cfg, 10)
+		})
+		if err != nil {
+			return entryLat{}, err
 		}
-		base := float64(lat["Chiron"])
-		row := []string{entry.Name, render.Ms(lat["Chiron"])}
+		lat := map[string]time.Duration{}
+		for i, sys := range systems {
+			lat[sys.Name] = lats[i]
+		}
+		return entryLat{name: entry.Name, lat: lat}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sums = map[string]float64{}
+	for _, r := range results {
+		base := float64(r.lat["Chiron"])
+		row := []string{r.name, render.Ms(r.lat["Chiron"])}
 		for _, sys := range systems {
-			norm := float64(lat[sys.Name]) / base
+			norm := float64(r.lat[sys.Name]) / base
 			row = append(row, render.F2(norm))
 			sums[sys.Name] += norm
-			_ = norm
 		}
-		count++
 		t.AddRow(row...)
 	}
 	avg := []string{"geo-mean-ish(avg)", ""}
 	for _, sys := range systems {
-		avg = append(avg, render.F2(sums[sys.Name]/float64(count)))
+		avg = append(avg, render.F2(sums[sys.Name]/float64(len(results))))
 	}
 	t.AddRow(avg...)
 	t.AddNote("paper: Chiron cuts latency 89.9%%/37.5%%/32.1%%/25.1%% on average vs ASF/OpenFaaS/SAND/Faastlane")
@@ -74,36 +82,45 @@ func Fig14SLOViolations(cfg Config) (*render.Table, error) {
 		Title:   "SLO violation rate (SLO = Faastlane mean + 10ms)",
 		Columns: []string{"workload", "slo", "Faastlane", "Chiron"},
 	}
-	var flSum, chSum float64
-	rows := 0
-	for _, entry := range suite(cfg) {
-		set, err := profileOf(entry.Workflow, cfg)
+	type entryRates struct {
+		name   string
+		slo    time.Duration
+		fl, ch float64
+	}
+	results, err := mapEntries(suite(cfg), func(entry workloads.Entry) (entryRates, error) {
+		set, slo, err := workloadBasics(entry.Workflow, cfg)
 		if err != nil {
-			return nil, err
+			return entryRates{}, err
 		}
-		slo, err := faastlaneSLO(entry.Workflow, cfg)
-		if err != nil {
-			return nil, err
-		}
-		rates := map[string]float64{}
-		for _, sys := range []*platform.System{platform.Faastlane(cfg.Const), platform.Chiron(cfg.Const)} {
+		systems := []*platform.System{platform.Faastlane(cfg.Const), platform.Chiron(cfg.Const)}
+		rates, err := mapSystems(systems, func(sys *platform.System) (float64, error) {
 			d, err := deploy(sys, entry.Workflow, set, slo)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			env := d.sys.Env()
 			env.Seed = cfg.Seed + 7
 			lats, err := engine.RunMany(entry.Workflow, d.plan, env, cfg.Requests)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			rates[sys.Name] = metrics.ViolationRate(lats, slo)
+			return metrics.ViolationRate(lats, slo), nil
+		})
+		if err != nil {
+			return entryRates{}, err
 		}
-		t.AddRow(entry.Name, render.Ms(slo), render.Pct(rates["Faastlane"]), render.Pct(rates["Chiron"]))
-		flSum += rates["Faastlane"]
-		chSum += rates["Chiron"]
-		rows++
+		return entryRates{name: entry.Name, slo: slo, fl: rates[0], ch: rates[1]}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	var flSum, chSum float64
+	for _, r := range results {
+		t.AddRow(r.name, render.Ms(r.slo), render.Pct(r.fl), render.Pct(r.ch))
+		flSum += r.fl
+		chSum += r.ch
+	}
+	rows := len(results)
 	t.AddNote("means: Faastlane %.1f%%, Chiron %.1f%%", flSum/float64(rows)*100, chSum/float64(rows)*100)
 	t.AddNote("paper: Chiron averages 1.3%% violations, far below Faastlane")
 	return t, nil
@@ -137,7 +154,7 @@ func Fig15LatencyCDF(cfg Config) (*render.Table, error) {
 		Title:   fmt.Sprintf("FINRA-%d per-function completion time percentiles", par),
 		Columns: []string{"system", "p25", "p50", "p75", "p90", "p99"},
 	}
-	for _, sys := range systems {
+	rows, err := mapSystems(systems, func(sys *platform.System) ([]string, error) {
 		d, err := deploy(sys, w, set, slo)
 		if err != nil {
 			return nil, err
@@ -155,12 +172,18 @@ func Fig15LatencyCDF(cfg Config) (*render.Table, error) {
 				finishes = append(finishes, ft.Finish)
 			}
 		}
-		t.AddRow(sys.Name,
+		return []string{sys.Name,
 			render.Ms(metrics.Percentile(finishes, 0.25)),
 			render.Ms(metrics.Percentile(finishes, 0.50)),
 			render.Ms(metrics.Percentile(finishes, 0.75)),
 			render.Ms(metrics.Percentile(finishes, 0.90)),
-			render.Ms(metrics.Percentile(finishes, 0.99)))
+			render.Ms(metrics.Percentile(finishes, 0.99))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("paper: pool systems start fastest but long-tail under skew; Chiron variants start and finish fastest overall (up to 32.5%% faster)")
 	return t, nil

@@ -10,6 +10,7 @@ import (
 	"chiron/internal/gnn"
 	"chiron/internal/lstm"
 	"chiron/internal/mlbase"
+	"chiron/internal/parallel"
 	"chiron/internal/pgp"
 	"chiron/internal/platform"
 	"chiron/internal/predict"
@@ -218,38 +219,52 @@ func Fig12PredictionError(cfg Config) (*render.Table, error) {
 	}
 	var chironAll, rfrAll, lstmAll, gnnAll float64
 	rows := 0
+	type appErrs struct {
+		chiron, rfr, lstm, gnn float64
+		candidates             int
+	}
 	for _, mode := range modes {
 		// Gather every app's candidates for this mode first: the learned
 		// baselines train on the *other* apps' deployments, which is what
 		// exposes their core weakness — "lack of diversity in training
 		// data, including various structures of workflows and function
-		// workloads, can limit their applicability".
-		data := make([]*appData, len(apps))
-		for ai, app := range apps {
+		// workloads, can limit their applicability". Apps are independent
+		// here, so build their candidate sets on the worker pool; the
+		// leave-one-out training below needs all of them (a true barrier).
+		data, err := mapEntries(apps, func(app workloads.Entry) (*appData, error) {
 			set, err := profileOf(app.Workflow, cfg)
 			if err != nil {
 				return nil, err
 			}
-			d, err := buildAppData(app.Workflow, set, mode, cfg)
-			if err != nil {
-				return nil, err
-			}
-			data[ai] = d
+			return buildAppData(app.Workflow, set, mode, cfg)
+		})
+		if err != nil {
+			return nil, err
 		}
-		for ai, app := range apps {
+		// Each holdout trains its own models — independent again.
+		errs, err := parallel.Map(len(apps), func(ai int) (appErrs, error) {
 			d := data[ai]
-			chironErr := meanF(d.chironErrs)
 			rfrErr, lstmErr, gnnErr, err := learnedErrors(data, ai, cfg)
 			if err != nil {
-				return nil, err
+				return appErrs{}, err
 			}
+			return appErrs{
+				chiron: meanF(d.chironErrs), rfr: rfrErr, lstm: lstmErr, gnn: gnnErr,
+				candidates: len(d.y),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for ai, app := range apps {
+			e := errs[ai]
 			t.AddRow(app.Name, mode,
-				render.Pct(chironErr), render.Pct(rfrErr), render.Pct(lstmErr), render.Pct(gnnErr),
-				fmt.Sprint(len(d.y)))
-			chironAll += chironErr
-			rfrAll += rfrErr
-			lstmAll += lstmErr
-			gnnAll += gnnErr
+				render.Pct(e.chiron), render.Pct(e.rfr), render.Pct(e.lstm), render.Pct(e.gnn),
+				fmt.Sprint(e.candidates))
+			chironAll += e.chiron
+			rfrAll += e.rfr
+			lstmAll += e.lstm
+			gnnAll += e.gnn
 			rows++
 		}
 	}
@@ -272,21 +287,44 @@ type appData struct {
 
 func buildAppData(w *dag.Workflow, set profiler.Set, mode string, cfg Config) (*appData, error) {
 	pred := predict.New(cfg.Const, set)
-	d := &appData{}
-	for _, p := range enumerateWraps(w, mode, cfg) {
+	cands := enumerateWraps(w, mode, cfg)
+	// Each candidate's ground truth is three engine runs — the expensive
+	// part of Figure 12. Candidates are independent, so fan them out.
+	type sample struct {
+		y     float64
+		chErr float64
+		flat  []float64
+		seq   [][]float64
+		graph *gnn.Graph
+	}
+	samples, err := parallel.Map(len(cands), func(i int) (sample, error) {
+		p := cands[i]
 		truth, err := groundTruth(w, p, cfg)
 		if err != nil {
-			return nil, err
+			return sample{}, err
 		}
 		est, err := pred.Workflow(w, p)
 		if err != nil {
-			return nil, err
+			return sample{}, err
 		}
-		d.y = append(d.y, truth.Seconds()*1000)
-		d.chironErrs = append(d.chironErrs, absFrac(est, truth))
-		d.flat = append(d.flat, flatFeatures(w, set, p, cfg))
-		d.seqs = append(d.seqs, seqFeatures(w, set, p, cfg))
-		d.graphs = append(d.graphs, graphFeatures(w, set, p, cfg))
+		return sample{
+			y:     truth.Seconds() * 1000,
+			chErr: absFrac(est, truth),
+			flat:  flatFeatures(w, set, p, cfg),
+			seq:   seqFeatures(w, set, p, cfg),
+			graph: graphFeatures(w, set, p, cfg),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &appData{}
+	for _, s := range samples {
+		d.y = append(d.y, s.y)
+		d.chironErrs = append(d.chironErrs, s.chErr)
+		d.flat = append(d.flat, s.flat)
+		d.seqs = append(d.seqs, s.seq)
+		d.graphs = append(d.graphs, s.graph)
 	}
 	return d, nil
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"chiron/internal/cost"
+	"chiron/internal/parallel"
 	"chiron/internal/platform"
 	"chiron/internal/render"
 	"chiron/internal/workloads"
@@ -18,37 +19,50 @@ func Fig16MemoryThroughput(cfg Config) (*render.Table, error) {
 		Title:   "Normalized memory (Chiron = 1.0) and max per-node throughput (req/s)",
 		Columns: append([]string{"workload", "metric", "Chiron-abs"}, names(systems)...),
 	}
-	for _, entry := range suite(cfg) {
-		set, err := profileOf(entry.Workflow, cfg)
+	type memThr struct{ mem, thr float64 }
+	type entryRes struct {
+		name string
+		by   map[string]memThr
+	}
+	results, err := mapEntries(suite(cfg), func(entry workloads.Entry) (entryRes, error) {
+		set, slo, err := workloadBasics(entry.Workflow, cfg)
 		if err != nil {
-			return nil, err
+			return entryRes{}, err
 		}
-		slo, err := faastlaneSLO(entry.Workflow, cfg)
-		if err != nil {
-			return nil, err
-		}
-		mem := map[string]float64{}
-		thr := map[string]float64{}
-		for _, sys := range systems {
+		vals, err := mapSystems(systems, func(sys *platform.System) (memThr, error) {
 			d, err := deploy(sys, entry.Workflow, set, slo)
 			if err != nil {
-				return nil, err
+				return memThr{}, err
 			}
 			m, err := d.memoryMB(entry.Workflow, cfg)
 			if err != nil {
-				return nil, err
+				return memThr{}, err
 			}
 			r, err := d.throughput(entry.Workflow, cfg)
 			if err != nil {
-				return nil, err
+				return memThr{}, err
 			}
-			mem[sys.Name], thr[sys.Name] = m, r
+			return memThr{mem: m, thr: r}, nil
+		})
+		if err != nil {
+			return entryRes{}, err
 		}
-		memRow := []string{entry.Name, "memory", render.F1(mem["Chiron"]) + "MB"}
-		thrRow := []string{entry.Name, "throughput", render.F1(thr["Chiron"]) + "rps"}
+		by := map[string]memThr{}
+		for i, sys := range systems {
+			by[sys.Name] = vals[i]
+		}
+		return entryRes{name: entry.Name, by: by}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		ch := r.by["Chiron"]
+		memRow := []string{r.name, "memory", render.F1(ch.mem) + "MB"}
+		thrRow := []string{r.name, "throughput", render.F1(ch.thr) + "rps"}
 		for _, sys := range systems {
-			memRow = append(memRow, render.F2(mem[sys.Name]/mem["Chiron"]))
-			thrRow = append(thrRow, render.F2(thr[sys.Name]/thr["Chiron"]))
+			memRow = append(memRow, render.F2(r.by[sys.Name].mem/ch.mem))
+			thrRow = append(thrRow, render.F2(r.by[sys.Name].thr/ch.thr))
 		}
 		t.AddRow(memRow...)
 		t.AddRow(thrRow...)
@@ -70,26 +84,38 @@ func Fig17CPUAllocation(cfg Config) (*render.Table, error) {
 		Title:   "Normalized CPU allocation (Chiron = 1.0)",
 		Columns: append([]string{"workload", "Chiron-abs"}, names(systems)...),
 	}
-	for _, entry := range suite(cfg) {
-		set, err := profileOf(entry.Workflow, cfg)
+	type entryCPUs struct {
+		name string
+		cpus map[string]int
+	}
+	results, err := mapEntries(suite(cfg), func(entry workloads.Entry) (entryCPUs, error) {
+		set, slo, err := workloadBasics(entry.Workflow, cfg)
 		if err != nil {
-			return nil, err
+			return entryCPUs{}, err
 		}
-		slo, err := faastlaneSLO(entry.Workflow, cfg)
-		if err != nil {
-			return nil, err
-		}
-		cpus := map[string]int{}
-		for _, sys := range systems {
+		vals, err := mapSystems(systems, func(sys *platform.System) (int, error) {
 			d, err := deploy(sys, entry.Workflow, set, slo)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			cpus[sys.Name] = d.plan.TotalCPUs()
+			return d.plan.TotalCPUs(), nil
+		})
+		if err != nil {
+			return entryCPUs{}, err
 		}
-		row := []string{entry.Name, render.F1(float64(cpus["Chiron"]))}
+		cpus := map[string]int{}
+		for i, sys := range systems {
+			cpus[sys.Name] = vals[i]
+		}
+		return entryCPUs{name: entry.Name, cpus: cpus}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		row := []string{r.name, render.F1(float64(r.cpus["Chiron"]))}
 		for _, sys := range systems {
-			row = append(row, render.F2(float64(cpus[sys.Name])/float64(cpus["Chiron"])))
+			row = append(row, render.F2(float64(r.cpus[sys.Name])/float64(r.cpus["Chiron"])))
 		}
 		t.AddRow(row...)
 	}
@@ -111,24 +137,22 @@ func Fig18NoGIL(cfg Config) (*render.Table, error) {
 		{Name: "SLApp", Workflow: workloads.InJava(workloads.SLApp())},
 		{Name: "FINRA-5", Workflow: workloads.InJava(workloads.FINRA(5))},
 	}
-	for _, entry := range apps {
-		set, err := profileOf(entry.Workflow, cfg)
+	scenarios := []struct {
+		label string
+		sys   func() *platform.System
+	}{
+		{"One-to-One", func() *platform.System { return platform.OpenFaaS(cfg.Const) }},
+		{"Many-to-One", func() *platform.System { return platform.Faastlane(cfg.Const) }},
+		{"Chiron", func() *platform.System { return platform.Chiron(cfg.Const) }},
+	}
+	rowsPer, err := mapEntries(apps, func(entry workloads.Entry) ([][]string, error) {
+		set, slo, err := workloadBasics(entry.Workflow, cfg)
 		if err != nil {
 			return nil, err
 		}
-		slo, err := faastlaneSLO(entry.Workflow, cfg)
-		if err != nil {
-			return nil, err
-		}
-		for _, sc := range []struct {
-			label string
-			sys   *platform.System
-		}{
-			{"One-to-One", platform.OpenFaaS(cfg.Const)},
-			{"Many-to-One", platform.Faastlane(cfg.Const)},
-			{"Chiron", platform.Chiron(cfg.Const)},
-		} {
-			d, err := deploy(sc.sys, entry.Workflow, set, slo)
+		return parallel.Map(len(scenarios), func(i int) ([]string, error) {
+			sc := scenarios[i]
+			d, err := deploy(sc.sys(), entry.Workflow, set, slo)
 			if err != nil {
 				return nil, err
 			}
@@ -140,7 +164,15 @@ func Fig18NoGIL(cfg Config) (*render.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(entry.Name, sc.label, render.Ms(lat), render.F1(thr))
+			return []string{entry.Name, sc.label, render.Ms(lat), render.F1(thr)}, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range rowsPer {
+		for _, row := range rows {
+			t.AddRow(row...)
 		}
 	}
 	t.AddNote("paper: even GIL-free, Chiron lifts throughput up to 4.9x (5x/3.1x vs one-to-one/many-to-one) via resource efficiency")
@@ -157,34 +189,46 @@ func Fig19DollarCost(cfg Config) (*render.Table, error) {
 		Title:   "Cost per 1M requests normalized to Chiron (Chiron absolute in $)",
 		Columns: append([]string{"workload", "Chiron-$"}, names(systems)...),
 	}
-	for _, entry := range suite(cfg) {
-		set, err := profileOf(entry.Workflow, cfg)
+	type entryCost struct {
+		name    string
+		dollars map[string]float64
+	}
+	results, err := mapEntries(suite(cfg), func(entry workloads.Entry) (entryCost, error) {
+		set, slo, err := workloadBasics(entry.Workflow, cfg)
 		if err != nil {
-			return nil, err
+			return entryCost{}, err
 		}
-		slo, err := faastlaneSLO(entry.Workflow, cfg)
-		if err != nil {
-			return nil, err
-		}
-		dollars := map[string]float64{}
-		for _, sys := range systems {
+		vals, err := mapSystems(systems, func(sys *platform.System) (float64, error) {
 			d, err := deploy(sys, entry.Workflow, set, slo)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := d.runOnce(entry.Workflow, cfg)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			b, err := cost.Request(cfg.Const, entry.Workflow, d.plan, res, sys.BillsPerTransition)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			dollars[sys.Name] = b.PerMillion()
+			return b.PerMillion(), nil
+		})
+		if err != nil {
+			return entryCost{}, err
 		}
-		row := []string{entry.Name, "$" + render.F2(dollars["Chiron"])}
+		dollars := map[string]float64{}
+		for i, sys := range systems {
+			dollars[sys.Name] = vals[i]
+		}
+		return entryCost{name: entry.Name, dollars: dollars}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		row := []string{r.name, "$" + render.F2(r.dollars["Chiron"])}
 		for _, sys := range systems {
-			row = append(row, render.F1(dollars[sys.Name]/dollars["Chiron"]))
+			row = append(row, render.F1(r.dollars[sys.Name]/r.dollars["Chiron"]))
 		}
 		t.AddRow(row...)
 	}

@@ -21,12 +21,19 @@ package gil
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"chiron/internal/behavior"
 	"chiron/internal/cfs"
 	"chiron/internal/sim"
 )
+
+// kernelPool recycles event kernels across Simulate calls. Simulate fully
+// drains its kernel before returning, so a Reset hands the next caller a
+// pristine kernel that keeps the previous run's heap capacity — the
+// allocation that used to dominate short predictions under PGP's search.
+var kernelPool = sync.Pool{New: func() interface{} { return sim.New() }}
 
 // SpawnMode selects how threads come into existence.
 type SpawnMode int
@@ -232,9 +239,14 @@ type simulator struct {
 // given (specs, Options) pair.
 func Simulate(specs []*behavior.Spec, opt Options) *Result {
 	opt.normalize()
+	k := kernelPool.Get().(*sim.Kernel)
+	defer func() {
+		k.Reset()
+		kernelPool.Put(k)
+	}()
 	s := &simulator{
 		opt:     opt,
-		k:       sim.New(),
+		k:       k,
 		rng:     rand.New(rand.NewSource(opt.Seed)),
 		free:    opt.Procs,
 		workers: opt.Workers,

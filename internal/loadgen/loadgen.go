@@ -15,11 +15,18 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"chiron/internal/metrics"
+	"chiron/internal/parallel"
 	"chiron/internal/sim"
 )
+
+// kernelPool recycles event kernels across runs: MaxRate's binary search
+// alone performs ~15 simulations, and each one queues tens of thousands of
+// events whose heap storage is worth keeping warm.
+var kernelPool = sync.Pool{New: func() interface{} { return sim.New() }}
 
 // Server models the serving fleet: how many instances exist and the
 // empirical distribution of one request's service time.
@@ -88,7 +95,11 @@ func Simulate(s Server, rate float64, opt Options) (*Stats, error) {
 		opt.Duration = 30 * time.Second
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
-	k := sim.New()
+	k := kernelPool.Get().(*sim.Kernel)
+	defer func() {
+		k.Reset()
+		kernelPool.Put(k)
+	}()
 
 	free := s.Instances
 	type pending struct{ arrived time.Duration }
@@ -146,6 +157,22 @@ func Simulate(s Server, rate float64, opt Options) (*Stats, error) {
 		P99:      metrics.Percentile(sojourns, 0.99),
 		MaxQueue: maxQueue,
 	}, nil
+}
+
+// SweepRates simulates every offered rate on the parallel worker pool and
+// returns the stats in rate order. Each rate gets an independent seed
+// derived from opt.Seed and its index (parallel.Seed), so the sweep's
+// output is identical at any worker count and no two rates share an
+// arrival stream.
+func SweepRates(s Server, rates []float64, opt Options) ([]*Stats, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return parallel.Map(len(rates), func(i int) (*Stats, error) {
+		o := opt
+		o.Seed = parallel.Seed(opt.Seed, i)
+		return Simulate(s, rates[i], o)
+	})
 }
 
 // MaxRate binary-searches the highest arrival rate whose p95 sojourn time

@@ -3,6 +3,8 @@ package loadgen
 import (
 	"testing"
 	"time"
+
+	"chiron/internal/parallel"
 )
 
 func fixedServer(instances int, svc time.Duration) Server {
@@ -123,5 +125,36 @@ func TestValidation(t *testing.T) {
 	}
 	if _, err := MaxRate(fixedServer(1, time.Millisecond), 0, Options{}); err == nil {
 		t.Error("zero SLO accepted")
+	}
+}
+
+func TestSweepRatesDeterministicAcrossWorkerCounts(t *testing.T) {
+	s := fixedServer(3, 8*time.Millisecond)
+	rates := []float64{50, 100, 200, 300}
+	run := func(workers int) []*Stats {
+		prev := parallel.Workers()
+		parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		out, err := SweepRates(s, rates, Options{Seed: 9, Duration: 2 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := run(1)
+	par := run(8)
+	for i := range rates {
+		if seq[i].Mean != par[i].Mean || seq[i].Served != par[i].Served || seq[i].P99 != par[i].P99 {
+			t.Fatalf("rate %v differs between 1 and 8 workers: %+v vs %+v", rates[i], seq[i], par[i])
+		}
+	}
+	// Distinct rates must not share an arrival stream: the derived seeds
+	// differ, so equal rates at different indices still draw differently.
+	same, err := SweepRates(s, []float64{100, 100}, Options{Seed: 9, Duration: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same[0].Mean == same[1].Mean && same[0].Served == same[1].Served && same[0].P99 == same[1].P99 {
+		t.Fatal("identical stats for distinct sweep indices — seeds not derived per index")
 	}
 }

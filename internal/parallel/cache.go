@@ -1,0 +1,205 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+}
+
+// Cache is a sharded, bounded, thread-safe LRU keyed by string. Shards cut
+// lock contention under parallel planners (in the spirit of samber/hot's
+// sharded cache); each shard holds capacity/shards entries and evicts its
+// own least-recently-used entry on overflow.
+//
+// The cache stores only values that are pure functions of their key, so a
+// concurrent double-compute or an eviction changes wall-clock time, never
+// results — determinism does not depend on cache state.
+type Cache[V any] struct {
+	shards []cacheShard[V]
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	evicts atomic.Uint64
+}
+
+// NewCache returns a cache holding at most capacity entries across the
+// given number of shards (both floored at 1; shards are capped at
+// capacity so every shard can hold at least one entry).
+func NewCache[V any](capacity, shards int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	c := &Cache[V]{shards: make([]cacheShard[V], shards)}
+	per := capacity / shards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].init(per)
+	}
+	return c
+}
+
+// fnv1a is the 64-bit FNV-1a hash, used only for shard selection.
+func fnv1a(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (c *Cache[V]) shard(key string) *cacheShard[V] {
+	return &c.shards[fnv1a(key)%uint64(len(c.shards))]
+}
+
+// Get returns the cached value and whether it was present, promoting the
+// entry to most-recently-used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	v, ok := c.shard(key).get(key)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put inserts or refreshes an entry, evicting the shard's LRU entry when
+// the shard is full.
+func (c *Cache[V]) Put(key string, v V) {
+	if c.shard(key).put(key, v) {
+		c.evicts.Add(1)
+	}
+}
+
+// GetOrCompute returns the cached value for key, computing and inserting
+// it on a miss. Concurrent callers may compute the same key twice; both
+// arrive at the same value (keys determine values), so the only cost is
+// duplicated work, never divergent results.
+func (c *Cache[V]) GetOrCompute(key string, fn func() V) V {
+	if v, ok := c.Get(key); ok {
+		return v
+	}
+	v := fn()
+	c.Put(key, v)
+	return v
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		n += c.shards[i].len()
+	}
+	return n
+}
+
+// Purge empties the cache, keeping capacity; counters are unaffected.
+func (c *Cache[V]) Purge() {
+	for i := range c.shards {
+		c.shards[i].purge()
+	}
+}
+
+// Stats returns cumulative hit/miss/eviction counters.
+func (c *Cache[V]) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evicts.Load(),
+	}
+}
+
+// cacheShard is one lock domain: a map into an intrusive doubly-linked
+// list ordered most- to least-recently used.
+type cacheShard[V any] struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*cacheEntry[V]
+	// head.next is the MRU entry; head.prev the LRU (ring with sentinel).
+	head cacheEntry[V]
+}
+
+type cacheEntry[V any] struct {
+	key        string
+	val        V
+	prev, next *cacheEntry[V]
+}
+
+func (s *cacheShard[V]) init(capacity int) {
+	s.cap = capacity
+	s.m = make(map[string]*cacheEntry[V], capacity)
+	s.head.prev = &s.head
+	s.head.next = &s.head
+}
+
+func (s *cacheShard[V]) unlink(e *cacheEntry[V]) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (s *cacheShard[V]) pushFront(e *cacheEntry[V]) {
+	e.prev = &s.head
+	e.next = s.head.next
+	e.next.prev = e
+	s.head.next = e
+}
+
+func (s *cacheShard[V]) get(key string) (V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	s.unlink(e)
+	s.pushFront(e)
+	return e.val, true
+}
+
+func (s *cacheShard[V]) put(key string, v V) (evicted bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[key]; ok {
+		e.val = v
+		s.unlink(e)
+		s.pushFront(e)
+		return false
+	}
+	if len(s.m) >= s.cap {
+		lru := s.head.prev
+		s.unlink(lru)
+		delete(s.m, lru.key)
+		evicted = true
+	}
+	e := &cacheEntry[V]{key: key, val: v}
+	s.m[key] = e
+	s.pushFront(e)
+	return evicted
+}
+
+func (s *cacheShard[V]) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+func (s *cacheShard[V]) purge() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = make(map[string]*cacheEntry[V], s.cap)
+	s.head.prev = &s.head
+	s.head.next = &s.head
+}

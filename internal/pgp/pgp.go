@@ -22,14 +22,12 @@ package pgp
 
 import (
 	"fmt"
-	"runtime"
-	"strings"
-	"sync"
 	"time"
 
 	"chiron/internal/behavior"
 	"chiron/internal/dag"
 	"chiron/internal/model"
+	"chiron/internal/parallel"
 	"chiron/internal/predict"
 	"chiron/internal/profiler"
 	"chiron/internal/wrap"
@@ -66,8 +64,12 @@ type Options struct {
 	Iso wrap.IsolationKind
 	// Style selects the execution-mode family.
 	Style Style
-	// Parallelism caps concurrent exploration of process counts
-	// (default: GOMAXPROCS).
+	// Parallelism is the exploration window: how many process counts are
+	// evaluated per batch of the incremental search (default 8). It is a
+	// *search* parameter, deliberately decoupled from the worker-pool
+	// width, so plans are bit-for-bit identical on every machine and at
+	// every -parallel setting; the parallel pool merely decides how many
+	// of a window's candidates run concurrently.
 	Parallelism int
 	// MaxSwapCandidates caps the Kernighan-Lin candidate scan per
 	// iteration (default 400), the scalability guard for very wide
@@ -84,7 +86,7 @@ func (o *Options) defaults() {
 		o.Safety = 1.1
 	}
 	if o.Parallelism <= 0 {
-		o.Parallelism = runtime.GOMAXPROCS(0)
+		o.Parallelism = 8
 	}
 	if o.MaxSwapCandidates <= 0 {
 		o.MaxSwapCandidates = 400
@@ -133,7 +135,7 @@ func Plan(w *dag.Workflow, profiles profiler.Set, opt Options) (*Result, error) 
 	}
 	pred := predict.New(opt.Const, profiles)
 	pred.Safety = opt.Safety
-	pl := &planner{w: w, opt: opt, pred: pred, execMemo: make(map[string]time.Duration)}
+	pl := &planner{w: w, opt: opt, pred: pred}
 	pl.findPinned()
 	if opt.Style == PoolStyle {
 		if len(pl.pinned) > 0 {
@@ -186,28 +188,19 @@ type planner struct {
 	// pinned names functions that must occupy a dedicated single-function
 	// wrap (runtime or shared-file conflicts, Section 3.4).
 	pinned map[string]bool
-
-	memoMu   sync.Mutex
-	execMemo map[string]time.Duration
 }
 
-// exec returns the memoized Algorithm 1 prediction for one process group.
+// exec returns the Algorithm 1 prediction for one process group through
+// the process-wide prediction cache (predict.ExecThreadsCached). The cache
+// replaces the old per-planner memo: repeated group predictions — across
+// KL iterations, across process-count candidates, across adapt re-plans
+// and across experiments — are simulated once per process.
 func (pl *planner) exec(group []string) time.Duration {
-	key := strings.Join(group, "\x00")
-	pl.memoMu.Lock()
-	if d, ok := pl.execMemo[key]; ok {
-		pl.memoMu.Unlock()
-		return d
-	}
-	pl.memoMu.Unlock()
-	d, err := pl.pred.ExecThreads(group, pl.opt.Iso)
+	d, err := pl.pred.ExecThreadsCached(group, pl.opt.Iso)
 	if err != nil {
 		// Profiles were checked up front; this is a programming error.
 		panic("pgp: " + err.Error())
 	}
-	pl.memoMu.Lock()
-	pl.execMemo[key] = d
-	pl.memoMu.Unlock()
 	return d
 }
 
@@ -417,6 +410,12 @@ type swapRec struct {
 // predicted stage latency, lock the swapped elements, repeat until one
 // side is exhausted; then keep only the prefix of swaps with the best
 // cumulative gain.
+//
+// Candidate swaps within one iteration are independent predictions, so
+// they are priced over the worker pool. Selection is the earliest
+// candidate (in scan order) achieving the minimal latency — exactly the
+// element the sequential strict-less-than scan would keep — so refined
+// partitions are identical at every worker count.
 func (pl *planner) kernighanLin(groups [][]string, sizes []int, pinned []string, a, b int) {
 	ga, gb := groups[a], groups[b]
 	lockedA := make([]bool, len(ga))
@@ -424,10 +423,10 @@ func (pl *planner) kernighanLin(groups [][]string, sizes []int, pinned []string,
 	cur := pl.stageLatency(groups, sizes, pinned)
 	var recs []swapRec
 
+	type swapCand struct{ ai, bi int }
+	cands := make([]swapCand, 0, min(len(ga)*len(gb), pl.opt.MaxSwapCandidates))
 	for {
-		bestAi, bestBi := -1, -1
-		bestAfter := time.Duration(1<<62 - 1)
-		scanned := 0
+		cands = cands[:0]
 	scan:
 		for ai := range ga {
 			if lockedA[ai] {
@@ -437,22 +436,36 @@ func (pl *planner) kernighanLin(groups [][]string, sizes []int, pinned []string,
 				if lockedB[bi] {
 					continue
 				}
-				if scanned >= pl.opt.MaxSwapCandidates {
+				if len(cands) >= pl.opt.MaxSwapCandidates {
 					break scan
 				}
-				scanned++
-				ga[ai], gb[bi] = gb[bi], ga[ai]
-				after := pl.stageLatency(groups, sizes, pinned)
-				ga[ai], gb[bi] = gb[bi], ga[ai]
-				if after < bestAfter {
-					bestAfter = after
-					bestAi, bestBi = ai, bi
-				}
+				cands = append(cands, swapCand{ai, bi})
 			}
 		}
-		if bestAi < 0 {
+		if len(cands) == 0 {
 			break
 		}
+		afters := make([]time.Duration, len(cands))
+		if parallel.Workers() == 1 {
+			// Sequential fast path: swap in place, no copies.
+			for ci, c := range cands {
+				ga[c.ai], gb[c.bi] = gb[c.bi], ga[c.ai]
+				afters[ci] = pl.stageLatency(groups, sizes, pinned)
+				ga[c.ai], gb[c.bi] = gb[c.bi], ga[c.ai]
+			}
+		} else {
+			parallel.ForEach(len(cands), func(ci int) {
+				c := cands[ci]
+				afters[ci] = pl.stageLatencySwapped(groups, sizes, pinned, a, b, c.ai, c.bi)
+			})
+		}
+		best := 0
+		for ci := 1; ci < len(afters); ci++ {
+			if afters[ci] < afters[best] {
+				best = ci
+			}
+		}
+		bestAi, bestBi, bestAfter := cands[best].ai, cands[best].bi, afters[best]
 		ga[bestAi], gb[bestBi] = gb[bestBi], ga[bestAi]
 		recs = append(recs, swapRec{ai: bestAi, bi: bestBi, gain: cur - bestAfter})
 		cur = bestAfter
@@ -474,6 +487,18 @@ func (pl *planner) kernighanLin(groups [][]string, sizes []int, pinned []string,
 		r := recs[i]
 		ga[r.ai], gb[r.bi] = gb[r.bi], ga[r.ai]
 	}
+}
+
+// stageLatencySwapped prices the partition with groups[a][ai] and
+// groups[b][bi] exchanged, without mutating the shared slices — the
+// race-free evaluation used when swap candidates are priced concurrently.
+func (pl *planner) stageLatencySwapped(groups [][]string, sizes []int, pinned []string, a, b, ai, bi int) time.Duration {
+	ga := append([]string(nil), groups[a]...)
+	gb := append([]string(nil), groups[b]...)
+	ga[ai], gb[bi] = gb[bi], ga[ai]
+	g2 := append([][]string(nil), groups...)
+	g2[a], g2[b] = ga, gb
+	return pl.stageLatency(g2, sizes, pinned)
 }
 
 // candidate is one explored process count.
@@ -517,16 +542,14 @@ func (pl *planner) planHybrid() (*Result, error) {
 		if hi > m {
 			hi = m
 		}
-		cands := make([]candidate, hi-base+1)
-		var wg sync.WaitGroup
-		for n := base; n <= hi; n++ {
-			wg.Add(1)
-			go func(n int) {
-				defer wg.Done()
-				cands[n-base] = evalOne(n)
-			}(n)
-		}
-		wg.Wait()
+		// The window's candidates are explored over the shared worker
+		// pool (the paper's Scheduler "can use multiple processes to
+		// explore wrap partition under various number of processes in
+		// parallel"); results land in ascending-n order regardless of
+		// scheduling, so the selection below is deterministic.
+		cands, _ := parallel.Map(hi-base+1, func(i int) (candidate, error) {
+			return evalOne(base + i), nil
+		})
 		improved := false
 		for _, c := range cands {
 			meets := pl.opt.SLO > 0 && c.total <= pl.opt.SLO

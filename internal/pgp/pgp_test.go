@@ -7,6 +7,7 @@ import (
 	"chiron/internal/behavior"
 	"chiron/internal/dag"
 	"chiron/internal/model"
+	"chiron/internal/parallel"
 	"chiron/internal/predict"
 	"chiron/internal/profiler"
 	"chiron/internal/wrap"
@@ -477,5 +478,85 @@ func TestNodeWorkflowPrefersProcesses(t *testing.T) {
 	node := mk(behavior.NodeJS)
 	if node <= py {
 		t.Fatalf("Node plan uses %d processes, Python %d; worker-thread cost should push PGP toward forks", node, py)
+	}
+}
+
+// skewedWorkflow builds a stage heterogeneous enough that the
+// Kernighan-Lin pass actually runs (the homogeneous shortcut skips it).
+func skewedWorkflow(t *testing.T) (*dag.Workflow, profiler.Set) {
+	t.Helper()
+	var fns []*behavior.Spec
+	for i := 0; i < 12; i++ {
+		d := 2 * time.Millisecond
+		if i%4 == 0 {
+			d = 18 * time.Millisecond
+		}
+		fns = append(fns, cpuFn(vname(i), d))
+	}
+	w, err := dag.FromStages("skewed", 0, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, set
+}
+
+func TestPlanDeterministicAcrossWorkerCounts(t *testing.T) {
+	w, set := skewedWorkflow(t)
+	opt := Options{Const: model.Default(), SLO: 40 * time.Millisecond}
+
+	planAt := func(workers int) *Result {
+		parallel.SetWorkers(workers)
+		res, err := Plan(w, set, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	defer parallel.SetWorkers(0)
+	seq := planAt(1)
+	par := planAt(8)
+
+	if seq.Predicted != par.Predicted {
+		t.Fatalf("predicted latency diverged: %v vs %v", seq.Predicted, par.Predicted)
+	}
+	if len(seq.Trace) != len(par.Trace) {
+		t.Fatalf("trace lengths diverged: %d vs %d", len(seq.Trace), len(par.Trace))
+	}
+	for i := range seq.Trace {
+		if seq.Trace[i] != par.Trace[i] {
+			t.Fatalf("trace step %d diverged: %+v vs %+v", i, seq.Trace[i], par.Trace[i])
+		}
+	}
+	for name, loc := range seq.Plan.Loc {
+		if par.Plan.Loc[name] != loc {
+			t.Fatalf("placement of %s diverged: %+v vs %+v", name, loc, par.Plan.Loc[name])
+		}
+	}
+}
+
+func TestPlanUsesSharedPredictionCache(t *testing.T) {
+	w, set := finraN(t, 10, 2*time.Millisecond)
+	opt := Options{Const: model.Default(), SLO: 60 * time.Millisecond}
+	if _, err := Plan(w, set, opt); err != nil {
+		t.Fatal(err)
+	}
+	before := predict.ExecCacheStats()
+	// A second plan over identical profiles must be served almost
+	// entirely from the process-wide cache.
+	if _, err := Plan(w, set, opt); err != nil {
+		t.Fatal(err)
+	}
+	after := predict.ExecCacheStats()
+	hits := after.Hits - before.Hits
+	misses := after.Misses - before.Misses
+	if hits == 0 {
+		t.Fatal("replan produced no cache hits")
+	}
+	if misses > hits/10 {
+		t.Fatalf("replan missed too often: %d misses vs %d hits", misses, hits)
 	}
 }

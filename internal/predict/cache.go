@@ -1,0 +1,87 @@
+package predict
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"time"
+
+	"chiron/internal/parallel"
+	"chiron/internal/wrap"
+)
+
+// execCache is the process-wide prediction cache: Algorithm-1 group
+// predictions keyed by (constants, profile contents, isolation, group).
+// Keys are content fingerprints, not planner identities, so every PGP
+// planner, adapt re-plan and experiment in the process shares one cache —
+// a group priced once is never simulated again, no matter which component
+// asks. Entries are pure functions of their key, so cache state can change
+// wall-clock time but never results.
+var execCache = parallel.NewCache[time.Duration](1<<15, 16)
+
+// ExecCacheStats exposes the shared cache's counters (benchmarks track the
+// hit rate across re-plans).
+func ExecCacheStats() parallel.CacheStats { return execCache.Stats() }
+
+// PurgeExecCache empties the shared cache (tests that measure cold-path
+// behaviour).
+func PurgeExecCache() { execCache.Purge() }
+
+// fingerprint returns the predictor's content fingerprint: a hash of the
+// calibrated constants and every profile's full content. Two predictors
+// built from identical calibrations and profile sets — e.g. an adapt
+// controller re-profiling an unchanged workload — produce the same
+// fingerprint and therefore share cache entries.
+func (p *Predictor) fingerprint() string {
+	p.fpOnce.Do(func() {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%+v", p.Const)
+		names := make([]string, 0, len(p.Profiles))
+		for name := range p.Profiles {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			prof := p.Profiles[name]
+			fmt.Fprintf(h, "|%s:%d:%v:%g:%d", name, prof.Solo, prof.Runtime, prof.MemMB, prof.OutputBytes)
+			for _, per := range prof.Periods {
+				fmt.Fprintf(h, ";%d,%d,%d", per.Start, per.End, per.Kind)
+			}
+			for _, f := range prof.Files {
+				fmt.Fprintf(h, ";f=%s", f)
+			}
+		}
+		p.fp = fmt.Sprintf("%016x", h.Sum64())
+	})
+	return p.fp
+}
+
+// execKey builds the cache key for one process group under one isolation
+// mechanism. Function names cannot contain the separators (dag validation
+// rejects control characters in practice; the fingerprint prefix keeps
+// cross-profile collisions impossible regardless).
+func (p *Predictor) execKey(names []string, iso wrap.IsolationKind) string {
+	var b strings.Builder
+	b.Grow(20 + len(names)*12)
+	b.WriteString(p.fingerprint())
+	fmt.Fprintf(&b, "|%v|", iso)
+	b.WriteString(strings.Join(names, "\x1f"))
+	return b.String()
+}
+
+// ExecThreadsCached is ExecThreads through the process-wide prediction
+// cache. PGP's candidate search and adapt's re-plans call this on the hot
+// path; identical groups (same profiles, same isolation) are simulated
+// once per process and then served from the sharded LRU.
+func (p *Predictor) ExecThreadsCached(names []string, iso wrap.IsolationKind) (time.Duration, error) {
+	if d, ok := execCache.Get(p.execKey(names, iso)); ok {
+		return d, nil
+	}
+	d, err := p.ExecThreads(names, iso)
+	if err != nil {
+		return 0, err
+	}
+	execCache.Put(p.execKey(names, iso), d)
+	return d, nil
+}

@@ -11,6 +11,7 @@ package predict
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"chiron/internal/behavior"
@@ -33,6 +34,12 @@ type Predictor struct {
 	// the latency, avoiding performance violation resulting from
 	// mispredictions", Section 6.2).
 	Safety float64
+
+	// fp memoizes the content fingerprint that keys the shared
+	// prediction cache (cache.go). Computed once; Const and Profiles
+	// must not be mutated after the first cached prediction.
+	fpOnce sync.Once
+	fp     string
 }
 
 // New returns a Predictor with no safety margin.

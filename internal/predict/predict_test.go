@@ -352,3 +352,79 @@ func TestNodeWorkerThreadsCostly(t *testing.T) {
 		t.Fatalf("Node worker threads (%v) should far exceed CPython threads (%v)", node, py)
 	}
 }
+
+func TestExecThreadsCachedMatchesUncached(t *testing.T) {
+	p := harness(t, finra(t, 6))
+	names := []string{"va", "vb", "vc"}
+	for _, iso := range []wrap.IsolationKind{wrap.IsoNone, wrap.IsoMPK} {
+		want, err := p.ExecThreads(names, iso)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			got, err := p.ExecThreadsCached(names, iso)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("iso %v: cached %v != uncached %v", iso, got, want)
+			}
+		}
+	}
+}
+
+func TestExecCacheSharesAcrossPredictors(t *testing.T) {
+	// Two predictors over identical profile contents must key the same
+	// cache entries: that is what makes adapt re-plans (fresh profiling,
+	// unchanged behaviour) nearly free.
+	w := finra(t, 6)
+	p1 := harness(t, w)
+	p2 := harness(t, w)
+	names := []string{"va", "vb", "vc", "vd"}
+	if _, err := p1.ExecThreadsCached(names, wrap.IsoNone); err != nil {
+		t.Fatal(err)
+	}
+	before := ExecCacheStats()
+	if _, err := p2.ExecThreadsCached(names, wrap.IsoNone); err != nil {
+		t.Fatal(err)
+	}
+	after := ExecCacheStats()
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("second predictor missed the shared cache: %+v -> %+v", before, after)
+	}
+}
+
+func TestExecCacheKeyedByConstantsAndIso(t *testing.T) {
+	w := finra(t, 4)
+	p1 := harness(t, w)
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := model.Default()
+	c2.GILInterval *= 2
+	p2 := New(c2, set)
+	names := []string{"va", "vb"}
+	if p1.execKey(names, wrap.IsoNone) == p2.execKey(names, wrap.IsoNone) {
+		t.Fatal("different constants produced identical cache keys")
+	}
+	if p1.execKey(names, wrap.IsoNone) == p1.execKey(names, wrap.IsoMPK) {
+		t.Fatal("isolation not part of the cache key")
+	}
+	// Distinct keys must also behave as distinct entries: warm one key,
+	// then confirm the other two still miss.
+	if _, err := p1.ExecThreadsCached(names, wrap.IsoNone); err != nil {
+		t.Fatal(err)
+	}
+	before := ExecCacheStats()
+	if _, err := p2.ExecThreadsCached(names, wrap.IsoNone); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.ExecThreadsCached(names, wrap.IsoMPK); err != nil {
+		t.Fatal(err)
+	}
+	after := ExecCacheStats()
+	if got := after.Misses - before.Misses; got != 2 {
+		t.Fatalf("expected 2 cold lookups for distinct keys, got %d (stats %+v -> %+v)", got, before, after)
+	}
+}

@@ -19,14 +19,28 @@ type Event struct {
 	seq  uint64
 	fn   func()
 	dead bool
+	k    *Kernel // owning kernel while queued; nil once fired or collected
 }
 
 // Time returns the virtual time at which the event fires (or fired).
 func (e *Event) Time() time.Duration { return e.at }
 
 // Cancel prevents a pending event from firing. Cancelling an already-fired
-// or already-cancelled event is a no-op.
-func (e *Event) Cancel() { e.dead = true }
+// or already-cancelled event is a no-op. Dead events are dropped lazily:
+// they stay in the heap until popped, or until more than half the queue is
+// dead, at which point the kernel compacts in one O(n) pass — cancel-heavy
+// models (timeout races) no longer pay heap churn per cancellation.
+func (e *Event) Cancel() {
+	if e.dead || e.k == nil {
+		return
+	}
+	e.dead = true
+	k := e.k
+	k.dead++
+	if k.dead*2 > len(k.queue) {
+		k.compact()
+	}
+}
 
 type eventHeap []*Event
 
@@ -49,17 +63,37 @@ func (h *eventHeap) Pop() interface{} {
 }
 
 // Kernel is a single-threaded discrete-event scheduler. It is not safe for
-// concurrent use; all model code runs inside event callbacks.
+// concurrent use; all model code runs inside event callbacks. Parallel
+// harnesses give each task its own kernel (or reuse one via Reset).
 type Kernel struct {
 	now    time.Duration
 	seq    uint64
 	queue  eventHeap
+	dead   int // cancelled events still occupying the heap
 	fired  uint64
 	budget uint64 // max events per Run, 0 = unlimited
 }
 
 // New returns an empty kernel at virtual time zero.
 func New() *Kernel { return &Kernel{} }
+
+// Reset returns the kernel to its initial state — virtual time zero, no
+// queued events, counters and budget cleared — while keeping the heap's
+// allocated capacity, so pooled workers can reuse kernels across tasks
+// without reallocating. Events still held by the caller are detached: a
+// later Cancel on them is a no-op.
+func (k *Kernel) Reset() {
+	for i, ev := range k.queue {
+		ev.k = nil
+		k.queue[i] = nil
+	}
+	k.queue = k.queue[:0]
+	k.now = 0
+	k.seq = 0
+	k.dead = 0
+	k.fired = 0
+	k.budget = 0
+}
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() time.Duration { return k.now }
@@ -78,7 +112,7 @@ func (k *Kernel) At(t time.Duration, fn func()) *Event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling at %v which is before now %v", t, k.now))
 	}
-	ev := &Event{at: t, seq: k.seq, fn: fn}
+	ev := &Event{at: t, seq: k.seq, fn: fn, k: k}
 	k.seq++
 	heap.Push(&k.queue, ev)
 	return ev
@@ -96,14 +130,49 @@ func (k *Kernel) After(d time.Duration, fn func()) *Event {
 // exhausted before the queue drains.
 var ErrBudget = fmt.Errorf("sim: event budget exhausted")
 
+// compact drops all dead events in one pass and re-establishes the heap
+// invariant. Relative order of live events is preserved by (at, seq).
+func (k *Kernel) compact() {
+	live := k.queue[:0]
+	for _, ev := range k.queue {
+		if ev.dead {
+			ev.k = nil
+			continue
+		}
+		live = append(live, ev)
+	}
+	// Clear the tail so dropped events can be collected.
+	for i := len(live); i < len(k.queue); i++ {
+		k.queue[i] = nil
+	}
+	k.queue = live
+	k.dead = 0
+	heap.Init(&k.queue)
+}
+
+// pop removes and returns the next live event, or nil when the queue is
+// drained.
+func (k *Kernel) pop() *Event {
+	for k.queue.Len() > 0 {
+		ev := heap.Pop(&k.queue).(*Event)
+		ev.k = nil
+		if ev.dead {
+			k.dead--
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
 // Run fires events in order until the queue is empty. It returns ErrBudget
 // if SetBudget's cap is hit.
 func (k *Kernel) Run() error {
 	n := uint64(0)
-	for k.queue.Len() > 0 {
-		ev := heap.Pop(&k.queue).(*Event)
-		if ev.dead {
-			continue
+	for {
+		ev := k.pop()
+		if ev == nil {
+			return nil
 		}
 		k.now = ev.at
 		ev.fn()
@@ -113,7 +182,6 @@ func (k *Kernel) Run() error {
 			return ErrBudget
 		}
 	}
-	return nil
 }
 
 // RunUntil fires events in order while their time is <= deadline, leaving
@@ -121,7 +189,9 @@ func (k *Kernel) Run() error {
 func (k *Kernel) RunUntil(deadline time.Duration) {
 	for k.queue.Len() > 0 && k.queue[0].at <= deadline {
 		ev := heap.Pop(&k.queue).(*Event)
+		ev.k = nil
 		if ev.dead {
+			k.dead--
 			continue
 		}
 		k.now = ev.at
@@ -133,13 +203,8 @@ func (k *Kernel) RunUntil(deadline time.Duration) {
 	}
 }
 
-// Pending returns the number of live queued events.
+// Pending returns the number of live queued events in O(1), via the
+// kernel's live-event accounting rather than a queue scan.
 func (k *Kernel) Pending() int {
-	n := 0
-	for _, ev := range k.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
+	return len(k.queue) - k.dead
 }

@@ -174,3 +174,107 @@ func TestNestedSchedulingInterleaves(t *testing.T) {
 		t.Fatalf("sequence %q, want %q", got, want)
 	}
 }
+
+func TestPendingIsLiveCount(t *testing.T) {
+	k := New()
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		evs = append(evs, k.At(time.Duration(i+1), func() {}))
+	}
+	if k.Pending() != 10 {
+		t.Fatalf("Pending() = %d, want 10", k.Pending())
+	}
+	evs[0].Cancel()
+	evs[3].Cancel()
+	evs[3].Cancel() // double-cancel is a no-op
+	if k.Pending() != 8 {
+		t.Fatalf("Pending() = %d after 2 cancels, want 8", k.Pending())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Fired() != 8 {
+		t.Fatalf("Fired() = %d, want 8", k.Fired())
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Run, want 0", k.Pending())
+	}
+}
+
+func TestCancelCompactionKeepsOrder(t *testing.T) {
+	// Cancel-heavy load: schedule 1000 events, cancel all odd ones (the
+	// >50% threshold forces at least one compaction mid-stream), and
+	// check that the survivors still fire in (time, insertion) order.
+	k := New()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 1000; i++ {
+		i := i
+		evs = append(evs, k.At(time.Duration(1+i/4), func() { got = append(got, i) }))
+	}
+	for i := 1; i < 1000; i += 2 {
+		evs[i].Cancel()
+	}
+	if k.Pending() != 500 {
+		t.Fatalf("Pending() = %d, want 500", k.Pending())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 {
+		t.Fatalf("fired %d, want 500", len(got))
+	}
+	for j := 1; j < len(got); j++ {
+		a, b := got[j-1], got[j]
+		if a/4 > b/4 || (a/4 == b/4 && a > b) {
+			t.Fatalf("order violated after compaction: %d before %d", a, b)
+		}
+	}
+}
+
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	k := New()
+	ev := k.At(1, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ev.Cancel() // must not corrupt live-event accounting
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", k.Pending())
+	}
+}
+
+func TestResetReusesKernel(t *testing.T) {
+	k := New()
+	k.SetBudget(5)
+	stale := k.At(10, func() { t.Fatal("event from before Reset fired") })
+	k.At(20, func() {})
+	k.RunUntil(0)
+	k.Reset()
+	if k.Now() != 0 || k.Pending() != 0 || k.Fired() != 0 {
+		t.Fatalf("Reset left state: now=%v pending=%d fired=%d", k.Now(), k.Pending(), k.Fired())
+	}
+	stale.Cancel() // detached: must be a no-op on the reused kernel
+	fired := 0
+	for i := 0; i < 10; i++ {
+		k.At(time.Duration(i), func() { fired++ })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("budget must be cleared by Reset: %v", err)
+	}
+	if fired != 10 {
+		t.Fatalf("fired %d, want 10", fired)
+	}
+}
+
+func TestResetKeepsHeapCapacity(t *testing.T) {
+	k := New()
+	for i := 0; i < 1024; i++ {
+		k.At(time.Duration(i), func() {})
+	}
+	before := cap(k.queue)
+	k.Reset()
+	if cap(k.queue) != before {
+		t.Fatalf("Reset reallocated: cap %d -> %d", before, cap(k.queue))
+	}
+}
