@@ -10,10 +10,14 @@
 //	chiron-bench -parallel 1   # sequential run (identical output)
 //	chiron-bench -out results  # additionally write one .txt per experiment
 //	chiron-bench -list         # list experiment IDs
+//	chiron-bench -trace d      # write a Chrome trace of one FINRA-100 request to d/
+//	chiron-bench -metrics      # dump the metrics registry after the run
 //
 // Experiments fan out across a worker pool (-parallel, default NumCPU);
 // every experiment derives its tables from fixed seeds, so the output is
-// byte-identical at any worker count — only the wall-clock changes.
+// byte-identical at any worker count — only the wall-clock changes. Both
+// -out and -trace directories receive a run-manifest.json recording the
+// run's provenance (seed, constants fingerprint, flags, go version).
 package main
 
 import (
@@ -25,8 +29,14 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"chiron/internal/engine"
 	"chiron/internal/experiments"
+	"chiron/internal/obs"
 	"chiron/internal/parallel"
+	"chiron/internal/platform"
+	"chiron/internal/predict"
+	"chiron/internal/profiler"
+	"chiron/internal/workloads"
 )
 
 func main() {
@@ -40,6 +50,8 @@ func main() {
 		workers = flag.Int("parallel", runtime.NumCPU(), "worker-pool width (1 = sequential; output is identical either way)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		trace   = flag.String("trace", "", "directory for a Chrome trace (trace.json), text timeline and manifest of one FINRA-100 Chiron request")
+		metrics = flag.Bool("metrics", false, "dump the obs metrics registry (Prometheus text) after the run")
 	)
 	flag.Parse()
 
@@ -72,6 +84,39 @@ func main() {
 	cfg.Seed = *seed
 	if *reqs > 0 {
 		cfg.Requests = *reqs
+	}
+
+	// Run provenance: every -out and -trace directory gets this manifest.
+	setFlags := map[string]string{}
+	expSet := false
+	flag.Visit(func(f *flag.Flag) {
+		setFlags[f.Name] = f.Value.String()
+		if f.Name == "exp" {
+			expSet = true
+		}
+	})
+	man := obs.Manifest{
+		Tool:        "chiron-bench",
+		GoVersion:   runtime.Version(),
+		Seed:        cfg.Seed,
+		Workers:     parallel.Workers(),
+		Quick:       cfg.Quick,
+		Requests:    cfg.Requests,
+		ConstantsFP: obs.Fingerprint(cfg.Const),
+		Flags:       setFlags,
+		CreatedAt:   time.Now().UTC().Format(time.RFC3339),
+	}
+
+	if *trace != "" {
+		if err := writeTrace(*trace, cfg, man); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: wrote trace.json, timeline.txt and %s to %s\n", obs.ManifestName, *trace)
+		if !expSet {
+			// A bare -trace run is about the trace, not the tables.
+			printRunStats(*metrics)
+			return
+		}
 	}
 
 	ids := experiments.Order
@@ -116,7 +161,18 @@ func main() {
 			}
 		}
 	}
+	if *out != "" {
+		m := man
+		m.Experiments = ids
+		for _, e := range workloads.Suite() {
+			m.Workloads = append(m.Workloads, e.Name)
+		}
+		if err := m.WriteFile(*out); err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Printf("done: %d experiment(s) in %v\n", len(ids), time.Since(start).Round(time.Millisecond))
+	printRunStats(*metrics)
 
 	if *memProf != "" {
 		f, err := os.Create(*memProf)
@@ -129,6 +185,70 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// printRunStats reports the shared prediction cache and worker-pool
+// counters, and optionally the whole metrics registry.
+func printRunStats(dumpMetrics bool) {
+	cs := predict.ExecCacheStats()
+	ps := parallel.Stats()
+	hitRate := 0.0
+	if total := cs.Hits + cs.Misses; total > 0 {
+		hitRate = float64(cs.Hits) / float64(total) * 100
+	}
+	fmt.Printf("prediction cache: %d hits / %d misses / %d evictions (%.1f%% hit rate)\n",
+		cs.Hits, cs.Misses, cs.Evictions, hitRate)
+	fmt.Printf("worker pool: %d spawned / %d inline tasks, mean wait %v, mean run %v\n",
+		ps.Spawned, ps.Inline, ps.MeanWait.Round(time.Microsecond), ps.MeanRun.Round(time.Microsecond))
+	if dumpMetrics {
+		fmt.Println()
+		if err := obs.Default.WriteProm(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeTrace runs one FINRA-100 request on the Chiron deployment with
+// tracing on and writes the Chrome trace, a text timeline and the run
+// manifest into dir. The trace is in virtual time, so its bytes depend
+// only on (workflow, plan, seed) — never on -parallel.
+func writeTrace(dir string, cfg experiments.Config, man obs.Manifest) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	w := workloads.FINRA(100)
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	sys := platform.Chiron(cfg.Const)
+	plan, err := sys.Plan(w, set, 0)
+	if err != nil {
+		return err
+	}
+	env := sys.Env()
+	env.Seed = cfg.Seed
+	tr := obs.NewTrace()
+	env.Rec = tr
+	if _, err := engine.Run(w, plan, env); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "timeline.txt"), []byte(tr.Timeline(112)), 0o644); err != nil {
+		return err
+	}
+	man.Workloads = []string{w.Name}
+	return man.WriteFile(dir)
 }
 
 func fatal(err error) {

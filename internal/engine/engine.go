@@ -20,6 +20,7 @@ import (
 	"chiron/internal/gil"
 	"chiron/internal/model"
 	"chiron/internal/netsim"
+	"chiron/internal/obs"
 	"chiron/internal/parallel"
 	"chiron/internal/proc"
 	"chiron/internal/wrap"
@@ -77,6 +78,12 @@ type Env struct {
 	Seed int64
 	// Record keeps per-function timeline slices (Figure 5).
 	Record bool
+	// Rec, when non-nil, receives the request's span tree and instant
+	// events (package obs): request → stage → wrap → function spans plus
+	// fork, GIL, cold-start, IPC/RPC and boundary events, all stamped
+	// from the virtual clock. Tracing implies slice recording internally;
+	// a nil Rec costs the hot path a single nil-check.
+	Rec obs.Recorder
 }
 
 // FunctionTiming is one function's absolute schedule within the request.
@@ -100,6 +107,11 @@ type WrapResult struct {
 	InvokedAt time.Duration
 	// Done is when the wrap's result was back at the orchestrator.
 	Done time.Duration
+	// Cold is the container-boot cost this wrap paid (zero when warm).
+	Cold time.Duration
+	// RPC is the response hand-back cost for remote wraps (zero for the
+	// local wrap and platform-dispatched sandboxes).
+	RPC time.Duration
 	// Exec is the wrap-internal execution detail.
 	Exec *proc.Result
 }
@@ -208,6 +220,9 @@ func (r *runner) run() (*Result, error) {
 			}
 		}
 	}
+	if r.env.Rec != nil {
+		r.emitTrace(res)
+	}
 	return res, nil
 }
 
@@ -238,6 +253,7 @@ func (r *runner) runStage(i int, t0 time.Duration) (*StageResult, error) {
 				Sandbox:   sw.Sandbox,
 				InvokedAt: invokeAt + cold,
 				Done:      done,
+				Cold:      cold,
 				Exec:      exec,
 			})
 			if done > end {
@@ -255,21 +271,21 @@ func (r *runner) runStage(i int, t0 time.Duration) (*StageResult, error) {
 		for _, sw := range wraps {
 			exec := r.execWrap(sw, i)
 			cold := r.coldStart(sw.Sandbox)
-			var invokeAt, done time.Duration
+			var invokeAt, done, rpc time.Duration
 			if sw.Sandbox == 0 {
 				invokeAt = t0
 				done = t0 + cold + exec.Total
 			} else {
 				remoteRank++
 				inv := r.jitter(time.Duration(remoteRank) * c.InvokeCost)
-				rpc := r.jitter(c.RPCCost)
+				rpc = r.jitter(c.RPCCost)
 				invokeAt = t0 + inv
 				done = invokeAt + cold + exec.Total + rpc
 				if inv+rpc > st.Sched {
 					st.Sched = inv + rpc
 				}
 			}
-			st.Wraps = append(st.Wraps, WrapResult{Sandbox: sw.Sandbox, InvokedAt: invokeAt, Done: done, Exec: exec})
+			st.Wraps = append(st.Wraps, WrapResult{Sandbox: sw.Sandbox, InvokedAt: invokeAt, Done: done, Cold: cold, RPC: rpc, Exec: exec})
 			if done > end {
 				end = done
 			}
@@ -330,7 +346,9 @@ func (r *runner) execWrap(sw wrap.StageWrap, stage int) *proc.Result {
 		MainResident: sw.HasMainProc() && !sw.Cfg.ForkPerRequest,
 		Fidelity:     r.env.Fidelity,
 		Seed:         r.env.Seed + int64(stage)*31337 + int64(sw.Sandbox)*977,
-		Record:       r.env.Record,
+		// Tracing needs the per-thread slice timelines to derive GIL
+		// events; recording never changes simulated timings.
+		Record: r.env.Record || r.env.Rec != nil,
 	}
 	switch sw.Cfg.Iso {
 	case wrap.IsoMPK:

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"chiron/internal/gil"
+	"chiron/internal/obs"
+)
+
+// emitTrace narrates the finished request to env.Rec as a span tree:
+// the latency decomposition the paper argues from (scheduling share,
+// fork block time, GIL contention, cold starts, IPC/RPC boundaries)
+// becomes one event per cost instead of one aggregate number.
+//
+// Track model: PID 0 is the request/orchestrator track; sandbox s is
+// pseudo-process s+1, whose TID 0 carries the wrap span and fork/IPC/
+// RPC events and whose TID 1+i carries function i's span and slice
+// detail. All timestamps are request-relative virtual time, so the
+// trace is a pure function of (workflow, plan, env) — byte-identical
+// at any worker count.
+func (r *runner) emitTrace(res *Result) {
+	rec := r.env.Rec
+	tr, named := rec.(*obs.Trace)
+	if named {
+		tr.NameProcess(0, "request")
+	}
+	rec.RecordSpan(obs.Span{
+		PID: 0, TID: 0, Name: "request " + r.w.Name, Cat: obs.CatRequest,
+		Start: 0, End: res.E2E,
+		Args: []obs.Arg{
+			obs.A("workflow", r.w.Name),
+			obs.A("stages", len(res.Stages)),
+			obs.A("seed", r.env.Seed),
+			obs.A("sched_total", res.SchedTotal()),
+		},
+	})
+
+	// Runtime lookup: GIL events only make sense for pseudo-parallel
+	// runtimes (a Java thread's Run slice holds no interpreter lock).
+	pseudo := make(map[string]bool)
+	for _, st := range r.w.Stages {
+		for _, fn := range st.Functions {
+			pseudo[fn.Name] = fn.Runtime.PseudoParallel()
+		}
+	}
+
+	for si, st := range res.Stages {
+		rec.RecordSpan(obs.Span{
+			PID: 0, TID: 0, Name: fmt.Sprintf("stage %d", si), Cat: obs.CatStage,
+			Start: st.Start, End: st.End,
+			Args: []obs.Arg{
+				obs.A("sched", st.Sched),
+				obs.A("wraps", len(st.Wraps)),
+			},
+		})
+		if st.Boundary > 0 {
+			rec.RecordSpan(obs.Span{
+				PID: 0, TID: 0, Name: fmt.Sprintf("boundary %d->%d", si, si+1),
+				Cat: obs.CatBoundary, Start: st.End, End: st.End + st.Boundary,
+			})
+			rec.RecordInstant(obs.Instant{
+				PID: 0, TID: 0, Name: "boundary", Cat: obs.CatBoundary, At: st.End,
+				Args: []obs.Arg{obs.A("dur", st.Boundary)},
+			})
+		}
+		for _, wr := range st.Wraps {
+			r.emitWrap(rec, named, tr, si, wr, pseudo)
+		}
+	}
+}
+
+func (r *runner) emitWrap(rec obs.Recorder, named bool, tr *obs.Trace, si int, wr WrapResult, pseudo map[string]bool) {
+	pid := wr.Sandbox + 1
+	if named {
+		tr.NameProcess(pid, fmt.Sprintf("sandbox %d", wr.Sandbox))
+	}
+	rec.RecordSpan(obs.Span{
+		PID: pid, TID: 0, Name: fmt.Sprintf("s%d.wrap", si), Cat: obs.CatWrap,
+		Start: wr.InvokedAt, End: wr.Done,
+		Args: []obs.Arg{
+			obs.A("stage", si),
+			obs.A("sandbox", wr.Sandbox),
+			obs.A("functions", len(wr.Exec.Functions)),
+		},
+	})
+	if wr.Cold > 0 {
+		rec.RecordInstant(obs.Instant{
+			PID: pid, TID: 0, Name: "coldstart", Cat: obs.CatCold, At: wr.InvokedAt,
+			Args: []obs.Arg{obs.A("dur", wr.Cold)},
+		})
+	}
+	// Function timings are wrap-relative; InvokedAt is the base the
+	// engine itself uses when assembling Result.Functions.
+	base := wr.InvokedAt
+	for pj, pt := range wr.Exec.Procs {
+		if pt.ExecStart > pt.ForkAt {
+			rec.RecordInstant(obs.Instant{
+				PID: pid, TID: 0, Name: "fork", Cat: obs.CatFork, At: base + pt.ForkAt,
+				Args: []obs.Arg{
+					obs.A("proc", pj),
+					obs.A("startup", pt.ExecStart-pt.ForkAt),
+				},
+			})
+		}
+	}
+	if wr.Exec.IPC > 0 {
+		from := base + wr.Exec.Compute
+		rec.RecordSpan(obs.Span{
+			PID: pid, TID: 0, Name: "ipc", Cat: obs.CatIPC,
+			Start: from, End: from + wr.Exec.IPC,
+		})
+		rec.RecordInstant(obs.Instant{
+			PID: pid, TID: 0, Name: "ipc", Cat: obs.CatIPC, At: from,
+			Args: []obs.Arg{obs.A("dur", wr.Exec.IPC)},
+		})
+	}
+	if wr.RPC > 0 {
+		rec.RecordSpan(obs.Span{
+			PID: pid, TID: 0, Name: "rpc", Cat: obs.CatRPC,
+			Start: wr.Done - wr.RPC, End: wr.Done,
+		})
+		rec.RecordInstant(obs.Instant{
+			PID: pid, TID: 0, Name: "rpc", Cat: obs.CatRPC, At: wr.Done - wr.RPC,
+			Args: []obs.Arg{obs.A("dur", wr.RPC)},
+		})
+	}
+	for fi, ft := range wr.Exec.Functions {
+		tid := fi + 1
+		start, end := base+ft.SpawnedAt, base+ft.Finish
+		if len(ft.Slices) > 0 && base+ft.Slices[0].From < start {
+			// Startup slices precede SpawnedAt; widen the span so slice
+			// detail nests inside it.
+			start = base + ft.Slices[0].From
+		}
+		rec.RecordSpan(obs.Span{
+			PID: pid, TID: tid, Name: ft.Name, Cat: obs.CatFunction,
+			Start: start, End: end,
+			Args: []obs.Arg{
+				obs.A("proc", ft.Proc),
+				obs.A("cpu", ft.CPUTime),
+				obs.A("block", ft.BlockTime),
+			},
+		})
+		emitSlices(rec, pid, tid, base, ft.Slices, pseudo[ft.Name])
+	}
+}
+
+// emitSlices renders a thread's timeline as slice spans plus GIL
+// instants: one gil.acquire when a contiguous on-CPU chain first takes
+// the token, gil.switch at every quantum preemption inside the chain,
+// and one gil.release when the chain ends at a blocking syscall or
+// thread exit (Figure 2's token passing, countable).
+func emitSlices(rec obs.Recorder, pid, tid int, base time.Duration, slices []gil.Slice, underGIL bool) {
+	holding := false
+	for k, sl := range slices {
+		from, to := base+sl.From, base+sl.To
+		rec.RecordSpan(obs.Span{
+			PID: pid, TID: tid, Name: sl.Kind.String(), Cat: obs.CatSlice,
+			Start: from, End: to,
+		})
+		if !underGIL || sl.Kind != gil.Run {
+			continue
+		}
+		if !holding {
+			rec.RecordInstant(obs.Instant{PID: pid, TID: tid, Name: obs.GILAcquire, Cat: obs.CatGIL, At: from})
+			holding = true
+		}
+		// Look past Wait slices: another Run continues the same CPU
+		// span (the boundary was a switch); Block or exit releases.
+		continues := false
+		for _, nx := range slices[k+1:] {
+			if nx.Kind == gil.Wait {
+				continue
+			}
+			continues = nx.Kind == gil.Run
+			break
+		}
+		if continues {
+			rec.RecordInstant(obs.Instant{PID: pid, TID: tid, Name: obs.GILSwitch, Cat: obs.CatGIL, At: to})
+		} else {
+			rec.RecordInstant(obs.Instant{PID: pid, TID: tid, Name: obs.GILRelease, Cat: obs.CatGIL, At: to})
+			holding = false
+		}
+	}
+}

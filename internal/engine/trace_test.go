@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"chiron/internal/dag"
+	"chiron/internal/model"
+	"chiron/internal/obs"
+	"chiron/internal/parallel"
+	"chiron/internal/pgp"
+	"chiron/internal/profiler"
+	"chiron/internal/workloads"
+	"chiron/internal/wrap"
+)
+
+// tracedFINRARun profiles FINRA-100, plans it with PGP (the Chiron
+// deployment) and runs one traced request, returning the trace and the
+// Chrome export bytes — the exact pipeline behind chiron-bench -trace.
+func tracedFINRARun(t testing.TB) (*obs.Trace, []byte) {
+	t.Helper()
+	w := workloads.FINRA(100)
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := model.Default()
+	res, err := pgp.Plan(w, set, pgp.Options{Const: c, Iso: wrap.IsoNone, Style: pgp.Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	env := Env{Const: c, Dispatch: DispatchNone, Boundary: BoundaryShared, Fidelity: true, Seed: 1, Rec: tr}
+	if _, err := Run(w, res.Plan, env); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return tr, buf.Bytes()
+}
+
+// TestGoldenTraceByteIdenticalAcrossWorkerCounts is the acceptance
+// pin: the virtual-time trace of a FINRA-100 Chiron request — profiling,
+// PGP planning and execution included — exports byte-identical Chrome
+// JSON with the worker pool at width 1 and width 8.
+func TestGoldenTraceByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	old := parallel.Workers()
+	defer parallel.SetWorkers(old)
+
+	parallel.SetWorkers(1)
+	_, seq := tracedFINRARun(t)
+	parallel.SetWorkers(8)
+	_, par := tracedFINRARun(t)
+	if !bytes.Equal(seq, par) {
+		t.Fatal("trace bytes differ between -parallel 1 and -parallel 8")
+	}
+	// And a second run at the same width is identical too (no hidden
+	// process-global state leaks into the trace).
+	_, again := tracedFINRARun(t)
+	if !bytes.Equal(par, again) {
+		t.Fatal("trace bytes differ between two identical runs")
+	}
+}
+
+// TestTraceSpanTree checks the structural contract of an engine trace:
+// exactly one request span on PID 0 covering the run, one stage span
+// per stage nested inside it, wrap spans on sandbox pseudo-processes,
+// fork instants for forked processes, and paired GIL events.
+func TestTraceSpanTree(t *testing.T) {
+	tr, _ := tracedFINRARun(t)
+
+	reqs := tr.SpansBy(obs.CatRequest)
+	if len(reqs) != 1 {
+		t.Fatalf("%d request spans, want 1", len(reqs))
+	}
+	req := reqs[0]
+	if req.PID != 0 || req.Start != 0 || req.End <= 0 {
+		t.Fatalf("request span = %+v", req)
+	}
+
+	stages := tr.SpansBy(obs.CatStage)
+	if len(stages) != 2 { // FINRA: fetch stage + validator fan-out stage
+		t.Fatalf("%d stage spans, want 2", len(stages))
+	}
+	for _, s := range stages {
+		if s.PID != 0 || s.Start < req.Start || s.End > req.End {
+			t.Fatalf("stage span %+v escapes request span %+v", s, req)
+		}
+	}
+
+	wraps := tr.SpansBy(obs.CatWrap)
+	if len(wraps) == 0 {
+		t.Fatal("no wrap spans")
+	}
+	for _, w := range wraps {
+		if w.PID == 0 {
+			t.Fatalf("wrap span on the request track: %+v", w)
+		}
+		if w.TID != 0 {
+			t.Fatalf("wrap span must ride the sandbox orchestrator row: %+v", w)
+		}
+	}
+
+	fns := tr.SpansBy(obs.CatFunction)
+	if len(fns) != 101 { // 1 fetch + 100 validators
+		t.Fatalf("%d function spans, want 101", len(fns))
+	}
+	for _, f := range fns {
+		if f.TID == 0 {
+			t.Fatalf("function span on TID 0: %+v", f)
+		}
+	}
+
+	// FINRA-100 packs multiple validator processes per wrap, so the
+	// engine must narrate forks; FINRA is Python, so GIL instants must
+	// exist and acquires must pair with releases.
+	if len(tr.InstantsBy("fork")) == 0 {
+		t.Fatal("no fork instants")
+	}
+	acq, rel := tr.InstantsBy(obs.GILAcquire), tr.InstantsBy(obs.GILRelease)
+	if len(acq) == 0 {
+		t.Fatal("no GIL acquire instants for a Python workflow")
+	}
+	if len(acq) != len(rel) {
+		t.Fatalf("%d GIL acquires vs %d releases", len(acq), len(rel))
+	}
+}
+
+// TestTracingDoesNotChangeResults pins that attaching a Recorder only
+// narrates the run: E2E and per-stage timings are identical with and
+// without tracing.
+func TestTracingDoesNotChangeResults(t *testing.T) {
+	w := workloads.FINRA(50)
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := model.Default()
+	pres, err := pgp.Plan(w, set, pgp.Options{Const: c, Iso: wrap.IsoNone, Style: pgp.Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Env{Const: c, Dispatch: DispatchNone, Boundary: BoundaryShared, Fidelity: true, Seed: 3}
+	plain, err := Run(w, pres.Plan, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Rec = obs.NewTrace()
+	traced, err := Run(w, pres.Plan, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.E2E != traced.E2E {
+		t.Fatalf("tracing changed E2E: %v vs %v", plain.E2E, traced.E2E)
+	}
+	for i := range plain.Stages {
+		if plain.Stages[i].End != traced.Stages[i].End {
+			t.Fatalf("tracing changed stage %d end", i)
+		}
+	}
+}
+
+// benchEnv builds a small deterministic run for the overhead benchmark.
+func benchSetup(b *testing.B) (*workflowPlanEnv, error) {
+	w := workloads.FINRA(5)
+	set, err := profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	c := model.Default()
+	res, err := pgp.Plan(w, set, pgp.Options{Const: c, Iso: wrap.IsoNone, Style: pgp.Hybrid})
+	if err != nil {
+		return nil, err
+	}
+	env := Env{Const: c, Dispatch: DispatchNone, Boundary: BoundaryShared, Fidelity: true, Seed: 1}
+	return &workflowPlanEnv{w: w, plan: res.Plan, env: env}, nil
+}
+
+type workflowPlanEnv struct {
+	w    *dag.Workflow
+	plan *wrap.Plan
+	env  Env
+}
+
+// BenchmarkRunTracingOff is the no-Recorder baseline: the hot path pays
+// one nil-check. Compare against BenchmarkRunTracingOn to measure the
+// cost of narration (BenchmarkRunTracingNop isolates call overhead).
+func BenchmarkRunTracingOff(b *testing.B) {
+	s, err := benchSetup(b)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(s.w, s.plan, s.env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunTracingNop(b *testing.B) {
+	s, err := benchSetup(b)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.env.Rec = obs.Nop{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(s.w, s.plan, s.env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunTracingOn(b *testing.B) {
+	s, err := benchSetup(b)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.env.Rec = obs.NewTrace()
+		if _, err := Run(s.w, s.plan, s.env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"chiron/internal/behavior"
 	"chiron/internal/dag"
 	"chiron/internal/model"
+	"chiron/internal/obs"
 	"chiron/internal/storage"
 	"chiron/internal/wrap"
 )
@@ -56,6 +57,12 @@ type Options struct {
 	Bindings map[string]Fn
 	// Timeout aborts the request (default 30s wall time).
 	Timeout time.Duration
+	// Rec, when non-nil, receives wall-clock spans and instant events
+	// (package obs): request/stage/wrap/function spans plus fork, GIL
+	// token acquire/switch/release and IPC/RPC events, stamped in
+	// nominal time (wall divided by Scale). Live traces are envelopes,
+	// not byte-stable artifacts.
+	Rec obs.Recorder
 }
 
 func (o *Options) scale() float64 {
@@ -102,6 +109,7 @@ func Run(w *dag.Workflow, plan *wrap.Plan, opt Options) (*Result, error) {
 		ctx:   ctx,
 		store: storage.NewMem(),
 		t0:    time.Now(),
+		tids:  map[int]int{},
 	}
 	for si := range w.Stages {
 		wraps, err := plan.StageWraps(w, si)
@@ -117,6 +125,16 @@ func Run(w *dag.Workflow, plan *wrap.Plan, opt Options) (*Result, error) {
 		Functions: r.timings,
 		Store:     r.store,
 	}
+	if rec := r.opt.Rec; rec != nil {
+		if tr, ok := rec.(*obs.Trace); ok {
+			tr.NameProcess(0, "request")
+		}
+		rec.RecordSpan(obs.Span{
+			PID: 0, TID: 0, Name: "request " + w.Name, Cat: obs.CatRequest,
+			Start: 0, End: res.E2E,
+			Args: []obs.Arg{obs.A("workflow", w.Name), obs.A("stages", len(w.Stages))},
+		})
+	}
 	return res, nil
 }
 
@@ -129,6 +147,27 @@ type runner struct {
 	mu      sync.Mutex
 	timings []FnTiming
 	runErr  error
+	tids    map[int]int // per-sandbox function-row allocator (tracing)
+}
+
+// nextTID hands out the next function thread row for a sandbox's
+// pseudo-process (TID 0 is the wrap orchestrator row).
+func (r *runner) nextTID(sandbox int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tids[sandbox]++
+	return r.tids[sandbox]
+}
+
+// instant emits a point event at the current nominal time.
+func (r *runner) instant(pid, tid int, name, cat string, args ...obs.Arg) {
+	if r.opt.Rec == nil {
+		return
+	}
+	r.opt.Rec.RecordInstant(obs.Instant{
+		PID: pid, TID: tid, Name: name, Cat: cat,
+		At: r.nominalSince(r.t0), Args: args,
+	})
 }
 
 // nominalSince converts a wall-clock span back to nominal time.
@@ -168,6 +207,7 @@ func (r *runner) record(t FnTiming) {
 // invocation stride and RPC cost, all joined at a barrier (stages are
 // strictly ordered).
 func (r *runner) runStage(si int, wraps []wrap.StageWrap) error {
+	stageStart := r.nominalSince(r.t0)
 	var wg sync.WaitGroup
 	remoteRank := 0
 	for i := range wraps {
@@ -184,10 +224,26 @@ func (r *runner) runStage(si int, wraps []wrap.StageWrap) error {
 			defer wg.Done()
 			r.sleep(delay)
 			r.runWrap(si, sw)
-			r.sleep(rpc)
+			if rpc > 0 {
+				from := r.nominalSince(r.t0)
+				r.sleep(rpc)
+				if rec := r.opt.Rec; rec != nil {
+					rec.RecordSpan(obs.Span{
+						PID: sw.Sandbox + 1, TID: 0, Name: "rpc", Cat: obs.CatRPC,
+						Start: from, End: r.nominalSince(r.t0),
+					})
+				}
+			}
 		}()
 	}
 	wg.Wait()
+	if rec := r.opt.Rec; rec != nil {
+		rec.RecordSpan(obs.Span{
+			PID: 0, TID: 0, Name: fmt.Sprintf("stage %d", si), Cat: obs.CatStage,
+			Start: stageStart, End: r.nominalSince(r.t0),
+			Args: []obs.Arg{obs.A("wraps", len(wraps))},
+		})
+	}
 	select {
 	case <-r.ctx.Done():
 		return fmt.Errorf("live: request timed out in stage %d", si)
@@ -203,8 +259,14 @@ func (r *runner) runStage(si int, wraps []wrap.StageWrap) error {
 // immediately, forked groups serialized by block time; results gathered
 // over pipes (modelled as a final sleep).
 func (r *runner) runWrap(si int, sw wrap.StageWrap) {
+	pid := sw.Sandbox + 1
+	if tr, ok := r.opt.Rec.(*obs.Trace); ok {
+		tr.NameProcess(pid, fmt.Sprintf("sandbox %d", sw.Sandbox))
+	}
+	wrapStart := r.nominalSince(r.t0)
 	if sw.Cfg.Pool {
 		r.runPool(si, sw)
+		r.emitWrapSpan(si, pid, wrapStart)
 		return
 	}
 	var wg sync.WaitGroup
@@ -214,6 +276,7 @@ func (r *runner) runWrap(si int, sw wrap.StageWrap) {
 		if !resident {
 			// The orchestrator issues this fork, then blocks the next
 			// one (Observation 2's sequential forking).
+			r.instant(pid, 0, "fork", obs.CatFork, obs.A("proc", g.Proc))
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -231,7 +294,26 @@ func (r *runner) runWrap(si int, sw wrap.StageWrap) {
 	}
 	wg.Wait()
 	if n := len(sw.Procs); n > 1 {
+		from := r.nominalSince(r.t0)
 		r.sleep(time.Duration(n-1) * r.opt.Const.IPCCost)
+		if rec := r.opt.Rec; rec != nil {
+			rec.RecordSpan(obs.Span{
+				PID: pid, TID: 0, Name: "ipc", Cat: obs.CatIPC,
+				Start: from, End: r.nominalSince(r.t0),
+			})
+		}
+	}
+	r.emitWrapSpan(si, pid, wrapStart)
+}
+
+// emitWrapSpan closes the wrap's orchestrator-row span.
+func (r *runner) emitWrapSpan(si, pid int, from time.Duration) {
+	if rec := r.opt.Rec; rec != nil {
+		rec.RecordSpan(obs.Span{
+			PID: pid, TID: 0, Name: fmt.Sprintf("s%d.wrap", si), Cat: obs.CatWrap,
+			Start: from, End: r.nominalSince(r.t0),
+			Args: []obs.Arg{obs.A("stage", si), obs.A("sandbox", pid-1)},
+		})
 	}
 }
 
@@ -301,12 +383,25 @@ func (r *runner) runPool(si int, sw wrap.StageWrap) {
 // otherwise, under the process GIL when one exists.
 func (r *runner) runFunction(si, sandbox int, fn *behavior.Spec, lock *gilLock) {
 	start := r.nominalSince(r.t0)
+	pid := sandbox + 1
+	tid := 0
+	var gilEv func(string)
+	if r.opt.Rec != nil {
+		tid = r.nextTID(sandbox)
+		gilEv = func(name string) { r.instant(pid, tid, name, obs.CatGIL) }
+	}
 	if bound, ok := r.opt.Bindings[fn.Name]; ok {
 		if lock != nil {
 			lock.acquire()
+			if gilEv != nil {
+				gilEv(obs.GILAcquire)
+			}
 		}
 		err := bound(&Ctx{Store: r.store, Spec: fn, Context: r.ctx})
 		if lock != nil {
+			if gilEv != nil {
+				gilEv(obs.GILRelease)
+			}
 			lock.release()
 		}
 		if err != nil {
@@ -321,15 +416,28 @@ func (r *runner) runFunction(si, sandbox int, fn *behavior.Spec, lock *gilLock) 
 			// CPU span: hold the GIL, yielding every switch interval.
 			lock.run(func(quantum time.Duration) {
 				r.sleepWall(quantum)
-			}, time.Duration(float64(seg.Dur)*r.opt.scale()))
+			}, time.Duration(float64(seg.Dur)*r.opt.scale()), gilEv)
 		}
 	}
-	r.record(FnTiming{Name: fn.Name, Stage: si, Sandbox: sandbox, Start: start, Finish: r.nominalSince(r.t0)})
+	finish := r.nominalSince(r.t0)
+	if rec := r.opt.Rec; rec != nil {
+		rec.RecordSpan(obs.Span{
+			PID: pid, TID: tid, Name: fn.Name, Cat: obs.CatFunction,
+			Start: start, End: finish,
+			Args: []obs.Arg{obs.A("stage", si)},
+		})
+	}
+	r.record(FnTiming{Name: fn.Name, Stage: si, Sandbox: sandbox, Start: start, Finish: finish})
 }
 
 // runFunctionOnCPUs executes a pool task: CPU spans occupy a cpu slot.
 func (r *runner) runFunctionOnCPUs(si, sandbox int, fn *behavior.Spec, cpus *cpuSet) {
 	start := r.nominalSince(r.t0)
+	pid := sandbox + 1
+	tid := 0
+	if r.opt.Rec != nil {
+		tid = r.nextTID(sandbox)
+	}
 	if bound, ok := r.opt.Bindings[fn.Name]; ok {
 		cpus.acquire()
 		err := bound(&Ctx{Store: r.store, Spec: fn, Context: r.ctx})
@@ -348,7 +456,15 @@ func (r *runner) runFunctionOnCPUs(si, sandbox int, fn *behavior.Spec, cpus *cpu
 			cpus.release()
 		}
 	}
-	r.record(FnTiming{Name: fn.Name, Stage: si, Sandbox: sandbox, Start: start, Finish: r.nominalSince(r.t0)})
+	finish := r.nominalSince(r.t0)
+	if rec := r.opt.Rec; rec != nil {
+		rec.RecordSpan(obs.Span{
+			PID: pid, TID: tid, Name: fn.Name, Cat: obs.CatFunction,
+			Start: start, End: finish,
+			Args: []obs.Arg{obs.A("stage", si)},
+		})
+	}
+	r.record(FnTiming{Name: fn.Name, Stage: si, Sandbox: sandbox, Start: start, Finish: finish})
 }
 
 // sleepWall sleeps a wall-clock duration (already scaled).
@@ -384,17 +500,33 @@ func (g *gilLock) acquire() { <-g.token }
 func (g *gilLock) release() { g.token <- struct{}{} }
 
 // run executes total wall-time of CPU work in quantum-sized slices,
-// acquiring the token for each slice.
-func (g *gilLock) run(slice func(time.Duration), total time.Duration) {
+// acquiring the token for each slice. ev (nil when tracing is off)
+// observes the token protocol: one acquire when the CPU span first
+// takes the token, a switch at every intermediate re-acquisition
+// (the timeout-triggered drop of Figure 2), one release at the end —
+// so a CPU span always carries exactly one gil.acquire.
+func (g *gilLock) run(slice func(time.Duration), total time.Duration, ev func(string)) {
+	first := true
 	for total > 0 {
 		q := g.quantum
 		if q <= 0 || q > total {
 			q = total
 		}
 		g.acquire()
+		if ev != nil {
+			if first {
+				ev(obs.GILAcquire)
+				first = false
+			} else {
+				ev(obs.GILSwitch)
+			}
+		}
 		slice(q)
-		g.release()
 		total -= q
+		if ev != nil && total <= 0 {
+			ev(obs.GILRelease)
+		}
+		g.release()
 	}
 }
 

@@ -1,0 +1,103 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+	"chiron/internal/obs"
+)
+
+// TestLiveTraceOneGILAcquirePerCPUSpan is the envelope the taxonomy
+// promises: in a single-threaded wrap, every contiguous CPU span takes
+// the GIL token exactly once (quantum re-acquisitions are switches, not
+// acquires) and releases it exactly once at the end.
+func TestLiveTraceOneGILAcquirePerCPUSpan(t *testing.T) {
+	spec := &behavior.Spec{
+		Name: "a", Runtime: behavior.Python,
+		Segments: []behavior.Segment{
+			{Kind: behavior.CPU, Dur: 20 * time.Millisecond},
+			{Kind: behavior.Sleep, Dur: 5 * time.Millisecond},
+			{Kind: behavior.CPU, Dur: 20 * time.Millisecond},
+		},
+		MemMB: 1,
+	}
+	w, err := dag.FromStages("wf", 0, []*behavior.Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := singleWrapPlan(w, map[string]int{"a": 0}, 1)
+	o := opts()
+	tr := obs.NewTrace()
+	o.Rec = tr
+	if _, err := Run(w, plan, o); err != nil {
+		t.Fatal(err)
+	}
+
+	acq := tr.InstantsBy(obs.GILAcquire)
+	rel := tr.InstantsBy(obs.GILRelease)
+	if len(acq) != 2 {
+		t.Fatalf("%d GIL acquires, want exactly 2 (one per CPU span)", len(acq))
+	}
+	if len(rel) != 2 {
+		t.Fatalf("%d GIL releases, want exactly 2", len(rel))
+	}
+	// Single-threaded: every GIL event rides the one function row.
+	for _, ev := range append(acq, rel...) {
+		if ev.PID != acq[0].PID || ev.TID != acq[0].TID {
+			t.Fatalf("GIL events scattered across tracks: %+v vs %+v", ev, acq[0])
+		}
+	}
+	// Switches only ever appear between an acquire and its release.
+	for _, sw := range tr.InstantsBy(obs.GILSwitch) {
+		if sw.At < acq[0].At || sw.At > rel[len(rel)-1].At {
+			t.Fatalf("GIL switch %v outside any held interval", sw.At)
+		}
+	}
+
+	if n := len(tr.SpansBy(obs.CatRequest)); n != 1 {
+		t.Fatalf("%d request spans, want 1", n)
+	}
+	if n := len(tr.SpansBy(obs.CatWrap)); n != 1 {
+		t.Fatalf("%d wrap spans, want 1", n)
+	}
+	fns := tr.SpansBy(obs.CatFunction)
+	if len(fns) != 1 || fns[0].Name != "a" || fns[0].TID == 0 {
+		t.Fatalf("function spans = %+v", fns)
+	}
+}
+
+// TestLiveTraceForkInstants checks that forked processes are narrated:
+// one fork instant per non-resident process on the wrap's orchestrator
+// row, and one function span per function.
+func TestLiveTraceForkInstants(t *testing.T) {
+	w, err := dag.FromStages("wf", 0, []*behavior.Spec{
+		cpuFn("a", 10*time.Millisecond), cpuFn("b", 10*time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := singleWrapPlan(w, map[string]int{"a": 1, "b": 2}, 2)
+	o := opts()
+	tr := obs.NewTrace()
+	o.Rec = tr
+	if _, err := Run(w, plan, o); err != nil {
+		t.Fatal(err)
+	}
+	forks := tr.InstantsBy("fork")
+	if len(forks) != 2 {
+		t.Fatalf("%d fork instants, want 2", len(forks))
+	}
+	for _, f := range forks {
+		if f.TID != 0 {
+			t.Fatalf("fork instant off the orchestrator row: %+v", f)
+		}
+	}
+	if n := len(tr.SpansBy(obs.CatFunction)); n != 2 {
+		t.Fatalf("%d function spans, want 2", n)
+	}
+	if n := len(tr.SpansBy(obs.CatIPC)); n != 1 {
+		t.Fatalf("%d IPC spans, want 1 (two procs share one wrap)", n)
+	}
+}

@@ -5,6 +5,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 )
@@ -22,7 +23,9 @@ func Mean(samples []time.Duration) time.Duration {
 }
 
 // Percentile returns the p-quantile (0 <= p <= 1) by nearest-rank on a
-// copy of the samples; it does not mutate its input.
+// copy of the samples; it does not mutate its input. Nearest-rank is
+// rank ceil(p*n): the smallest sample with at least a p fraction of the
+// data at or below it (so p = 0.5 over 5 samples is the 3rd smallest).
 func Percentile(samples []time.Duration, p float64) time.Duration {
 	if len(samples) == 0 {
 		return 0
@@ -32,7 +35,9 @@ func Percentile(samples []time.Duration, p float64) time.Duration {
 	}
 	sorted := append([]time.Duration(nil), samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(p*float64(len(sorted))) - 1
+	// The epsilon guards float noise: 0.95*100 is 95.00000000000001,
+	// which must stay rank 95, not ceil to 96.
+	idx := int(math.Ceil(p*float64(len(sorted))-1e-9)) - 1
 	if idx < 0 {
 		idx = 0
 	}

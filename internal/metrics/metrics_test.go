@@ -20,7 +20,8 @@ func TestMean(t *testing.T) {
 
 func TestPercentile(t *testing.T) {
 	samples := []time.Duration{ms(50), ms(10), ms(30), ms(20), ms(40)}
-	if got := Percentile(samples, 0.5); got != ms(20) {
+	// Nearest-rank: rank ceil(0.5*5) = 3, the 3rd smallest.
+	if got := Percentile(samples, 0.5); got != ms(30) {
 		t.Fatalf("p50 = %v", got)
 	}
 	if got := Percentile(samples, 1.0); got != ms(50) {
@@ -35,6 +36,40 @@ func TestPercentile(t *testing.T) {
 	}
 	if got := Percentile(nil, 0.5); got != 0 {
 		t.Fatalf("Percentile(nil) = %v", got)
+	}
+}
+
+// TestPercentileNearestRank pins the nearest-rank definition (rank
+// ceil(p*n)) across odd and even sample counts and the percentiles the
+// evaluation reports. Samples are 10ms, 20ms, ..., n*10ms shuffled, so
+// the k-th smallest is k*10ms and want is the expected rank directly.
+func TestPercentileNearestRank(t *testing.T) {
+	mk := func(n int) []time.Duration {
+		s := make([]time.Duration, n)
+		for i := range s {
+			// Fixed shuffle: fill back-to-front so input is unsorted.
+			s[n-1-i] = ms(10 * (i + 1))
+		}
+		return s
+	}
+	cases := []struct {
+		n    int
+		p    float64
+		rank int // expected nearest rank, 1-based
+	}{
+		{1, 0, 1}, {1, 0.5, 1}, {1, 1, 1},
+		{2, 0.5, 1}, {2, 0.95, 2}, {2, 1, 2},
+		{4, 0, 1}, {4, 0.5, 2}, {4, 0.95, 4}, {4, 0.99, 4}, {4, 1, 4},
+		{5, 0, 1}, {5, 0.5, 3}, {5, 0.95, 5}, {5, 0.99, 5}, {5, 1, 5},
+		{10, 0.5, 5}, {10, 0.95, 10}, {10, 0.99, 10},
+		{20, 0.5, 10}, {20, 0.95, 19}, {20, 0.99, 20},
+		// 0.95*100 floats to 95.00000000000001: must stay rank 95.
+		{100, 0.5, 50}, {100, 0.95, 95}, {100, 0.99, 99}, {100, 1, 100},
+	}
+	for _, tc := range cases {
+		if got, want := Percentile(mk(tc.n), tc.p), ms(10*tc.rank); got != want {
+			t.Errorf("Percentile(n=%d, p=%v) = %v, want rank %d (%v)", tc.n, tc.p, got, tc.rank, want)
+		}
 	}
 }
 

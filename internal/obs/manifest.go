@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Manifest records the provenance of one evaluation run: everything
+// needed to re-derive a results table byte-for-byte. It is written as
+// run-manifest.json next to every results/*.txt table, in the spirit
+// of SeBS-Flow's reproducibility packaging — a figure without its
+// manifest is an anecdote.
+type Manifest struct {
+	// Tool names the producing command ("chiron-bench").
+	Tool string `json:"tool"`
+	// GoVersion is runtime.Version() of the producing build.
+	GoVersion string `json:"go_version"`
+	// Seed is the jitter seed all experiments derived their streams from.
+	Seed int64 `json:"seed"`
+	// Workers is the parallel pool width (results are identical at any
+	// width; recorded for wall-clock context).
+	Workers int `json:"workers"`
+	// Quick marks trimmed CI-sized sweeps.
+	Quick bool `json:"quick"`
+	// Requests is the per-configuration sample count.
+	Requests int `json:"requests"`
+	// ConstantsFP fingerprints the calibrated model.Constants
+	// (Fingerprint), pinning the substrate calibration.
+	ConstantsFP string `json:"constants_fp"`
+	// Experiments lists the experiment IDs the run regenerated.
+	Experiments []string `json:"experiments,omitempty"`
+	// Workloads lists the workload suite the experiments drew from.
+	Workloads []string `json:"workloads,omitempty"`
+	// Flags records the explicitly-set command-line flags.
+	Flags map[string]string `json:"flags,omitempty"`
+	// CreatedAt is an RFC3339 wall timestamp; empty in deterministic
+	// tests, populated by the CLI.
+	CreatedAt string `json:"created_at,omitempty"`
+}
+
+// WriteJSON renders the manifest as indented JSON. Field order follows
+// the struct; Flags is the only map and encoding/json sorts its keys,
+// so output is deterministic for a fixed manifest.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ManifestName is the file name manifests are written under.
+const ManifestName = "run-manifest.json"
+
+// WriteFile writes the manifest into dir as ManifestName.
+func (m *Manifest) WriteFile(dir string) error {
+	f, err := os.Create(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadManifest loads a manifest previously written with WriteFile.
+func ReadManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets is the default latency histogram layout, spanning the
+// microsecond dispatch costs through multi-second cold workflows.
+func DefBuckets() []time.Duration {
+	return []time.Duration{
+		100 * time.Microsecond, 250 * time.Microsecond, 500 * time.Microsecond,
+		time.Millisecond, 2500 * time.Microsecond, 5 * time.Millisecond,
+		10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
+		100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
+		time.Second, 2500 * time.Millisecond, 5 * time.Second, 10 * time.Second,
+	}
+}
+
+// Histogram is a fixed-bucket latency histogram. Buckets hold counts of
+// observations at or below their upper bound (cumulative on export, per
+// the Prometheus convention); observation is lock-free.
+type Histogram struct {
+	bounds []time.Duration // ascending upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Int64    // nanoseconds
+	count  atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds (nil means DefBuckets).
+func NewHistogram(bounds []time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets()
+	}
+	bounds = append([]time.Duration(nil), bounds...)
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / time.Duration(n)
+}
+
+// Quantile approximates the q-quantile from bucket counts: the upper
+// bound of the bucket where the cumulative count crosses q (an upper
+// bound of the true quantile, exact to bucket resolution).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1] // +Inf bucket: report the top bound
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Registry is a named collection of counters, gauges and histograms.
+// Lookup is get-or-create, so packages can declare their metrics at
+// init and tests can read them back by name.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	gaugs map[string]*Gauge
+	hists map[string]*Histogram
+	help  map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:  map[string]*Counter{},
+		gaugs: map[string]*Gauge{},
+		hists: map[string]*Histogram{},
+		help:  map[string]string{},
+	}
+}
+
+// Default is the process-wide registry: the prediction cache, worker
+// pool and load generator register here, and chiron-bench -metrics
+// dumps it.
+var Default = NewRegistry()
+
+func (r *Registry) setHelp(name, help string) {
+	if help != "" {
+		r.help[name] = help
+	}
+}
+
+// Counter returns the registered counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	r.setHelp(name, help)
+	return c
+}
+
+// Gauge returns the registered gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gaugs[name]
+	if !ok {
+		g = &Gauge{}
+		r.gaugs[name] = g
+	}
+	r.setHelp(name, help)
+	return g
+}
+
+// Histogram returns the registered histogram, creating it on first use
+// (nil bounds means DefBuckets; bounds are fixed at creation).
+func (r *Registry) Histogram(name, help string, bounds []time.Duration) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	r.setHelp(name, help)
+	return h
+}
+
+// Reset zeroes every registered metric, keeping registrations. Tests
+// use it to isolate runs; package-level metric pointers stay valid.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.ctrs {
+		c.v.Store(0)
+	}
+	for _, g := range r.gaugs {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.sum.Store(0)
+		h.count.Store(0)
+	}
+}
+
+// WriteProm renders every metric in the Prometheus text exposition
+// format, sorted by name so output is stable.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.ctrs)+len(r.gaugs)+len(r.hists))
+	for n := range r.ctrs {
+		names = append(names, n)
+	}
+	for n := range r.gaugs {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Snapshot under the lock; rendering happens after.
+	type hsnap struct {
+		bounds []time.Duration
+		counts []uint64
+		sum    time.Duration
+		count  uint64
+	}
+	ctrs := map[string]uint64{}
+	gaugs := map[string]int64{}
+	hists := map[string]hsnap{}
+	help := map[string]string{}
+	kind := map[string]byte{}
+	for n, c := range r.ctrs {
+		ctrs[n] = c.Value()
+		help[n] = r.help[n]
+		kind[n] = 'c'
+	}
+	for n, g := range r.gaugs {
+		gaugs[n] = g.Value()
+		help[n] = r.help[n]
+		kind[n] = 'g'
+	}
+	for n, h := range r.hists {
+		s := hsnap{bounds: h.bounds, sum: h.Sum(), count: h.Count()}
+		s.counts = make([]uint64, len(h.counts))
+		for i := range h.counts {
+			s.counts[i] = h.counts[i].Load()
+		}
+		hists[n] = s
+		help[n] = r.help[n]
+		kind[n] = 'h'
+	}
+	r.mu.Unlock()
+
+	for _, n := range names {
+		if hl := help[n]; hl != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", n, hl); err != nil {
+				return err
+			}
+		}
+		switch kind[n] {
+		case 'c':
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, ctrs[n]); err != nil {
+				return err
+			}
+		case 'g':
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, gaugs[n]); err != nil {
+				return err
+			}
+		default:
+			h := hists[n]
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+				return err
+			}
+			cum := uint64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", n, b.Seconds(), cum); err != nil {
+					return err
+				}
+			}
+			cum += h.counts[len(h.counts)-1]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, h.sum.Seconds(), n, h.count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

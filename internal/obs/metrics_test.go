@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram([]time.Duration{ms(1), ms(10), ms(100)})
+	for _, d := range []time.Duration{ms(1) / 2, ms(5), ms(50), ms(500)} {
+		h.Observe(d)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if want := ms(1)/2 + ms(5) + ms(50) + ms(500); h.Sum() != want {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	if h.Mean() != h.Sum()/4 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	// Quantiles are bucket upper bounds: p50 of 4 samples is rank 2,
+	// which lands in the (1ms, 10ms] bucket.
+	if q := h.Quantile(0.5); q != ms(10) {
+		t.Fatalf("q50 = %v", q)
+	}
+	if q := h.Quantile(1); q != ms(100) {
+		t.Fatalf("q100 = %v (overflow bucket reports top bound)", q)
+	}
+	if (&Histogram{}).Count() != 0 {
+		t.Fatal("zero histogram must count 0")
+	}
+	if NewHistogram(nil).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "help")
+	c2 := r.Counter("x_total", "")
+	if c1 != c2 {
+		t.Fatal("Counter not get-or-create")
+	}
+	if r.Gauge("g", "") != r.Gauge("g", "") {
+		t.Fatal("Gauge not get-or-create")
+	}
+	if r.Histogram("h", "", nil) != r.Histogram("h", "", nil) {
+		t.Fatal("Histogram not get-or-create")
+	}
+}
+
+func TestRegistryResetKeepsPointers(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", nil)
+	c.Add(3)
+	g.Set(9)
+	h.Observe(ms(5))
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset left values behind")
+	}
+	c.Inc()
+	if r.Counter("c_total", "").Value() != 1 {
+		t.Fatal("pointer invalidated by Reset")
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "a counter").Add(2)
+	r.Gauge("a_gauge", "a gauge").Set(-1)
+	h := r.Histogram("c_hist", "a histogram", []time.Duration{ms(1), ms(10)})
+	h.Observe(ms(5))
+	h.Observe(ms(50))
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Sorted by name: a_gauge, b_total, c_hist.
+	if !(strings.Index(out, "a_gauge") < strings.Index(out, "b_total") &&
+		strings.Index(out, "b_total") < strings.Index(out, "c_hist")) {
+		t.Fatalf("metrics not name-sorted:\n%s", out)
+	}
+	for _, want := range []string{
+		"# HELP a_gauge a gauge",
+		"# TYPE a_gauge gauge\na_gauge -1",
+		"# TYPE b_total counter\nb_total 2",
+		"# TYPE c_hist histogram",
+		`c_hist_bucket{le="0.001"} 0`,
+		`c_hist_bucket{le="0.01"} 1`, // cumulative
+		`c_hist_bucket{le="+Inf"} 2`,
+		"c_hist_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Deterministic bytes.
+	var buf2 bytes.Buffer
+	if err := r.WriteProm(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("WriteProm not byte-stable")
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("c_total", "").Inc()
+				r.Histogram("h", "", nil).Observe(time.Microsecond)
+				var buf bytes.Buffer
+				_ = r.WriteProm(&buf)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c_total", "").Value() != 800 {
+		t.Fatalf("lost increments: %d", r.Counter("c_total", "").Value())
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := &Manifest{
+		Tool: "chiron-bench", GoVersion: "go1.24.0", Seed: 7, Workers: 4,
+		Quick: true, Requests: 25, ConstantsFP: "deadbeefdeadbeef",
+		Experiments: []string{"fig13"}, Workloads: []string{"FINRA-100"},
+		Flags: map[string]string{"quick": "true"},
+	}
+	if err := m.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 7 || got.ConstantsFP != m.ConstantsFP || got.Flags["quick"] != "true" ||
+		len(got.Experiments) != 1 || got.Workloads[0] != "FINRA-100" {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	// WriteJSON is deterministic for a fixed manifest.
+	var a, b bytes.Buffer
+	if err := m.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WriteJSON not deterministic")
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadManifestMissing(t *testing.T) {
+	if _, err := ReadManifest(t.TempDir()); err == nil {
+		t.Fatal("missing manifest should error")
+	}
+}

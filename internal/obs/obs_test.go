@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestTraceCanonicalOrder(t *testing.T) {
+	tr := NewTrace()
+	// Record out of order; accessors must canonicalize.
+	tr.RecordSpan(Span{PID: 1, TID: 0, Name: "b", Start: ms(10), End: ms(20)})
+	tr.RecordSpan(Span{PID: 0, TID: 0, Name: "a", Start: ms(0), End: ms(30)})
+	tr.RecordSpan(Span{PID: 1, TID: 1, Name: "c", Start: ms(10), End: ms(15)})
+	tr.RecordInstant(Instant{PID: 1, Name: "y", At: ms(5)})
+	tr.RecordInstant(Instant{PID: 0, Name: "x", At: ms(5)})
+	tr.RecordSample(Sample{PID: 0, Name: "q", At: ms(2), Value: 3})
+
+	spans := tr.Spans()
+	if spans[0].Name != "a" || spans[1].Name != "b" || spans[2].Name != "c" {
+		t.Fatalf("span order = %s %s %s", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	ins := tr.Instants()
+	if ins[0].Name != "x" || ins[1].Name != "y" {
+		t.Fatalf("instant order = %s %s", ins[0].Name, ins[1].Name)
+	}
+	if tr.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", tr.Len())
+	}
+}
+
+func TestTraceConcurrentRecordingIsByteDeterministic(t *testing.T) {
+	build := func(perm []int) []byte {
+		tr := NewTrace()
+		tr.NameProcess(0, "request")
+		var wg sync.WaitGroup
+		for _, i := range perm {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				tr.RecordSpan(Span{PID: i % 3, TID: i % 2, Name: "s", Start: ms(i), End: ms(i + 1)})
+				tr.RecordInstant(Instant{PID: i % 3, Name: "i", At: ms(i)})
+			}(i)
+		}
+		wg.Wait()
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	perm := rand.New(rand.NewSource(1)).Perm(32)
+	seq := make([]int, 32)
+	for i := range seq {
+		seq[i] = i
+	}
+	if !bytes.Equal(build(seq), build(perm)) {
+		t.Fatal("recording order leaked into Chrome export bytes")
+	}
+}
+
+func TestSpansByAndInstantsBy(t *testing.T) {
+	tr := NewTrace()
+	tr.RecordSpan(Span{Name: "w", Cat: CatWrap, Start: ms(1), End: ms(2)})
+	tr.RecordSpan(Span{Name: "f", Cat: CatFunction, Start: ms(1), End: ms(2)})
+	tr.RecordInstant(Instant{Name: GILAcquire, At: ms(1)})
+	tr.RecordInstant(Instant{Name: GILRelease, At: ms(2)})
+	if got := tr.SpansBy(CatWrap); len(got) != 1 || got[0].Name != "w" {
+		t.Fatalf("SpansBy(wrap) = %+v", got)
+	}
+	if got := tr.InstantsBy(GILAcquire); len(got) != 1 {
+		t.Fatalf("InstantsBy(acquire) = %+v", got)
+	}
+}
+
+func TestWriteChromeIsValidJSON(t *testing.T) {
+	tr := NewTrace()
+	tr.NameProcess(0, "request")
+	tr.NameProcess(1, "sandbox 0")
+	tr.NameThread(1, 1, "fn")
+	tr.RecordSpan(Span{PID: 0, Name: "req", Cat: CatRequest, Start: 0, End: ms(10),
+		Args: []Arg{A("workflow", "w"), A("stages", 2)}})
+	tr.RecordInstant(Instant{PID: 1, Name: "fork", Cat: CatFork, At: ms(3)})
+	tr.RecordSample(Sample{PID: 0, Name: "queue", At: ms(1), Value: 2})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+		Unit        string                   `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Unit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.Unit)
+	}
+	// 3 metadata + 1 span + 1 instant + 1 counter.
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("%d events, want 6", len(doc.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev["ph"].(string)]++
+	}
+	if phases["M"] != 3 || phases["X"] != 1 || phases["i"] != 1 || phases["C"] != 1 {
+		t.Fatalf("phase counts = %v", phases)
+	}
+	// The span's ts/dur are microseconds; args keep recording order.
+	if !strings.Contains(buf.String(), `"args":{"workflow":"w","stages":"2"}`) {
+		t.Fatalf("args not in recording order:\n%s", buf.String())
+	}
+}
+
+func TestTimelineRendersTracks(t *testing.T) {
+	tr := NewTrace()
+	tr.NameProcess(0, "request")
+	tr.NameProcess(1, "sandbox 0")
+	tr.RecordSpan(Span{PID: 0, Name: "req", Cat: CatRequest, Start: 0, End: ms(10)})
+	tr.RecordSpan(Span{PID: 1, TID: 1, Name: "fn", Cat: CatFunction, Start: ms(2), End: ms(8)})
+	out := tr.Timeline(80)
+	if !strings.Contains(out, "request") || !strings.Contains(out, "sandbox 0.t1") {
+		t.Fatalf("timeline missing track labels:\n%s", out)
+	}
+	if !strings.Contains(out, "=") || !strings.Contains(out, "#") {
+		t.Fatalf("timeline missing category glyphs:\n%s", out)
+	}
+	if NewTrace().Timeline(80) != "" {
+		t.Fatal("empty trace should render empty timeline")
+	}
+}
+
+func TestNopAndNilRecorder(t *testing.T) {
+	// Nop must accept everything without effect.
+	var r Recorder = Nop{}
+	r.RecordSpan(Span{})
+	r.RecordInstant(Instant{})
+	r.RecordSample(Sample{})
+	// The nil-Recorder contract: a nil interface is the off switch.
+	var off Recorder
+	if off != nil {
+		t.Fatal("zero Recorder must be nil")
+	}
+}
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	type c struct{ A, B int }
+	fp1 := Fingerprint(c{1, 2})
+	fp2 := Fingerprint(c{1, 2})
+	fp3 := Fingerprint(c{1, 3})
+	if fp1 != fp2 {
+		t.Fatal("fingerprint not stable")
+	}
+	if fp1 == fp3 {
+		t.Fatal("fingerprint insensitive to value change")
+	}
+	if len(fp1) != 16 {
+		t.Fatalf("fingerprint %q not 16 hex chars", fp1)
+	}
+}
+
+func TestNewWallClockMonotone(t *testing.T) {
+	clock := NewWallClock()
+	a := clock()
+	b := clock()
+	if a < 0 || b < a {
+		t.Fatalf("wall clock went backwards: %v then %v", a, b)
+	}
+}

@@ -2,7 +2,8 @@ package parallel
 
 import (
 	"sync"
-	"sync/atomic"
+
+	"chiron/internal/obs"
 )
 
 // CacheStats is a point-in-time counter snapshot.
@@ -20,15 +21,33 @@ type CacheStats struct {
 // results — determinism does not depend on cache state.
 type Cache[V any] struct {
 	shards []cacheShard[V]
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	evicts atomic.Uint64
+	// Counters are obs metrics so a cache can publish itself in a
+	// registry (NewCacheMetrics); by default they are private.
+	hits   *obs.Counter
+	misses *obs.Counter
+	evicts *obs.Counter
 }
 
 // NewCache returns a cache holding at most capacity entries across the
 // given number of shards (both floored at 1; shards are capped at
 // capacity so every shard can hold at least one entry).
 func NewCache[V any](capacity, shards int) *Cache[V] {
+	return newCache[V](capacity, shards, &obs.Counter{}, &obs.Counter{}, &obs.Counter{})
+}
+
+// NewCacheMetrics is NewCache with the hit/miss/eviction counters
+// registered in reg as <prefix>_hits_total, <prefix>_misses_total and
+// <prefix>_evictions_total, so the cache shows up in metric dumps
+// (chiron-bench -metrics) without a bespoke reporting path.
+func NewCacheMetrics[V any](capacity, shards int, reg *obs.Registry, prefix string) *Cache[V] {
+	return newCache[V](capacity, shards,
+		reg.Counter(prefix+"_hits_total", "cache lookups served from the cache"),
+		reg.Counter(prefix+"_misses_total", "cache lookups that fell through to compute"),
+		reg.Counter(prefix+"_evictions_total", "LRU entries displaced by inserts"),
+	)
+}
+
+func newCache[V any](capacity, shards int, hits, misses, evicts *obs.Counter) *Cache[V] {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -38,7 +57,10 @@ func NewCache[V any](capacity, shards int) *Cache[V] {
 	if shards > capacity {
 		shards = capacity
 	}
-	c := &Cache[V]{shards: make([]cacheShard[V], shards)}
+	c := &Cache[V]{
+		shards: make([]cacheShard[V], shards),
+		hits:   hits, misses: misses, evicts: evicts,
+	}
 	per := capacity / shards
 	if per < 1 {
 		per = 1
@@ -68,9 +90,9 @@ func (c *Cache[V]) shard(key string) *cacheShard[V] {
 func (c *Cache[V]) Get(key string) (V, bool) {
 	v, ok := c.shard(key).get(key)
 	if ok {
-		c.hits.Add(1)
+		c.hits.Inc()
 	} else {
-		c.misses.Add(1)
+		c.misses.Inc()
 	}
 	return v, ok
 }
@@ -79,7 +101,7 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 // the shard is full.
 func (c *Cache[V]) Put(key string, v V) {
 	if c.shard(key).put(key, v) {
-		c.evicts.Add(1)
+		c.evicts.Inc()
 	}
 }
 
@@ -115,9 +137,9 @@ func (c *Cache[V]) Purge() {
 // Stats returns cumulative hit/miss/eviction counters.
 func (c *Cache[V]) Stats() CacheStats {
 	return CacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evicts.Load(),
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evicts.Value(),
 	}
 }
 

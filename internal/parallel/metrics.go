@@ -1,0 +1,62 @@
+package parallel
+
+import (
+	"time"
+
+	"chiron/internal/obs"
+)
+
+// Pool metrics, registered in the process-wide obs registry. Tasks here
+// are whole simulations or plan evaluations — microseconds to seconds —
+// so two clock reads per task are noise, and the pool can stay
+// instrumented unconditionally.
+var (
+	poolBusy    = obs.Default.Gauge("chiron_pool_busy", "tasks currently executing on the worker pool")
+	poolSpawned = obs.Default.Counter("chiron_pool_tasks_spawned_total", "tasks run on a pool goroutine")
+	poolInline  = obs.Default.Counter("chiron_pool_tasks_inline_total", "tasks run inline on the caller (no token free)")
+	poolWait    = obs.Default.Histogram("chiron_pool_queue_wait", "delay between task submission and task start (seconds)", nil)
+	poolRun     = obs.Default.Histogram("chiron_pool_task_run", "task execution time (seconds)", nil)
+)
+
+// PoolStats is a point-in-time snapshot of the pool metrics.
+type PoolStats struct {
+	// Spawned and Inline count tasks by execution mode: on a pool
+	// goroutine vs. on the caller because no token was free.
+	Spawned, Inline uint64
+	// Busy is the number of tasks executing right now.
+	Busy int64
+	// MeanWait is the average submission-to-start delay.
+	MeanWait time.Duration
+	// MeanRun is the average task execution time.
+	MeanRun time.Duration
+}
+
+// Stats snapshots the pool metrics (occupancy and queue-wait live in
+// obs.Default under chiron_pool_*; this is the convenience view).
+func Stats() PoolStats {
+	return PoolStats{
+		Spawned:  poolSpawned.Value(),
+		Inline:   poolInline.Value(),
+		Busy:     poolBusy.Value(),
+		MeanWait: poolWait.Mean(),
+		MeanRun:  poolRun.Mean(),
+	}
+}
+
+// instrument wraps one task execution with the pool metrics. inline
+// marks tasks that ran on the caller; submitted is when the fan-out
+// loop reached the task, so wait is scheduling delay, not queueing (the
+// pool never queues — it falls back inline).
+func instrument(submitted time.Time, inline bool, task func()) {
+	if inline {
+		poolInline.Inc()
+	} else {
+		poolSpawned.Inc()
+	}
+	poolWait.Observe(time.Since(submitted))
+	poolBusy.Add(1)
+	start := time.Now()
+	task()
+	poolRun.Observe(time.Since(start))
+	poolBusy.Add(-1)
+}

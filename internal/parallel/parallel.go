@@ -22,6 +22,7 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"time"
 )
 
 var (
@@ -80,16 +81,17 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
+		submitted := time.Now()
 		release := acquire()
 		if release == nil {
-			out[i], errs[i] = fn(i)
+			instrument(submitted, true, func() { out[i], errs[i] = fn(i) })
 			continue
 		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			defer release()
-			out[i], errs[i] = fn(i)
+			instrument(submitted, false, func() { out[i], errs[i] = fn(i) })
 		}(i)
 	}
 	wg.Wait()
@@ -105,16 +107,17 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 func ForEach(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
+		submitted := time.Now()
 		release := acquire()
 		if release == nil {
-			fn(i)
+			instrument(submitted, true, func() { fn(i) })
 			continue
 		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			defer release()
-			fn(i)
+			instrument(submitted, false, func() { fn(i) })
 		}(i)
 	}
 	wg.Wait()

@@ -27,6 +27,7 @@ import (
 	"chiron/internal/behavior"
 	"chiron/internal/dag"
 	"chiron/internal/model"
+	"chiron/internal/obs"
 	"chiron/internal/parallel"
 	"chiron/internal/predict"
 	"chiron/internal/profiler"
@@ -79,6 +80,16 @@ type Options struct {
 	// round-robin partition (ablation knob: how much does Algorithm 2's
 	// swapping pass actually buy?).
 	DisableKL bool
+	// Rec, when non-nil, receives planner spans: the plan root, one span
+	// per explored process count (TID = n, so the window fan-out is
+	// visible as parallel rows), one span per Kernighan-Lin round, and a
+	// cache-hit instant per prediction served from the shared cache.
+	// Planner spans are wall-clock — they narrate real search cost, not
+	// virtual time — so they are not deterministic across runs.
+	Rec obs.Recorder
+	// Clock supplies Rec timestamps; defaults to wall clock anchored at
+	// the Plan call.
+	Clock func() time.Duration
 }
 
 func (o *Options) defaults() {
@@ -135,15 +146,33 @@ func Plan(w *dag.Workflow, profiles profiler.Set, opt Options) (*Result, error) 
 	}
 	pred := predict.New(opt.Const, profiles)
 	pred.Safety = opt.Safety
+	if opt.Rec != nil && opt.Clock == nil {
+		opt.Clock = obs.NewWallClock()
+	}
 	pl := &planner{w: w, opt: opt, pred: pred}
 	pl.findPinned()
+	start := pl.now()
+	run := pl.planHybrid
 	if opt.Style == PoolStyle {
 		if len(pl.pinned) > 0 {
 			return nil, fmt.Errorf("pgp: pool style cannot honour sandbox-conflict constraints (%d pinned functions); use Hybrid", len(pl.pinned))
 		}
-		return pl.planPool()
+		run = pl.planPool
 	}
-	return pl.planHybrid()
+	res, err := run()
+	if opt.Rec != nil && err == nil {
+		opt.Rec.RecordSpan(obs.Span{
+			PID: 0, TID: 0, Name: "pgp.plan " + w.Name, Cat: obs.CatPlan,
+			Start: start, End: pl.now(),
+			Args: []obs.Arg{
+				obs.A("workflow", w.Name),
+				obs.A("slo", opt.SLO),
+				obs.A("explored", len(res.Trace)),
+				obs.A("predicted", res.Predicted),
+			},
+		})
+	}
+	return res, err
 }
 
 // findPinned identifies functions that must not share the main sandboxes
@@ -190,16 +219,29 @@ type planner struct {
 	pinned map[string]bool
 }
 
+// now returns the trace timestamp, zero when tracing is off.
+func (pl *planner) now() time.Duration {
+	if pl.opt.Clock == nil {
+		return 0
+	}
+	return pl.opt.Clock()
+}
+
 // exec returns the Algorithm 1 prediction for one process group through
 // the process-wide prediction cache (predict.ExecThreadsCached). The cache
 // replaces the old per-planner memo: repeated group predictions — across
 // KL iterations, across process-count candidates, across adapt re-plans
 // and across experiments — are simulated once per process.
 func (pl *planner) exec(group []string) time.Duration {
-	d, err := pl.pred.ExecThreadsCached(group, pl.opt.Iso)
+	d, hit, err := pl.pred.ExecThreadsCachedHit(group, pl.opt.Iso)
 	if err != nil {
 		// Profiles were checked up front; this is a programming error.
 		panic("pgp: " + err.Error())
+	}
+	if hit && pl.opt.Rec != nil {
+		pl.opt.Rec.RecordInstant(obs.Instant{
+			PID: 0, TID: 0, Name: "cache.hit", Cat: obs.CatCache, At: pl.now(),
+		})
 	}
 	return d
 }
@@ -346,7 +388,7 @@ func (pl *planner) solveStage(stage int, n int) stageSolution {
 
 	sol := stageSolution{groups: groups, sizes: sizes, pinned: pinned, homogene: pl.homogeneous(names)}
 	if !sol.homogene && pl.opt.Style != ProcOnly && !pl.opt.DisableKL {
-		pl.kernighanLinAll(groups, sizes, pinned)
+		pl.kernighanLinAll(n, groups, sizes, pinned)
 	}
 	sol.latency = pl.stageLatency(groups, sizes, pinned)
 	return sol
@@ -387,7 +429,7 @@ func within(a, b, tol float64) bool {
 // kernighanLinAll refines pairs of process groups (Algorithm 2 lines
 // 10-11): every pair for modest group counts, a ring of near neighbours
 // beyond that (the Discussion section's scalability concession).
-func (pl *planner) kernighanLinAll(groups [][]string, sizes []int, pinned []string) {
+func (pl *planner) kernighanLinAll(tid int, groups [][]string, sizes []int, pinned []string) {
 	n := len(groups)
 	span := n
 	if n*(n-1)/2 > 96 {
@@ -395,7 +437,7 @@ func (pl *planner) kernighanLinAll(groups [][]string, sizes []int, pinned []stri
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n && j <= i+span; j++ {
-			pl.kernighanLin(groups, sizes, pinned, i, j)
+			pl.kernighanLin(tid, groups, sizes, pinned, i, j)
 		}
 	}
 }
@@ -416,7 +458,7 @@ type swapRec struct {
 // candidate (in scan order) achieving the minimal latency — exactly the
 // element the sequential strict-less-than scan would keep — so refined
 // partitions are identical at every worker count.
-func (pl *planner) kernighanLin(groups [][]string, sizes []int, pinned []string, a, b int) {
+func (pl *planner) kernighanLin(tid int, groups [][]string, sizes []int, pinned []string, a, b int) {
 	ga, gb := groups[a], groups[b]
 	lockedA := make([]bool, len(ga))
 	lockedB := make([]bool, len(gb))
@@ -425,7 +467,9 @@ func (pl *planner) kernighanLin(groups [][]string, sizes []int, pinned []string,
 
 	type swapCand struct{ ai, bi int }
 	cands := make([]swapCand, 0, min(len(ga)*len(gb), pl.opt.MaxSwapCandidates))
+	round := 0
 	for {
+		roundStart := pl.now()
 		cands = cands[:0]
 	scan:
 		for ai := range ga {
@@ -471,6 +515,18 @@ func (pl *planner) kernighanLin(groups [][]string, sizes []int, pinned []string,
 		cur = bestAfter
 		lockedA[bestAi] = true
 		lockedB[bestBi] = true
+		if pl.opt.Rec != nil {
+			pl.opt.Rec.RecordSpan(obs.Span{
+				PID: 0, TID: tid, Name: fmt.Sprintf("kl %d<->%d", a, b), Cat: obs.CatPlan,
+				Start: roundStart, End: pl.now(),
+				Args: []obs.Arg{
+					obs.A("round", round),
+					obs.A("candidates", len(cands)),
+					obs.A("latency", cur),
+				},
+			})
+		}
+		round++
 	}
 
 	// Keep the prefix with the best cumulative gain (line 24); undo the
@@ -523,10 +579,20 @@ func (pl *planner) planHybrid() (*Result, error) {
 	window := pl.opt.Parallelism
 
 	evalOne := func(n int) candidate {
+		start := pl.now()
 		c := candidate{n: n, stages: make([]stageSolution, len(pl.w.Stages))}
 		for i := range pl.w.Stages {
 			c.stages[i] = pl.solveStage(i, n)
 			c.total += c.stages[i].latency
+		}
+		if pl.opt.Rec != nil {
+			// TID = n: each explored process count gets its own row, so
+			// the window fan-out shows as overlapping candidate spans.
+			pl.opt.Rec.RecordSpan(obs.Span{
+				PID: 0, TID: n, Name: fmt.Sprintf("candidate n=%d", n), Cat: obs.CatPlan,
+				Start: start, End: pl.now(),
+				Args: []obs.Arg{obs.A("n", n), obs.A("predicted", c.total)},
+			})
 		}
 		return c
 	}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"chiron/internal/obs"
 	"chiron/internal/parallel"
 	"chiron/internal/wrap"
 )
@@ -18,7 +19,8 @@ import (
 // a group priced once is never simulated again, no matter which component
 // asks. Entries are pure functions of their key, so cache state can change
 // wall-clock time but never results.
-var execCache = parallel.NewCache[time.Duration](1<<15, 16)
+// Counters publish in obs.Default as chiron_predict_cache_*.
+var execCache = parallel.NewCacheMetrics[time.Duration](1<<15, 16, obs.Default, "chiron_predict_cache")
 
 // ExecCacheStats exposes the shared cache's counters (benchmarks track the
 // hit rate across re-plans).
@@ -75,13 +77,21 @@ func (p *Predictor) execKey(names []string, iso wrap.IsolationKind) string {
 // path; identical groups (same profiles, same isolation) are simulated
 // once per process and then served from the sharded LRU.
 func (p *Predictor) ExecThreadsCached(names []string, iso wrap.IsolationKind) (time.Duration, error) {
+	d, _, err := p.ExecThreadsCachedHit(names, iso)
+	return d, err
+}
+
+// ExecThreadsCachedHit is ExecThreadsCached plus whether the prediction
+// was served from the cache, for callers that trace lookup outcomes
+// (PGP emits a cache-hit instant per served candidate).
+func (p *Predictor) ExecThreadsCachedHit(names []string, iso wrap.IsolationKind) (time.Duration, bool, error) {
 	if d, ok := execCache.Get(p.execKey(names, iso)); ok {
-		return d, nil
+		return d, true, nil
 	}
 	d, err := p.ExecThreads(names, iso)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	execCache.Put(p.execKey(names, iso), d)
-	return d, nil
+	return d, false, nil
 }

@@ -33,10 +33,17 @@ type Event struct {
 	Dur time.Duration
 }
 
-// Kind maps the syscall back to a behaviour segment kind.
+// Kind maps the syscall back to a behaviour segment kind. Process
+// management (clone/fork/vfork — the interpreter forking workers) and
+// lock waits (futex — GIL token passing observed from outside) are
+// off-CPU from the tracer's viewpoint, so they classify as Sleep; they
+// are listed explicitly because the profiler's logs contain them and
+// relying on the default would misread any future re-mapping.
 func (e Event) Kind() behavior.SegmentKind {
 	switch e.Syscall {
 	case "select", "poll", "epoll_wait", "nanosleep":
+		return behavior.Sleep
+	case "clone", "fork", "vfork", "futex":
 		return behavior.Sleep
 	case "read", "write", "openat", "fsync":
 		return behavior.DiskIO

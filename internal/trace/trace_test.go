@@ -124,11 +124,46 @@ func TestEventKindMapping(t *testing.T) {
 		"select": behavior.Sleep, "poll": behavior.Sleep,
 		"read": behavior.DiskIO, "write": behavior.DiskIO,
 		"sendto": behavior.NetIO, "recvfrom": behavior.NetIO,
+		"clone": behavior.Sleep, "fork": behavior.Sleep,
+		"vfork": behavior.Sleep, "futex": behavior.Sleep,
 		"mystery": behavior.Sleep,
 	}
 	for sys, want := range cases {
 		if got := (Event{Syscall: sys}).Kind(); got != want {
 			t.Errorf("Kind(%s) = %v, want %v", sys, got, want)
+		}
+	}
+}
+
+// TestLogRoundTripProcessEvents round-trips a log containing the
+// process-management and lock syscalls (clone/fork/futex) that back the
+// observability layer's fork and GIL instants: the textual form must
+// preserve them exactly, including the path-less argument list.
+func TestLogRoundTripProcessEvents(t *testing.T) {
+	rec := &Recording{Events: []Event{
+		{At: 5 * time.Millisecond, Syscall: "clone", Dur: 700 * time.Microsecond},
+		{At: 6 * time.Millisecond, Syscall: "fork", Dur: 900 * time.Microsecond},
+		{At: 8 * time.Millisecond, Syscall: "futex", Dur: 4900 * time.Microsecond},
+		{At: 13 * time.Millisecond, Syscall: "write", Path: "/tmp/x", Dur: 50 * time.Microsecond},
+	}}
+	events, err := ParseLog(FormatLog(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(rec.Events) {
+		t.Fatalf("parsed %d events, want %d", len(events), len(rec.Events))
+	}
+	for i, ev := range events {
+		orig := rec.Events[i]
+		if ev.Syscall != orig.Syscall || ev.Path != orig.Path {
+			t.Errorf("event %d: %+v != %+v", i, ev, orig)
+		}
+		if ev.At != orig.At || ev.Dur != orig.Dur {
+			// Millisecond-text precision holds these exactly.
+			t.Errorf("event %d timing: %+v != %+v", i, ev, orig)
+		}
+		if ev.Kind() != behavior.Sleep && ev.Syscall != "write" {
+			t.Errorf("event %d: %s should classify as Sleep", i, ev.Syscall)
 		}
 	}
 }
