@@ -1,6 +1,15 @@
 GO ?= go
 
-.PHONY: all build test race bench ci fmt vet tables
+.PHONY: all build test race bench bench-baseline bench-compare ci fmt vet tables
+
+# Benchmark regression rails: bench-baseline runs the figure/table suite
+# with -benchmem and records it as $(BENCH_JSON) (ns/op, allocs/op and the
+# plans_per_sec planner-throughput metric, plus a run manifest);
+# bench-compare re-runs the suite and fails on >10% ns/op regressions
+# against that baseline.
+BENCH_JSON    ?= BENCH_pr3.json
+BENCH_PATTERN ?= ^(BenchmarkFig|BenchmarkTable)
+BENCH_TIME    ?= 20x
 
 all: build
 
@@ -15,6 +24,16 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x
+
+bench-baseline:
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=$(BENCH_TIME) -count=1 . \
+		| $(GO) run ./cmd/benchjson -label baseline -out $(BENCH_JSON)
+	@echo "baseline written to $(BENCH_JSON)"
+
+bench-compare:
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=$(BENCH_TIME) -count=1 . \
+		| $(GO) run ./cmd/benchjson -label current -out /tmp/bench-current.json
+	$(GO) run ./cmd/benchjson -compare $(BENCH_JSON) /tmp/bench-current.json -threshold 0.10
 
 # tables regenerates every figure/table into results/.
 tables:

@@ -270,3 +270,34 @@ func BenchmarkPGPPlanCachedReplan(b *testing.B) {
 		b.ReportMetric(float64(after.Hits-before.Hits)/float64(lookups), "hit-rate")
 	}
 }
+
+// BenchmarkGILSimulatePooled50Threads is BenchmarkGILSimulate50Threads on
+// a reused Sim — the zero-copy path PGP's candidate pricing runs on. The
+// allocs/op column is the guarded budget: 0 once warm.
+func BenchmarkGILSimulatePooled50Threads(b *testing.B) {
+	specs := gilSpecs(50)
+	opt := gil.Options{Procs: 1, Quantum: 5 * time.Millisecond, Spawn: gil.MainThread,
+		SpawnBatch: 8, SpawnCost: 300 * time.Microsecond}
+	s := gil.NewSim()
+	s.Simulate(specs, opt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Simulate(specs, opt)
+	}
+}
+
+// BenchmarkGILSimulatePooled200Pool is the dispatcher scheduler at
+// FINRA-200 scale on a reused Sim.
+func BenchmarkGILSimulatePooled200Pool(b *testing.B) {
+	specs := gilSpecs(200)
+	opt := gil.Options{Procs: 8, Quantum: 5 * time.Millisecond, Spawn: gil.Dispatcher,
+		SpawnCost: 450 * time.Microsecond, Workers: 200}
+	s := gil.NewSim()
+	s.Simulate(specs, opt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Simulate(specs, opt)
+	}
+}

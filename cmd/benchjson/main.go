@@ -1,0 +1,164 @@
+// Command benchjson turns `go test -bench` output into the repo's
+// BENCH_*.json perf-trajectory records and gates regressions against a
+// baseline.
+//
+// Modes:
+//
+//	# parse: stdin or -in is go-test bench output -> one BenchReport
+//	go test -bench 'BenchmarkFig' -benchmem . | benchjson -label after -out cur.json
+//
+//	# merge: baseline + current reports -> committed before/after comparison
+//	benchjson -merge base.json cur.json -out BENCH_pr3.json
+//
+//	# compare: exit 1 when any benchmark slows down past -threshold
+//	benchjson -compare base.json cur.json -threshold 0.10
+//
+// compare accepts either plain BenchReport files or a merged comparison
+// file (its Current side is used), so CI can gate on the committed
+// BENCH_*.json directly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"chiron/internal/obs"
+	"chiron/internal/parallel"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "bench output file (default stdin)")
+		out       = flag.String("out", "", "output JSON file (default stdout)")
+		label     = flag.String("label", "run", "label recorded in the report")
+		merge     = flag.Bool("merge", false, "merge two reports (baseline current) into a comparison")
+		compare   = flag.Bool("compare", false, "compare two report files (baseline current) and fail on regressions")
+		threshold = flag.Float64("threshold", 0.10, "fractional ns/op slowdown that fails -compare / flags -merge deltas")
+	)
+	flag.Parse()
+
+	var err error
+	switch {
+	case *compare:
+		err = runCompare(flag.Args(), *threshold)
+	case *merge:
+		err = runMerge(flag.Args(), *threshold, *out)
+	default:
+		err = runParse(*in, *label, *out)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func runParse(in, label, out string) error {
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := obs.ParseGoBench(r)
+	if err != nil {
+		return err
+	}
+	report := &obs.BenchReport{
+		Label: label,
+		Manifest: &obs.Manifest{
+			Tool:      "benchjson",
+			GoVersion: runtime.Version(),
+			Workers:   parallel.Workers(),
+		},
+		Benchmarks: results,
+	}
+	return writeJSON(out, report)
+}
+
+// loadReport reads a BenchReport, accepting either a plain report or a
+// merged comparison file (whose Current side is taken).
+func loadReport(path string) (*obs.BenchReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cmp obs.BenchComparison
+	if err := json.Unmarshal(b, &cmp); err == nil && cmp.Current != nil && len(cmp.Current.Benchmarks) > 0 {
+		return cmp.Current, nil
+	}
+	var rep obs.BenchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return &rep, nil
+}
+
+func runMerge(args []string, threshold float64, out string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("-merge needs exactly two report files (baseline current)")
+	}
+	base, err := loadReport(args[0])
+	if err != nil {
+		return err
+	}
+	cur, err := loadReport(args[1])
+	if err != nil {
+		return err
+	}
+	return writeJSON(out, obs.CompareBench(base, cur, threshold))
+}
+
+func runCompare(args []string, threshold float64) error {
+	if len(args) != 2 {
+		return fmt.Errorf("-compare needs exactly two report files (baseline current)")
+	}
+	base, err := loadReport(args[0])
+	if err != nil {
+		return err
+	}
+	cur, err := loadReport(args[1])
+	if err != nil {
+		return err
+	}
+	cmp := obs.CompareBench(base, cur, threshold)
+	for _, d := range cmp.Deltas {
+		mark := "ok"
+		if d.Regression {
+			mark = "REGRESSION"
+		} else if d.Ratio < 1-threshold {
+			mark = "improved"
+		}
+		fmt.Printf("%-40s %12.0f -> %12.0f ns/op  (%.2fx)  %s\n",
+			d.Name, d.OldNs, d.NewNs, d.Ratio, mark)
+	}
+	if regs := cmp.Regressions(); len(regs) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(regs), threshold*100)
+	}
+	fmt.Printf("no regressions beyond %.0f%% across %d benchmarks\n", threshold*100, len(cmp.Deltas))
+	return nil
+}
+
+func writeJSON(out string, v any) error {
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

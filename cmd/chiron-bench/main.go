@@ -36,6 +36,7 @@ import (
 	"chiron/internal/platform"
 	"chiron/internal/predict"
 	"chiron/internal/profiler"
+	"chiron/internal/sim"
 	"chiron/internal/workloads"
 )
 
@@ -79,6 +80,13 @@ func main() {
 
 	parallel.SetWorkers(*workers)
 
+	// Baselines for the exit-time throughput report: simulator events and
+	// heap allocations consumed by this run only.
+	runStart := time.Now()
+	eventsStart := sim.TotalFired()
+	var msStart runtime.MemStats
+	runtime.ReadMemStats(&msStart)
+
 	cfg := experiments.Default()
 	cfg.Quick = *quick
 	cfg.Seed = *seed
@@ -114,7 +122,7 @@ func main() {
 		fmt.Printf("trace: wrote trace.json, timeline.txt and %s to %s\n", obs.ManifestName, *trace)
 		if !expSet {
 			// A bare -trace run is about the trace, not the tables.
-			printRunStats(*metrics)
+			printRunStats(*metrics, runStart, eventsStart, &msStart)
 			return
 		}
 	}
@@ -172,7 +180,7 @@ func main() {
 		}
 	}
 	fmt.Printf("done: %d experiment(s) in %v\n", len(ids), time.Since(start).Round(time.Millisecond))
-	printRunStats(*metrics)
+	printRunStats(*metrics, runStart, eventsStart, &msStart)
 
 	if *memProf != "" {
 		f, err := os.Create(*memProf)
@@ -188,8 +196,10 @@ func main() {
 }
 
 // printRunStats reports the shared prediction cache and worker-pool
-// counters, and optionally the whole metrics registry.
-func printRunStats(dumpMetrics bool) {
+// counters, the simulation-core throughput (events/sec and heap
+// allocations per event — the zero-allocation hot path's scoreboard),
+// and optionally the whole metrics registry.
+func printRunStats(dumpMetrics bool, runStart time.Time, eventsStart uint64, msStart *runtime.MemStats) {
 	cs := predict.ExecCacheStats()
 	ps := parallel.Stats()
 	hitRate := 0.0
@@ -200,6 +210,15 @@ func printRunStats(dumpMetrics bool) {
 		cs.Hits, cs.Misses, cs.Evictions, hitRate)
 	fmt.Printf("worker pool: %d spawned / %d inline tasks, mean wait %v, mean run %v\n",
 		ps.Spawned, ps.Inline, ps.MeanWait.Round(time.Microsecond), ps.MeanRun.Round(time.Microsecond))
+	var msEnd runtime.MemStats
+	runtime.ReadMemStats(&msEnd)
+	events := sim.TotalFired() - eventsStart
+	allocs := msEnd.Mallocs - msStart.Mallocs
+	elapsed := time.Since(runStart).Seconds()
+	if events > 0 && elapsed > 0 {
+		fmt.Printf("simulation core: %d events fired (%.2fM events/sec), %.2f allocs/event\n",
+			events, float64(events)/elapsed/1e6, float64(allocs)/float64(events))
+	}
 	if dumpMetrics {
 		fmt.Println()
 		if err := obs.Default.WriteProm(os.Stdout); err != nil {

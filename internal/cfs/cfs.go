@@ -5,12 +5,14 @@
 // Scheduler: among runnable threads, the one with the minimum consumed CPU
 // time runs next. This package provides a small run queue keyed on consumed
 // CPU time ("vruntime"), with FIFO tie-breaking for determinism.
+//
+// The heap is hand-rolled over a value slice (no container/heap, no
+// interface boxing of items), so a warm queue performs zero heap
+// allocations per Add/PopMin — part of the simulator's zero-allocation
+// steady-state budget.
 package cfs
 
-import (
-	"container/heap"
-	"time"
-)
+import "time"
 
 // Entity is anything schedulable: it exposes and accumulates vruntime.
 type Entity interface {
@@ -18,56 +20,78 @@ type Entity interface {
 	VRuntime() time.Duration
 }
 
+// item caches the entity's vruntime at Add time. Entities must not mutate
+// their vruntime while queued (documented on PopMin), so the cache is
+// exact and saves an interface call per heap comparison.
 type item struct {
 	e   Entity
+	v   time.Duration
 	seq uint64
-	idx int
-}
-
-type itemHeap []*item
-
-func (h itemHeap) Len() int { return len(h) }
-func (h itemHeap) Less(i, j int) bool {
-	vi, vj := h[i].e.VRuntime(), h[j].e.VRuntime()
-	if vi != vj {
-		return vi < vj
-	}
-	return h[i].seq < h[j].seq
-}
-func (h itemHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *itemHeap) Push(x interface{}) {
-	it := x.(*item)
-	it.idx = len(*h)
-	*h = append(*h, it)
-}
-func (h *itemHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
 }
 
 // Queue is a min-vruntime run queue. The zero value is ready to use.
 // It is not safe for concurrent use.
 type Queue struct {
-	h   itemHeap
+	h   []item
 	seq uint64
 }
 
 // Len returns the number of queued entities.
 func (q *Queue) Len() int { return len(q.h) }
 
+// Reset empties the queue, keeping its allocated capacity. Entity
+// references in the backing array are cleared so they can be collected.
+func (q *Queue) Reset() {
+	for i := range q.h {
+		q.h[i].e = nil
+	}
+	q.h = q.h[:0]
+	q.seq = 0
+}
+
+func (q *Queue) less(i, j int) bool {
+	if q.h[i].v != q.h[j].v {
+		return q.h[i].v < q.h[j].v
+	}
+	return q.h[i].seq < q.h[j].seq
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			return
+		}
+		min := l
+		if r < n && q.less(r, l) {
+			min = r
+		}
+		if !q.less(min, i) {
+			return
+		}
+		q.h[i], q.h[min] = q.h[min], q.h[i]
+		i = min
+	}
+}
+
 // Add enqueues an entity. The same entity may be re-added after being
 // popped; each residency is independent.
 func (q *Queue) Add(e Entity) {
-	heap.Push(&q.h, &item{e: e, seq: q.seq})
+	q.h = append(q.h, item{e: e, v: e.VRuntime(), seq: q.seq})
 	q.seq++
+	q.up(len(q.h) - 1)
 }
 
 // PopMin removes and returns the entity with the least vruntime
@@ -77,10 +101,16 @@ func (q *Queue) Add(e Entity) {
 // callers re-Add after running, which is how both the GIL simulator and the
 // pool model use it.
 func (q *Queue) PopMin() Entity {
-	if len(q.h) == 0 {
+	n := len(q.h)
+	if n == 0 {
 		return nil
 	}
-	return heap.Pop(&q.h).(*item).e
+	e := q.h[0].e
+	q.h[0] = q.h[n-1]
+	q.h[n-1].e = nil // release the reference held by the shrunk tail
+	q.h = q.h[:n-1]
+	q.down(0)
+	return e
 }
 
 // Peek returns the entity PopMin would return, without removing it.

@@ -16,6 +16,15 @@
 // idealized options; the ground-truth engine runs it with fidelity knobs
 // (syscall overhead, spawn jitter, main-thread lag) turned on — the gap
 // between the two is the prediction error studied in Figure 12.
+//
+// The simulator itself is engineered for PGP's search loop, where millions
+// of short simulations price candidate layouts: a reusable Sim owns every
+// buffer (kernel events, thread arenas, segment copies, the run queue) and
+// schedules via argument-carrying callbacks instead of closures, so a warm
+// Sim prices a wrap with zero heap allocations (guarded by
+// testing.AllocsPerRun in gil_test.go). The package-level Simulate keeps
+// the old contract — a caller-owned Result — by running on a pooled Sim
+// and copying the result out.
 package gil
 
 import (
@@ -28,12 +37,6 @@ import (
 	"chiron/internal/cfs"
 	"chiron/internal/sim"
 )
-
-// kernelPool recycles event kernels across Simulate calls. Simulate fully
-// drains its kernel before returning, so a Reset hands the next caller a
-// pristine kernel that keeps the previous run's heap capacity — the
-// allocation that used to dominate short predictions under PGP's search.
-var kernelPool = sync.Pool{New: func() interface{} { return sim.New() }}
 
 // SpawnMode selects how threads come into existence.
 type SpawnMode int
@@ -191,10 +194,25 @@ const (
 	stDone
 )
 
+// threadPhase names what a thread's single pending kernel event will do
+// when it fires. Threads never have more than one event in flight, so one
+// phase tag plus the pend* argument fields replace the per-event closures
+// the simulator used to allocate.
+type threadPhase int
+
+const (
+	phaseNone threadPhase = iota
+	phaseAdmit
+	phaseAdmitReady
+	phaseEndSlice
+	phaseUnblock
+)
+
 type thread struct {
+	s         *Sim
 	idx       int
 	spec      *behavior.Spec
-	segments  []behavior.Segment // duration-scaled copy
+	segments  []behavior.Segment // duration-scaled copy (points into Sim's arena)
 	segIdx    int
 	segRem    time.Duration
 	cpuUsed   time.Duration
@@ -203,16 +221,40 @@ type thread struct {
 	res       *ThreadResult
 
 	waitFrom time.Duration // when the current Ready/WaitWorker span began
+
+	// Pending-event dispatch state (see threadPhase).
+	phase       threadPhase
+	pendRan     time.Duration
+	pendSys     time.Duration
+	pendPreempt bool
+	pendBlock   bool
 }
 
 // VRuntime implements cfs.Entity.
 func (t *thread) VRuntime() time.Duration { return t.cpuUsed }
+
+// fire dispatches the thread's pending event.
+func (t *thread) fire() {
+	ph := t.phase
+	t.phase = phaseNone
+	switch ph {
+	case phaseAdmit:
+		t.s.admit(t)
+	case phaseAdmitReady:
+		t.s.admitReady(t)
+	case phaseEndSlice:
+		t.s.endSlice(t)
+	case phaseUnblock:
+		t.s.unblock(t)
+	}
+}
 
 // mainEnt is the orchestrator's main thread: it competes for the CPU
 // through the same CFS queue as function threads (so under the GIL, thread
 // creation is interleaved with function execution exactly as in Figure 2)
 // and spends its slices cloning the next batch of threads.
 type mainEnt struct {
+	s       *Sim
 	cpuUsed time.Duration
 	next    int // index of the next thread to spawn
 }
@@ -220,47 +262,165 @@ type mainEnt struct {
 // VRuntime implements cfs.Entity.
 func (m *mainEnt) VRuntime() time.Duration { return m.cpuUsed }
 
-type simulator struct {
-	opt     Options
-	k       *sim.Kernel
-	rng     *rand.Rand
-	ready   cfs.Queue
-	waitQ   []*thread // Dispatcher mode: admitted but no worker yet
-	free    int       // free CPU slots
-	workers int       // free pool workers (Dispatcher mode)
-	threads []*thread
-	main    *mainEnt
-	alive   int
-	res     *Result
+// Package-level event callbacks: referencing a top-level function as a
+// value is allocation-free, and the `any` argument always carries a
+// pointer, which boxes without allocating.
+func fireThreadEvent(a any) { a.(*thread).fire() }
+func fireMainStart(a any) {
+	s := a.(*Sim)
+	s.ready.Add(&s.main)
+	s.schedule()
 }
+func fireMainDone(a any)    { a.(*Sim).mainDone() }
+func fireDispatchAll(a any) { a.(*Sim).dispatchAll() }
+
+// byLongest stable-sorts the dispatch order by descending solo latency.
+// It lives in the Sim so sorting reuses one sorter and one order slice
+// across Simulate calls (no per-dispatch comparator closure).
+type byLongest struct{ ths []*thread }
+
+func (b *byLongest) Len() int      { return len(b.ths) }
+func (b *byLongest) Swap(i, j int) { b.ths[i], b.ths[j] = b.ths[j], b.ths[i] }
+func (b *byLongest) Less(i, j int) bool {
+	return b.ths[i].spec.SoloLatency() > b.ths[j].spec.SoloLatency()
+}
+
+// Sim is a reusable simulator. It owns every buffer a run needs — the
+// event kernel, thread and segment arenas, result slots, the CFS run
+// queue — so a warm Sim executes Simulate with zero heap allocations.
+// A Sim is not safe for concurrent use, and the Result returned by
+// Simulate (including everything it references) is owned by the Sim and
+// valid only until the next Simulate call. Callers that retain results
+// use the package-level Simulate, which returns an independent copy.
+type Sim struct {
+	opt      Options
+	k        *sim.Kernel
+	rng      *rand.Rand
+	ready    cfs.Queue
+	waitQ    []*thread // Dispatcher mode: admitted but no worker yet
+	waitHead int       // consumed prefix of waitQ (ring-free FIFO reuse)
+	free     int       // free CPU slots
+	workers  int       // free pool workers (Dispatcher mode)
+	threads  []*thread
+	main     mainEnt
+	alive    int
+	res      Result
+
+	// Recycled arenas.
+	threadBuf []thread
+	segBuf    []behavior.Segment
+	resBuf    []ThreadResult
+	sorter    byLongest
+}
+
+// NewSim returns an empty reusable simulator.
+func NewSim() *Sim {
+	return &Sim{k: sim.New(), rng: rand.New(rand.NewSource(1))}
+}
+
+// simPool backs the package-level Simulate and hot-path callers that
+// acquire a Sim directly (predict's cached Algorithm-1 pricing).
+var simPool = sync.Pool{New: func() interface{} { return NewSim() }}
+
+// AcquireSim takes a reusable simulator from the process-wide pool.
+// Callers must ReleaseSim it after reading the Result (the Result dies
+// with the release).
+func AcquireSim() *Sim { return simPool.Get().(*Sim) }
+
+// ReleaseSim returns a simulator to the pool. The Result of its last
+// Simulate call must not be used afterwards.
+func ReleaseSim(s *Sim) { simPool.Put(s) }
 
 // Simulate runs the given function set to completion and returns per-thread
 // results. It never touches the wall clock and is fully deterministic for a
-// given (specs, Options) pair.
+// given (specs, Options) pair. The returned Result is an independent copy
+// the caller owns; hot paths that only read Result.Total use
+// AcquireSim/ReleaseSim with (*Sim).Simulate to skip the copy.
 func Simulate(specs []*behavior.Spec, opt Options) *Result {
-	opt.normalize()
-	k := kernelPool.Get().(*sim.Kernel)
-	defer func() {
-		k.Reset()
-		kernelPool.Put(k)
-	}()
-	s := &simulator{
-		opt:     opt,
-		k:       k,
-		rng:     rand.New(rand.NewSource(opt.Seed)),
-		free:    opt.Procs,
-		workers: opt.Workers,
-		res:     &Result{Threads: make([]ThreadResult, len(specs))},
+	s := AcquireSim()
+	out := cloneResult(s.Simulate(specs, opt))
+	ReleaseSim(s)
+	return out
+}
+
+func cloneResult(r *Result) *Result {
+	out := &Result{Total: r.Total, CPUBusy: r.CPUBusy}
+	out.Threads = make([]ThreadResult, len(r.Threads))
+	copy(out.Threads, r.Threads)
+	for i := range out.Threads {
+		if s := out.Threads[i].Slices; len(s) > 0 {
+			out.Threads[i].Slices = append([]Slice(nil), s...)
+		} else {
+			out.Threads[i].Slices = nil
+		}
 	}
+	return out
+}
+
+// Simulate runs one simulation on the reusable Sim. See the type comment
+// for the result's lifetime.
+func (s *Sim) Simulate(specs []*behavior.Spec, opt Options) *Result {
+	opt.normalize()
+	s.opt = opt
+	s.k.Reset()
+	s.ready.Reset()
+	if opt.JitterPct > 0 {
+		// Seeding the lagged-Fibonacci source is ~60x the cost of one
+		// draw, so only pay it when jitter actually consumes the stream
+		// (the Predictor always runs jitter-free).
+		s.rng.Seed(opt.Seed)
+	}
+	s.free = opt.Procs
+	s.workers = opt.Workers
 	if opt.Workers <= 0 {
 		s.workers = len(specs) + 1 // effectively unlimited
 	}
-	s.threads = make([]*thread, len(specs))
+	s.alive = len(specs)
+	s.waitQ = s.waitQ[:0]
+	s.waitHead = 0
+	s.main = mainEnt{s: s}
+
+	n := len(specs)
+	if cap(s.resBuf) < n {
+		s.resBuf = make([]ThreadResult, n)
+	} else {
+		s.resBuf = s.resBuf[:n]
+	}
+	s.res = Result{Threads: s.resBuf}
+	if n == 0 {
+		return &s.res
+	}
+
+	if cap(s.threadBuf) < n {
+		s.threadBuf = make([]thread, n)
+	} else {
+		s.threadBuf = s.threadBuf[:n]
+	}
+	if cap(s.threads) < n {
+		s.threads = make([]*thread, n)
+	} else {
+		s.threads = s.threads[:n]
+	}
+	// The segment arena is sized up front so per-thread subslices stay
+	// valid (no growth while handing out windows).
+	totalSegs := 0
+	for _, sp := range specs {
+		totalSegs += len(sp.Segments)
+	}
+	if cap(s.segBuf) < totalSegs {
+		s.segBuf = make([]behavior.Segment, totalSegs)
+	} else {
+		s.segBuf = s.segBuf[:totalSegs]
+	}
+
+	segOff := 0
 	for i, sp := range specs {
-		th := &thread{idx: i, spec: sp, res: &s.res.Threads[i]}
-		th.res.Name = sp.Name
-		th.res.FirstRun = -1
-		th.segments = make([]behavior.Segment, len(sp.Segments))
+		tr := &s.resBuf[i]
+		*tr = ThreadResult{Name: sp.Name, FirstRun: -1, Slices: tr.Slices[:0]}
+		th := &s.threadBuf[i]
+		*th = thread{s: s, idx: i, spec: sp, res: tr}
+		segs := s.segBuf[segOff : segOff+len(sp.Segments)]
+		segOff += len(sp.Segments)
 		for j, seg := range sp.Segments {
 			f := opt.CPUFactor
 			if seg.Kind.Blocking() {
@@ -270,37 +430,29 @@ func Simulate(specs []*behavior.Spec, opt Options) *Result {
 			if seg.Dur <= 0 {
 				seg.Dur = time.Nanosecond
 			}
-			th.segments[j] = seg
+			segs[j] = seg
 		}
-		th.segRem = th.segments[0].Dur
+		th.segments = segs
+		th.segRem = segs[0].Dur
 		s.threads[i] = th
-	}
-	s.alive = len(specs)
-
-	if len(specs) == 0 {
-		return s.res
 	}
 
 	switch opt.Spawn {
 	case Dispatcher:
-		s.k.At(opt.MainLag, s.dispatchAll)
+		s.k.AtArg(opt.MainLag, fireDispatchAll, s)
 	default:
-		s.main = &mainEnt{}
-		s.k.At(opt.MainLag, func() {
-			s.ready.Add(s.main)
-			s.schedule()
-		})
+		s.k.AtArg(opt.MainLag, fireMainStart, s)
 	}
 
 	s.k.SetBudget(50_000_000)
 	if err := s.k.Run(); err != nil {
 		panic("gil: simulation did not converge: " + err.Error())
 	}
-	return s.res
+	return &s.res
 }
 
 // jittered returns d with +/- JitterPct deterministic noise.
-func (s *simulator) jittered(d time.Duration) time.Duration {
+func (s *Sim) jittered(d time.Duration) time.Duration {
 	if s.opt.JitterPct <= 0 || d <= 0 {
 		return d
 	}
@@ -317,7 +469,7 @@ func (s *simulator) jittered(d time.Duration) time.Duration {
 // (Algorithm 1 lines 4-5: "the same amount of functions is started in each
 // interval"). If spawns remain afterwards, the main thread re-enters the
 // run queue and competes on vruntime like everyone else.
-func (s *simulator) runMain() {
+func (s *Sim) runMain() {
 	batch := s.opt.SpawnBatch
 	if rem := len(s.threads) - s.main.next; rem < batch {
 		batch = rem
@@ -327,38 +479,41 @@ func (s *simulator) runMain() {
 		busy += s.jittered(s.opt.SpawnCost)
 		th := s.threads[s.main.next+i]
 		at := s.k.Now() + busy
-		s.k.At(at, func() { s.admit(th) })
+		th.phase = phaseAdmit
+		s.k.AtArg(at, fireThreadEvent, th)
 		if s.opt.Record {
 			th.res.Slices = append(th.res.Slices, Slice{From: s.k.Now(), To: at, Kind: Startup})
 		}
 	}
 	s.main.next += batch
 	s.main.cpuUsed += busy
-	s.k.At(s.k.Now()+busy, func() {
-		s.free++
-		if s.main.next < len(s.threads) {
-			s.ready.Add(s.main)
-		}
-		s.schedule()
-	})
+	s.k.AtArg(s.k.Now()+busy, fireMainDone, s)
+}
+
+// mainDone releases the main thread's CPU slot after a spawn turn.
+func (s *Sim) mainDone() {
+	s.free++
+	if s.main.next < len(s.threads) {
+		s.ready.Add(&s.main)
+	}
+	s.schedule()
 }
 
 // dispatchAll models a pool dispatcher submitting every task serially.
-func (s *simulator) dispatchAll() {
-	order := make([]*thread, len(s.threads))
-	copy(order, s.threads)
+// The admission order slice and its sorter are reused across calls.
+func (s *Sim) dispatchAll() {
+	order := append(s.sorter.ths[:0], s.threads...)
+	s.sorter.ths = order
 	if s.opt.LongestFirst {
-		sort.SliceStable(order, func(a, b int) bool {
-			return order[a].spec.SoloLatency() > order[b].spec.SoloLatency()
-		})
+		sort.Stable(&s.sorter)
 	}
 	// Task j is issued after j prior dispatches: the first fork/submit
 	// waits nothing, matching Eq. 4's (j-1) x T_Block.
 	var busy time.Duration
 	for _, th := range order {
-		th := th
 		at := s.k.Now() + busy
-		s.k.At(at, func() { s.admit(th) })
+		th.phase = phaseAdmit
+		s.k.AtArg(at, fireThreadEvent, th)
 		if s.opt.Record && busy > 0 {
 			th.res.Slices = append(th.res.Slices, Slice{From: s.k.Now(), To: at, Kind: Wait})
 		}
@@ -368,7 +523,7 @@ func (s *simulator) dispatchAll() {
 
 // admit makes a spawned thread runnable, subject to worker availability.
 // Per-task ExtraStartup elapses first, off the spawner's critical path.
-func (s *simulator) admit(th *thread) {
+func (s *Sim) admit(th *thread) {
 	if s.opt.ExtraStartup > 0 && !th.extraDone {
 		th.extraDone = true
 		extra := s.jittered(s.opt.ExtraStartup)
@@ -376,13 +531,14 @@ func (s *simulator) admit(th *thread) {
 		if s.opt.Record {
 			th.res.Slices = append(th.res.Slices, Slice{From: from, To: from + extra, Kind: Startup})
 		}
-		s.k.At(from+extra, func() { s.admitReady(th) })
+		th.phase = phaseAdmitReady
+		s.k.AtArg(from+extra, fireThreadEvent, th)
 		return
 	}
 	s.admitReady(th)
 }
 
-func (s *simulator) admitReady(th *thread) {
+func (s *Sim) admitReady(th *thread) {
 	th.res.SpawnedAt = s.k.Now()
 	if s.workers > 0 {
 		s.workers--
@@ -395,14 +551,14 @@ func (s *simulator) admitReady(th *thread) {
 	s.waitQ = append(s.waitQ, th)
 }
 
-func (s *simulator) makeReady(th *thread) {
+func (s *Sim) makeReady(th *thread) {
 	th.state = stReady
 	th.waitFrom = s.k.Now()
 	s.ready.Add(th)
 }
 
 // schedule fills free CPU slots from the ready queue.
-func (s *simulator) schedule() {
+func (s *Sim) schedule() {
 	for s.free > 0 && s.ready.Len() > 0 {
 		e := s.ready.PopMin()
 		s.free--
@@ -452,7 +608,7 @@ func (t *thread) consumeCPU(d time.Duration) {
 	}
 }
 
-func (s *simulator) startSlice(th *thread) {
+func (s *Sim) startSlice(th *thread) {
 	now := s.k.Now()
 	if th.res.FirstRun < 0 {
 		th.res.FirstRun = now
@@ -475,13 +631,20 @@ func (s *simulator) startSlice(th *thread) {
 	}
 	total := runFor + syscall
 	end := now + total
-	s.k.At(end, func() { s.endSlice(th, runFor, syscall, preempt, nextBlock) })
+	th.phase = phaseEndSlice
+	th.pendRan = runFor
+	th.pendSys = syscall
+	th.pendPreempt = preempt
+	th.pendBlock = nextBlock
+	s.k.AtArg(end, fireThreadEvent, th)
 	if s.opt.Record && total > 0 {
 		th.res.Slices = append(th.res.Slices, Slice{From: now, To: end, Kind: Run})
 	}
 }
 
-func (s *simulator) endSlice(th *thread, ran, syscall time.Duration, preempt, nextBlock bool) {
+func (s *Sim) endSlice(th *thread) {
+	ran, syscall := th.pendRan, th.pendSys
+	preempt, nextBlock := th.pendPreempt, th.pendBlock
 	th.cpuUsed += ran + syscall
 	th.res.CPUTime += ran + syscall
 	th.consumeCPU(ran)
@@ -499,14 +662,15 @@ func (s *simulator) endSlice(th *thread, ran, syscall time.Duration, preempt, ne
 		if s.opt.Record {
 			th.res.Slices = append(th.res.Slices, Slice{From: from, To: until, Kind: Block})
 		}
-		s.k.At(until, func() { s.unblock(th) })
+		th.phase = phaseUnblock
+		s.k.AtArg(until, fireThreadEvent, th)
 	default:
 		s.finish(th)
 	}
 	s.schedule()
 }
 
-func (s *simulator) unblock(th *thread) {
+func (s *Sim) unblock(th *thread) {
 	th.segIdx++
 	if th.segIdx >= len(th.segments) {
 		// Block was the final segment: the thread exits as the syscall
@@ -521,7 +685,7 @@ func (s *simulator) unblock(th *thread) {
 	s.schedule()
 }
 
-func (s *simulator) finish(th *thread) {
+func (s *Sim) finish(th *thread) {
 	if th.state == stDone {
 		return
 	}
@@ -539,15 +703,22 @@ func (s *simulator) finish(th *thread) {
 	}
 }
 
-// releaseWorker admits the next waiting task if a worker is free.
-func (s *simulator) releaseWorker() {
-	for s.workers > 0 && len(s.waitQ) > 0 {
-		th := s.waitQ[0]
-		s.waitQ = s.waitQ[1:]
+// releaseWorker admits the next waiting task if a worker is free. The wait
+// queue is consumed through waitHead so the buffer is reused, not resliced
+// away.
+func (s *Sim) releaseWorker() {
+	for s.workers > 0 && s.waitHead < len(s.waitQ) {
+		th := s.waitQ[s.waitHead]
+		s.waitQ[s.waitHead] = nil
+		s.waitHead++
 		s.workers--
 		if s.opt.Record && s.k.Now() > th.waitFrom {
 			th.res.Slices = append(th.res.Slices, Slice{From: th.waitFrom, To: s.k.Now(), Kind: Wait})
 		}
 		s.makeReady(th)
+	}
+	if s.waitHead == len(s.waitQ) {
+		s.waitQ = s.waitQ[:0]
+		s.waitHead = 0
 	}
 }

@@ -467,3 +467,104 @@ func TestMainThreadSpawnBatchesRespectBatchSize(t *testing.T) {
 			res.Threads[5].SpawnedAt, res.Threads[1].SpawnedAt)
 	}
 }
+
+func TestSimReuseMatchesFreshSimulate(t *testing.T) {
+	// A reused Sim must be indistinguishable from a fresh Simulate call:
+	// no state may leak between runs, including across different options
+	// and spawn modes.
+	specsA := []*behavior.Spec{
+		cpuFn("a", 10*time.Millisecond),
+		sleepFn("b", 3*time.Millisecond, 20*time.Millisecond),
+		cpuFn("c", 7*time.Millisecond),
+	}
+	specsB := []*behavior.Spec{
+		sleepFn("x", 2*time.Millisecond, 9*time.Millisecond),
+		cpuFn("y", 4*time.Millisecond),
+	}
+	opts := []Options{
+		{Procs: 1, Quantum: 5 * time.Millisecond, SpawnCost: 100 * time.Microsecond, Record: true},
+		{Procs: 4, Quantum: 5 * time.Millisecond, Spawn: Dispatcher, Workers: 2,
+			SpawnCost: 50 * time.Microsecond, LongestFirst: true},
+		{Procs: 2, Quantum: time.Millisecond, SyscallOverhead: 20 * time.Microsecond,
+			JitterPct: 0.1, Seed: 42, ExtraStartup: time.Millisecond, Spawn: Dispatcher},
+	}
+	s := NewSim()
+	for _, opt := range opts {
+		for _, specs := range [][]*behavior.Spec{specsA, specsB} {
+			want := Simulate(specs, opt)
+			got := s.Simulate(specs, opt)
+			if got.Total != want.Total || got.CPUBusy != want.CPUBusy {
+				t.Fatalf("reused Sim diverged: got total=%v busy=%v, want total=%v busy=%v",
+					got.Total, got.CPUBusy, want.Total, want.CPUBusy)
+			}
+			if len(got.Threads) != len(want.Threads) {
+				t.Fatalf("thread count %d, want %d", len(got.Threads), len(want.Threads))
+			}
+			for i := range want.Threads {
+				g, w := got.Threads[i], want.Threads[i]
+				if g.Finish != w.Finish || g.CPUTime != w.CPUTime || g.BlockTime != w.BlockTime ||
+					g.SpawnedAt != w.SpawnedAt || g.FirstRun != w.FirstRun {
+					t.Fatalf("thread %d diverged on reused Sim:\n got %+v\nwant %+v", i, g, w)
+				}
+				if len(g.Slices) != len(w.Slices) {
+					t.Fatalf("thread %d slices %d, want %d", i, len(g.Slices), len(w.Slices))
+				}
+				for j := range w.Slices {
+					if g.Slices[j] != w.Slices[j] {
+						t.Fatalf("thread %d slice %d = %+v, want %+v", i, j, g.Slices[j], w.Slices[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWarmSimSimulateDoesNotAllocate(t *testing.T) {
+	// Allocation budget: pricing a wrap on a warm Sim is the innermost
+	// operation of the PGP search, so it must not touch the heap.
+	specs := []*behavior.Spec{
+		cpuFn("a", 10*time.Millisecond),
+		sleepFn("b", 3*time.Millisecond, 20*time.Millisecond),
+		cpuFn("c", 7*time.Millisecond),
+		sleepFn("d", 2*time.Millisecond, 5*time.Millisecond),
+	}
+	opt := Options{Procs: 1, Quantum: 5 * time.Millisecond, SpawnCost: 100 * time.Microsecond}
+	s := NewSim()
+	s.Simulate(specs, opt) // warm every arena
+	if avg := testing.AllocsPerRun(100, func() { s.Simulate(specs, opt) }); avg > 0 {
+		t.Fatalf("warm Sim.Simulate allocates %.1f allocs/run, want 0", avg)
+	}
+	// The dispatcher path (sorted admission, worker limit) must also be
+	// allocation-free once warm.
+	dopt := Options{Procs: 4, Spawn: Dispatcher, Workers: 2, LongestFirst: true,
+		SpawnCost: 50 * time.Microsecond}
+	s.Simulate(specs, dopt)
+	if avg := testing.AllocsPerRun(100, func() { s.Simulate(specs, dopt) }); avg > 0 {
+		t.Fatalf("warm dispatcher Simulate allocates %.1f allocs/run, want 0", avg)
+	}
+}
+
+func TestPooledSimulateResultIsCallerOwned(t *testing.T) {
+	// The package-level Simulate must return a deep copy: mutating a pooled
+	// Sim afterwards (by running it again) must not change the caller's copy.
+	specs := []*behavior.Spec{
+		sleepFn("a", 3*time.Millisecond, 20*time.Millisecond),
+		cpuFn("b", 7*time.Millisecond),
+	}
+	opt := Options{Procs: 1, Quantum: 5 * time.Millisecond, Record: true}
+	res := Simulate(specs, opt)
+	total, finish0 := res.Total, res.Threads[0].Finish
+	slices0 := append([]Slice(nil), res.Threads[0].Slices...)
+	// Churn the pool with different workloads.
+	for i := 0; i < 8; i++ {
+		Simulate([]*behavior.Spec{cpuFn("z", time.Duration(i+1)*time.Millisecond)}, Options{Procs: 2})
+	}
+	if res.Total != total || res.Threads[0].Finish != finish0 {
+		t.Fatal("pooled Simulate result mutated by later runs")
+	}
+	for j, s := range slices0 {
+		if res.Threads[0].Slices[j] != s {
+			t.Fatal("pooled Simulate slices mutated by later runs")
+		}
+	}
+}

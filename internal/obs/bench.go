@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one parsed `go test -bench` line: the benchmark's name
+// (GOMAXPROCS suffix stripped) and its per-op measurements. ns/op is
+// always present; B/op and allocs/op require -benchmem; extra metrics
+// reported via b.ReportMetric (e.g. plans_per_sec) land in Metrics.
+type BenchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchReport is a labelled benchmark run plus its provenance manifest —
+// the BENCH_*.json schema the repo's perf trajectory is tracked in.
+type BenchReport struct {
+	Label      string        `json:"label"`
+	Manifest   *Manifest     `json:"manifest,omitempty"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// Find returns the named benchmark result, if present.
+func (r *BenchReport) Find(name string) (BenchResult, bool) {
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return BenchResult{}, false
+}
+
+// BenchDelta compares one benchmark across two runs.
+type BenchDelta struct {
+	Name  string  `json:"name"`
+	OldNs float64 `json:"old_ns_per_op"`
+	NewNs float64 `json:"new_ns_per_op"`
+	// Ratio is new/old ns/op: < 1 is a speedup, > 1 a slowdown.
+	Ratio      float64 `json:"ratio"`
+	OldAllocs  float64 `json:"old_allocs_per_op"`
+	NewAllocs  float64 `json:"new_allocs_per_op"`
+	Regression bool    `json:"regression"`
+}
+
+// BenchComparison is a baseline/current pair with per-benchmark deltas,
+// the committed before/after record for a perf PR.
+type BenchComparison struct {
+	Baseline *BenchReport `json:"baseline"`
+	Current  *BenchReport `json:"current"`
+	// Threshold is the fractional ns/op slowdown that counts as a
+	// regression (0.10 = +10%).
+	Threshold float64      `json:"threshold"`
+	Deltas    []BenchDelta `json:"deltas"`
+}
+
+// Regressions returns the deltas flagged as regressions.
+func (c *BenchComparison) Regressions() []BenchDelta {
+	var out []BenchDelta
+	for _, d := range c.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// stripProcs removes the -N GOMAXPROCS suffix go test appends to
+// benchmark names (BenchmarkFig06-8 -> BenchmarkFig06), so reports
+// compare across machines with different core counts.
+func stripProcs(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// ParseGoBench parses `go test -bench` output into results, tolerating
+// interleaved non-benchmark lines (log output, PASS/ok trailers). Units
+// beyond the standard ns/op, B/op and allocs/op are collected into
+// Metrics keyed by unit name.
+func ParseGoBench(r io.Reader) ([]BenchResult, error) {
+	var out []BenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shape: Name iterations value unit [value unit]...
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := BenchResult{Name: stripProcs(fields[0]), Iterations: iters}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+				ok = true
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[fields[i+1]] = v
+			}
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("obs: no benchmark lines found")
+	}
+	return out, nil
+}
+
+// CompareBench builds the delta table between two reports. Benchmarks
+// present in only one report are skipped (renames don't fail the gate);
+// a benchmark regresses when its ns/op grows by more than threshold.
+func CompareBench(baseline, current *BenchReport, threshold float64) *BenchComparison {
+	cmp := &BenchComparison{Baseline: baseline, Current: current, Threshold: threshold}
+	for _, nb := range current.Benchmarks {
+		ob, ok := baseline.Find(nb.Name)
+		if !ok || ob.NsPerOp <= 0 {
+			continue
+		}
+		d := BenchDelta{
+			Name:  nb.Name,
+			OldNs: ob.NsPerOp, NewNs: nb.NsPerOp,
+			Ratio:     nb.NsPerOp / ob.NsPerOp,
+			OldAllocs: ob.AllocsPerOp, NewAllocs: nb.AllocsPerOp,
+		}
+		d.Regression = nb.NsPerOp > ob.NsPerOp*(1+threshold)
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	sort.Slice(cmp.Deltas, func(i, j int) bool { return cmp.Deltas[i].Name < cmp.Deltas[j].Name })
+	return cmp
+}

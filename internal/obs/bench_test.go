@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchSample = `goos: linux
+goarch: amd64
+pkg: chiron
+cpu: Test CPU
+BenchmarkFig06-8                     20          14865772 ns/op         1234 B/op         56 allocs/op
+BenchmarkFig11PGPTrace-8             20            965888 ns/op       366810 B/op       1448 allocs/op
+BenchmarkPGPPlanFINRA100-8           50            883989 ns/op          1131 plans_per_sec
+some unrelated log line
+BenchmarkTable02-8                   20           5000000 ns/op
+PASS
+ok      chiron  12.3s
+`
+
+func TestParseGoBench(t *testing.T) {
+	rs, err := ParseGoBench(strings.NewReader(benchSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(rs))
+	}
+	if rs[0].Name != "BenchmarkFig06" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", rs[0].Name)
+	}
+	if rs[0].NsPerOp != 14865772 || rs[0].BytesPerOp != 1234 || rs[0].AllocsPerOp != 56 {
+		t.Fatalf("Fig06 parsed wrong: %+v", rs[0])
+	}
+	if rs[0].Iterations != 20 {
+		t.Fatalf("iterations = %d", rs[0].Iterations)
+	}
+	if got := rs[2].Metrics["plans_per_sec"]; got != 1131 {
+		t.Fatalf("custom metric = %v", got)
+	}
+	if rs[3].AllocsPerOp != 0 {
+		t.Fatalf("missing -benchmem columns must stay zero: %+v", rs[3])
+	}
+}
+
+func TestParseGoBenchEmpty(t *testing.T) {
+	if _, err := ParseGoBench(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("expected error on output with no benchmarks")
+	}
+}
+
+func TestCompareBenchFlagsRegressions(t *testing.T) {
+	base := &BenchReport{Label: "before", Benchmarks: []BenchResult{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 10},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 5},
+	}}
+	cur := &BenchReport{Label: "after", Benchmarks: []BenchResult{
+		{Name: "BenchmarkA", NsPerOp: 1099, AllocsPerOp: 0}, // +9.9%: within threshold
+		{Name: "BenchmarkB", NsPerOp: 1200},                 // +20%: regression
+		{Name: "BenchmarkNew", NsPerOp: 7},                  // no baseline: skipped
+	}}
+	cmp := CompareBench(base, cur, 0.10)
+	if len(cmp.Deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2 (unmatched names skipped)", len(cmp.Deltas))
+	}
+	regs := cmp.Regressions()
+	if len(regs) != 1 || regs[0].Name != "BenchmarkB" {
+		t.Fatalf("regressions = %+v, want only BenchmarkB", regs)
+	}
+	if d := cmp.Deltas[0]; d.Name != "BenchmarkA" || d.Regression {
+		t.Fatalf("A flagged wrongly: %+v", d)
+	}
+	if r := cmp.Deltas[1].Ratio; r < 1.19 || r > 1.21 {
+		t.Fatalf("ratio = %v, want ~1.2", r)
+	}
+}
+
+func TestBenchReportFind(t *testing.T) {
+	r := &BenchReport{Benchmarks: []BenchResult{{Name: "BenchmarkX", NsPerOp: 3}}}
+	if _, ok := r.Find("BenchmarkX"); !ok {
+		t.Fatal("Find missed an existing benchmark")
+	}
+	if _, ok := r.Find("BenchmarkY"); ok {
+		t.Fatal("Find fabricated a benchmark")
+	}
+}

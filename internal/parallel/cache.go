@@ -11,16 +11,22 @@ type CacheStats struct {
 	Hits, Misses, Evictions uint64
 }
 
-// Cache is a sharded, bounded, thread-safe LRU keyed by string. Shards cut
-// lock contention under parallel planners (in the spirit of samber/hot's
-// sharded cache); each shard holds capacity/shards entries and evicts its
-// own least-recently-used entry on overflow.
+// Cache is a sharded, bounded, thread-safe LRU. Shards cut lock contention
+// under parallel planners (in the spirit of samber/hot's sharded cache);
+// each shard holds capacity/shards entries and evicts its own
+// least-recently-used entry on overflow.
+//
+// The key type is any comparable; the caller supplies the shard-selection
+// hash at construction so hot paths can use fixed-size struct keys (e.g.
+// predict's fingerprint key) without ever materializing a string. For
+// string keys, pass StringHash.
 //
 // The cache stores only values that are pure functions of their key, so a
 // concurrent double-compute or an eviction changes wall-clock time, never
 // results — determinism does not depend on cache state.
-type Cache[V any] struct {
-	shards []cacheShard[V]
+type Cache[K comparable, V any] struct {
+	shards []cacheShard[K, V]
+	hash   func(K) uint64
 	// Counters are obs metrics so a cache can publish itself in a
 	// registry (NewCacheMetrics); by default they are private.
 	hits   *obs.Counter
@@ -30,24 +36,25 @@ type Cache[V any] struct {
 
 // NewCache returns a cache holding at most capacity entries across the
 // given number of shards (both floored at 1; shards are capped at
-// capacity so every shard can hold at least one entry).
-func NewCache[V any](capacity, shards int) *Cache[V] {
-	return newCache[V](capacity, shards, &obs.Counter{}, &obs.Counter{}, &obs.Counter{})
+// capacity so every shard can hold at least one entry). hash selects the
+// shard for a key and only needs to spread well, not be cryptographic.
+func NewCache[K comparable, V any](capacity, shards int, hash func(K) uint64) *Cache[K, V] {
+	return newCache[K, V](capacity, shards, hash, &obs.Counter{}, &obs.Counter{}, &obs.Counter{})
 }
 
 // NewCacheMetrics is NewCache with the hit/miss/eviction counters
 // registered in reg as <prefix>_hits_total, <prefix>_misses_total and
 // <prefix>_evictions_total, so the cache shows up in metric dumps
 // (chiron-bench -metrics) without a bespoke reporting path.
-func NewCacheMetrics[V any](capacity, shards int, reg *obs.Registry, prefix string) *Cache[V] {
-	return newCache[V](capacity, shards,
+func NewCacheMetrics[K comparable, V any](capacity, shards int, hash func(K) uint64, reg *obs.Registry, prefix string) *Cache[K, V] {
+	return newCache[K, V](capacity, shards, hash,
 		reg.Counter(prefix+"_hits_total", "cache lookups served from the cache"),
 		reg.Counter(prefix+"_misses_total", "cache lookups that fell through to compute"),
 		reg.Counter(prefix+"_evictions_total", "LRU entries displaced by inserts"),
 	)
 }
 
-func newCache[V any](capacity, shards int, hits, misses, evicts *obs.Counter) *Cache[V] {
+func newCache[K comparable, V any](capacity, shards int, hash func(K) uint64, hits, misses, evicts *obs.Counter) *Cache[K, V] {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -57,8 +64,9 @@ func newCache[V any](capacity, shards int, hits, misses, evicts *obs.Counter) *C
 	if shards > capacity {
 		shards = capacity
 	}
-	c := &Cache[V]{
-		shards: make([]cacheShard[V], shards),
+	c := &Cache[K, V]{
+		shards: make([]cacheShard[K, V], shards),
+		hash:   hash,
 		hits:   hits, misses: misses, evicts: evicts,
 	}
 	per := capacity / shards
@@ -71,8 +79,9 @@ func newCache[V any](capacity, shards int, hits, misses, evicts *obs.Counter) *C
 	return c
 }
 
-// fnv1a is the 64-bit FNV-1a hash, used only for shard selection.
-func fnv1a(key string) uint64 {
+// StringHash is the 64-bit FNV-1a hash over the key's bytes — the default
+// shard selector for string-keyed caches.
+func StringHash(key string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(key); i++ {
 		h ^= uint64(key[i])
@@ -81,13 +90,13 @@ func fnv1a(key string) uint64 {
 	return h
 }
 
-func (c *Cache[V]) shard(key string) *cacheShard[V] {
-	return &c.shards[fnv1a(key)%uint64(len(c.shards))]
+func (c *Cache[K, V]) shard(key K) *cacheShard[K, V] {
+	return &c.shards[c.hash(key)%uint64(len(c.shards))]
 }
 
 // Get returns the cached value and whether it was present, promoting the
 // entry to most-recently-used.
-func (c *Cache[V]) Get(key string) (V, bool) {
+func (c *Cache[K, V]) Get(key K) (V, bool) {
 	v, ok := c.shard(key).get(key)
 	if ok {
 		c.hits.Inc()
@@ -99,7 +108,7 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 
 // Put inserts or refreshes an entry, evicting the shard's LRU entry when
 // the shard is full.
-func (c *Cache[V]) Put(key string, v V) {
+func (c *Cache[K, V]) Put(key K, v V) {
 	if c.shard(key).put(key, v) {
 		c.evicts.Inc()
 	}
@@ -109,7 +118,7 @@ func (c *Cache[V]) Put(key string, v V) {
 // it on a miss. Concurrent callers may compute the same key twice; both
 // arrive at the same value (keys determine values), so the only cost is
 // duplicated work, never divergent results.
-func (c *Cache[V]) GetOrCompute(key string, fn func() V) V {
+func (c *Cache[K, V]) GetOrCompute(key K, fn func() V) V {
 	if v, ok := c.Get(key); ok {
 		return v
 	}
@@ -119,7 +128,7 @@ func (c *Cache[V]) GetOrCompute(key string, fn func() V) V {
 }
 
 // Len returns the number of cached entries.
-func (c *Cache[V]) Len() int {
+func (c *Cache[K, V]) Len() int {
 	n := 0
 	for i := range c.shards {
 		n += c.shards[i].len()
@@ -128,14 +137,14 @@ func (c *Cache[V]) Len() int {
 }
 
 // Purge empties the cache, keeping capacity; counters are unaffected.
-func (c *Cache[V]) Purge() {
+func (c *Cache[K, V]) Purge() {
 	for i := range c.shards {
 		c.shards[i].purge()
 	}
 }
 
 // Stats returns cumulative hit/miss/eviction counters.
-func (c *Cache[V]) Stats() CacheStats {
+func (c *Cache[K, V]) Stats() CacheStats {
 	return CacheStats{
 		Hits:      c.hits.Value(),
 		Misses:    c.misses.Value(),
@@ -145,40 +154,40 @@ func (c *Cache[V]) Stats() CacheStats {
 
 // cacheShard is one lock domain: a map into an intrusive doubly-linked
 // list ordered most- to least-recently used.
-type cacheShard[V any] struct {
+type cacheShard[K comparable, V any] struct {
 	mu  sync.Mutex
 	cap int
-	m   map[string]*cacheEntry[V]
+	m   map[K]*cacheEntry[K, V]
 	// head.next is the MRU entry; head.prev the LRU (ring with sentinel).
-	head cacheEntry[V]
+	head cacheEntry[K, V]
 }
 
-type cacheEntry[V any] struct {
-	key        string
+type cacheEntry[K comparable, V any] struct {
+	key        K
 	val        V
-	prev, next *cacheEntry[V]
+	prev, next *cacheEntry[K, V]
 }
 
-func (s *cacheShard[V]) init(capacity int) {
+func (s *cacheShard[K, V]) init(capacity int) {
 	s.cap = capacity
-	s.m = make(map[string]*cacheEntry[V], capacity)
+	s.m = make(map[K]*cacheEntry[K, V], capacity)
 	s.head.prev = &s.head
 	s.head.next = &s.head
 }
 
-func (s *cacheShard[V]) unlink(e *cacheEntry[V]) {
+func (s *cacheShard[K, V]) unlink(e *cacheEntry[K, V]) {
 	e.prev.next = e.next
 	e.next.prev = e.prev
 }
 
-func (s *cacheShard[V]) pushFront(e *cacheEntry[V]) {
+func (s *cacheShard[K, V]) pushFront(e *cacheEntry[K, V]) {
 	e.prev = &s.head
 	e.next = s.head.next
 	e.next.prev = e
 	s.head.next = e
 }
 
-func (s *cacheShard[V]) get(key string) (V, bool) {
+func (s *cacheShard[K, V]) get(key K) (V, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.m[key]
@@ -191,7 +200,7 @@ func (s *cacheShard[V]) get(key string) (V, bool) {
 	return e.val, true
 }
 
-func (s *cacheShard[V]) put(key string, v V) (evicted bool) {
+func (s *cacheShard[K, V]) put(key K, v V) (evicted bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.m[key]; ok {
@@ -206,22 +215,22 @@ func (s *cacheShard[V]) put(key string, v V) (evicted bool) {
 		delete(s.m, lru.key)
 		evicted = true
 	}
-	e := &cacheEntry[V]{key: key, val: v}
+	e := &cacheEntry[K, V]{key: key, val: v}
 	s.m[key] = e
 	s.pushFront(e)
 	return evicted
 }
 
-func (s *cacheShard[V]) len() int {
+func (s *cacheShard[K, V]) len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.m)
 }
 
-func (s *cacheShard[V]) purge() {
+func (s *cacheShard[K, V]) purge() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.m = make(map[string]*cacheEntry[V], s.cap)
+	s.m = make(map[K]*cacheEntry[K, V], s.cap)
 	s.head.prev = &s.head
 	s.head.next = &s.head
 }

@@ -80,6 +80,12 @@ type Options struct {
 	// round-robin partition (ablation knob: how much does Algorithm 2's
 	// swapping pass actually buy?).
 	DisableKL bool
+	// NaiveKL makes Kernighan-Lin fully re-price the stage for every
+	// tentative swap instead of using the incremental evaluator (klEval).
+	// The two are arithmetically identical — plans are byte-for-byte equal
+	// either way, pinned by TestKLIncrementalMatchesNaive — so this is an
+	// ablation/verification knob, not a behaviour switch.
+	NaiveKL bool
 	// Rec, when non-nil, receives planner spans: the plan root, one span
 	// per explored process count (TID = n, so the window fan-out is
 	// visible as parallel rows), one span per Kernighan-Lin round, and a
@@ -428,17 +434,200 @@ func within(a, b, tol float64) bool {
 
 // kernighanLinAll refines pairs of process groups (Algorithm 2 lines
 // 10-11): every pair for modest group counts, a ring of near neighbours
-// beyond that (the Discussion section's scalability concession).
+// beyond that (the Discussion section's scalability concession). One
+// incremental evaluator is shared across every pair: its per-group and
+// per-wrap state survives applied swaps via refresh, so each tentative
+// swap is priced from the two touched groups only.
 func (pl *planner) kernighanLinAll(tid int, groups [][]string, sizes []int, pinned []string) {
 	n := len(groups)
 	span := n
 	if n*(n-1)/2 > 96 {
 		span = 2
 	}
+	var ev *klEval
+	if !pl.opt.NaiveKL {
+		ev = pl.newKLEval(groups, sizes, pinned)
+	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n && j <= i+span; j++ {
-			pl.kernighanLin(tid, groups, sizes, pinned, i, j)
+			pl.kernighanLin(tid, ev, groups, sizes, pinned, i, j)
 		}
+	}
+}
+
+// klEval prices tentative Kernighan-Lin swaps incrementally (the
+// Fiduccia-Mattheyses delta idea applied to Eq. 2-4): it decomposes the
+// stage latency into per-group execution predictions, per-group fork/start
+// offsets, per-wrap maxima with their IPC term, and the cross-wrap
+// local/remote combine. A candidate swap touches exactly two groups, so
+// pricing it needs two (cached) execution lookups plus O(wrap size +
+// wrap count) exact integer arithmetic — instead of re-pricing every
+// group in the stage. The decomposition is arithmetically identical to
+// stageLatency, so incremental and naive searches pick the same swaps and
+// produce byte-identical plans; stageLatency is still re-run in full at
+// every round boundary (after each applied swap) as the paper's fallback.
+type klEval struct {
+	pl     *planner
+	groups [][]string
+	sizes  []int
+	// wrapOf, off and execT are per-group: owning wrap, fork/startup
+	// offset (Eq. 4's rank term), and the cached Algorithm-1 prediction.
+	wrapOf []int
+	off    []time.Duration
+	execT  []time.Duration
+	// wStart is each wrap's first group index; wrapTot each wrap's
+	// latency including its IPC term (Eq. 3).
+	wStart  []int
+	wrapTot []time.Duration
+	// pinnedMax folds the conflict-pinned single-function wraps, which
+	// never participate in swaps, into one constant.
+	pinnedMax time.Duration
+	hasRemote bool
+	// scrA/scrB hold the tentative post-swap name lists (reused; the
+	// sequential scan never needs more than one pair at a time).
+	scrA, scrB []string
+}
+
+func (pl *planner) newKLEval(groups [][]string, sizes []int, pinned []string) *klEval {
+	c := pl.opt.Const
+	n := len(groups)
+	ev := &klEval{
+		pl: pl, groups: groups, sizes: sizes,
+		wrapOf:  make([]int, n),
+		off:     make([]time.Duration, n),
+		execT:   make([]time.Duration, n),
+		wStart:  make([]int, len(sizes)),
+		wrapTot: make([]time.Duration, len(sizes)),
+	}
+	mainFirst := pl.opt.Style == Hybrid
+	idx := 0
+	for wi, size := range sizes {
+		ev.wStart[wi] = idx
+		fork := 0
+		for r := 0; r < size; r++ {
+			ev.wrapOf[idx] = wi
+			if mainFirst && r == 0 {
+				ev.off[idx] = 0
+			} else {
+				ev.off[idx] = time.Duration(fork)*c.ProcBlockStep + c.ProcStartup
+				fork++
+			}
+			ev.execT[idx] = pl.exec(groups[idx])
+			idx++
+		}
+	}
+	for wi := range sizes {
+		ev.wrapTot[wi] = ev.wrapLat(wi, -1, 0, -1, 0)
+	}
+	ev.hasRemote = len(sizes) > 1 || len(pinned) > 0
+	rank := len(sizes) - 1
+	for _, name := range pinned {
+		rank++
+		if cand := pl.exec([]string{name}) + time.Duration(rank)*c.InvokeCost; cand > ev.pinnedMax {
+			ev.pinnedMax = cand
+		}
+	}
+	return ev
+}
+
+// wrapLat computes wrap wi's latency (Eq. 3), substituting execution times
+// for up to two of its groups (g1/g2 of -1 disables a substitution).
+func (ev *klEval) wrapLat(wi int, g1 int, e1 time.Duration, g2 int, e2 time.Duration) time.Duration {
+	lo, size := ev.wStart[wi], ev.sizes[wi]
+	var maxv time.Duration
+	for gi := lo; gi < lo+size; gi++ {
+		e := ev.execT[gi]
+		if gi == g1 {
+			e = e1
+		} else if gi == g2 {
+			e = e2
+		}
+		if v := e + ev.off[gi]; v > maxv {
+			maxv = v
+		}
+	}
+	if size > 1 {
+		maxv += time.Duration(size-1) * ev.pl.opt.Const.IPCCost
+	}
+	return maxv
+}
+
+// combine folds per-wrap latencies into the stage latency (Eq. 2),
+// substituting totals for up to two wraps.
+func (ev *klEval) combine(w1 int, t1 time.Duration, w2 int, t2 time.Duration) time.Duration {
+	c := ev.pl.opt.Const
+	var local, remoteMax time.Duration
+	for wi, t := range ev.wrapTot {
+		if wi == w1 {
+			t = t1
+		} else if wi == w2 {
+			t = t2
+		}
+		if wi == 0 {
+			local = t
+			continue
+		}
+		if cand := t + time.Duration(wi)*c.InvokeCost; cand > remoteMax {
+			remoteMax = cand
+		}
+	}
+	if ev.pinnedMax > remoteMax {
+		remoteMax = ev.pinnedMax
+	}
+	total := local
+	if ev.hasRemote {
+		if r := remoteMax + c.RPCCost; r > total {
+			total = r
+		}
+	}
+	if ev.pl.opt.Safety > 1 {
+		total = time.Duration(float64(total) * ev.pl.opt.Safety)
+	}
+	return total
+}
+
+// price evaluates the stage latency with groups a and b replaced by the
+// given post-swap name lists.
+func (ev *klEval) price(a, b int, ga, gb []string) time.Duration {
+	execA := ev.pl.exec(ga)
+	execB := ev.pl.exec(gb)
+	wa, wb := ev.wrapOf[a], ev.wrapOf[b]
+	if wa == wb {
+		return ev.combine(wa, ev.wrapLat(wa, a, execA, b, execB), -1, 0)
+	}
+	ta := ev.wrapLat(wa, a, execA, -1, 0)
+	tb := ev.wrapLat(wb, b, execB, -1, 0)
+	return ev.combine(wa, ta, wb, tb)
+}
+
+// candidate prices the swap of groups[a][ai] with groups[b][bi] using the
+// reusable scratch buffers (sequential scan only; not race-safe).
+func (ev *klEval) candidate(a, b, ai, bi int) time.Duration {
+	ev.scrA = append(ev.scrA[:0], ev.groups[a]...)
+	ev.scrB = append(ev.scrB[:0], ev.groups[b]...)
+	ev.scrA[ai], ev.scrB[bi] = ev.scrB[bi], ev.scrA[ai]
+	return ev.price(a, b, ev.scrA, ev.scrB)
+}
+
+// candidateAlloc is candidate with private copies, safe for the parallel
+// candidate scan (each worker pays two small slice copies but still skips
+// the full-stage re-pricing).
+func (ev *klEval) candidateAlloc(a, b, ai, bi int) time.Duration {
+	ga := append([]string(nil), ev.groups[a]...)
+	gb := append([]string(nil), ev.groups[b]...)
+	ga[ai], gb[bi] = gb[bi], ga[ai]
+	return ev.price(a, b, ga, gb)
+}
+
+// refresh re-reads groups a and b after their contents changed (an applied
+// swap or a prefix undo) and rebuilds the affected per-wrap totals.
+func (ev *klEval) refresh(a, b int) {
+	ev.execT[a] = ev.pl.exec(ev.groups[a])
+	ev.execT[b] = ev.pl.exec(ev.groups[b])
+	wa, wb := ev.wrapOf[a], ev.wrapOf[b]
+	ev.wrapTot[wa] = ev.wrapLat(wa, -1, 0, -1, 0)
+	if wb != wa {
+		ev.wrapTot[wb] = ev.wrapLat(wb, -1, 0, -1, 0)
 	}
 }
 
@@ -458,7 +647,15 @@ type swapRec struct {
 // candidate (in scan order) achieving the minimal latency — exactly the
 // element the sequential strict-less-than scan would keep — so refined
 // partitions are identical at every worker count.
-func (pl *planner) kernighanLin(tid int, groups [][]string, sizes []int, pinned []string, a, b int) {
+//
+// With ev non-nil each tentative swap is priced incrementally from the two
+// touched groups (see klEval); after every applied swap — a round boundary
+// — the stage is re-priced in full by stageLatency, so the running
+// cumulative-gain bookkeeping can never drift from the ground truth. With
+// ev nil (Options.NaiveKL) every candidate is priced by a full stage
+// evaluation; both paths compute identical latencies and therefore make
+// identical choices.
+func (pl *planner) kernighanLin(tid int, ev *klEval, groups [][]string, sizes []int, pinned []string, a, b int) {
 	ga, gb := groups[a], groups[b]
 	lockedA := make([]bool, len(ga))
 	lockedB := make([]bool, len(gb))
@@ -490,17 +687,27 @@ func (pl *planner) kernighanLin(tid int, groups [][]string, sizes []int, pinned 
 			break
 		}
 		afters := make([]time.Duration, len(cands))
-		if parallel.Workers() == 1 {
-			// Sequential fast path: swap in place, no copies.
+		switch {
+		case parallel.Workers() == 1 && ev != nil:
+			// Sequential incremental path: two cached lookups per swap.
+			for ci, c := range cands {
+				afters[ci] = ev.candidate(a, b, c.ai, c.bi)
+			}
+		case parallel.Workers() == 1:
+			// Naive sequential path: swap in place, full re-pricing.
 			for ci, c := range cands {
 				ga[c.ai], gb[c.bi] = gb[c.bi], ga[c.ai]
 				afters[ci] = pl.stageLatency(groups, sizes, pinned)
 				ga[c.ai], gb[c.bi] = gb[c.bi], ga[c.ai]
 			}
-		} else {
+		default:
 			parallel.ForEach(len(cands), func(ci int) {
 				c := cands[ci]
-				afters[ci] = pl.stageLatencySwapped(groups, sizes, pinned, a, b, c.ai, c.bi)
+				if ev != nil {
+					afters[ci] = ev.candidateAlloc(a, b, c.ai, c.bi)
+				} else {
+					afters[ci] = pl.stageLatencySwapped(groups, sizes, pinned, a, b, c.ai, c.bi)
+				}
 			})
 		}
 		best := 0
@@ -512,7 +719,14 @@ func (pl *planner) kernighanLin(tid int, groups [][]string, sizes []int, pinned 
 		bestAi, bestBi, bestAfter := cands[best].ai, cands[best].bi, afters[best]
 		ga[bestAi], gb[bestBi] = gb[bestBi], ga[bestAi]
 		recs = append(recs, swapRec{ai: bestAi, bi: bestBi, gain: cur - bestAfter})
-		cur = bestAfter
+		if ev != nil {
+			// Round boundary: refresh the evaluator's state for the two
+			// mutated groups and re-price the stage in full.
+			ev.refresh(a, b)
+			cur = pl.stageLatency(groups, sizes, pinned)
+		} else {
+			cur = bestAfter
+		}
 		lockedA[bestAi] = true
 		lockedB[bestBi] = true
 		if pl.opt.Rec != nil {
@@ -542,6 +756,9 @@ func (pl *planner) kernighanLin(tid int, groups [][]string, sizes []int, pinned 
 	for i := len(recs) - 1; i >= bestK; i-- {
 		r := recs[i]
 		ga[r.ai], gb[r.bi] = gb[r.bi], ga[r.ai]
+	}
+	if ev != nil && bestK < len(recs) {
+		ev.refresh(a, b)
 	}
 }
 

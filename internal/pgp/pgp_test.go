@@ -560,3 +560,125 @@ func TestPlanUsesSharedPredictionCache(t *testing.T) {
 		t.Fatalf("replan missed too often: %d misses vs %d hits", misses, hits)
 	}
 }
+
+// mixFnPGP builds a CPU+sleep+CPU function so golden workloads include
+// IO-heterogeneous stages (the SLApp-style CPU- vs IO-intensive mix).
+func mixFnPGP(name string, cpu, block time.Duration) *behavior.Spec {
+	return &behavior.Spec{
+		Name: name, Runtime: behavior.Python,
+		Segments: []behavior.Segment{
+			{Kind: behavior.CPU, Dur: cpu},
+			{Kind: behavior.Sleep, Dur: block},
+			{Kind: behavior.CPU, Dur: cpu},
+		},
+		MemMB: 1.2,
+	}
+}
+
+// TestKLIncrementalMatchesNaive is the golden-plan equivalence gate for
+// the incremental Kernighan-Lin evaluator: on every seed workload shape,
+// the incremental search (default) must produce byte-identical output —
+// trace, predicted latency, wrap counts, every placement — to the naive
+// full-re-prediction search (Options.NaiveKL).
+func TestKLIncrementalMatchesNaive(t *testing.T) {
+	type workload struct {
+		name string
+		w    *dag.Workflow
+		slo  time.Duration
+	}
+	var loads []workload
+
+	skewW, _ := skewedWorkflow(t)
+	loads = append(loads, workload{"skewed-cpu", skewW, 40 * time.Millisecond})
+	loads = append(loads, workload{"skewed-cpu-noslo", skewW, 0})
+
+	// IO-heterogeneous stage: blocking share differs wildly per function.
+	var het []*behavior.Spec
+	for i := 0; i < 10; i++ {
+		if i%3 == 0 {
+			het = append(het, mixFnPGP(vname(i), time.Millisecond, 25*time.Millisecond))
+		} else {
+			het = append(het, cpuFn(vname(i), time.Duration(2+i)*time.Millisecond))
+		}
+	}
+	hetW, err := dag.FromStages("slapp-het", 0,
+		[]*behavior.Spec{cpuFn("fetch", 2*time.Millisecond)}, het)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads = append(loads, workload{"io-het", hetW, 55 * time.Millisecond})
+
+	// Conflict-pinned functions exercise the evaluator's pinnedMax fold.
+	pinW := mixedRuntimeWorkflow(t)
+	pinW.Stages[1].Functions[0].Segments[0].Dur = 15 * time.Millisecond
+	loads = append(loads, workload{"pinned", pinW, 45 * time.Millisecond})
+
+	for _, ld := range loads {
+		set, err := profiler.ProfileWorkflow(ld.w, profiler.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Options{Const: model.Default(), SLO: ld.slo}
+		fast, err := Plan(ld.w, set, opt)
+		if err != nil {
+			t.Fatalf("%s: incremental plan: %v", ld.name, err)
+		}
+		opt.NaiveKL = true
+		naive, err := Plan(ld.w, set, opt)
+		if err != nil {
+			t.Fatalf("%s: naive plan: %v", ld.name, err)
+		}
+		if fast.Predicted != naive.Predicted || fast.MeetsSLO != naive.MeetsSLO {
+			t.Fatalf("%s: predicted %v/%v vs naive %v/%v", ld.name,
+				fast.Predicted, fast.MeetsSLO, naive.Predicted, naive.MeetsSLO)
+		}
+		if len(fast.Trace) != len(naive.Trace) {
+			t.Fatalf("%s: trace length %d vs %d", ld.name, len(fast.Trace), len(naive.Trace))
+		}
+		for i := range fast.Trace {
+			if fast.Trace[i] != naive.Trace[i] {
+				t.Fatalf("%s: trace step %d: %+v vs %+v", ld.name, i, fast.Trace[i], naive.Trace[i])
+			}
+		}
+		for i := range fast.ProcsPerStage {
+			if fast.ProcsPerStage[i] != naive.ProcsPerStage[i] ||
+				fast.WrapsPerStage[i] != naive.WrapsPerStage[i] {
+				t.Fatalf("%s: stage %d shape diverged", ld.name, i)
+			}
+		}
+		if len(fast.Plan.Loc) != len(naive.Plan.Loc) {
+			t.Fatalf("%s: placement counts diverged", ld.name)
+		}
+		for name, loc := range fast.Plan.Loc {
+			if naive.Plan.Loc[name] != loc {
+				t.Fatalf("%s: placement of %s: %+v vs %+v", ld.name, name, loc, naive.Plan.Loc[name])
+			}
+		}
+	}
+}
+
+// TestKLIncrementalMatchesNaiveParallel repeats the equivalence check with
+// the worker pool engaged, covering the candidateAlloc parallel path.
+func TestKLIncrementalMatchesNaiveParallel(t *testing.T) {
+	w, set := skewedWorkflow(t)
+	opt := Options{Const: model.Default(), SLO: 40 * time.Millisecond}
+	parallel.SetWorkers(8)
+	defer parallel.SetWorkers(0)
+	fast, err := Plan(w, set, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.NaiveKL = true
+	naive, err := Plan(w, set, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Predicted != naive.Predicted {
+		t.Fatalf("parallel incremental predicted %v, naive %v", fast.Predicted, naive.Predicted)
+	}
+	for name, loc := range fast.Plan.Loc {
+		if naive.Plan.Loc[name] != loc {
+			t.Fatalf("placement of %s diverged under parallel scan", name)
+		}
+	}
+}

@@ -4,13 +4,73 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
-	"strings"
 	"time"
 
 	"chiron/internal/obs"
 	"chiron/internal/parallel"
 	"chiron/internal/wrap"
 )
+
+// execKey identifies one Algorithm-1 prediction: a process group (ordered
+// function names, hashed), under one isolation mechanism, for one predictor
+// content fingerprint. It is a fixed-size comparable struct so the hot-path
+// lookup builds the key on the stack with zero heap allocations — no
+// strings.Builder, no joined name string.
+//
+// The group is carried as two independent 64-bit hash streams over the
+// name bytes (separator \x1f between names, which dag validation keeps out
+// of function names) plus the name count; a collision requires two
+// different ordered name lists to collide in 128 hash bits simultaneously,
+// which is vanishingly unlikely and, per the cache contract, could only
+// trade wall-clock time — the fingerprint and isolation fields are exact.
+type execKey struct {
+	fp  uint64
+	iso wrap.IsolationKind
+	n   uint32
+	h1  uint64 // FNV-1a stream over names
+	h2  uint64 // FNV-1 stream (xor/multiply order swapped) over names
+}
+
+const (
+	fnvOffset = uint64(14695981039346656037)
+	fnvPrime  = uint64(1099511628211)
+)
+
+// execKeyOf builds the cache key for one process group under one isolation
+// mechanism, allocation-free.
+func (p *Predictor) execKeyOf(names []string, iso wrap.IsolationKind) execKey {
+	h1, h2 := fnvOffset, fnvOffset
+	for i, name := range names {
+		if i > 0 {
+			h1 ^= 0x1f
+			h1 *= fnvPrime
+			h2 *= fnvPrime
+			h2 ^= 0x1f
+		}
+		for j := 0; j < len(name); j++ {
+			c := uint64(name[j])
+			h1 ^= c
+			h1 *= fnvPrime
+			h2 *= fnvPrime
+			h2 ^= c
+		}
+	}
+	return execKey{fp: p.fingerprint(), iso: iso, n: uint32(len(names)), h1: h1, h2: h2}
+}
+
+// execKeyHash selects the cache shard for a key; it only needs to spread.
+func execKeyHash(k execKey) uint64 {
+	h := k.h1 ^ (k.h2 * fnvPrime) ^ (k.fp * 0x9e3779b97f4a7c15)
+	for i := 0; i < len(k.iso); i++ {
+		h ^= uint64(k.iso[i])
+		h *= fnvPrime
+	}
+	h += uint64(k.n)
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
 
 // execCache is the process-wide prediction cache: Algorithm-1 group
 // predictions keyed by (constants, profile contents, isolation, group).
@@ -20,7 +80,7 @@ import (
 // asks. Entries are pure functions of their key, so cache state can change
 // wall-clock time but never results.
 // Counters publish in obs.Default as chiron_predict_cache_*.
-var execCache = parallel.NewCacheMetrics[time.Duration](1<<15, 16, obs.Default, "chiron_predict_cache")
+var execCache = parallel.NewCacheMetrics[execKey, time.Duration](1<<15, 16, execKeyHash, obs.Default, "chiron_predict_cache")
 
 // ExecCacheStats exposes the shared cache's counters (benchmarks track the
 // hit rate across re-plans).
@@ -34,8 +94,9 @@ func PurgeExecCache() { execCache.Purge() }
 // calibrated constants and every profile's full content. Two predictors
 // built from identical calibrations and profile sets — e.g. an adapt
 // controller re-profiling an unchanged workload — produce the same
-// fingerprint and therefore share cache entries.
-func (p *Predictor) fingerprint() string {
+// fingerprint and therefore share cache entries. Computed once per
+// Predictor (it may allocate); per-lookup keys never re-hash it.
+func (p *Predictor) fingerprint() uint64 {
 	p.fpOnce.Do(func() {
 		h := fnv.New64a()
 		fmt.Fprintf(h, "%+v", p.Const)
@@ -54,22 +115,9 @@ func (p *Predictor) fingerprint() string {
 				fmt.Fprintf(h, ";f=%s", f)
 			}
 		}
-		p.fp = fmt.Sprintf("%016x", h.Sum64())
+		p.fp = h.Sum64()
 	})
 	return p.fp
-}
-
-// execKey builds the cache key for one process group under one isolation
-// mechanism. Function names cannot contain the separators (dag validation
-// rejects control characters in practice; the fingerprint prefix keeps
-// cross-profile collisions impossible regardless).
-func (p *Predictor) execKey(names []string, iso wrap.IsolationKind) string {
-	var b strings.Builder
-	b.Grow(20 + len(names)*12)
-	b.WriteString(p.fingerprint())
-	fmt.Fprintf(&b, "|%v|", iso)
-	b.WriteString(strings.Join(names, "\x1f"))
-	return b.String()
 }
 
 // ExecThreadsCached is ExecThreads through the process-wide prediction
@@ -83,15 +131,17 @@ func (p *Predictor) ExecThreadsCached(names []string, iso wrap.IsolationKind) (t
 
 // ExecThreadsCachedHit is ExecThreadsCached plus whether the prediction
 // was served from the cache, for callers that trace lookup outcomes
-// (PGP emits a cache-hit instant per served candidate).
+// (PGP emits a cache-hit instant per served candidate). The key is built
+// once; a steady-state hit performs zero heap allocations.
 func (p *Predictor) ExecThreadsCachedHit(names []string, iso wrap.IsolationKind) (time.Duration, bool, error) {
-	if d, ok := execCache.Get(p.execKey(names, iso)); ok {
+	key := p.execKeyOf(names, iso)
+	if d, ok := execCache.Get(key); ok {
 		return d, true, nil
 	}
 	d, err := p.ExecThreads(names, iso)
 	if err != nil {
 		return 0, false, err
 	}
-	execCache.Put(p.execKey(names, iso), d)
+	execCache.Put(key, d)
 	return d, false, nil
 }

@@ -1,0 +1,113 @@
+package predict
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"chiron/internal/wrap"
+)
+
+// TestExecKeyIsolationKinds is the satellite collision table: spec sets
+// that differ only in isolation kind must never share a cache entry, for
+// every pair of kinds and several group shapes.
+func TestExecKeyIsolationKinds(t *testing.T) {
+	w := finra(t, 6)
+	p := harness(t, w)
+	kinds := []wrap.IsolationKind{wrap.IsoNone, wrap.IsoMPK, wrap.IsoSFI}
+	groups := [][]string{
+		{"va"},
+		{"va", "vb"},
+		{"va", "vb", "vc", "vd"},
+		{"vd", "vc", "vb", "va"}, // order matters: distinct group identity
+	}
+	for _, names := range groups {
+		for i, a := range kinds {
+			for _, b := range kinds[i+1:] {
+				if p.execKeyOf(names, a) == p.execKeyOf(names, b) {
+					t.Errorf("group %v: isolation %q and %q share a cache key", names, a, b)
+				}
+			}
+		}
+	}
+	// And the cache must actually treat them as distinct entries.
+	PurgeExecCache()
+	before := ExecCacheStats()
+	for _, k := range kinds {
+		if _, err := p.ExecThreadsCached([]string{"va", "vb"}, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := ExecCacheStats()
+	if got := after.Misses - before.Misses; got != uint64(len(kinds)) {
+		t.Fatalf("expected %d cold lookups across isolation kinds, got %d", len(kinds), got)
+	}
+}
+
+func TestExecKeyGroupBoundaries(t *testing.T) {
+	// The separator-folded hash streams must distinguish name lists that
+	// concatenate identically: ["ab","c"] vs ["a","bc"] vs ["abc"].
+	w := finra(t, 4)
+	p := harness(t, w)
+	cases := [][]string{{"ab", "c"}, {"a", "bc"}, {"abc"}, {"c", "ab"}}
+	seen := map[execKey][]string{}
+	for _, names := range cases {
+		k := p.execKeyOf(names, wrap.IsoNone)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("groups %v and %v share a cache key", prev, names)
+		}
+		seen[k] = names
+	}
+}
+
+func TestCachedExecThreadsHitDoesNotAllocate(t *testing.T) {
+	// Allocation budget: a warm ExecThreadsCached lookup is PGP's innermost
+	// candidate-pricing call and must not touch the heap.
+	w := finra(t, 6)
+	p := harness(t, w)
+	names := []string{"va", "vb", "vc", "vd"}
+	if _, err := p.ExecThreadsCached(names, wrap.IsoNone); err != nil {
+		t.Fatal(err)
+	}
+	var d time.Duration
+	if avg := testing.AllocsPerRun(200, func() {
+		v, _, err := p.ExecThreadsCachedHit(names, wrap.IsoNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d = v
+	}); avg > 0 {
+		t.Fatalf("cached ExecThreads hit allocates %.1f allocs/run, want 0", avg)
+	}
+	if d <= 0 {
+		t.Fatal("cached prediction is zero")
+	}
+}
+
+// FuzzExecKeyIsolation drives the collision property with fuzzed group
+// names: for any group, distinct isolation kinds yield distinct keys, and
+// a group must never collide with the same group plus a trailing name.
+func FuzzExecKeyIsolation(f *testing.F) {
+	f.Add("fa", "fb")
+	f.Add("x", "")
+	f.Add("a\x1fb", "c") // adversarial: name containing the separator byte
+	f.Add("long-function-name-with-suffix", "long-function-name")
+	p := &Predictor{}
+	p.fp = 42
+	p.fpOnce.Do(func() {}) // pin the fingerprint; only key hashing is under test
+	f.Fuzz(func(t *testing.T, a, b string) {
+		names := []string{a, b}
+		if p.execKeyOf(names, wrap.IsoNone) == p.execKeyOf(names, wrap.IsoMPK) {
+			t.Fatalf("group %q: IsoNone and IsoMPK share a key", names)
+		}
+		if p.execKeyOf(names, wrap.IsoMPK) == p.execKeyOf(names, wrap.IsoSFI) {
+			t.Fatalf("group %q: IsoMPK and IsoSFI share a key", names)
+		}
+		if !strings.Contains(a, "\x1f") && !strings.Contains(b, "\x1f") {
+			grown := []string{a, b, "z"}
+			if p.execKeyOf(names, wrap.IsoNone) == p.execKeyOf(grown, wrap.IsoNone) {
+				t.Fatalf("group %q collides with %q", names, grown)
+			}
+		}
+	})
+}

@@ -39,7 +39,7 @@ type Predictor struct {
 	// prediction cache (cache.go). Computed once; Const and Profiles
 	// must not be mutated after the first cached prediction.
 	fpOnce sync.Once
-	fp     string
+	fp     uint64
 }
 
 // New returns a Predictor with no safety margin.
@@ -99,7 +99,10 @@ func (p *Predictor) execThreadsSpecs(specs []*behavior.Spec, isoKind wrap.Isolat
 	if len(specs) == 1 {
 		spawn = 0
 	}
-	res := gil.Simulate(specs, gil.Options{
+	// Only the makespan is read, so the pooled reusable simulator skips
+	// the caller-owned result copy — this is PGP's innermost operation.
+	s := gil.AcquireSim()
+	res := s.Simulate(specs, gil.Options{
 		Procs:      procs,
 		Quantum:    p.Const.GILInterval,
 		Spawn:      gil.MainThread,
@@ -109,6 +112,7 @@ func (p *Predictor) execThreadsSpecs(specs []*behavior.Spec, isoKind wrap.Isolat
 		IOFactor:   iso.IOFactor,
 	})
 	total := res.Total
+	gil.ReleaseSim(s)
 	if n := len(specs); n > 1 && iso.Interaction > 0 {
 		total += time.Duration(n-1) * iso.Interaction
 	}
@@ -183,7 +187,8 @@ func (p *Predictor) poolWrap(sw wrap.StageWrap) (time.Duration, error) {
 	if workers == 0 {
 		workers = len(specs)
 	}
-	res := gil.Simulate(specs, gil.Options{
+	s := gil.AcquireSim()
+	res := s.Simulate(specs, gil.Options{
 		Procs:        sw.Cfg.CPUs,
 		Quantum:      p.Const.GILInterval,
 		Spawn:        gil.Dispatcher,
@@ -192,6 +197,7 @@ func (p *Predictor) poolWrap(sw wrap.StageWrap) (time.Duration, error) {
 		LongestFirst: sw.Cfg.LongestFirst,
 	})
 	total := res.Total
+	gil.ReleaseSim(s)
 	if n := min(workers, len(specs)); n > 1 {
 		total += time.Duration(n-1) * p.Const.IPCCost
 	}

@@ -405,10 +405,10 @@ func TestExecCacheKeyedByConstantsAndIso(t *testing.T) {
 	c2.GILInterval *= 2
 	p2 := New(c2, set)
 	names := []string{"va", "vb"}
-	if p1.execKey(names, wrap.IsoNone) == p2.execKey(names, wrap.IsoNone) {
+	if p1.execKeyOf(names, wrap.IsoNone) == p2.execKeyOf(names, wrap.IsoNone) {
 		t.Fatal("different constants produced identical cache keys")
 	}
-	if p1.execKey(names, wrap.IsoNone) == p1.execKey(names, wrap.IsoMPK) {
+	if p1.execKeyOf(names, wrap.IsoNone) == p1.execKeyOf(names, wrap.IsoMPK) {
 		t.Fatal("isolation not part of the cache key")
 	}
 	// Distinct keys must also behave as distinct entries: warm one key,

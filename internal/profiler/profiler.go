@@ -12,11 +12,14 @@ package profiler
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
 	"chiron/internal/behavior"
 	"chiron/internal/dag"
+	"chiron/internal/obs"
+	"chiron/internal/parallel"
 	"chiron/internal/trace"
 )
 
@@ -104,12 +107,97 @@ func DefaultOptions() Options {
 	return Options{Overhead: trace.DefaultOverhead(), Seed: 1}
 }
 
+// profKey fingerprints ProfileFunction's inputs — the full spec content,
+// the tracing overhead and the jitter seed — with two independent FNV
+// streams (128 bits total) so the memo below cannot conflate two distinct
+// profiling jobs.
+type profKey struct{ h1, h2 uint64 }
+
+const (
+	profFNVOffset = uint64(14695981039346656037)
+	profFNVPrime  = uint64(1099511628211)
+)
+
+func (k *profKey) byteIn(b byte) {
+	k.h1 = (k.h1 ^ uint64(b)) * profFNVPrime // FNV-1a: xor then multiply
+	k.h2 = (k.h2 * profFNVPrime) ^ uint64(b) // FNV-1: multiply then xor
+}
+
+func (k *profKey) word(v uint64) {
+	for i := 0; i < 64; i += 8 {
+		k.byteIn(byte(v >> i))
+	}
+}
+
+// str folds a string followed by a 0x1f separator, so adjacent fields can
+// never collide by shifting bytes across a boundary.
+func (k *profKey) str(s string) {
+	for i := 0; i < len(s); i++ {
+		k.byteIn(s[i])
+	}
+	k.byteIn(0x1f)
+}
+
+func profKeyOf(spec *behavior.Spec, opt Options) profKey {
+	k := profKey{h1: profFNVOffset, h2: profFNVOffset}
+	k.str(spec.Name)
+	k.str(string(spec.Runtime))
+	k.word(math.Float64bits(spec.MemMB))
+	k.word(uint64(spec.OutputBytes))
+	k.word(uint64(len(spec.Files)))
+	for _, f := range spec.Files {
+		k.str(f)
+	}
+	k.word(uint64(len(spec.Segments)))
+	for _, s := range spec.Segments {
+		k.word(uint64(s.Kind))
+		k.word(uint64(s.Dur))
+		k.word(uint64(s.Bytes))
+	}
+	k.word(math.Float64bits(opt.Overhead.CPUFactor))
+	k.word(math.Float64bits(opt.Overhead.BlockFactor))
+	k.word(math.Float64bits(opt.Overhead.JitterPct))
+	k.word(uint64(opt.Seed))
+	return k
+}
+
+// profileCache memoizes ProfileFunction across the process. Profiling is a
+// pure function of (spec content, overhead, seed) — trace.Record derives
+// every jitter draw from the seed — so serving a repeat from the cache is
+// byte-identical to recomputing it; experiments that profile the same
+// workload (every figure shares the FINRA workflows) skip the dominant
+// trace-record/parse cost. Entries are private copies on both sides of the
+// boundary, so callers may mutate what they receive.
+var profileCache = parallel.NewCacheMetrics[profKey, *Profile](4096, 8,
+	func(k profKey) uint64 { return k.h1 }, obs.Default, "chiron_profile_cache")
+
+func cloneProfile(p *Profile) *Profile {
+	c := *p
+	c.Periods = append([]Period(nil), p.Periods...)
+	c.Files = append([]string(nil), p.Files...)
+	return &c
+}
+
 // ProfileFunction profiles one function: untraced baseline, traced run,
-// log parse, rescale.
+// log parse, rescale. Results are memoized by full input content; see
+// profileCache.
 func ProfileFunction(spec *behavior.Spec, opt Options) (*Profile, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	key := profKeyOf(spec, opt)
+	if p, ok := profileCache.Get(key); ok {
+		return cloneProfile(p), nil
+	}
+	p, err := profileFunction(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	profileCache.Put(key, cloneProfile(p))
+	return p, nil
+}
+
+func profileFunction(spec *behavior.Spec, opt Options) (*Profile, error) {
 	solo := spec.SoloLatency()
 
 	rec := trace.Record(spec, opt.Overhead, opt.Seed)

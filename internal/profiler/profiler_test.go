@@ -188,3 +188,91 @@ func TestPropertyReconstructionError(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestProfileMemoReturnsIndependentCopies checks the process-wide memo:
+// a repeat profiling of identical inputs must give an equal result, and
+// mutating what one caller received must never leak into another's.
+func TestProfileMemoReturnsIndependentCopies(t *testing.T) {
+	spec := mixedSpec()
+	spec.Name = "memo-copy-probe"
+	p1, err := ProfileFunction(spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ProfileFunction(spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("memo returned the same *Profile twice; callers must get private copies")
+	}
+	if p1.Solo != p2.Solo || len(p1.Periods) != len(p2.Periods) {
+		t.Fatalf("memoized profile differs: %+v vs %+v", p1, p2)
+	}
+	for i := range p1.Periods {
+		if p1.Periods[i] != p2.Periods[i] {
+			t.Fatalf("period %d differs: %+v vs %+v", i, p1.Periods[i], p2.Periods[i])
+		}
+	}
+	p1.Periods[0].Start += time.Millisecond
+	p1.Files[0] = "/tmp/poison"
+	p3, err := ProfileFunction(spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Periods[0] != p2.Periods[0] || p3.Files[0] != p2.Files[0] {
+		t.Fatal("caller mutation leaked into the memoized profile")
+	}
+}
+
+// TestProfileMemoKeySensitivity checks that every input the profile
+// depends on is part of the memo key: perturbing it must change the key.
+func TestProfileMemoKeySensitivity(t *testing.T) {
+	base := mixedSpec()
+	opt := DefaultOptions()
+	k0 := profKeyOf(base, opt)
+
+	perturb := []struct {
+		name string
+		spec func(*behavior.Spec)
+		opt  func(*Options)
+	}{
+		{name: "name", spec: func(s *behavior.Spec) { s.Name = "other" }},
+		{name: "runtime", spec: func(s *behavior.Spec) { s.Runtime = behavior.NodeJS }},
+		{name: "memmb", spec: func(s *behavior.Spec) { s.MemMB = 4 }},
+		{name: "output", spec: func(s *behavior.Spec) { s.OutputBytes = 1 }},
+		{name: "files", spec: func(s *behavior.Spec) { s.Files = []string{"/tmp/y"} }},
+		{name: "seg-dur", spec: func(s *behavior.Spec) { s.Segments[0].Dur += time.Microsecond }},
+		{name: "seg-kind", spec: func(s *behavior.Spec) { s.Segments[0].Kind = behavior.NetIO }},
+		{name: "seg-bytes", spec: func(s *behavior.Spec) { s.Segments[3].Bytes = 7 }},
+		{name: "seed", opt: func(o *Options) { o.Seed = 2 }},
+		{name: "jitter", opt: func(o *Options) { o.Overhead.JitterPct = 0.5 }},
+		{name: "cpu-factor", opt: func(o *Options) { o.Overhead.CPUFactor = 1.5 }},
+		{name: "block-factor", opt: func(o *Options) { o.Overhead.BlockFactor = 1.5 }},
+	}
+	for _, pt := range perturb {
+		s := mixedSpec()
+		o := DefaultOptions()
+		if pt.spec != nil {
+			pt.spec(s)
+		}
+		if pt.opt != nil {
+			pt.opt(&o)
+		}
+		if profKeyOf(s, o) == k0 {
+			t.Errorf("%s: perturbed input produced the same memo key", pt.name)
+		}
+	}
+
+	// Field-boundary probe: moving a byte across the name/runtime
+	// boundary must not collide.
+	a := mixedSpec()
+	a.Name = "ab"
+	a.Runtime = behavior.Runtime("c")
+	b := mixedSpec()
+	b.Name = "a"
+	b.Runtime = behavior.Runtime("bc")
+	if profKeyOf(a, opt) == profKeyOf(b, opt) {
+		t.Error("name/runtime boundary shift collided")
+	}
+}

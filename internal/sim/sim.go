@@ -5,33 +5,61 @@
 // callback) pairs ordered by a binary heap, ties broken by insertion order
 // so that runs are bit-for-bit reproducible. Nothing ever sleeps; a
 // simulation of a 25-second S3 transfer finishes in nanoseconds of real time.
+//
+// The kernel recycles event objects through an internal free list: a fired
+// or cancelled event returns to the list and backs a later At/AtArg call,
+// so steady-state scheduling on a warm kernel performs zero heap
+// allocations (guarded by testing.AllocsPerRun in sim_test.go). Handles
+// returned by At carry a generation counter so a stale handle — one whose
+// event has fired, been cancelled, or been detached by Reset — is inert no
+// matter how the underlying object has since been reused.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
-// Event is a scheduled callback. The zero value is inert.
-type Event struct {
+// event is the kernel-internal scheduled callback. Objects are pooled: the
+// kernel recycles them through its free list, bumping gen on every recycle
+// so stale Event handles cannot touch a reused object.
+type event struct {
 	at   time.Duration
 	seq  uint64
+	gen  uint32
 	fn   func()
+	afn  func(any)
+	arg  any
 	dead bool
 	k    *Kernel // owning kernel while queued; nil once fired or collected
 }
 
-// Time returns the virtual time at which the event fires (or fired).
-func (e *Event) Time() time.Duration { return e.at }
+// Event is a handle to a scheduled callback. It is a small value: copy it
+// freely. The zero value is inert. A handle goes stale once its event
+// fires, is cancelled, or is detached by Kernel.Reset (including pooled
+// kernels being reused); calling Cancel on a stale handle is always a
+// no-op, enforced by a generation check against the recycled event object.
+type Event struct {
+	e   *event
+	gen uint32
+	at  time.Duration
+}
 
-// Cancel prevents a pending event from firing. Cancelling an already-fired
-// or already-cancelled event is a no-op. Dead events are dropped lazily:
-// they stay in the heap until popped, or until more than half the queue is
-// dead, at which point the kernel compacts in one O(n) pass — cancel-heavy
-// models (timeout races) no longer pay heap churn per cancellation.
-func (e *Event) Cancel() {
-	if e.dead || e.k == nil {
+// Time returns the virtual time at which the event fires (or fired).
+func (ev Event) Time() time.Duration { return ev.at }
+
+// Cancel prevents a pending event from firing. Cancelling an already-fired,
+// already-cancelled or detached (Reset) event is a no-op: the handle's
+// generation no longer matches the recycled event object's. Dead events are
+// dropped lazily: they stay in the heap until popped, or until more than
+// half the queue is dead, at which point the kernel compacts in one O(n)
+// pass — cancel-heavy models (timeout races) no longer pay heap churn per
+// cancellation.
+func (ev Event) Cancel() {
+	e := ev.e
+	if e == nil || e.gen != ev.gen || e.dead || e.k == nil {
 		return
 	}
 	e.dead = true
@@ -42,7 +70,7 @@ func (e *Event) Cancel() {
 	}
 }
 
-type eventHeap []*Event
+type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
@@ -52,7 +80,7 @@ func (h eventHeap) Less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
 func (h *eventHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
@@ -62,6 +90,14 @@ func (h *eventHeap) Pop() interface{} {
 	return ev
 }
 
+// firedTotal counts events fired across every kernel in the process,
+// flushed once per Run/RunUntil so the hot loop stays atomic-free.
+var firedTotal atomic.Uint64
+
+// TotalFired reports the process-wide number of events fired across all
+// kernels since start-up (chiron-bench prints it as events/sec).
+func TotalFired() uint64 { return firedTotal.Load() }
+
 // Kernel is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; all model code runs inside event callbacks. Parallel
 // harnesses give each task its own kernel (or reuse one via Reset).
@@ -69,7 +105,8 @@ type Kernel struct {
 	now    time.Duration
 	seq    uint64
 	queue  eventHeap
-	dead   int // cancelled events still occupying the heap
+	free   []*event // recycled event objects
+	dead   int      // cancelled events still occupying the heap
 	fired  uint64
 	budget uint64 // max events per Run, 0 = unlimited
 }
@@ -77,14 +114,39 @@ type Kernel struct {
 // New returns an empty kernel at virtual time zero.
 func New() *Kernel { return &Kernel{} }
 
+// alloc takes an event object from the free list, or heap-allocates one
+// when the list is empty (cold path only; fired events refill the list).
+func (k *Kernel) alloc() *event {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// recycle detaches an event and returns it to the free list. The bumped
+// generation makes every outstanding handle to it inert.
+func (k *Kernel) recycle(e *event) {
+	e.gen++
+	e.fn = nil
+	e.afn = nil
+	e.arg = nil
+	e.dead = false
+	e.k = nil
+	k.free = append(k.free, e)
+}
+
 // Reset returns the kernel to its initial state — virtual time zero, no
 // queued events, counters and budget cleared — while keeping the heap's
-// allocated capacity, so pooled workers can reuse kernels across tasks
-// without reallocating. Events still held by the caller are detached: a
-// later Cancel on them is a no-op.
+// and free list's allocated capacity, so pooled workers can reuse kernels
+// across tasks without reallocating. Events still held by the caller are
+// detached: a later Cancel on their handles is a no-op even after the
+// underlying objects are recycled into new events.
 func (k *Kernel) Reset() {
 	for i, ev := range k.queue {
-		ev.k = nil
+		k.recycle(ev)
 		k.queue[i] = nil
 	}
 	k.queue = k.queue[:0]
@@ -106,24 +168,53 @@ func (k *Kernel) Fired() uint64 { return k.fired }
 // accidental event loops in model code into test failures instead of hangs.
 func (k *Kernel) SetBudget(n uint64) { k.budget = n }
 
-// At schedules fn at absolute virtual time t. Scheduling in the past is an
-// error in the model; it panics to surface the bug immediately.
-func (k *Kernel) At(t time.Duration, fn func()) *Event {
+// schedule queues a recycled (or fresh) event at absolute time t.
+func (k *Kernel) schedule(t time.Duration) *event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling at %v which is before now %v", t, k.now))
 	}
-	ev := &Event{at: t, seq: k.seq, fn: fn, k: k}
+	e := k.alloc()
+	e.at = t
+	e.seq = k.seq
+	e.k = k
 	k.seq++
-	heap.Push(&k.queue, ev)
-	return ev
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// At schedules fn at absolute virtual time t. Scheduling in the past is an
+// error in the model; it panics to surface the bug immediately.
+func (k *Kernel) At(t time.Duration, fn func()) Event {
+	e := k.schedule(t)
+	e.fn = fn
+	return Event{e: e, gen: e.gen, at: t}
+}
+
+// AtArg schedules fn(arg) at absolute virtual time t. It exists for hot
+// paths that must not allocate: a package-level fn plus a pointer-typed arg
+// schedules with zero heap allocations on a warm kernel, where a capturing
+// closure passed to At would allocate per call.
+func (k *Kernel) AtArg(t time.Duration, fn func(any), arg any) Event {
+	e := k.schedule(t)
+	e.afn = fn
+	e.arg = arg
+	return Event{e: e, gen: e.gen, at: t}
 }
 
 // After schedules fn d after the current virtual time.
-func (k *Kernel) After(d time.Duration, fn func()) *Event {
+func (k *Kernel) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return k.At(k.now+d, fn)
+}
+
+// AfterArg schedules fn(arg) d after the current virtual time (see AtArg).
+func (k *Kernel) AfterArg(d time.Duration, fn func(any), arg any) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.AtArg(k.now+d, fn, arg)
 }
 
 // ErrBudget is returned by Run when the event budget set by SetBudget is
@@ -136,7 +227,7 @@ func (k *Kernel) compact() {
 	live := k.queue[:0]
 	for _, ev := range k.queue {
 		if ev.dead {
-			ev.k = nil
+			k.recycle(ev)
 			continue
 		}
 		live = append(live, ev)
@@ -151,18 +242,32 @@ func (k *Kernel) compact() {
 }
 
 // pop removes and returns the next live event, or nil when the queue is
-// drained.
-func (k *Kernel) pop() *Event {
+// drained. Dead events encountered on the way are recycled.
+func (k *Kernel) pop() *event {
 	for k.queue.Len() > 0 {
-		ev := heap.Pop(&k.queue).(*Event)
-		ev.k = nil
+		ev := heap.Pop(&k.queue).(*event)
 		if ev.dead {
 			k.dead--
+			k.recycle(ev)
 			continue
 		}
 		return ev
 	}
 	return nil
+}
+
+// fire recycles ev and then invokes its callback. Recycling first is what
+// lets the callback itself schedule new events out of the free list; the
+// generation bump keeps any outstanding handle to ev inert.
+func (k *Kernel) fire(ev *event) {
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	k.recycle(ev)
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
+	}
+	k.fired++
 }
 
 // Run fires events in order until the queue is empty. It returns ErrBudget
@@ -172,13 +277,14 @@ func (k *Kernel) Run() error {
 	for {
 		ev := k.pop()
 		if ev == nil {
+			firedTotal.Add(n)
 			return nil
 		}
 		k.now = ev.at
-		ev.fn()
-		k.fired++
+		k.fire(ev)
 		n++
 		if k.budget != 0 && n >= k.budget {
+			firedTotal.Add(n)
 			return ErrBudget
 		}
 	}
@@ -187,17 +293,19 @@ func (k *Kernel) Run() error {
 // RunUntil fires events in order while their time is <= deadline, leaving
 // later events queued and the clock at min(deadline, last fired event).
 func (k *Kernel) RunUntil(deadline time.Duration) {
+	n := uint64(0)
 	for k.queue.Len() > 0 && k.queue[0].at <= deadline {
-		ev := heap.Pop(&k.queue).(*Event)
-		ev.k = nil
+		ev := heap.Pop(&k.queue).(*event)
 		if ev.dead {
 			k.dead--
+			k.recycle(ev)
 			continue
 		}
 		k.now = ev.at
-		ev.fn()
-		k.fired++
+		k.fire(ev)
+		n++
 	}
+	firedTotal.Add(n)
 	if k.now < deadline {
 		k.now = deadline
 	}

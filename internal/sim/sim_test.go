@@ -177,7 +177,7 @@ func TestNestedSchedulingInterleaves(t *testing.T) {
 
 func TestPendingIsLiveCount(t *testing.T) {
 	k := New()
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 10; i++ {
 		evs = append(evs, k.At(time.Duration(i+1), func() {}))
 	}
@@ -207,7 +207,7 @@ func TestCancelCompactionKeepsOrder(t *testing.T) {
 	// check that the survivors still fire in (time, insertion) order.
 	k := New()
 	var got []int
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 1000; i++ {
 		i := i
 		evs = append(evs, k.At(time.Duration(1+i/4), func() { got = append(got, i) }))
@@ -276,5 +276,116 @@ func TestResetKeepsHeapCapacity(t *testing.T) {
 	k.Reset()
 	if cap(k.queue) != before {
 		t.Fatalf("Reset reallocated: cap %d -> %d", before, cap(k.queue))
+	}
+}
+
+// countHolder gives the zero-alloc test a pointer-typed AtArg argument
+// (pointers box into `any` without allocating; plain ints do not).
+type countHolder struct{ n int }
+
+func bumpCount(a any) { a.(*countHolder).n++ }
+
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	// Allocation budget: a warm kernel must schedule and fire events with
+	// zero heap allocations — the free list absorbs every At/AtArg after
+	// the first run populates it.
+	k := New()
+	var c countHolder
+	round := func() {
+		for i := 0; i < 64; i++ {
+			k.AtArg(time.Duration(i), bumpCount, &c)
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		k.Reset()
+	}
+	round() // warm the free list and heap capacity
+	if avg := testing.AllocsPerRun(100, round); avg > 0 {
+		t.Fatalf("steady-state scheduling allocates %.1f allocs/run, want 0", avg)
+	}
+	if c.n == 0 {
+		t.Fatal("events never fired")
+	}
+}
+
+func TestStaleHandleAfterResetIsInert(t *testing.T) {
+	// A caller-held handle from a pooled kernel must stay inert after the
+	// pool reuses the kernel: Reset recycles the event object, a new At
+	// reuses it, and the stale handle's generation no longer matches.
+	k := New()
+	stale := k.At(10, func() { t.Fatal("detached event fired") })
+	k.Reset()
+	fired := false
+	fresh := k.At(10, func() { fired = true }) // reuses the recycled object
+	stale.Cancel()                             // must not cancel the new event
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("stale Cancel suppressed an unrelated recycled event")
+	}
+	fresh.Cancel() // fired already: no-op
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", k.Pending())
+	}
+}
+
+func TestStaleHandleAfterFireIsInertOnRecycledEvent(t *testing.T) {
+	// Same staleness property within one kernel lifetime: once an event
+	// fires, its object is recycled into the next scheduled event; the old
+	// handle must not be able to cancel the new one.
+	k := New()
+	first := k.At(1, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	k.At(2, func() { fired = true }) // backed by the recycled object
+	first.Cancel()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+}
+
+func TestZeroEventHandleIsInert(t *testing.T) {
+	var ev Event
+	ev.Cancel() // must not panic
+	if ev.Time() != 0 {
+		t.Fatalf("zero handle Time() = %v, want 0", ev.Time())
+	}
+}
+
+func TestTotalFiredAccumulatesAcrossKernels(t *testing.T) {
+	before := TotalFired()
+	k := New()
+	for i := 0; i < 5; i++ {
+		k.At(time.Duration(i), func() {})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := TotalFired() - before; got < 5 {
+		t.Fatalf("TotalFired grew by %d, want >= 5", got)
+	}
+}
+
+func TestAfterArgMatchesAfter(t *testing.T) {
+	k := New()
+	var c countHolder
+	k.At(100, func() {
+		k.AfterArg(50, bumpCount, &c)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.n != 1 {
+		t.Fatalf("AfterArg callback ran %d times, want 1", c.n)
+	}
+	if k.Now() != 150 {
+		t.Fatalf("clock at %v, want 150", k.Now())
 	}
 }
