@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-baseline bench-compare ci fmt vet tables
+.PHONY: all build test race bench bench-baseline bench-compare ci fmt vet tables chirond serve-smoke
 
 # Benchmark regression rails: bench-baseline runs the figure/table suite
 # with -benchmem and records it as $(BENCH_JSON) (ns/op, allocs/op and the
 # plans_per_sec planner-throughput metric, plus a run manifest);
 # bench-compare re-runs the suite and fails on >10% ns/op regressions
 # against that baseline.
-BENCH_JSON    ?= BENCH_pr3.json
-BENCH_PATTERN ?= ^(BenchmarkFig|BenchmarkTable)
+BENCH_JSON    ?= BENCH_pr4.json
+BENCH_PATTERN ?= ^(BenchmarkFig|BenchmarkTable|BenchmarkGateway)
 BENCH_TIME    ?= 20x
 
 all: build
@@ -34,6 +34,16 @@ bench-compare:
 	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=$(BENCH_TIME) -count=1 . \
 		| $(GO) run ./cmd/benchjson -label current -out /tmp/bench-current.json
 	$(GO) run ./cmd/benchjson -compare $(BENCH_JSON) /tmp/bench-current.json -threshold 0.10
+
+# chirond builds the serving daemon; serve-smoke boots it on an
+# ephemeral port, drives 200 invocations of the SocialNetwork workload
+# against itself (closed loop, 8 workers), and exits cleanly.
+chirond:
+	$(GO) build -o bin/chirond ./cmd/chirond
+
+serve-smoke: chirond
+	./bin/chirond -addr 127.0.0.1:0 -scale 0.01 -preload SocialNetwork -plan \
+		-selfbench 200 -selfbench-conc 8
 
 # tables regenerates every figure/table into results/.
 tables:

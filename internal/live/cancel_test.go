@@ -1,0 +1,175 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+)
+
+// Failure-path coverage for RunCtx: cancellation mid-stage, per-request
+// deadlines, and error propagation — all asserting that the runner's
+// goroutine tree is fully reaped afterwards.
+
+// goroutinesSettle waits for the goroutine count to return to within
+// slack of the baseline (the runtime needs a moment to retire exiting
+// goroutines) and reports the final count.
+func goroutinesSettle(t *testing.T, baseline, slack int) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return n
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return n
+}
+
+func TestRunCtxCancelMidStage(t *testing.T) {
+	w, err := dag.FromStages("wf", 0,
+		[]*behavior.Spec{sleepFn("slow", 10*time.Second)},
+		[]*behavior.Spec{sleepFn("later", time.Millisecond)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := singleWrapPlan(w, map[string]int{"slow": 0, "later": 0}, 1)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var runErr error
+	go func() {
+		_, runErr = RunCtx(ctx, w, plan, opts())
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond) // let stage 0 begin its 10s sleep
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("RunCtx did not return after cancellation")
+	}
+	if runErr == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", runErr)
+	}
+	if after := goroutinesSettle(t, before, 2); after > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+func TestRunCtxParentDeadline(t *testing.T) {
+	w, err := dag.FromStages("wf", 0, []*behavior.Spec{sleepFn("slow", 10*time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := singleWrapPlan(w, map[string]int{"slow": 0}, 1)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	o := opts()
+	o.Timeout = 0 // the parent deadline must bound the run by itself
+	start := time.Now()
+	_, runErr := RunCtx(ctx, w, plan, o)
+	if runErr == nil {
+		t.Fatal("deadline-bounded run returned nil error")
+	}
+	if !errors.Is(runErr, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", runErr)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("run outlived its deadline by far: %v", elapsed)
+	}
+	if after := goroutinesSettle(t, before, 2); after > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+func TestRunCtxOptionTimeout(t *testing.T) {
+	w, err := dag.FromStages("wf", 0, []*behavior.Spec{sleepFn("slow", 10*time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := singleWrapPlan(w, map[string]int{"slow": 0}, 1)
+	o := opts()
+	o.Timeout = 30 * time.Millisecond
+	_, runErr := RunCtx(context.Background(), w, plan, o)
+	if !errors.Is(runErr, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", runErr)
+	}
+}
+
+func TestFailPropagatesFirstErrorWithoutLeaks(t *testing.T) {
+	w, err := dag.FromStages("wf", 0,
+		[]*behavior.Spec{cpuFn("boom", time.Millisecond)},
+		[]*behavior.Spec{cpuFn("never", time.Millisecond)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := singleWrapPlan(w, map[string]int{"boom": 0, "never": 0}, 1)
+
+	var laterRan atomic.Bool
+	o := opts()
+	o.Bindings = map[string]Fn{
+		"boom":  func(*Ctx) error { return fmt.Errorf("boom failed") },
+		"never": func(*Ctx) error { laterRan.Store(true); return nil },
+	}
+	before := runtime.NumGoroutine()
+	_, runErr := Run(w, plan, o)
+	if runErr == nil {
+		t.Fatal("failing binding produced no error")
+	}
+	if got := runErr.Error(); got != "live: function boom: boom failed" {
+		t.Fatalf("unexpected error %q", got)
+	}
+	if laterRan.Load() {
+		t.Fatal("stage after the failure still executed")
+	}
+	if after := goroutinesSettle(t, before, 2); after > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+func TestFailKeepsFirstOfConcurrentErrors(t *testing.T) {
+	// Two bound functions fail in the same stage; runner.fail must keep
+	// exactly one (the first recorded) and the run must still reap every
+	// goroutine.
+	w, err := dag.FromStages("wf", 0, []*behavior.Spec{
+		cpuFn("a", time.Millisecond), cpuFn("b", time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := singleWrapPlan(w, map[string]int{"a": 0, "b": 1}, 2)
+	o := opts()
+	o.Bindings = map[string]Fn{
+		"a": func(*Ctx) error { return fmt.Errorf("a failed") },
+		"b": func(*Ctx) error { return fmt.Errorf("b failed") },
+	}
+	before := runtime.NumGoroutine()
+	_, runErr := Run(w, plan, o)
+	if runErr == nil {
+		t.Fatal("failing bindings produced no error")
+	}
+	got := runErr.Error()
+	if got != "live: function a: a failed" && got != "live: function b: b failed" {
+		t.Fatalf("error %q is neither single failure", got)
+	}
+	if after := goroutinesSettle(t, before, 2); after > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}

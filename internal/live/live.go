@@ -95,13 +95,32 @@ type Result struct {
 
 // Run executes one request of w under plan.
 func Run(w *dag.Workflow, plan *wrap.Plan, opt Options) (*Result, error) {
+	return RunCtx(context.Background(), w, plan, opt)
+}
+
+// RunCtx executes one request of w under plan, honouring the parent
+// context: cancelling parent aborts the request between (and inside)
+// segments, and a parent deadline acts exactly like Options.Timeout. The
+// gateway (internal/serve) uses this to enforce per-request deadlines and
+// to drain cleanly on shutdown. When both a parent deadline and
+// Options.Timeout are set, the earlier one wins; when neither is set the
+// 30s default backstop applies.
+func RunCtx(parent context.Context, w *dag.Workflow, plan *wrap.Plan, opt Options) (*Result, error) {
 	if err := plan.Validate(w); err != nil {
 		return nil, err
 	}
 	if opt.Timeout <= 0 {
-		opt.Timeout = 30 * time.Second
+		if _, hasDeadline := parent.Deadline(); !hasDeadline {
+			opt.Timeout = 30 * time.Second
+		}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), opt.Timeout)
+	var cancel context.CancelFunc
+	ctx := parent
+	if opt.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(parent, opt.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(parent)
+	}
 	defer cancel()
 
 	r := &runner{
@@ -246,7 +265,7 @@ func (r *runner) runStage(si int, wraps []wrap.StageWrap) error {
 	}
 	select {
 	case <-r.ctx.Done():
-		return fmt.Errorf("live: request timed out in stage %d", si)
+		return fmt.Errorf("live: request aborted in stage %d: %w", si, context.Cause(r.ctx))
 	default:
 	}
 	r.mu.Lock()

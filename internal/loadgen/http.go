@@ -1,0 +1,190 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chiron/internal/metrics"
+	"chiron/internal/obs"
+)
+
+// HTTP-driver metrics, in the process-wide registry.
+var (
+	drvSent     = obs.Default.Counter("chiron_drive_sent_total", "requests issued by the closed-loop HTTP driver")
+	drvRejected = obs.Default.Counter("chiron_drive_rejected_total", "driver requests rejected with 429")
+	drvFailed   = obs.Default.Counter("chiron_drive_failed_total", "driver requests that errored (non-2xx/429 or transport)")
+	drvLatency  = obs.Default.Histogram("chiron_drive_latency", "driver-observed request latency (wall seconds)", nil)
+)
+
+// DriveOptions configure the closed-loop HTTP driver.
+type DriveOptions struct {
+	// Requests is the total invocations to issue (default 100).
+	Requests int
+	// Concurrency is the closed-loop width: that many workers each keep
+	// exactly one request outstanding (default 4).
+	Concurrency int
+	// Timeout bounds one HTTP round trip (default 60s).
+	Timeout time.Duration
+	// Body is the POST body (default empty).
+	Body []byte
+	// Client overrides the HTTP client (Timeout still applies per
+	// request via context).
+	Client *http.Client
+}
+
+// DriveStats summarize one closed-loop run against a gateway.
+type DriveStats struct {
+	Sent     int
+	OK       int
+	Rejected int // 429 responses (admission backpressure)
+	Failed   int
+	// Latency of OK requests, wall clock.
+	Mean, P50, P95, P99 time.Duration
+	Elapsed             time.Duration
+	// Throughput is OK requests per wall second.
+	Throughput float64
+}
+
+// DriveHTTP is loadgen's online counterpart: where Simulate models an
+// open-loop arrival process on virtual time, DriveHTTP closes the loop
+// against a real chirond gateway — Concurrency workers each fire the
+// next request the moment the previous one returns, so offered load
+// self-regulates to the gateway's service rate (and its backpressure:
+// 429s are counted, honoured via Retry-After, and retried against the
+// remaining budget).
+func DriveHTTP(ctx context.Context, url string, opt DriveOptions) (*DriveStats, error) {
+	if opt.Requests <= 0 {
+		opt.Requests = 100
+	}
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = 4
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 60 * time.Second
+	}
+	client := opt.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		lats     []time.Duration
+		ok, rej  int
+		failed   int
+		firstErr error
+	)
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if n := next.Add(1); n > int64(opt.Requests) {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				drvSent.Inc()
+				start := time.Now()
+				status, retryAfter, err := post(ctx, client, url, opt)
+				lat := time.Since(start)
+				mu.Lock()
+				switch {
+				case err != nil:
+					failed++
+					drvFailed.Inc()
+					if firstErr == nil {
+						firstErr = err
+					}
+				case status == http.StatusTooManyRequests:
+					rej++
+					drvRejected.Inc()
+				case status >= 200 && status < 300:
+					ok++
+					lats = append(lats, lat)
+					drvLatency.Observe(lat)
+				default:
+					failed++
+					drvFailed.Inc()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("loadgen: HTTP %d from %s", status, url)
+					}
+				}
+				mu.Unlock()
+				if status == http.StatusTooManyRequests && retryAfter > 0 {
+					// Honour backpressure before the next attempt.
+					select {
+					case <-time.After(retryAfter):
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := &DriveStats{
+		Sent:     ok + rej + failed,
+		OK:       ok,
+		Rejected: rej,
+		Failed:   failed,
+		Elapsed:  time.Since(t0),
+	}
+	if st.Elapsed > 0 {
+		st.Throughput = float64(ok) / st.Elapsed.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		st.Mean = metrics.Mean(lats)
+		st.P50 = metrics.Percentile(lats, 0.50)
+		st.P95 = metrics.Percentile(lats, 0.95)
+		st.P99 = metrics.Percentile(lats, 0.99)
+	}
+	if ok == 0 && firstErr != nil {
+		return st, fmt.Errorf("loadgen: no request succeeded: %w", firstErr)
+	}
+	return st, nil
+}
+
+// post issues one invocation and returns (status, Retry-After, error).
+func post(ctx context.Context, client *http.Client, url string, opt DriveOptions) (int, time.Duration, error) {
+	rctx, cancel := context.WithTimeout(ctx, opt.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, url, bodyReader(opt.Body))
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	var retry time.Duration
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil {
+			retry = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, retry, nil
+}
+
+func bodyReader(b []byte) io.Reader {
+	if len(b) == 0 {
+		return nil
+	}
+	return bytes.NewReader(b)
+}

@@ -1,0 +1,82 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// DriveHTTP must classify responses (2xx OK, 429 rejected, rest failed),
+// honour Retry-After, and keep going against the remaining budget.
+func TestDriveHTTPClassifiesResponses(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch hits.Add(1) {
+		case 1, 2:
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 3:
+			w.WriteHeader(http.StatusInternalServerError)
+		default:
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	defer srv.Close()
+
+	st, err := DriveHTTP(context.Background(), srv.URL, DriveOptions{
+		Requests:    20,
+		Concurrency: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sent != 20 {
+		t.Fatalf("sent %d, want 20", st.Sent)
+	}
+	if st.Rejected != 2 || st.Failed != 1 || st.OK != 17 {
+		t.Fatalf("ok/rejected/failed = %d/%d/%d, want 17/2/1", st.OK, st.Rejected, st.Failed)
+	}
+	if st.P50 <= 0 || st.Mean <= 0 || st.Throughput <= 0 {
+		t.Fatalf("latency summary not populated: %+v", st)
+	}
+}
+
+// With no successful request at all, the driver reports the first error.
+func TestDriveHTTPAllFailed(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	st, err := DriveHTTP(context.Background(), srv.URL, DriveOptions{Requests: 4, Concurrency: 1})
+	if err == nil {
+		t.Fatal("all-failed run returned nil error")
+	}
+	if st.Failed != 4 || st.OK != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// Cancelling the context stops the closed loop early.
+func TestDriveHTTPContextCancel(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+		close(release)
+	}()
+	st, _ := DriveHTTP(ctx, srv.URL, DriveOptions{Requests: 1000, Concurrency: 2, Timeout: 5 * time.Second})
+	if st.Sent >= 1000 {
+		t.Fatalf("driver ignored cancellation: sent %d", st.Sent)
+	}
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the bounded queue in front of one workflow's executor.
+//
+// A fixed number of slots bound concurrent executions; waiters beyond
+// them queue, bounded by maxQueue. Before queueing, the expected sojourn
+// is estimated with the same decomposition loadgen simulates — queue
+// wait (position x mean service / slots) plus one service time, tracked
+// as an EWMA of served requests — and a request whose estimate would
+// bust the SLO is rejected immediately with a Retry-After hint instead
+// of being queued to die. Estimates are in nominal time; Retry-After is
+// converted back to wall time through the scale factor.
+type admission struct {
+	app      *App
+	slots    chan struct{}
+	maxQueue int
+	scale    float64
+
+	queued atomic.Int64
+	ewmaNs atomic.Int64 // nominal mean service time
+	sloNs  atomic.Int64
+}
+
+func newAdmission(a *App, slots, maxQueue int, scale float64) *admission {
+	adm := &admission{
+		app:      a,
+		slots:    make(chan struct{}, slots),
+		maxQueue: maxQueue,
+		scale:    scale,
+	}
+	for i := 0; i < slots; i++ {
+		adm.slots <- struct{}{}
+	}
+	return adm
+}
+
+func (a *admission) setSLO(slo time.Duration) { a.sloNs.Store(int64(slo)) }
+
+// prime seeds the service-time estimate (the plan's prediction) so the
+// very first requests are admitted against a sane model.
+func (a *admission) prime(svc time.Duration) { a.ewmaNs.Store(int64(svc)) }
+
+// observe folds one served execution time into the EWMA (alpha 0.2).
+func (a *admission) observe(svc time.Duration) {
+	old := a.ewmaNs.Load()
+	if old == 0 {
+		a.ewmaNs.Store(int64(svc))
+		return
+	}
+	a.ewmaNs.Store(int64(0.8*float64(old) + 0.2*float64(svc)))
+}
+
+func (a *admission) depth() int { return int(a.queued.Load()) }
+
+// estWait estimates the nominal queue wait at queue position pos.
+func (a *admission) estWait(pos int64) time.Duration {
+	svc := time.Duration(a.ewmaNs.Load())
+	if pos <= 0 {
+		return 0
+	}
+	return time.Duration(float64(pos) * float64(svc) / float64(cap(a.slots)))
+}
+
+// retryAfter converts a nominal backoff into a wall-clock hint, at least
+// one millisecond so clients always back off.
+func (a *admission) retryAfter(nominal time.Duration) time.Duration {
+	wall := time.Duration(float64(nominal) * a.scale)
+	if wall < time.Millisecond {
+		wall = time.Millisecond
+	}
+	return wall
+}
+
+// admit blocks until an execution slot is free (or ctx is done) and
+// returns the nominal queue wait. Requests that would overflow the
+// queue, or whose estimated sojourn busts the SLO, get an OverloadError.
+func (a *admission) admit(ctx context.Context) (wait time.Duration, err error) {
+	select {
+	case <-a.slots:
+		return 0, nil
+	default:
+	}
+
+	pos := a.queued.Add(1)
+	if int(pos) > a.maxQueue {
+		a.queued.Add(-1)
+		a.app.m.rejected.Inc()
+		return 0, &OverloadError{
+			RetryAfter: a.retryAfter(a.estWait(pos)),
+			Reason:     "queue full",
+		}
+	}
+	if slo := time.Duration(a.sloNs.Load()); slo > 0 {
+		est := a.estWait(pos)
+		if svc := time.Duration(a.ewmaNs.Load()); est+svc > slo {
+			a.queued.Add(-1)
+			a.app.m.rejected.Inc()
+			return 0, &OverloadError{
+				RetryAfter: a.retryAfter(est + svc - slo),
+				Reason:     "queue wait would bust the SLO",
+			}
+		}
+	}
+
+	a.app.m.queued.Add(1)
+	t0 := time.Now()
+	defer func() {
+		a.queued.Add(-1)
+		a.app.m.queued.Add(-1)
+	}()
+	select {
+	case <-a.slots:
+		wait = time.Duration(float64(time.Since(t0)) / a.scale)
+		a.app.m.queueWait.Observe(wait)
+		return wait, nil
+	case <-ctx.Done():
+		return 0, context.Cause(ctx)
+	}
+}
+
+// done releases the execution slot.
+func (a *admission) done() { a.slots <- struct{}{} }
+
+// ceilSeconds renders a Retry-After header value (whole seconds, >= 1).
+func ceilSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

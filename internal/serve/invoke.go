@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"chiron/internal/dag"
+	"chiron/internal/live"
+	"chiron/internal/obs"
+	"chiron/internal/profiler"
+)
+
+// FnTiming is one function's schedule within a served request
+// (milliseconds, nominal time).
+type FnTiming struct {
+	Name     string  `json:"name"`
+	Stage    int     `json:"stage"`
+	Sandbox  int     `json:"sandbox"`
+	StartMs  float64 `json:"start_ms"`
+	FinishMs float64 `json:"finish_ms"`
+}
+
+// InvokeResult is one served invocation.
+type InvokeResult struct {
+	Workflow    string     `json:"workflow"`
+	PlanVersion int64      `json:"plan_version"`
+	Cold        bool       `json:"cold"`
+	ColdStartMs float64    `json:"cold_start_ms,omitempty"`
+	QueueWaitMs float64    `json:"queue_wait_ms"`
+	E2EMs       float64    `json:"e2e_ms"`
+	TotalMs     float64    `json:"total_ms"`
+	Functions   []FnTiming `json:"functions"`
+}
+
+// Invoke serves one request of the named workflow: admission, warm-pool
+// lease, live execution of the *current* behaviour under the active
+// plan, then metric and controller feedback. A non-nil rec receives the
+// request's spans (the ?trace=1 path).
+func (a *App) Invoke(ctx context.Context, name string, rec obs.Recorder) (*InvokeResult, error) {
+	release, err := a.track()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return a.invoke(ctx, name, rec)
+}
+
+// invoke is the drain-exempt core: callers must already hold a track()
+// release (async invocations acquire theirs at submission, so a drain
+// that starts mid-request cannot refuse the execution it is waiting on).
+func (a *App) invoke(ctx context.Context, name string, rec obs.Recorder) (*InvokeResult, error) {
+	wf, err := a.workflow(name)
+	if err != nil {
+		return nil, err
+	}
+
+	ps := wf.active.Load()
+	if ps == nil {
+		return nil, ErrNoPlan
+	}
+	beh := wf.snapshot()
+
+	wait, err := wf.adm.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer wf.adm.done()
+
+	a.m.inflight.Add(1)
+	defer a.m.inflight.Add(-1)
+
+	// Re-load the epoch after the queue wait: if a swap happened while
+	// we queued, execute on the fresh plan; requests already past this
+	// point keep their epoch (the old pool drains them).
+	if cur := wf.active.Load(); cur != nil {
+		ps = cur
+	}
+
+	cold, err := ps.pool.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res, err := live.RunCtx(ctx, beh, ps.plan, live.Options{
+		Const:   a.opt.Const,
+		Scale:   a.opt.Scale,
+		Timeout: a.opt.RequestTimeout,
+		Rec:     rec,
+	})
+	ps.pool.release(time.Now())
+	if err != nil {
+		a.m.errors.Inc()
+		if isPlacementErr(err) {
+			return nil, fmt.Errorf("%w: %v", ErrStalePlan, err)
+		}
+		return nil, err
+	}
+
+	coldCost := time.Duration(0)
+	if cold {
+		coldCost = a.opt.Const.ColdStart
+	}
+	total := wait + coldCost + res.E2E
+
+	a.m.requests.Inc()
+	a.m.latency.Observe(total)
+	wf.adm.observe(res.E2E)
+	wf.feed(res.E2E)
+
+	out := &InvokeResult{
+		Workflow:    name,
+		PlanVersion: ps.version,
+		Cold:        cold,
+		ColdStartMs: ms(coldCost),
+		QueueWaitMs: ms(wait),
+		E2EMs:       ms(res.E2E),
+		TotalMs:     ms(total),
+		Functions:   make([]FnTiming, len(res.Functions)),
+	}
+	for i, f := range res.Functions {
+		out.Functions[i] = FnTiming{
+			Name:     f.Name,
+			Stage:    f.Stage,
+			Sandbox:  f.Sandbox,
+			StartMs:  ms(f.Start),
+			FinishMs: ms(f.Finish),
+		}
+	}
+	return out, nil
+}
+
+// isPlacementErr detects plan/behaviour mismatches (wrap validation),
+// which the gateway reports as a stale plan rather than a server error.
+func isPlacementErr(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "wrap: ") || strings.Contains(s, "dag: ")
+}
+
+// profileWorkflow profiles every function with the standard options
+// (the shared profiler memo makes repeats cheap).
+func profileWorkflow(w *dag.Workflow) (profiler.Set, error) {
+	return profiler.ProfileWorkflow(w, profiler.DefaultOptions())
+}
+
+// ---- async invocations ----
+
+// asyncResult tracks one detached invocation.
+type asyncResult struct {
+	ID   string        `json:"id"`
+	done chan struct{} // closed on completion
+	res  *InvokeResult
+	err  error
+}
+
+const maxAsyncResults = 4096
+
+// InvokeAsync starts a detached invocation and returns its id. The
+// request runs on a background context bound by RequestTimeout (plus
+// queue wait), and counts toward the drain barrier.
+func (a *App) InvokeAsync(name string) (string, error) {
+	if _, err := a.workflow(name); err != nil {
+		return "", err
+	}
+	release, err := a.track()
+	if err != nil {
+		return "", err
+	}
+
+	a.resMu.Lock()
+	a.resSeq++
+	id := fmt.Sprintf("r-%d", a.resSeq)
+	ar := &asyncResult{ID: id, done: make(chan struct{})}
+	a.results[id] = ar
+	a.resOrder = append(a.resOrder, id)
+	for len(a.resOrder) > maxAsyncResults {
+		delete(a.results, a.resOrder[0])
+		a.resOrder = a.resOrder[1:]
+	}
+	a.resMu.Unlock()
+
+	go func() {
+		defer release()
+		// 4x the request timeout bounds queue wait + cold start + run.
+		ctx, cancel := context.WithTimeout(context.Background(), 4*a.opt.RequestTimeout)
+		defer cancel()
+		ar.res, ar.err = a.invoke(ctx, name, nil)
+		close(ar.done)
+	}()
+	return id, nil
+}
+
+// AsyncResult polls a detached invocation: done reports completion;
+// result and err are valid only once done.
+func (a *App) AsyncResult(id string) (res *InvokeResult, done bool, err error) {
+	a.resMu.Lock()
+	ar, ok := a.results[id]
+	a.resMu.Unlock()
+	if !ok {
+		return nil, false, fmt.Errorf("serve: request %q: %w", id, ErrNotFound)
+	}
+	select {
+	case <-ar.done:
+		return ar.res, true, ar.err
+	default:
+		return nil, false, nil
+	}
+}

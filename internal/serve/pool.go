@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"chiron/internal/dag"
+	"chiron/internal/wrap"
+)
+
+// warmPool manages keep-alive sandbox instances for one plan epoch.
+//
+// An "instance" is one booted copy of the plan's whole sandbox set (all
+// wraps of one request path). Acquiring with no idle instance boots a
+// cold one — the modelled container boot, model.Constants.ColdStart,
+// slept on the wall clock (scaled) and charged to the request — while a
+// warm hit is free, mirroring sandbox.StartLatency. Idle instances are
+// evicted after the keep-alive, so the resident-memory gauge (priced by
+// the plan's sandbox ledgers) tracks what a node would actually hold.
+//
+// When the controller swaps plans the old epoch's pool is retired: its
+// leased instances finish their requests and are then discarded instead
+// of being parked warm, so a swap never drops in-flight work.
+type warmPool struct {
+	app         *App
+	perInstMB   float64
+	coldNominal time.Duration
+	coldWall    time.Duration
+	keepAlive   time.Duration
+
+	mu      sync.Mutex
+	warm    []time.Time // idle instances, identified only by last-use
+	total   int         // warm + leased
+	leased  int
+	retired bool
+}
+
+func newWarmPool(a *App, plan *wrap.Plan, w *dag.Workflow, keepAlive time.Duration, scale float64) *warmPool {
+	p := &warmPool{
+		app:         a,
+		coldNominal: a.opt.Const.ColdStart,
+		coldWall:    time.Duration(float64(a.opt.Const.ColdStart) * scale),
+		keepAlive:   keepAlive,
+	}
+	// Price one instance from the plan's sandbox ledgers. A plan that
+	// fails to price (stale behaviour) still serves; it just reports 0.
+	if ledgers, err := plan.Ledgers(w); err == nil {
+		for _, s := range ledgers {
+			p.perInstMB += s.MemoryMB(a.opt.Const)
+		}
+	}
+	return p
+}
+
+// acquire leases an instance, booting cold when no warm one is idle.
+// The cold boot honours ctx; the returned cold flag tells the caller to
+// charge ColdStart to the request.
+func (p *warmPool) acquire(ctx context.Context) (cold bool, err error) {
+	p.mu.Lock()
+	if n := len(p.warm); n > 0 {
+		p.warm = p.warm[:n-1]
+		p.leased++
+		p.mu.Unlock()
+		p.app.m.warmHits.Inc()
+		p.app.m.warmGauge.Add(-1)
+		return false, nil
+	}
+	p.total++
+	p.leased++
+	p.mu.Unlock()
+	p.app.m.cold.Inc()
+	p.app.m.resident.Add(int64(p.perInstMB))
+	if p.coldWall > 0 {
+		t := time.NewTimer(p.coldWall)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			p.mu.Lock()
+			p.leased--
+			p.total--
+			p.mu.Unlock()
+			p.app.m.resident.Add(-int64(p.perInstMB))
+			return false, context.Cause(ctx)
+		}
+	}
+	return true, nil
+}
+
+// release returns a leased instance: parked warm on a live pool,
+// discarded on a retired one.
+func (p *warmPool) release(now time.Time) {
+	p.mu.Lock()
+	p.leased--
+	if p.retired {
+		p.total--
+		p.mu.Unlock()
+		p.app.m.resident.Add(-int64(p.perInstMB))
+		return
+	}
+	p.warm = append(p.warm, now)
+	p.mu.Unlock()
+	p.app.m.warmGauge.Add(1)
+}
+
+// reap evicts idle instances past the keep-alive.
+func (p *warmPool) reap(now time.Time) {
+	p.mu.Lock()
+	kept := p.warm[:0]
+	evicted := 0
+	for _, last := range p.warm {
+		if now.Sub(last) > p.keepAlive {
+			evicted++
+		} else {
+			kept = append(kept, last)
+		}
+	}
+	p.warm = kept
+	p.total -= evicted
+	p.mu.Unlock()
+	if evicted > 0 {
+		p.app.m.warmGauge.Add(int64(-evicted))
+		p.app.m.resident.Add(int64(-evicted) * int64(p.perInstMB))
+	}
+}
+
+// retire marks the epoch dead: idle instances are evicted now, leased
+// ones are discarded as they release.
+func (p *warmPool) retire() {
+	p.mu.Lock()
+	p.retired = true
+	evicted := len(p.warm)
+	p.warm = nil
+	p.total -= evicted
+	p.mu.Unlock()
+	if evicted > 0 {
+		p.app.m.warmGauge.Add(int64(-evicted))
+		p.app.m.resident.Add(int64(-evicted) * int64(p.perInstMB))
+	}
+}
+
+func (p *warmPool) stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Warm:       len(p.warm),
+		Total:      p.total,
+		ResidentMB: float64(p.total) * p.perInstMB,
+	}
+}

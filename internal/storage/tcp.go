@@ -8,7 +8,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
+
+// DefaultIOTimeout is the per-operation deadline applied to server
+// handlers and clients unless overridden: a peer that stalls mid-command
+// (or goes silent between commands) is disconnected instead of wedging a
+// handler goroutine forever.
+const DefaultIOTimeout = 30 * time.Second
 
 // TCPServer exposes a MemStore over a minimal line-oriented TCP protocol,
 // standing in for the MinIO endpoint of the paper's local cluster so the
@@ -19,23 +26,36 @@ import (
 //	DEL <key>\n                          -> OK 0\n
 //
 // Keys must not contain whitespace.
+//
+// Every read and write on an accepted connection carries a deadline
+// (DefaultIOTimeout unless set via ServeTCPTimeout), and reply writes are
+// error-checked: a stalled or half-closed peer gets its connection torn
+// down after the timeout rather than pinning a goroutine.
 type TCPServer struct {
-	store *MemStore
-	ln    net.Listener
-	wg    sync.WaitGroup
+	store   *MemStore
+	ln      net.Listener
+	timeout time.Duration
+	wg      sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
 }
 
 // ServeTCP starts a server on addr (use "127.0.0.1:0" for an ephemeral
-// port) backed by the given store.
+// port) backed by the given store, with the default I/O timeout.
 func ServeTCP(addr string, store *MemStore) (*TCPServer, error) {
+	return ServeTCPTimeout(addr, store, DefaultIOTimeout)
+}
+
+// ServeTCPTimeout starts a server whose per-operation read/write
+// deadline is ioTimeout (<= 0 means no deadline; only tests should want
+// that).
+func ServeTCPTimeout(addr string, store *MemStore, ioTimeout time.Duration) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &TCPServer{store: store, ln: ln}
+	s := &TCPServer{store: store, ln: ln, timeout: ioTimeout}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -76,89 +96,139 @@ func (s *TCPServer) acceptLoop() {
 	}
 }
 
+// extendDeadline arms the per-operation deadline before a blocking read
+// or write. An error (connection already dead) aborts the handler.
+func (s *TCPServer) extendDeadline(conn net.Conn) bool {
+	if s.timeout <= 0 {
+		return true
+	}
+	return conn.SetDeadline(time.Now().Add(s.timeout)) == nil
+}
+
 func (s *TCPServer) serve(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
+		if !s.extendDeadline(conn) {
+			return
+		}
 		line, err := r.ReadString('\n')
 		if err != nil {
+			// EOF, timeout or reset: either way the conversation is over.
 			return
 		}
 		fields := strings.Fields(strings.TrimSpace(line))
 		if len(fields) == 0 {
 			continue
 		}
+		var replyErr error
 		switch fields[0] {
 		case "PUT":
 			if len(fields) != 3 {
-				writeErr(w, "PUT needs key and size")
-				continue
+				replyErr = writeErr(w, "PUT needs key and size")
+				break
 			}
 			n, err := strconv.ParseInt(fields[2], 10, 64)
 			if err != nil || n < 0 || n > 1<<30 {
-				writeErr(w, "bad size")
-				continue
+				replyErr = writeErr(w, "bad size")
+				break
 			}
 			buf := make([]byte, n)
+			// The payload read is covered by the same deadline as the
+			// command line: a peer that sends "PUT k 100" and stalls is
+			// cut off, not waited on forever.
 			if _, err := io.ReadFull(r, buf); err != nil {
 				return
 			}
 			s.store.Put(fields[1], buf)
-			writeOK(w, nil)
+			replyErr = writeOK(w, nil)
 		case "GET":
 			if len(fields) != 2 {
-				writeErr(w, "GET needs key")
-				continue
+				replyErr = writeErr(w, "GET needs key")
+				break
 			}
 			v, err := s.store.Get(fields[1])
 			if err != nil {
-				writeErr(w, "not found")
-				continue
+				replyErr = writeErr(w, "not found")
+				break
 			}
-			writeOK(w, v)
+			replyErr = writeOK(w, v)
 		case "DEL":
 			if len(fields) != 2 {
-				writeErr(w, "DEL needs key")
-				continue
+				replyErr = writeErr(w, "DEL needs key")
+				break
 			}
 			s.store.Delete(fields[1])
-			writeOK(w, nil)
+			replyErr = writeOK(w, nil)
 		default:
-			writeErr(w, "unknown command")
+			replyErr = writeErr(w, "unknown command")
+		}
+		if replyErr != nil {
+			// Partial or failed write: the peer's read side is gone or
+			// stalled past the deadline; drop the connection rather than
+			// desynchronize the protocol.
+			return
 		}
 	}
 }
 
-func writeOK(w *bufio.Writer, payload []byte) {
-	fmt.Fprintf(w, "OK %d\n", len(payload))
-	w.Write(payload)
-	w.Flush()
+// writeOK sends "OK <n>\n<payload>" and reports the first write error
+// (bufio latches partial-write failures until Flush, so checking Flush
+// catches a short write anywhere in the reply).
+func writeOK(w *bufio.Writer, payload []byte) error {
+	if _, err := fmt.Fprintf(w, "OK %d\n", len(payload)); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
 }
 
-func writeErr(w *bufio.Writer, msg string) {
-	fmt.Fprintf(w, "ERR %s\n", msg)
-	w.Flush()
+func writeErr(w *bufio.Writer, msg string) error {
+	if _, err := fmt.Fprintf(w, "ERR %s\n", msg); err != nil {
+		return err
+	}
+	return w.Flush()
 }
 
 // TCPClient is a single-connection client for TCPServer. It is safe for
-// concurrent use (operations are serialized on the connection).
+// concurrent use (operations are serialized on the connection). Every
+// operation carries a deadline so a stalled server surfaces as a timeout
+// error instead of a hung caller.
 type TCPClient struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	timeout time.Duration
 }
 
-// DialTCP connects to a TCPServer.
+// DialTCP connects to a TCPServer with the default I/O timeout.
 func DialTCP(addr string) (*TCPClient, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTCPTimeout(addr, DefaultIOTimeout)
+}
+
+// DialTCPTimeout connects with an explicit per-operation deadline
+// (also used as the dial timeout; <= 0 disables deadlines).
+func DialTCPTimeout(addr string, timeout time.Duration) (*TCPClient, error) {
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &TCPClient{conn: conn, r: bufio.NewReader(conn)}, nil
+	return &TCPClient{conn: conn, r: bufio.NewReader(conn), timeout: timeout}, nil
 }
 
 // Close tears down the connection.
 func (c *TCPClient) Close() error { return c.conn.Close() }
+
+// arm sets the whole-operation deadline; callers hold c.mu.
+func (c *TCPClient) arm() error {
+	if c.timeout <= 0 {
+		return nil
+	}
+	return c.conn.SetDeadline(time.Now().Add(c.timeout))
+}
 
 // Put stores val under key.
 func (c *TCPClient) Put(key string, val []byte) error {
@@ -167,10 +237,13 @@ func (c *TCPClient) Put(key string, val []byte) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.arm(); err != nil {
+		return err
+	}
 	if _, err := fmt.Fprintf(c.conn, "PUT %s %d\n", key, len(val)); err != nil {
 		return err
 	}
-	if _, err := c.conn.Write(val); err != nil {
+	if err := writeFull(c.conn, val); err != nil {
 		return err
 	}
 	_, err := c.readReply()
@@ -181,6 +254,9 @@ func (c *TCPClient) Put(key string, val []byte) error {
 func (c *TCPClient) Get(key string) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.arm(); err != nil {
+		return nil, err
+	}
 	if _, err := fmt.Fprintf(c.conn, "GET %s\n", key); err != nil {
 		return nil, err
 	}
@@ -191,11 +267,28 @@ func (c *TCPClient) Get(key string) ([]byte, error) {
 func (c *TCPClient) Delete(key string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.arm(); err != nil {
+		return err
+	}
 	if _, err := fmt.Fprintf(c.conn, "DEL %s\n", key); err != nil {
 		return err
 	}
 	_, err := c.readReply()
 	return err
+}
+
+// writeFull writes all of b, looping over short writes (net.Conn.Write
+// contractually returns a non-nil error on n < len(b), but looping keeps
+// the invariant explicit and guards non-TCP Conn implementations).
+func writeFull(w io.Writer, b []byte) error {
+	for len(b) > 0 {
+		n, err := w.Write(b)
+		if err != nil {
+			return err
+		}
+		b = b[n:]
+	}
+	return nil
 }
 
 func (c *TCPClient) readReply() ([]byte, error) {
@@ -207,7 +300,7 @@ func (c *TCPClient) readReply() ([]byte, error) {
 	switch {
 	case strings.HasPrefix(line, "OK "):
 		n, err := strconv.Atoi(strings.TrimPrefix(line, "OK "))
-		if err != nil {
+		if err != nil || n < 0 {
 			return nil, fmt.Errorf("storage: malformed reply %q", line)
 		}
 		if n == 0 {

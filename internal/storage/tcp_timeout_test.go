@@ -1,0 +1,135 @@
+package storage
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A peer that sends a PUT header and then stalls must be disconnected
+// once the server's I/O deadline lapses, instead of pinning a handler
+// goroutine forever.
+func TestTCPServerDisconnectsStalledPeer(t *testing.T) {
+	srv, err := ServeTCPTimeout("127.0.0.1:0", NewMem(), 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Promise 100 payload bytes, deliver none.
+	if _, err := io.WriteString(conn, "PUT stall 100\n"); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if _, err := bufio.NewReader(conn).ReadString('\n'); err == nil {
+		t.Fatal("server replied to a stalled PUT instead of dropping the connection")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("stalled peer kept the connection for %v", elapsed)
+	}
+}
+
+// An idle peer (connected, never sends a command) is likewise evicted at
+// the deadline, so Close never waits on dead conversations.
+func TestTCPServerEvictsIdlePeer(t *testing.T) {
+	srv, err := ServeTCPTimeout("127.0.0.1:0", NewMem(), 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Give the handler a beat to arm the deadline and trip it.
+	time.Sleep(100 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked on an idle connection")
+	}
+}
+
+// A client talking to a server that never replies must surface a timeout
+// error from its per-operation deadline rather than hanging.
+func TestTCPClientOperationTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Swallow everything, reply with nothing.
+			go func() { _, _ = io.Copy(io.Discard, conn) }()
+		}
+	}()
+
+	c, err := DialTCPTimeout(ln.Addr().String(), 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.Get("k")
+	if err == nil {
+		t.Fatal("Get against a mute server returned nil error")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("error %v is not a net timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("Get hung for %v despite the 50ms deadline", elapsed)
+	}
+}
+
+// writeFull must loop over short writes.
+func TestWriteFullLoopsOverShortWrites(t *testing.T) {
+	w := &trickleWriter{}
+	payload := []byte("hello, short writes")
+	if err := writeFull(w, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.buf.String(); got != string(payload) {
+		t.Fatalf("wrote %q, want %q", got, payload)
+	}
+	if w.calls < len(payload) {
+		t.Fatalf("trickle writer called %d times for %d bytes", w.calls, len(payload))
+	}
+}
+
+type trickleWriter struct {
+	buf   strings.Builder
+	calls int
+}
+
+// Write accepts at most one byte per call (a legal but degenerate
+// io.Writer that plain conn.Write-style calls would mishandle).
+func (w *trickleWriter) Write(p []byte) (int, error) {
+	w.calls++
+	if len(p) == 0 {
+		return 0, nil
+	}
+	w.buf.WriteByte(p[0])
+	return 1, nil
+}
