@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-baseline bench-compare ci fmt vet tables chirond serve-smoke
+.PHONY: all build test race bench bench-baseline bench-compare ci fmt vet staticcheck tables chirond serve-smoke
 
 # Benchmark regression rails: bench-baseline runs the figure/table suite
 # with -benchmem and records it as $(BENCH_JSON) (ns/op, allocs/op and the
@@ -59,5 +59,16 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# staticcheck catches the reinvented-stdlib class of bug (e.g. the
+# hand-rolled insertion sort that sort.Strings replaced) plus dead code
+# and misuse vet misses. The binary is optional locally; CI installs it,
+# and runs without it just skip with a notice.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 # ci is the full gate: formatting, static analysis, race-enabled tests.
-ci: fmt vet race
+ci: fmt vet staticcheck race

@@ -1,7 +1,11 @@
 // Command chirond is the Chiron serving daemon: an HTTP gateway over
 // internal/serve. It registers workflows, plans them with PGP, executes
 // invocations on the live executor behind warm-wrap pools and admission
-// control, and adapts plans to live latency drift.
+// control, and adapts plans to live latency drift. Adaptation is
+// calibrated and hysteretic (-cooldown, -min-improve), a regressing
+// swap rolls back automatically (-rollback-guard), and retired plan
+// epochs (-plan-history) can be restored manually via
+// POST /workflows/{name}/plan/rollback.
 //
 //	chirond -addr 127.0.0.1:8080 -preload SocialNetwork -plan -slo 300ms
 //
@@ -45,6 +49,10 @@ func run(argv []string, stdout, stderr *os.File) error {
 		maxConc   = fs.Int("max-concurrency", 0, "max concurrent executions per workflow (0 = 2x GOMAXPROCS)")
 		maxQueue  = fs.Int("max-queue", 64, "admission queue depth per workflow")
 		keepAlive = fs.Duration("keepalive", time.Minute, "warm instance keep-alive")
+		cooldown  = fs.Int("cooldown", 0, "min full windows between plan adaptations (0 = default 2)")
+		minImp    = fs.Float64("min-improve", 0, "min-improvement gate fraction for adopting a fresh plan (0 = default 0.1)")
+		rbGuard   = fs.Float64("rollback-guard", 0, "post-swap regression factor that triggers auto-rollback (0 = default 1.1)")
+		history   = fs.Int("plan-history", 0, "retired plan epochs kept per workflow for rollback (0 = default 4)")
 		preload   = fs.String("preload", "", "comma-separated builtin workloads to register at boot (e.g. SocialNetwork)")
 		planBoot  = fs.Bool("plan", false, "plan preloaded workflows at boot")
 		drainWait = fs.Duration("drain", 30*time.Second, "max graceful drain on SIGTERM")
@@ -62,6 +70,10 @@ func run(argv []string, stdout, stderr *os.File) error {
 		MaxConcurrency: *maxConc,
 		MaxQueue:       *maxQueue,
 		KeepAlive:      *keepAlive,
+		Cooldown:       *cooldown,
+		MinImprovement: *minImp,
+		RollbackGuard:  *rbGuard,
+		PlanHistory:    *history,
 	})
 
 	var preloaded []string

@@ -3,15 +3,35 @@
 // enabling them to adapt to changes in the workload."
 //
 // A Controller serves a workflow under a PGP plan and watches the
-// latencies it observes. When the recent window drifts away from the
-// Predictor's estimate — a violation-rate trigger or a mean-drift trigger
-// — it re-profiles the *current* function behaviour (via the Source
-// callback, since behaviour is what changed) and re-plans. Deployments
-// stay SLO-compliant across workload shifts without manual intervention.
+// latencies it observes. Naively comparing the live window against the
+// raw PGP prediction forever is a churn bug: live execution carries a
+// persistent executor overhead (scheduler/timer noise, wall/scale
+// rounding), so a constant model bias looks like workload drift and
+// re-plans every window — exactly the control-plane churn Dirigent
+// identifies as the real tail-latency driver at scale. The controller
+// therefore separates *bias* from *drift*:
+//
+//   - Calibration: it learns an EWMA of the observed/predicted ratio
+//     (the bias) and evaluates the drift trigger against the
+//     bias-corrected prediction, bias x predicted. A constant executor
+//     overhead calibrates away after the first window; only movement
+//     relative to the calibrated baseline counts as drift.
+//   - Hysteresis: adaptations are separated by a cooldown (a minimum
+//     number of full windows), and a fresh plan is adopted only when the
+//     re-profile confirms a genuine behaviour change (the prediction
+//     itself moved) or its corrected prediction is meaningfully better
+//     than what the incumbent is actually serving (the min-improvement
+//     gate). Triggers that fail the checks are suppressed and recorded,
+//     and the window is folded into the bias instead — "keep the
+//     incumbent, recalibrate".
+//   - Probation: the first full window after a swap is compared against
+//     the pre-swap observed mean; a regression asks the caller to roll
+//     back to the previous plan epoch (Adopt restores it).
 package adapt
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"chiron/internal/dag"
@@ -27,6 +47,44 @@ import (
 // this is "profile the live functions again".
 type Source func() *dag.Workflow
 
+// Action is what one Observe call decided.
+type Action int
+
+const (
+	// ActionNone: the window is not full yet; nothing was decided.
+	ActionNone Action = iota
+	// ActionCalibrated: the window closed without an adaptation and its
+	// observed/predicted ratio was folded into the bias EWMA.
+	ActionCalibrated
+	// ActionReplanned: a trigger fired, the fresh plan passed the
+	// hysteresis gates and was adopted. The caller should swap epochs.
+	ActionReplanned
+	// ActionSuppressed: a trigger fired but hysteresis (cooldown or the
+	// min-improvement gate) kept the incumbent plan.
+	ActionSuppressed
+	// ActionRollback: the first post-swap window regressed versus the
+	// pre-swap baseline. The caller should restore the previous plan
+	// epoch via Adopt.
+	ActionRollback
+)
+
+// String names the action for logs and test failures.
+func (a Action) String() string {
+	switch a {
+	case ActionNone:
+		return "none"
+	case ActionCalibrated:
+		return "calibrated"
+	case ActionReplanned:
+		return "replanned"
+	case ActionSuppressed:
+		return "suppressed"
+	case ActionRollback:
+		return "rollback"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
 // Options configure the controller.
 type Options struct {
 	// Const is the substrate calibration.
@@ -41,8 +99,27 @@ type Options struct {
 	// this fraction (default 0.2).
 	ViolationTrigger float64
 	// DriftTrigger re-plans when the window's mean exceeds the
-	// prediction by this factor (default 1.3).
+	// bias-corrected prediction by this factor (default 1.3).
 	DriftTrigger float64
+	// BiasAlpha is the EWMA weight for folding a window's
+	// observed/predicted ratio into the bias (default 0.25). The first
+	// full window under a plan primes the bias outright.
+	BiasAlpha float64
+	// Cooldown is the minimum number of full windows between
+	// adaptations (default 2). Triggers inside the cooldown are
+	// suppressed, not queued.
+	Cooldown int
+	// MinImprovement is the min-improvement gate: a fresh plan is
+	// adopted only when the re-profile moved the prediction by more
+	// than this fraction (the behaviour genuinely changed) or its
+	// bias-corrected prediction undercuts the window's observed mean by
+	// at least this fraction (default 0.1). Otherwise the incumbent is
+	// kept and the window recalibrates.
+	MinImprovement float64
+	// RollbackGuard flags a post-swap regression when the first full
+	// window's mean exceeds RollbackGuard x the pre-swap mean
+	// (default 1.1).
+	RollbackGuard float64
 	// PGP carries extra scheduler options (Style, Iso); Const/SLO/Safety
 	// are overridden by the controller.
 	PGP pgp.Options
@@ -61,6 +138,18 @@ func (o *Options) defaults() error {
 	if o.DriftTrigger <= 1 {
 		o.DriftTrigger = 1.3
 	}
+	if o.BiasAlpha <= 0 || o.BiasAlpha > 1 {
+		o.BiasAlpha = 0.25
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 2
+	}
+	if o.MinImprovement <= 0 {
+		o.MinImprovement = 0.1
+	}
+	if o.RollbackGuard <= 1 {
+		o.RollbackGuard = 1.1
+	}
 	return nil
 }
 
@@ -74,6 +163,21 @@ type Controller struct {
 	predicted time.Duration
 	window    []time.Duration
 	replans   int
+
+	// Calibration state: bias is the observed/predicted EWMA, primed by
+	// the first full window under each plan (calibrated flips then).
+	bias       float64
+	calibrated bool
+
+	// Hysteresis state: windows counts full windows since the last
+	// adaptation; suppressed counts triggers hysteresis swallowed.
+	windows    int
+	suppressed int
+
+	// Probation state: after a swap, the next full window is compared
+	// against preSwapMean.
+	postSwap    bool
+	preSwapMean time.Duration
 }
 
 // New profiles and plans the workflow's current behaviour.
@@ -81,7 +185,7 @@ func New(src Source, opt Options) (*Controller, error) {
 	if err := opt.defaults(); err != nil {
 		return nil, err
 	}
-	c := &Controller{src: src, opt: opt}
+	c := &Controller{src: src, opt: opt, bias: 1}
 	if err := c.replan(); err != nil {
 		return nil, err
 	}
@@ -109,6 +213,7 @@ func (c *Controller) replan() error {
 	c.plan = res.Plan
 	c.predicted = res.Predicted
 	c.window = c.window[:0]
+	c.windows = 0
 	c.replans++
 	return nil
 }
@@ -119,27 +224,151 @@ func (c *Controller) Plan() *wrap.Plan { return c.plan }
 // Workflow returns the workflow snapshot the active plan was built for.
 func (c *Controller) Workflow() *dag.Workflow { return c.workflow }
 
-// Predicted returns the active plan's predicted latency.
+// Predicted returns the active plan's raw predicted latency.
 func (c *Controller) Predicted() time.Duration { return c.predicted }
+
+// Corrected returns the bias-corrected prediction, the drift baseline:
+// bias x predicted. Before calibration it equals the raw prediction.
+func (c *Controller) Corrected() time.Duration {
+	return time.Duration(c.bias * float64(c.predicted))
+}
+
+// Bias returns the current observed/predicted EWMA (1.0 before the
+// first window calibrates it).
+func (c *Controller) Bias() float64 { return c.bias }
 
 // Replans returns how many adaptations have occurred.
 func (c *Controller) Replans() int { return c.replans }
 
-// Observe records one served latency; when the window fills and a trigger
-// fires, the controller re-profiles and re-plans, returning true.
-func (c *Controller) Observe(lat time.Duration) (replanned bool, err error) {
+// Suppressed returns how many triggers hysteresis swallowed (cooldown
+// or the min-improvement gate).
+func (c *Controller) Suppressed() int { return c.suppressed }
+
+// Adopt installs an externally chosen plan — the rollback hook. The
+// caller supplies a previous epoch's behaviour snapshot, plan and raw
+// prediction (internal/serve keeps that history); the controller resets
+// its window, restarts calibration under the restored plan, and arms
+// the cooldown so the rollback itself cannot immediately re-trigger.
+// Adoption is not counted as a re-plan.
+func (c *Controller) Adopt(w *dag.Workflow, plan *wrap.Plan, predicted time.Duration) error {
+	if err := plan.Validate(w); err != nil {
+		return err
+	}
+	if predicted <= 0 {
+		return fmt.Errorf("adapt: adopted plan needs a positive prediction, got %v", predicted)
+	}
+	c.workflow = w
+	c.plan = plan
+	c.predicted = predicted
+	c.window = c.window[:0]
+	c.windows = 0
+	c.calibrated = false
+	c.bias = 1
+	c.postSwap = false
+	return nil
+}
+
+// Observe records one served latency. When the window fills it runs the
+// calibration/trigger/hysteresis pipeline and reports what happened:
+// ActionReplanned means a fresh plan was adopted (callers swap epochs),
+// ActionRollback means the post-swap window regressed (callers restore
+// the prior epoch via Adopt).
+func (c *Controller) Observe(lat time.Duration) (Action, error) {
 	c.window = append(c.window, lat)
 	if len(c.window) < c.opt.Window {
-		return false, nil
+		return ActionNone, nil
 	}
+
+	mean := metrics.Mean(c.window)
 	violations := metrics.ViolationRate(c.window, c.opt.SLO)
-	drift := float64(metrics.Mean(c.window)) / float64(c.predicted)
+	ratio := float64(mean) / float64(c.predicted)
 	c.window = c.window[:0]
-	if violations > c.opt.ViolationTrigger || drift > c.opt.DriftTrigger {
-		if err := c.replan(); err != nil {
-			return false, err
+	c.windows++
+
+	// Probation: the first full window after a swap answers one question
+	// — did the swap hold? A regression versus the pre-swap baseline
+	// hands control back to the caller for a rollback; otherwise the
+	// window doubles as the fresh plan's calibration sample.
+	if c.postSwap {
+		c.postSwap = false
+		if float64(mean) > c.opt.RollbackGuard*float64(c.preSwapMean) {
+			return ActionRollback, nil
 		}
-		return true, nil
+		c.bias = clampRatio(ratio)
+		c.calibrated = true
+		return ActionCalibrated, nil
 	}
-	return false, nil
+
+	// First window under this plan: prime the bias, don't trigger. This
+	// is what stops a constant executor overhead from looking like
+	// drift forever. Calibration only trusts windows that are at least
+	// SLO-plausible — a first window already violating the SLO is not a
+	// baseline, it is a symptom, so it falls through to the trigger path
+	// with the raw prediction (bias 1) as the reference.
+	if !c.calibrated {
+		if violations <= c.opt.ViolationTrigger {
+			c.bias = clampRatio(ratio)
+			c.calibrated = true
+			return ActionCalibrated, nil
+		}
+	}
+
+	drift := float64(mean) / float64(c.Corrected())
+	if violations <= c.opt.ViolationTrigger && drift <= c.opt.DriftTrigger {
+		// Quiet window: keep tracking slow bias movement.
+		c.fold(ratio)
+		c.calibrated = true
+		return ActionCalibrated, nil
+	}
+
+	// A trigger fired. Cooldown first: adaptations must be at least
+	// Cooldown full windows apart. (The triggering ratio is deliberately
+	// NOT folded into the bias here — genuine drift must stay visible
+	// once the cooldown expires.)
+	if c.windows <= c.opt.Cooldown {
+		c.suppressed++
+		return ActionSuppressed, nil
+	}
+
+	// Tentative re-plan, then the min-improvement gate. Two outcomes
+	// justify a swap: the re-profile moved the prediction materially
+	// (the behaviour genuinely changed, and the prediction must stay
+	// honest — it drives admission estimates and warm-pool sizing), or
+	// the fresh plan's corrected prediction meaningfully undercuts what
+	// the incumbent is actually serving. A re-profile that merely
+	// confirms the incumbent's prediction means the offset is
+	// executor-side bias, not a plannable drift: keep the incumbent,
+	// recalibrate, back off.
+	oldWorkflow, oldPlan, oldPredicted := c.workflow, c.plan, c.predicted
+	if err := c.replan(); err != nil {
+		return ActionNone, err
+	}
+	moved := math.Abs(float64(c.predicted-oldPredicted)) > c.opt.MinImprovement*float64(oldPredicted)
+	improves := c.bias*float64(c.predicted) < (1-c.opt.MinImprovement)*float64(mean)
+	if !moved && !improves {
+		c.workflow, c.plan, c.predicted = oldWorkflow, oldPlan, oldPredicted
+		c.replans--
+		c.windows = 0
+		c.suppressed++
+		c.fold(ratio)
+		c.calibrated = true
+		return ActionSuppressed, nil
+	}
+	c.preSwapMean = mean
+	c.postSwap = true
+	return ActionReplanned, nil
+}
+
+// fold moves the bias EWMA toward a window's observed/predicted ratio.
+func (c *Controller) fold(ratio float64) {
+	c.bias = (1-c.opt.BiasAlpha)*c.bias + c.opt.BiasAlpha*clampRatio(ratio)
+}
+
+// clampRatio keeps the bias strictly positive so the corrected
+// prediction (the drift denominator) never collapses to zero.
+func clampRatio(r float64) float64 {
+	if r < 1e-6 {
+		return 1e-6
+	}
+	return r
 }

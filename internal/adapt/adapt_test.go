@@ -52,15 +52,35 @@ func serve(t *testing.T, src *shiftingWorkload, c *Controller, seed int64, n int
 			t.Fatal(err)
 		}
 		lats = append(lats, res.E2E)
-		re, err := c.Observe(res.E2E)
+		act, err := c.Observe(res.E2E)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if re {
+		if act == ActionReplanned {
 			replans++
 		}
 	}
 	return lats, replans
+}
+
+// feed pushes one full window of identical synthetic latencies and
+// returns the window-closing action.
+func feed(t *testing.T, c *Controller, lat time.Duration) Action {
+	t.Helper()
+	for i := 0; i < c.opt.Window-1; i++ {
+		act, err := c.Observe(lat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if act != ActionNone {
+			t.Fatalf("mid-window action %v", act)
+		}
+	}
+	act, err := c.Observe(lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return act
 }
 
 func TestStableWorkloadNeverReplans(t *testing.T) {
@@ -78,10 +98,205 @@ func TestStableWorkloadNeverReplans(t *testing.T) {
 	}
 }
 
+// TestConstantBiasCalibratesAway is the churn bug's regression test: a
+// persistent executor overhead (observed = k x predicted, k above the
+// drift trigger) must stop looking like drift after the first window
+// calibrates the bias, so the controller never re-plans.
+func TestConstantBiasCalibratesAway(t *testing.T) {
+	src := &shiftingWorkload{validatorCPU: 2 * time.Millisecond}
+	o := opts(time.Second) // generous SLO: the overhead is not a violation
+	c, err := New(src.workflow, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	biased := time.Duration(2.0 * float64(c.Predicted())) // 2x > DriftTrigger 1.3
+	if act := feed(t, c, biased); act != ActionCalibrated {
+		t.Fatalf("first window: %v, want calibrated", act)
+	}
+	if b := c.Bias(); b < 1.9 || b > 2.1 {
+		t.Fatalf("bias after priming = %.3f, want ~2.0", b)
+	}
+	for w := 0; w < 10; w++ {
+		if act := feed(t, c, biased); act != ActionCalibrated {
+			t.Fatalf("window %d under constant bias: %v, want calibrated", w, act)
+		}
+	}
+	if c.Replans() != 0 || c.Suppressed() != 0 {
+		t.Fatalf("constant bias caused churn: replans=%d suppressed=%d", c.Replans(), c.Suppressed())
+	}
+	if got, want := c.Corrected(), biased; got < want*9/10 || got > want*11/10 {
+		t.Fatalf("corrected prediction %v, want ~%v", got, want)
+	}
+}
+
+// TestGenuineDriftReplansExactlyOnce: after calibration, a real workload
+// shift triggers exactly one adaptation; the post-swap windows (served
+// at the new plan's own biased latency) stay quiet.
+func TestGenuineDriftReplansExactlyOnce(t *testing.T) {
+	src := &shiftingWorkload{validatorCPU: 2 * time.Millisecond}
+	o := opts(5 * time.Second)
+	o.Cooldown = 2
+	c, err := New(src.workflow, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := c.Predicted()
+	bias := 1.4
+	steady := time.Duration(bias * float64(p1))
+	feed(t, c, steady) // prime
+	feed(t, c, steady) // quiet window (also clears the cooldown budget)
+	feed(t, c, steady)
+
+	// The workload shifts 4x; observed latency under the stale plan jumps
+	// far past the corrected baseline.
+	src.validatorCPU = 8 * time.Millisecond
+	drifted := time.Duration(8 * bias * float64(p1))
+	act := feed(t, c, drifted)
+	if act != ActionReplanned {
+		t.Fatalf("drift window: %v, want replanned", act)
+	}
+	if c.Replans() != 1 {
+		t.Fatalf("Replans() = %d, want 1", c.Replans())
+	}
+	p2 := c.Predicted()
+	// Post-swap: the new plan serves at its own (biased) latency. The
+	// probation window sees an improvement, then everything is quiet.
+	post := time.Duration(bias * float64(p2))
+	if act := feed(t, c, post); act != ActionCalibrated {
+		t.Fatalf("probation window: %v, want calibrated", act)
+	}
+	for w := 0; w < 6; w++ {
+		if act := feed(t, c, post); act != ActionCalibrated {
+			t.Fatalf("post-swap window %d: %v, want calibrated", w, act)
+		}
+	}
+	if c.Replans() != 1 {
+		t.Fatalf("post-swap churn: Replans() = %d, want exactly 1", c.Replans())
+	}
+}
+
+// TestCooldownSuppressesBackToBackTriggers: triggers inside the cooldown
+// are suppressed, not adapted.
+func TestCooldownSuppressesBackToBackTriggers(t *testing.T) {
+	src := &shiftingWorkload{validatorCPU: 2 * time.Millisecond}
+	o := opts(5 * time.Second)
+	o.Cooldown = 3
+	c, err := New(src.workflow, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := c.Predicted()
+	feed(t, c, p1) // prime, windows=1
+	// Immediate huge drift: windows 2 and 3 are inside the cooldown.
+	drifted := 10 * p1
+	for w := 0; w < 2; w++ {
+		if act := feed(t, c, drifted); act != ActionSuppressed {
+			t.Fatalf("cooldown window %d: %v, want suppressed", w, act)
+		}
+	}
+	if c.Suppressed() != 2 || c.Replans() != 0 {
+		t.Fatalf("suppressed=%d replans=%d, want 2/0", c.Suppressed(), c.Replans())
+	}
+	// Cooldown expired: the same trigger now adapts.
+	if act := feed(t, c, drifted); act != ActionReplanned {
+		t.Fatalf("post-cooldown window: %v, want replanned", act)
+	}
+}
+
+// TestMinImprovementGateKeepsIncumbent: a trigger whose fresh plan is no
+// better than what the incumbent is serving recalibrates instead of
+// swapping (replanning cannot fix an executor-side slowdown).
+func TestMinImprovementGateKeepsIncumbent(t *testing.T) {
+	src := &shiftingWorkload{validatorCPU: 2 * time.Millisecond}
+	o := opts(time.Second)
+	o.Cooldown = 1
+	c, err := New(src.workflow, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, plan1 := c.Predicted(), c.Plan()
+	feed(t, c, p1) // prime bias 1.0
+	feed(t, c, p1) // clear cooldown
+	// Latency drifts past the trigger but the BEHAVIOUR did not change,
+	// so the tentative re-plan reproduces the same prediction. A strict
+	// MinImprovement makes the gate unsatisfiable, pinning it shut: the
+	// trigger must resolve to "keep the incumbent, recalibrate".
+	c.opt.MinImprovement = 0.95
+	act := feed(t, c, time.Duration(1.5*float64(p1)))
+	if act != ActionSuppressed {
+		t.Fatalf("gated window: %v, want suppressed", act)
+	}
+	if c.Plan() != plan1 || c.Predicted() != p1 {
+		t.Fatal("min-improvement gate did not keep the incumbent plan")
+	}
+	if c.Replans() != 0 || c.Suppressed() != 1 {
+		t.Fatalf("replans=%d suppressed=%d, want 0/1", c.Replans(), c.Suppressed())
+	}
+	// The rejected window recalibrated: bias moved toward 1.5.
+	if b := c.Bias(); b <= 1.0 || b > 1.5 {
+		t.Fatalf("bias after gated window = %.3f, want in (1.0, 1.5]", b)
+	}
+}
+
+// TestPostSwapRegressionSignalsRollback: when the first window after a
+// swap is worse than the pre-swap baseline, Observe reports
+// ActionRollback and Adopt restores the prior epoch.
+func TestPostSwapRegressionSignalsRollback(t *testing.T) {
+	src := &shiftingWorkload{validatorCPU: 2 * time.Millisecond}
+	o := opts(5 * time.Second)
+	o.Cooldown = 1
+	c, err := New(src.workflow, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldWf, oldPlan, oldPred := c.Workflow(), c.Plan(), c.Predicted()
+	feed(t, c, oldPred) // prime
+	feed(t, c, oldPred) // clear cooldown
+	if act := feed(t, c, 8*oldPred); act != ActionReplanned {
+		t.Fatalf("drift window did not replan")
+	}
+	// The swap made things WORSE (12x > 1.1 * 8x): probation fails.
+	if act := feed(t, c, 12*oldPred); act != ActionRollback {
+		t.Fatalf("regressed probation window: %v, want rollback", act)
+	}
+	if err := c.Adopt(oldWf, oldPlan, oldPred); err != nil {
+		t.Fatal(err)
+	}
+	if c.Plan() != oldPlan || c.Predicted() != oldPred {
+		t.Fatal("Adopt did not restore the prior plan")
+	}
+	// Post-rollback the controller re-calibrates and stays quiet.
+	if act := feed(t, c, oldPred); act != ActionCalibrated {
+		t.Fatalf("post-rollback window: want calibrated")
+	}
+	if c.Replans() != 1 {
+		t.Fatalf("rollback counted as a replan: %d", c.Replans())
+	}
+}
+
+func TestAdoptValidates(t *testing.T) {
+	src := &shiftingWorkload{validatorCPU: 2 * time.Millisecond}
+	c, err := New(src.workflow, opts(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := &shiftingWorkload{validatorCPU: time.Millisecond}
+	ow := other.workflow()
+	ow.Name = "other"
+	if err := c.Adopt(ow, c.Plan(), c.Predicted()); err == nil {
+		t.Error("Adopt accepted a plan/workflow mismatch")
+	}
+	if err := c.Adopt(c.Workflow(), c.Plan(), 0); err == nil {
+		t.Error("Adopt accepted a zero prediction")
+	}
+}
+
 func TestDriftTriggersReplanAndRecovers(t *testing.T) {
 	slo := 60 * time.Millisecond
 	src := &shiftingWorkload{validatorCPU: 2 * time.Millisecond}
-	c, err := New(src.workflow, opts(slo))
+	o := opts(slo)
+	o.Cooldown = 1
+	c, err := New(src.workflow, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +304,7 @@ func TestDriftTriggersReplanAndRecovers(t *testing.T) {
 	// The workload shifts: validators become 4x heavier. The active plan
 	// (sized for 2ms functions) now misses the SLO.
 	src.validatorCPU = 8 * time.Millisecond
-	driftLats, replans := serve(t, src, c, 100, 30)
+	driftLats, replans := serve(t, src, c, 100, 40)
 	if replans == 0 {
 		t.Fatalf("no replan despite 4x heavier functions (mean %v, slo %v)",
 			metrics.Mean(driftLats), slo)
@@ -131,12 +346,12 @@ func TestObserveBelowWindowNoTrigger(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 9; i++ {
-		re, err := c.Observe(time.Hour) // wildly violating, but window not full
+		act, err := c.Observe(time.Hour) // wildly violating, but window not full
 		if err != nil {
 			t.Fatal(err)
 		}
-		if re {
-			t.Fatal("replanned before the window filled")
+		if act != ActionNone {
+			t.Fatal("acted before the window filled")
 		}
 	}
 }

@@ -9,12 +9,18 @@ package dag
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"chiron/internal/behavior"
 )
+
+// ErrInvalid marks every workflow/graph shape failure (empty stages,
+// duplicate functions, cycles, dangling dependencies). Callers classify
+// with errors.Is(err, dag.ErrInvalid) instead of matching error text.
+var ErrInvalid = errors.New("dag: invalid workflow")
 
 // Stage is one rank of the workflow: all functions in a stage may run in
 // parallel; consecutive stages are strictly ordered.
@@ -79,28 +85,28 @@ func (w *Workflow) Lookup(name string) *behavior.Spec {
 // stage non-empty, every spec valid, function names unique.
 func (w *Workflow) Validate() error {
 	if w.Name == "" {
-		return fmt.Errorf("dag: workflow has empty name")
+		return fmt.Errorf("%w: workflow has empty name", ErrInvalid)
 	}
 	if len(w.Stages) == 0 {
-		return fmt.Errorf("dag: workflow %s has no stages", w.Name)
+		return fmt.Errorf("%w: workflow %s has no stages", ErrInvalid, w.Name)
 	}
 	seen := make(map[string]bool)
 	for i, st := range w.Stages {
 		if len(st.Functions) == 0 {
-			return fmt.Errorf("dag: workflow %s stage %d is empty", w.Name, i)
+			return fmt.Errorf("%w: workflow %s stage %d is empty", ErrInvalid, w.Name, i)
 		}
 		for _, f := range st.Functions {
 			if err := f.Validate(); err != nil {
-				return fmt.Errorf("dag: workflow %s stage %d: %w", w.Name, i, err)
+				return fmt.Errorf("%w: workflow %s stage %d: %w", ErrInvalid, w.Name, i, err)
 			}
 			if seen[f.Name] {
-				return fmt.Errorf("dag: workflow %s has duplicate function %q", w.Name, f.Name)
+				return fmt.Errorf("%w: workflow %s has duplicate function %q", ErrInvalid, w.Name, f.Name)
 			}
 			seen[f.Name] = true
 		}
 	}
 	if w.SLO < 0 {
-		return fmt.Errorf("dag: workflow %s has negative SLO", w.Name)
+		return fmt.Errorf("%w: workflow %s has negative SLO", ErrInvalid, w.Name)
 	}
 	return nil
 }
@@ -160,10 +166,10 @@ func (g *Graph) Level() (*Workflow, error) {
 	index := make(map[string]int, len(g.Nodes))
 	for i, n := range g.Nodes {
 		if n.Spec == nil {
-			return nil, fmt.Errorf("dag: graph %s node %d has nil spec", g.Name, i)
+			return nil, fmt.Errorf("%w: graph %s node %d has nil spec", ErrInvalid, g.Name, i)
 		}
 		if _, dup := index[n.Spec.Name]; dup {
-			return nil, fmt.Errorf("dag: graph %s has duplicate node %q", g.Name, n.Spec.Name)
+			return nil, fmt.Errorf("%w: graph %s has duplicate node %q", ErrInvalid, g.Name, n.Spec.Name)
 		}
 		index[n.Spec.Name] = i
 	}
@@ -182,14 +188,14 @@ func (g *Graph) Level() (*Workflow, error) {
 		case done:
 			return nil
 		case visiting:
-			return fmt.Errorf("dag: graph %s has a cycle through %q", g.Name, g.Nodes[i].Spec.Name)
+			return fmt.Errorf("%w: graph %s has a cycle through %q", ErrInvalid, g.Name, g.Nodes[i].Spec.Name)
 		}
 		state[i] = visiting
 		d := 0
 		for _, dep := range g.Nodes[i].Deps {
 			j, ok := index[dep]
 			if !ok {
-				return fmt.Errorf("dag: graph %s: %q depends on unknown %q", g.Name, g.Nodes[i].Spec.Name, dep)
+				return fmt.Errorf("%w: graph %s: %q depends on unknown %q", ErrInvalid, g.Name, g.Nodes[i].Spec.Name, dep)
 			}
 			if err := visit(j); err != nil {
 				return err

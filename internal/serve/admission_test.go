@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionSLORejectKeepsQueueAccounting: a rejection on the SLO
+// sojourn check must give back its queue position. Pre-fix symptoms
+// would be a depth() that creeps up with every rejection until the
+// queue reads full with nobody in it.
+func TestAdmissionSLORejectKeepsQueueAccounting(t *testing.T) {
+	a := testApp(t, Options{})
+	adm := newAdmission(a, 1, 10, 1)
+	adm.setSLO(100 * time.Millisecond)
+	adm.prime(80 * time.Millisecond)
+
+	if _, err := adm.admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		_, err := adm.admit(context.Background())
+		var ov *OverloadError
+		if !errors.As(err, &ov) {
+			t.Fatalf("reject %d: %v, want OverloadError", i, err)
+		}
+		if d := adm.depth(); d != 0 {
+			t.Fatalf("reject %d leaked a queue seat: depth=%d", i, d)
+		}
+	}
+	adm.done()
+	if _, err := adm.admit(context.Background()); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+
+	// With the SLO check out of the way, a waiter still gets the seat
+	// the rejections must not have consumed.
+	adm.setSLO(0)
+	waiting := make(chan error, 1)
+	go func() {
+		_, err := adm.admit(context.Background())
+		waiting <- err
+	}()
+	waitFor(t, func() bool { return adm.depth() == 1 })
+	adm.done()
+	if err := <-waiting; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+// TestAdmissionObserveRacesPrime exercises the swap-time race: the
+// controller primes the EWMA from the fresh plan's prediction while
+// completing requests of the old epoch keep folding observations in.
+// Run under -race (make ci); the invariant is that the estimate stays
+// inside the envelope of its inputs.
+func TestAdmissionObserveRacesPrime(t *testing.T) {
+	a := testApp(t, Options{})
+	adm := newAdmission(a, 1, 1, 1)
+	adm.prime(100 * time.Millisecond)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			adm.prime(100 * time.Millisecond)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			adm.observe(50 * time.Millisecond)
+			_ = adm.estWait(1)
+		}
+	}()
+	wg.Wait()
+	got := time.Duration(adm.ewmaNs.Load())
+	if got < 50*time.Millisecond || got > 100*time.Millisecond {
+		t.Fatalf("EWMA %v left the [50ms, 100ms] input envelope", got)
+	}
+}
+
+// TestAdmissionRetryAfterSubMillisecond: at aggressive time compression
+// the nominal backoff shrinks below a millisecond of wall clock; the
+// Retry-After hint must floor at 1ms (and its header rendering at 1s)
+// so clients always back off a nonzero amount.
+func TestAdmissionRetryAfterSubMillisecond(t *testing.T) {
+	a := testApp(t, Options{})
+	adm := newAdmission(a, 1, 1, 0.001) // 1000x compression
+	adm.prime(time.Millisecond)
+
+	if got := adm.retryAfter(100 * time.Microsecond); got != time.Millisecond {
+		t.Fatalf("retryAfter(100µs nominal) = %v, want the 1ms floor", got)
+	}
+
+	// Through admit: slot taken, seat taken, the next request is
+	// rejected queue-full with a nominal wait of ~2ms -> 2µs wall.
+	if _, err := adm.admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	waiting := make(chan error, 1)
+	go func() {
+		_, err := adm.admit(context.Background())
+		waiting <- err
+	}()
+	waitFor(t, func() bool { return adm.depth() == 1 })
+	_, err := adm.admit(context.Background())
+	var ov *OverloadError
+	if !errors.As(err, &ov) {
+		t.Fatalf("expected queue-full OverloadError, got %v", err)
+	}
+	if ov.RetryAfter != time.Millisecond {
+		t.Fatalf("sub-ms overload RetryAfter = %v, want the 1ms floor", ov.RetryAfter)
+	}
+	adm.done()
+	if err := <-waiting; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+
+	for _, tc := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{500 * time.Microsecond, 1},
+		{time.Millisecond, 1},
+		{1500 * time.Millisecond, 2},
+		{3 * time.Second, 3},
+	} {
+		if got := ceilSeconds(tc.d); got != tc.want {
+			t.Errorf("ceilSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}

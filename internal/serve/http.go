@@ -23,6 +23,7 @@ import (
 //	GET  /workflows/{name}            serving status
 //	POST /workflows/{name}/plan       profile + PGP, activate the plan
 //	GET  /workflows/{name}/plan       active plan JSON
+//	POST /workflows/{name}/plan/rollback  restore the previous plan epoch
 //	POST /workflows/{name}/invoke     execute (sync; ?async=1 detaches, ?trace=1 returns spans)
 //	GET  /requests/{id}               async invocation result
 func (a *App) Handler() http.Handler {
@@ -36,6 +37,7 @@ func (a *App) Handler() http.Handler {
 	mux.HandleFunc("GET /workflows/{name}", a.handleStatus)
 	mux.HandleFunc("POST /workflows/{name}/plan", a.handlePlan)
 	mux.HandleFunc("GET /workflows/{name}/plan", a.handleGetPlan)
+	mux.HandleFunc("POST /workflows/{name}/plan/rollback", a.handleRollback)
 	mux.HandleFunc("POST /workflows/{name}/invoke", a.handleInvoke)
 	mux.HandleFunc("GET /requests/{id}", a.handleAsyncResult)
 	return mux
@@ -61,7 +63,7 @@ func writeErr(w http.ResponseWriter, err error) {
 		})
 	case errors.Is(err, ErrNotFound):
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
-	case errors.Is(err, ErrNoPlan), errors.Is(err, ErrStalePlan):
+	case errors.Is(err, ErrNoPlan), errors.Is(err, ErrStalePlan), errors.Is(err, ErrNoHistory):
 		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
@@ -189,6 +191,23 @@ func (a *App) handlePlan(w http.ResponseWriter, r *http.Request) {
 		slo = d
 	}
 	info, err := a.PlanWorkflow(r.PathValue("name"), slo)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, planResponse{
+		Workflow:    info.Workflow,
+		Version:     info.Version,
+		PredictedMs: ms(info.Predicted),
+		SLOMs:       ms(info.SLO),
+		Plan:        info.Plan,
+	})
+}
+
+// handleRollback restores the previous plan epoch. 409 when the
+// workflow has no plan or no retired epoch to fall back to.
+func (a *App) handleRollback(w http.ResponseWriter, r *http.Request) {
+	info, err := a.RollbackPlan(r.PathValue("name"))
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -210,6 +210,84 @@ func TestGatewayBackpressure(t *testing.T) {
 	}
 }
 
+// TestGatewayRollbackEndpoint drives POST /workflows/{name}/plan/rollback:
+// 409 before a plan and with an empty history, restoring the previous
+// epoch (prediction and all) once one exists, and a second rollback
+// acting as a redo.
+func TestGatewayRollbackEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	a, srv := httpApp(t, Options{Scale: 0.05, Reg: reg})
+	if _, err := a.Register(testWorkflow(4 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	rollbackURL := srv.URL + "/workflows/wf-test/plan/rollback"
+
+	// Unknown workflow -> 404; unplanned -> 409; no history yet -> 409.
+	code, _ := doJSON(t, "POST", srv.URL+"/workflows/nope/plan/rollback", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("rollback unknown workflow: %d, want 404", code)
+	}
+	code, _ = doJSON(t, "POST", rollbackURL, nil)
+	if code != http.StatusConflict {
+		t.Fatalf("rollback before plan: %d, want 409", code)
+	}
+	infoA := mustPlan(t, a, "wf-test", 400*time.Millisecond)
+	code, body := doJSON(t, "POST", rollbackURL, nil)
+	if code != http.StatusConflict {
+		t.Fatalf("rollback with empty history: %d %v, want 409", code, body)
+	}
+
+	// Re-register heavier behaviour and re-plan: epoch 2, a different
+	// prediction, epoch 1 retired into the history.
+	if _, err := a.Register(testWorkflow(16 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	infoB := mustPlan(t, a, "wf-test", 1600*time.Millisecond)
+	if infoB.Version != 2 || infoB.Predicted == infoA.Predicted {
+		t.Fatalf("second plan: version=%d predicted=%v (first %v)", infoB.Version, infoB.Predicted, infoA.Predicted)
+	}
+
+	// Rollback restores epoch 1's plan as a fresh epoch.
+	code, body = doJSON(t, "POST", rollbackURL, nil)
+	if code != http.StatusOK {
+		t.Fatalf("rollback: %d %v", code, body)
+	}
+	if v := body["version"].(float64); v != 3 {
+		t.Fatalf("rollback version %v, want 3", v)
+	}
+	if p := body["predicted_ms"].(float64); p != float64(infoA.Predicted)/1e6 {
+		t.Fatalf("rollback predicted %vms, want epoch 1's %vms", p, float64(infoA.Predicted)/1e6)
+	}
+	code, body = doJSON(t, "GET", srv.URL+"/workflows/wf-test", nil)
+	if code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	if body["rollbacks"].(float64) != 1 {
+		t.Fatalf("status rollbacks %v, want 1", body["rollbacks"])
+	}
+
+	// A second rollback is a redo: the displaced epoch 2 comes back.
+	code, body = doJSON(t, "POST", rollbackURL, nil)
+	if code != http.StatusOK {
+		t.Fatalf("redo rollback: %d %v", code, body)
+	}
+	if p := body["predicted_ms"].(float64); p != float64(infoB.Predicted)/1e6 {
+		t.Fatalf("redo predicted %vms, want epoch 2's %vms", p, float64(infoB.Predicted)/1e6)
+	}
+	if got := reg.Counter("chiron_serve_rollbacks_total", "").Value(); got != 2 {
+		t.Fatalf("rollbacks_total = %d, want 2", got)
+	}
+
+	// The gateway keeps serving on the restored plan.
+	code, body = doJSON(t, "POST", srv.URL+"/workflows/wf-test/invoke", nil)
+	if code != http.StatusOK {
+		t.Fatalf("invoke after rollbacks: %d %v", code, body)
+	}
+	if v := body["plan_version"].(float64); v != 4 {
+		t.Fatalf("serving plan version %v, want 4", v)
+	}
+}
+
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)

@@ -2,14 +2,15 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"strings"
 	"time"
 
 	"chiron/internal/dag"
 	"chiron/internal/live"
 	"chiron/internal/obs"
 	"chiron/internal/profiler"
+	"chiron/internal/wrap"
 )
 
 // FnTiming is one function's schedule within a served request
@@ -60,7 +61,6 @@ func (a *App) invoke(ctx context.Context, name string, rec obs.Recorder) (*Invok
 	if ps == nil {
 		return nil, ErrNoPlan
 	}
-	beh := wf.snapshot()
 
 	wait, err := wf.adm.admit(ctx)
 	if err != nil {
@@ -73,10 +73,13 @@ func (a *App) invoke(ctx context.Context, name string, rec obs.Recorder) (*Invok
 
 	// Re-load the epoch after the queue wait: if a swap happened while
 	// we queued, execute on the fresh plan; requests already past this
-	// point keep their epoch (the old pool drains them).
+	// point keep their epoch (the old pool drains them). The behaviour
+	// snapshot is taken at the same instant so a re-registration that
+	// landed during the wait cannot pair stale specs with a fresh plan.
 	if cur := wf.active.Load(); cur != nil {
 		ps = cur
 	}
+	beh := wf.snapshot()
 
 	cold, err := ps.pool.acquire(ctx)
 	if err != nil {
@@ -115,8 +118,11 @@ func (a *App) invoke(ctx context.Context, name string, rec obs.Recorder) (*Invok
 		ColdStartMs: ms(coldCost),
 		QueueWaitMs: ms(wait),
 		E2EMs:       ms(res.E2E),
-		TotalMs:     ms(total),
-		Functions:   make([]FnTiming, len(res.Functions)),
+		// Sum the rounded parts, not ms(total): the reported arithmetic
+		// must be exact (total = wait + cold + e2e) for consumers that
+		// cross-check the fields.
+		TotalMs:   ms(wait) + ms(coldCost) + ms(res.E2E),
+		Functions: make([]FnTiming, len(res.Functions)),
 	}
 	for i, f := range res.Functions {
 		out.Functions[i] = FnTiming{
@@ -130,11 +136,11 @@ func (a *App) invoke(ctx context.Context, name string, rec obs.Recorder) (*Invok
 	return out, nil
 }
 
-// isPlacementErr detects plan/behaviour mismatches (wrap validation),
-// which the gateway reports as a stale plan rather than a server error.
+// isPlacementErr detects plan/behaviour mismatches (wrap validation,
+// workflow shape), which the gateway reports as a stale plan rather
+// than a server error. Classification is by sentinel, not error text.
 func isPlacementErr(err error) bool {
-	s := err.Error()
-	return strings.Contains(s, "wrap: ") || strings.Contains(s, "dag: ")
+	return errors.Is(err, wrap.ErrPlacement) || errors.Is(err, dag.ErrInvalid)
 }
 
 // profileWorkflow profiles every function with the standard options
@@ -153,7 +159,39 @@ type asyncResult struct {
 	err  error
 }
 
-const maxAsyncResults = 4096
+// maxAsyncResults bounds the completed-result ring (var so tests can
+// shrink it). In-flight entries are never evicted — a poll for a
+// running request must not 404 — so the ring may transiently exceed
+// the bound while more invocations than the cap are in flight.
+var maxAsyncResults = 4096
+
+// evictAsyncLocked trims the oldest *completed* async results until
+// the ring is back within maxAsyncResults, preserving submission
+// order among survivors. Callers hold resMu.
+func (a *App) evictAsyncLocked() {
+	excess := len(a.resOrder) - maxAsyncResults
+	if excess <= 0 {
+		return
+	}
+	kept := a.resOrder[:0]
+	for _, id := range a.resOrder {
+		evict := false
+		if ar := a.results[id]; ar != nil && excess > 0 {
+			select {
+			case <-ar.done:
+				evict = true
+			default: // still running: its goroutine will publish here
+			}
+		}
+		if evict {
+			delete(a.results, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	a.resOrder = kept
+}
 
 // InvokeAsync starts a detached invocation and returns its id. The
 // request runs on a background context bound by RequestTimeout (plus
@@ -173,10 +211,7 @@ func (a *App) InvokeAsync(name string) (string, error) {
 	ar := &asyncResult{ID: id, done: make(chan struct{})}
 	a.results[id] = ar
 	a.resOrder = append(a.resOrder, id)
-	for len(a.resOrder) > maxAsyncResults {
-		delete(a.results, a.resOrder[0])
-		a.resOrder = a.resOrder[1:]
-	}
+	a.evictAsyncLocked()
 	a.resMu.Unlock()
 
 	go func() {

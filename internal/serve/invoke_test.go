@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"chiron/internal/dag"
+	"chiron/internal/wrap"
+)
+
+// TestEvictAsyncSparesInflight pins the eviction rule down at the unit
+// level: only *completed* results (closed done channel) may be trimmed,
+// oldest first, and submission order is preserved among survivors.
+func TestEvictAsyncSparesInflight(t *testing.T) {
+	a := testApp(t, Options{})
+	old := maxAsyncResults
+	maxAsyncResults = 3
+	defer func() { maxAsyncResults = old }()
+
+	mk := func(id string, completed bool) {
+		ar := &asyncResult{ID: id, done: make(chan struct{})}
+		if completed {
+			close(ar.done)
+		}
+		a.results[id] = ar
+		a.resOrder = append(a.resOrder, id)
+	}
+	mk("r1", true)
+	mk("r2", false)
+	mk("r3", true)
+	mk("r4", false)
+	mk("r5", true)
+
+	a.resMu.Lock()
+	a.evictAsyncLocked()
+	a.resMu.Unlock()
+
+	// Excess was 2: the two oldest completed entries (r1, r3) go; the
+	// in-flight r2/r4 survive even though they are older than r5.
+	want := []string{"r2", "r4", "r5"}
+	if len(a.resOrder) != len(want) {
+		t.Fatalf("ring after eviction: %v, want %v", a.resOrder, want)
+	}
+	for i, id := range want {
+		if a.resOrder[i] != id {
+			t.Fatalf("ring after eviction: %v, want %v", a.resOrder, want)
+		}
+	}
+	if _, _, err := a.AsyncResult("r1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("evicted r1 still resolvable: %v", err)
+	}
+	if _, done, err := a.AsyncResult("r2"); err != nil || done {
+		t.Fatalf("in-flight r2: done=%v err=%v, want pollable and pending", done, err)
+	}
+}
+
+// TestAsyncInflightNeverEvicted is the end-to-end regression test for
+// the eviction bug: with the result cap at 1 and three detached
+// invocations serialized behind one execution slot, polling the
+// still-running first request must not 404 even though later
+// submissions pushed the ring past its bound.
+func TestAsyncInflightNeverEvicted(t *testing.T) {
+	old := maxAsyncResults
+	maxAsyncResults = 1
+	defer func() { maxAsyncResults = old }()
+
+	a := testApp(t, Options{Scale: 0.5, MaxConcurrency: 1})
+	if _, err := a.Register(testWorkflow(40 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	mustPlan(t, a, "wf-test", 20*time.Second)
+
+	ids := make([]string, 3)
+	for i := range ids {
+		id, err := a.InvokeAsync("wf-test")
+		if err != nil {
+			t.Fatalf("async submit %d: %v", i, err)
+		}
+		ids[i] = id
+	}
+	// Every submission ran eviction, but all three entries are (or were)
+	// in flight: none may have been dropped.
+	for _, id := range ids {
+		if _, _, err := a.AsyncResult(id); err != nil {
+			t.Fatalf("poll %s while in flight: %v", id, err)
+		}
+	}
+	for _, id := range ids {
+		waitFor(t, func() bool {
+			_, done, err := a.AsyncResult(id)
+			return err == nil && done
+		})
+	}
+	// The next submission trims the now-completed backlog to the cap.
+	id4, err := a.InvokeAsync("wf-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.AsyncResult(ids[0]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("completed %s should have been evicted: %v", ids[0], err)
+	}
+	waitFor(t, func() bool {
+		_, done, err := a.AsyncResult(id4)
+		return err == nil && done
+	})
+}
+
+// TestPlacementErrClassification: the gateway classifies plan/behaviour
+// mismatches by sentinel (wrap.ErrPlacement, dag.ErrInvalid), not by
+// matching "wrap: "/"dag: " substrings in error text.
+func TestPlacementErrClassification(t *testing.T) {
+	if !isPlacementErr(fmt.Errorf("live: stage 2: %w", wrap.ErrPlacement)) {
+		t.Error("wrapped wrap.ErrPlacement not classified as placement error")
+	}
+	if !isPlacementErr(fmt.Errorf("%w: graph has a cycle", dag.ErrInvalid)) {
+		t.Error("wrapped dag.ErrInvalid not classified as placement error")
+	}
+	if isPlacementErr(errors.New("wrap: lookalike text without the sentinel")) {
+		t.Error("error-text imposter classified as placement error")
+	}
+	if isPlacementErr(context.DeadlineExceeded) {
+		t.Error("deadline classified as placement error")
+	}
+
+	// The real validators produce sentinel-carrying errors end-to-end.
+	w := testWorkflow(time.Millisecond)
+	if err := (&wrap.Plan{Workflow: w.Name}).Validate(w); !errors.Is(err, wrap.ErrPlacement) {
+		t.Errorf("wrap.Plan.Validate error %v does not carry wrap.ErrPlacement", err)
+	}
+	if err := (&dag.Workflow{}).Validate(); !errors.Is(err, dag.ErrInvalid) {
+		t.Errorf("dag.Workflow.Validate error %v does not carry dag.ErrInvalid", err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,11 +67,21 @@ type Options struct {
 	// KeepAlive is how long an idle warm instance stays resident before
 	// the reaper evicts it (default 1 minute).
 	KeepAlive time.Duration
-	// Window, ViolationTrigger and DriftTrigger parameterize the
-	// internal/adapt controller (zero: adapt's defaults).
+	// Window, ViolationTrigger, DriftTrigger, BiasAlpha, Cooldown,
+	// MinImprovement and RollbackGuard parameterize the internal/adapt
+	// controller (zero: adapt's defaults). Cooldown and MinImprovement
+	// are the hysteresis knobs; RollbackGuard arms the post-swap
+	// regression check.
 	Window           int
 	ViolationTrigger float64
 	DriftTrigger     float64
+	BiasAlpha        float64
+	Cooldown         int
+	MinImprovement   float64
+	RollbackGuard    float64
+	// PlanHistory is how many retired plan epochs each workflow keeps
+	// for rollback (default 4).
+	PlanHistory int
 	// PGP carries extra planner options (Style, Iso); Const and SLO are
 	// always overridden by the serving plane.
 	PGP pgp.Options
@@ -97,6 +108,9 @@ func (o *Options) defaults() {
 	if o.KeepAlive <= 0 {
 		o.KeepAlive = time.Minute
 	}
+	if o.PlanHistory <= 0 {
+		o.PlanHistory = 4
+	}
 	if o.Reg == nil {
 		o.Reg = obs.Default
 	}
@@ -113,6 +127,9 @@ var (
 	ErrStalePlan = errors.New("serve: active plan is stale for the registered behaviour")
 	// ErrDraining: the app is shutting down.
 	ErrDraining = errors.New("serve: draining")
+	// ErrNoHistory: a rollback was requested but the workflow has no
+	// retired plan epoch to fall back to.
+	ErrNoHistory = errors.New("serve: no prior plan epoch to roll back to")
 )
 
 // OverloadError is returned when admission rejects a request; RetryAfter
@@ -128,18 +145,21 @@ func (e *OverloadError) Error() string {
 
 // appMetrics are the serving plane's registry handles.
 type appMetrics struct {
-	requests  *obs.Counter
-	errors    *obs.Counter
-	rejected  *obs.Counter
-	inflight  *obs.Gauge
-	queued    *obs.Gauge
-	latency   *obs.Histogram
-	queueWait *obs.Histogram
-	cold      *obs.Counter
-	warmHits  *obs.Counter
-	warmGauge *obs.Gauge
-	resident  *obs.Gauge
-	replans   *obs.Counter
+	requests   *obs.Counter
+	errors     *obs.Counter
+	rejected   *obs.Counter
+	inflight   *obs.Gauge
+	queued     *obs.Gauge
+	latency    *obs.Histogram
+	queueWait  *obs.Histogram
+	cold       *obs.Counter
+	warmHits   *obs.Counter
+	warmGauge  *obs.Gauge
+	resident   *obs.Gauge
+	replans    *obs.Counter
+	suppressed *obs.Counter
+	rollbacks  *obs.Counter
+	bias       *obs.Gauge
 }
 
 func newAppMetrics(reg *obs.Registry) appMetrics {
@@ -156,6 +176,12 @@ func newAppMetrics(reg *obs.Registry) appMetrics {
 		warmGauge: reg.Gauge("chiron_serve_warm_instances", "idle warm instances resident across active plans"),
 		resident:  reg.Gauge("chiron_serve_resident_mb", "resident memory of live sandbox instances (MB, sandbox ledger pricing)"),
 		replans:   reg.Counter("chiron_serve_replans_total", "plan swaps triggered by the adaptive controller"),
+		suppressed: reg.Counter("chiron_serve_replans_suppressed_total",
+			"re-plan triggers swallowed by hysteresis (cooldown or the min-improvement gate)"),
+		rollbacks: reg.Counter("chiron_serve_rollbacks_total",
+			"plan epochs restored by rollback (operator endpoint or post-swap regression)"),
+		bias: reg.Gauge("chiron_adapt_bias",
+			"calibrated observed/predicted latency ratio x1000 (most recently updated controller)"),
 	}
 }
 
@@ -295,10 +321,14 @@ type workflowState struct {
 	behMu sync.Mutex
 	cur   *dag.Workflow
 
-	// mu serializes planning and the controller's Observe/replan cycle.
-	mu      sync.Mutex
-	ctrl    *adapt.Controller
-	planSLO time.Duration
+	// mu serializes planning, rollback and the controller's
+	// Observe/replan cycle. history holds the last K retired plan epochs
+	// (most recent last) — the rollback targets.
+	mu        sync.Mutex
+	ctrl      *adapt.Controller
+	planSLO   time.Duration
+	history   []*planState
+	rollbacks int
 
 	active  atomic.Pointer[planState]
 	version atomic.Int64
@@ -309,11 +339,14 @@ type workflowState struct {
 	obsOnce sync.Once
 }
 
-// planState is one immutable active-plan epoch: the plan, its predicted
-// latency, and the warm pool bound to it. Swaps replace the whole value.
+// planState is one immutable active-plan epoch: the plan, the behaviour
+// snapshot it was built for, its predicted latency, and the warm pool
+// bound to it. Swaps replace the whole value; retired epochs survive in
+// workflowState.history so a rollback can restore them.
 type planState struct {
 	version   int64
 	plan      *wrap.Plan
+	workflow  *dag.Workflow
 	predicted time.Duration
 	pool      *warmPool
 }
@@ -380,16 +413,8 @@ func (a *App) Workflows() []string {
 	for n := range a.wfs {
 		out = append(out, n)
 	}
-	sortStrings(out)
+	sort.Strings(out)
 	return out
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // ---- planning ----
@@ -442,6 +467,10 @@ func (a *App) PlanWorkflow(name string, slo time.Duration) (*PlanInfo, error) {
 		Window:           a.opt.Window,
 		ViolationTrigger: a.opt.ViolationTrigger,
 		DriftTrigger:     a.opt.DriftTrigger,
+		BiasAlpha:        a.opt.BiasAlpha,
+		Cooldown:         a.opt.Cooldown,
+		MinImprovement:   a.opt.MinImprovement,
+		RollbackGuard:    a.opt.RollbackGuard,
 		PGP:              a.opt.PGP,
 	})
 	if err != nil {
@@ -458,6 +487,40 @@ func (a *App) PlanWorkflow(name string, slo time.Duration) (*PlanInfo, error) {
 		Version:   ps.version,
 		Predicted: ps.predicted,
 		SLO:       slo,
+		Plan:      ps.plan,
+	}, nil
+}
+
+// RollbackPlan restores the workflow's most recently retired plan epoch
+// (the ROADMAP rollback item): the adaptive controller adopts the prior
+// plan without re-profiling and a fresh epoch is activated from it.
+// Returns ErrNoPlan when the workflow was never planned and ErrNoHistory
+// when there is nothing to fall back to.
+func (a *App) RollbackPlan(name string) (*PlanInfo, error) {
+	wf, err := a.workflow(name)
+	if err != nil {
+		return nil, err
+	}
+	release, err := a.track()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	wf.mu.Lock()
+	defer wf.mu.Unlock()
+	if wf.ctrl == nil {
+		return nil, ErrNoPlan
+	}
+	ps, err := wf.rollbackLocked()
+	if err != nil {
+		return nil, err
+	}
+	return &PlanInfo{
+		Workflow:  name,
+		Version:   ps.version,
+		Predicted: ps.predicted,
+		SLO:       wf.planSLO,
 		Plan:      ps.plan,
 	}, nil
 }
@@ -480,26 +543,56 @@ func (a *App) latencyOptimalPrediction(w *dag.Workflow) (time.Duration, error) {
 }
 
 // swapLocked installs the controller's current plan as a new epoch and
-// retires the previous one. Callers hold wf.mu.
+// retires the previous one, keeping it in the rollback history (last K,
+// most recent last). Callers hold wf.mu.
 func (wf *workflowState) swapLocked(ctrl *adapt.Controller) *planState {
 	a := wf.app
 	v := wf.version.Add(1)
 	ps := &planState{
 		version:   v,
 		plan:      ctrl.Plan(),
+		workflow:  ctrl.Workflow(),
 		predicted: ctrl.Predicted(),
 		pool:      newWarmPool(a, ctrl.Plan(), ctrl.Workflow(), a.opt.KeepAlive, a.opt.Scale),
 	}
 	old := wf.active.Swap(ps)
 	if old != nil {
 		old.pool.retire()
+		wf.history = append(wf.history, old)
+		if n := len(wf.history); n > a.opt.PlanHistory {
+			wf.history = append(wf.history[:0], wf.history[n-a.opt.PlanHistory:]...)
+		}
 	}
 	return ps
 }
 
+// rollbackLocked restores the most recently retired plan epoch: the
+// controller adopts its plan/behaviour/prediction and a fresh epoch
+// (new version, new pool) is activated from it. The displaced epoch
+// joins the history, so a second rollback is a redo. Callers hold
+// wf.mu and must have a live controller.
+func (wf *workflowState) rollbackLocked() (*planState, error) {
+	n := len(wf.history)
+	if n == 0 {
+		return nil, fmt.Errorf("serve: workflow %q: %w", wf.name, ErrNoHistory)
+	}
+	prev := wf.history[n-1]
+	if err := wf.ctrl.Adopt(prev.workflow, prev.plan, prev.predicted); err != nil {
+		return nil, err
+	}
+	wf.history = wf.history[:n-1]
+	ps := wf.swapLocked(wf.ctrl)
+	wf.adm.prime(prev.predicted)
+	wf.rollbacks++
+	wf.app.m.rollbacks.Inc()
+	return ps, nil
+}
+
 // observe is the workflow's background controller loop: it consumes
-// served latencies, runs the adapt triggers, and swaps the active plan
-// on a re-plan. One goroutine per workflow, started at first plan.
+// served latencies and acts on the controller's decision — swapping the
+// active plan on a re-plan, counting suppressed triggers, and rolling
+// back to the prior epoch when the post-swap window regresses. One
+// goroutine per workflow, started at first plan.
 func (wf *workflowState) observe() {
 	a := wf.app
 	for {
@@ -513,11 +606,22 @@ func (wf *workflowState) observe() {
 				wf.mu.Unlock()
 				continue
 			}
-			replanned, err := ctrl.Observe(lat)
-			if replanned && err == nil {
-				wf.swapLocked(ctrl)
-				wf.adm.prime(ctrl.Predicted())
-				a.m.replans.Inc()
+			act, err := ctrl.Observe(lat)
+			if err == nil {
+				switch act {
+				case adapt.ActionReplanned:
+					wf.swapLocked(ctrl)
+					wf.adm.prime(ctrl.Predicted())
+					a.m.replans.Inc()
+				case adapt.ActionSuppressed:
+					a.m.suppressed.Inc()
+				case adapt.ActionRollback:
+					// A rollback with no history (trimmed away) degrades
+					// to keeping the regressed plan; the next trigger
+					// will adapt again.
+					_, _ = wf.rollbackLocked()
+				}
+				a.m.bias.Set(int64(ctrl.Bias() * 1000))
 			}
 			wf.mu.Unlock()
 		}
@@ -552,6 +656,10 @@ type Status struct {
 	PredictedMs float64   `json:"predicted_ms,omitempty"`
 	SLOMs       float64   `json:"slo_ms,omitempty"`
 	Replans     int       `json:"replans"`
+	Suppressed  int       `json:"suppressed_replans"`
+	Rollbacks   int       `json:"rollbacks"`
+	Bias        float64   `json:"bias,omitempty"`
+	History     []int64   `json:"plan_history,omitempty"`
 	Pool        PoolStats `json:"pool"`
 	QueueDepth  int       `json:"queue_depth"`
 	QueueCap    int       `json:"queue_cap"`
@@ -574,7 +682,13 @@ func (a *App) WorkflowStatus(name string) (*Status, error) {
 	wf.mu.Lock()
 	if wf.ctrl != nil {
 		st.Replans = wf.ctrl.Replans()
+		st.Suppressed = wf.ctrl.Suppressed()
+		st.Bias = wf.ctrl.Bias()
 		st.SLOMs = ms(wf.planSLO)
+	}
+	st.Rollbacks = wf.rollbacks
+	for _, h := range wf.history {
+		st.History = append(st.History, h.version)
 	}
 	wf.mu.Unlock()
 	if ps := wf.active.Load(); ps != nil {

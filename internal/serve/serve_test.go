@@ -212,6 +212,171 @@ func TestShutdownDrainsInflight(t *testing.T) {
 	}
 }
 
+// drainObservations waits until the controller loop has consumed every
+// queued observation and finished acting on the last one (the in-flight
+// Observe holds wf.mu, so locking it is the completion barrier).
+func drainObservations(t *testing.T, wf *workflowState) {
+	t.Helper()
+	waitFor(t, func() bool { return len(wf.obsCh) == 0 })
+	wf.mu.Lock()
+	_ = wf.ctrl
+	wf.mu.Unlock()
+}
+
+// feedWindow injects one full controller window of identical latencies
+// at the same point real serving feeds them (wf.feed), making the
+// "constant executor overhead" of the churn bug deterministic.
+func feedWindow(t *testing.T, wf *workflowState, lat time.Duration, window int) {
+	t.Helper()
+	for i := 0; i < window; i++ {
+		wf.feed(lat)
+	}
+	drainObservations(t, wf)
+}
+
+// TestConstantOverheadDoesNotChurn is the serving-plane regression test
+// for the re-plan churn bug: a constant executor overhead (every served
+// latency = 2x the prediction, well past the 1.3x drift trigger) must
+// calibrate away after the first window — chiron_serve_replans_total
+// stays at 0 — while a genuine behaviour drift afterwards still
+// triggers exactly one re-plan.
+func TestConstantOverheadDoesNotChurn(t *testing.T) {
+	const window = 4
+	reg := obs.NewRegistry()
+	a := testApp(t, Options{Scale: 0.05, Reg: reg, Window: window})
+	if _, err := a.Register(testWorkflow(4 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	// Generous SLO: the overhead is a bias, not a violation.
+	info := mustPlan(t, a, "wf-test", 5*time.Second)
+	wf, err := a.workflow("wf-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replans := func() uint64 { return reg.Counter("chiron_serve_replans_total", "").Value() }
+	biased := time.Duration(2.0 * float64(info.Predicted))
+	for w := 0; w < 6; w++ {
+		feedWindow(t, wf, biased, window)
+	}
+	if got := replans(); got != 0 {
+		t.Fatalf("constant 2x overhead caused %d re-plans, want 0 (churn bug)", got)
+	}
+	if got := reg.Counter("chiron_serve_replans_suppressed_total", "").Value(); got != 0 {
+		t.Fatalf("constant overhead tripped %d suppressed triggers, want 0", got)
+	}
+	if b := reg.Gauge("chiron_adapt_bias", "").Value(); b < 1900 || b > 2100 {
+		t.Fatalf("bias gauge = %d, want ~2000 (observed/predicted x1000)", b)
+	}
+
+	// Genuine drift: the behaviour itself gets 6x heavier, and observed
+	// latency under the stale plan jumps far past the corrected
+	// baseline. Exactly one adaptation must follow.
+	if _, err := a.Register(testWorkflow(24 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	feedWindow(t, wf, 8*info.Predicted, window)
+	if got := replans(); got != 1 {
+		t.Fatalf("genuine drift caused %d re-plans, want exactly 1", got)
+	}
+	cur, err := a.ActivePlan("wf-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Version != 2 {
+		t.Fatalf("post-drift plan version %d, want 2", cur.Version)
+	}
+
+	// Post-swap steady state at the new plan's own latency: probation
+	// passes, the controller re-calibrates, and nothing else churns.
+	for w := 0; w < 5; w++ {
+		feedWindow(t, wf, cur.Predicted, window)
+	}
+	if got := replans(); got != 1 {
+		t.Fatalf("post-swap churn: %d re-plans, want still 1", got)
+	}
+	st, err := a.WorkflowStatus("wf-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replans != 1 || st.Rollbacks != 0 {
+		t.Fatalf("status replans=%d rollbacks=%d, want 1/0", st.Replans, st.Rollbacks)
+	}
+}
+
+// TestAutoRollbackOnPostSwapRegression: when the first full window after
+// an adaptive swap is worse than the pre-swap baseline, the serving
+// plane restores the prior plan epoch on its own.
+func TestAutoRollbackOnPostSwapRegression(t *testing.T) {
+	const window = 4
+	reg := obs.NewRegistry()
+	a := testApp(t, Options{Scale: 0.05, Reg: reg, Window: window})
+	if _, err := a.Register(testWorkflow(4 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	info := mustPlan(t, a, "wf-test", 5*time.Second)
+	wf, err := a.workflow("wf-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Calibrate (bias 1) and clear the cooldown, then drift for real.
+	for w := 0; w < 3; w++ {
+		feedWindow(t, wf, info.Predicted, window)
+	}
+	if _, err := a.Register(testWorkflow(24 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	preSwap := 8 * info.Predicted
+	feedWindow(t, wf, preSwap, window)
+	if got := reg.Counter("chiron_serve_replans_total", "").Value(); got != 1 {
+		t.Fatalf("drift caused %d re-plans, want 1", got)
+	}
+
+	// The swap made things WORSE: the probation window regresses past
+	// RollbackGuard x the pre-swap mean, so the controller rolls back.
+	feedWindow(t, wf, 2*preSwap, window)
+	if got := reg.Counter("chiron_serve_rollbacks_total", "").Value(); got != 1 {
+		t.Fatalf("rollbacks_total = %d, want 1", got)
+	}
+	cur, err := a.ActivePlan("wf-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Predicted != info.Predicted {
+		t.Fatalf("rolled-back prediction %v, want the original %v", cur.Predicted, info.Predicted)
+	}
+	if cur.Version != 3 {
+		t.Fatalf("post-rollback version %d, want 3 (v1 restored as a fresh epoch)", cur.Version)
+	}
+	st, err := a.WorkflowStatus("wf-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rollbacks != 1 {
+		t.Fatalf("status rollbacks = %d, want 1", st.Rollbacks)
+	}
+	found := false
+	for _, v := range st.History {
+		if v == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("regressed epoch 2 missing from history %v", st.History)
+	}
+
+	// The restored plan keeps serving: quiet windows recalibrate without
+	// further churn, and invocations execute on it.
+	feedWindow(t, wf, info.Predicted, window)
+	if got := reg.Counter("chiron_serve_rollbacks_total", "").Value(); got != 1 {
+		t.Fatalf("rollback churned: %d rollbacks", got)
+	}
+	if _, err := a.Invoke(context.Background(), "wf-test", nil); err != nil {
+		t.Fatalf("invoke on restored plan: %v", err)
+	}
+}
+
 func TestStalePlanReported(t *testing.T) {
 	a := testApp(t, Options{Scale: 0.05})
 	if _, err := a.Register(testWorkflow(2 * time.Millisecond)); err != nil {

@@ -22,6 +22,7 @@ package wrap
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -29,6 +30,13 @@ import (
 	"chiron/internal/dag"
 	"chiron/internal/sandbox"
 )
+
+// ErrPlacement marks every plan-shape failure — a function without a
+// placement, an out-of-range sandbox, mixed runtimes, a plan/workflow
+// mismatch. Callers classify with errors.Is(err, wrap.ErrPlacement)
+// instead of matching error text; the serving gateway maps it to a
+// stale-plan response.
+var ErrPlacement = errors.New("wrap: invalid placement")
 
 // Loc is one function's placement.
 type Loc struct {
@@ -132,16 +140,16 @@ func (sw *StageWrap) HasMainProc() bool {
 // their order within the stage.
 func (p *Plan) StageWraps(w *dag.Workflow, stage int) ([]StageWrap, error) {
 	if stage < 0 || stage >= len(w.Stages) {
-		return nil, fmt.Errorf("wrap: stage %d out of range", stage)
+		return nil, fmt.Errorf("%w: stage %d out of range", ErrPlacement, stage)
 	}
 	bySandbox := make(map[int]map[int][]*behavior.Spec)
 	for _, fn := range w.Stages[stage].Functions {
 		loc, ok := p.Loc[fn.Name]
 		if !ok {
-			return nil, fmt.Errorf("wrap: function %q has no placement", fn.Name)
+			return nil, fmt.Errorf("%w: function %q has no placement", ErrPlacement, fn.Name)
 		}
 		if loc.Sandbox < 0 || loc.Sandbox >= len(p.Sandboxes) {
-			return nil, fmt.Errorf("wrap: function %q placed in unknown sandbox %d", fn.Name, loc.Sandbox)
+			return nil, fmt.Errorf("%w: function %q placed in unknown sandbox %d", ErrPlacement, fn.Name, loc.Sandbox)
 		}
 		m := bySandbox[loc.Sandbox]
 		if m == nil {
@@ -181,22 +189,22 @@ func (p *Plan) Validate(w *dag.Workflow) error {
 		return err
 	}
 	if p.Workflow != w.Name {
-		return fmt.Errorf("wrap: plan is for workflow %q, not %q", p.Workflow, w.Name)
+		return fmt.Errorf("%w: plan is for workflow %q, not %q", ErrPlacement, p.Workflow, w.Name)
 	}
 	if len(p.Sandboxes) == 0 {
-		return fmt.Errorf("wrap: plan has no sandboxes")
+		return fmt.Errorf("%w: plan has no sandboxes", ErrPlacement)
 	}
 	for i, cfg := range p.Sandboxes {
 		if cfg.CPUs < 1 {
-			return fmt.Errorf("wrap: sandbox %d reserves %d CPUs", i, cfg.CPUs)
+			return fmt.Errorf("%w: sandbox %d reserves %d CPUs", ErrPlacement, i, cfg.CPUs)
 		}
 		switch cfg.Iso {
 		case "", IsoNone, IsoMPK, IsoSFI:
 		default:
-			return fmt.Errorf("wrap: sandbox %d has unknown isolation %q", i, cfg.Iso)
+			return fmt.Errorf("%w: sandbox %d has unknown isolation %q", ErrPlacement, i, cfg.Iso)
 		}
 		if cfg.Workers < 0 {
-			return fmt.Errorf("wrap: sandbox %d has negative pool size", i)
+			return fmt.Errorf("%w: sandbox %d has negative pool size", ErrPlacement, i)
 		}
 	}
 
@@ -206,17 +214,17 @@ func (p *Plan) Validate(w *dag.Workflow) error {
 	for _, fn := range w.Functions() {
 		loc, ok := p.Loc[fn.Name]
 		if !ok {
-			return fmt.Errorf("wrap: function %q has no placement", fn.Name)
+			return fmt.Errorf("%w: function %q has no placement", ErrPlacement, fn.Name)
 		}
 		if loc.Sandbox < 0 || loc.Sandbox >= len(p.Sandboxes) {
-			return fmt.Errorf("wrap: function %q placed in unknown sandbox %d", fn.Name, loc.Sandbox)
+			return fmt.Errorf("%w: function %q placed in unknown sandbox %d", ErrPlacement, fn.Name, loc.Sandbox)
 		}
 		if loc.Proc < 0 {
-			return fmt.Errorf("wrap: function %q has negative process index", fn.Name)
+			return fmt.Errorf("%w: function %q has negative process index", ErrPlacement, fn.Name)
 		}
 		used[loc.Sandbox] = true
 		if rt, ok := runtimes[loc.Sandbox]; ok && rt != fn.Runtime {
-			return fmt.Errorf("wrap: sandbox %d mixes runtimes %s and %s", loc.Sandbox, rt, fn.Runtime)
+			return fmt.Errorf("%w: sandbox %d mixes runtimes %s and %s", ErrPlacement, loc.Sandbox, rt, fn.Runtime)
 		}
 		runtimes[loc.Sandbox] = fn.Runtime
 		for _, f := range fn.Files {
@@ -226,19 +234,19 @@ func (p *Plan) Validate(w *dag.Workflow) error {
 				files[loc.Sandbox] = m
 			}
 			if other, dup := m[f]; dup {
-				return fmt.Errorf("wrap: functions %q and %q both write %s in sandbox %d", other, fn.Name, f, loc.Sandbox)
+				return fmt.Errorf("%w: functions %q and %q both write %s in sandbox %d", ErrPlacement, other, fn.Name, f, loc.Sandbox)
 			}
 			m[f] = fn.Name
 		}
 	}
 	for name := range p.Loc {
 		if w.Lookup(name) == nil {
-			return fmt.Errorf("wrap: plan places unknown function %q", name)
+			return fmt.Errorf("%w: plan places unknown function %q", ErrPlacement, name)
 		}
 	}
 	for i := range p.Sandboxes {
 		if !used[i] {
-			return fmt.Errorf("wrap: sandbox %d hosts no functions", i)
+			return fmt.Errorf("%w: sandbox %d hosts no functions", ErrPlacement, i)
 		}
 	}
 	return nil
