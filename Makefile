@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-baseline bench-compare ci fmt vet staticcheck tables chirond serve-smoke
+.PHONY: all build test race bench bench-baseline bench-compare ci fmt vet staticcheck tables chirond serve-smoke soak udp-soak fuzz
 
 # Benchmark regression rails: bench-baseline runs the figure/table suite
 # with -benchmem and records it as $(BENCH_JSON) (ns/op, allocs/op and the
 # plans_per_sec planner-throughput metric, plus a run manifest);
 # bench-compare re-runs the suite and fails on >10% ns/op regressions
 # against that baseline.
-BENCH_JSON    ?= BENCH_pr4.json
-BENCH_PATTERN ?= ^(BenchmarkFig|BenchmarkTable|BenchmarkGateway)
+BENCH_JSON    ?= BENCH_pr6.json
+BENCH_PATTERN ?= ^(BenchmarkFig|BenchmarkTable|BenchmarkGateway|BenchmarkUDP)
 BENCH_TIME    ?= 20x
 
 all: build
@@ -33,7 +33,7 @@ bench-baseline:
 bench-compare:
 	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=$(BENCH_TIME) -count=1 . \
 		| $(GO) run ./cmd/benchjson -label current -out /tmp/bench-current.json
-	$(GO) run ./cmd/benchjson -compare $(BENCH_JSON) /tmp/bench-current.json -threshold 0.10
+	$(GO) run ./cmd/benchjson -compare -threshold 0.10 $(BENCH_JSON) /tmp/bench-current.json
 
 # chirond builds the serving daemon; serve-smoke boots it on an
 # ephemeral port, drives 200 invocations of the SocialNetwork workload
@@ -44,6 +44,22 @@ chirond:
 serve-smoke: chirond
 	./bin/chirond -addr 127.0.0.1:0 -scale 0.01 -preload SocialNetwork -plan \
 		-selfbench 200 -selfbench-conc 8
+
+soak:
+	$(GO) build -o bin/soak ./cmd/soak
+
+# udp-soak black-box tests the binary ingress plane: boot chirond with
+# -udp, drive it closed-loop for a few seconds, require zero dropped
+# completions, a still-zero packets-filtered counter (a healthy client
+# never emits a malformed datagram) and a clean SIGTERM drain.
+udp-soak: chirond soak
+	./scripts/udp_soak.sh
+
+# fuzz runs the UDP packet-parser fuzzer for a fixed iteration budget
+# (the same budget CI runs); FUZZ_TIME accepts Nx or a duration.
+FUZZ_TIME ?= 10s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParseHeader -fuzztime=$(FUZZ_TIME) ./internal/udp/
 
 # tables regenerates every figure/table into results/.
 tables:

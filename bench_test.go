@@ -12,7 +12,10 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/netip"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -29,6 +32,7 @@ import (
 	"chiron/internal/predict"
 	"chiron/internal/profiler"
 	"chiron/internal/serve"
+	"chiron/internal/udp"
 	"chiron/internal/workloads"
 )
 
@@ -347,5 +351,136 @@ func BenchmarkGatewayInvoke(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		post()
+	}
+}
+
+// BenchmarkUDPInvoke is the binary ingress plane's answer to
+// BenchmarkGatewayInvoke: the same SocialNetwork invocation at the same
+// 0.1% time scale, but over the UDP protocol and closed-loop at the
+// protocol's natural width — 32 workers, each with one connected,
+// token-handshaked client and one invocation outstanding. ns/op is
+// wall-clock per completed invocation, so the invokes/sec ratio against
+// the serial HTTP gateway benchmark is the headline throughput claim
+// (the per-request ingress cost itself is BenchmarkUDPPacketPath).
+func BenchmarkUDPInvoke(b *testing.B) {
+	const conc = 32
+	app := serve.New(serve.Options{Scale: 0.001, MaxConcurrency: conc, Reg: obs.NewRegistry()})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = app.Shutdown(ctx)
+	}()
+	if _, err := app.RegisterBuiltin("SocialNetwork"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := app.PlanWorkflow("SocialNetwork", 0); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := udp.New(app, udp.Options{Reg: app.Registry(), Workers: conc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	hash := udp.HashWorkflow("SocialNetwork")
+	clients := make([]*udp.Client, conc)
+	for i := range clients {
+		c, err := udp.Dial(srv.Addr().String(), 30*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	// Boot the warm pool to full width outside the timed region, like
+	// the gateway benchmark's single cold post.
+	var warm sync.WaitGroup
+	for _, c := range clients {
+		warm.Add(1)
+		go func(c *udp.Client) {
+			defer warm.Done()
+			if r, err := c.Invoke(hash, nil, 0, 0); err != nil || r.Status != udp.StatusOK {
+				b.Errorf("warmup: %+v err=%v", r, err)
+			}
+		}(c)
+	}
+	warm.Wait()
+	if b.Failed() {
+		b.FailNow()
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *udp.Client) {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				r, err := c.Invoke(hash, nil, 0, 0)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if r.Status != udp.StatusOK {
+					b.Errorf("status %d", r.Status)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// BenchmarkUDPPacketPath is the per-packet ingress cost in isolation:
+// filter, header parse, token verification and shared-queue admission
+// (plus release), exactly what the receive loop and worker spend on one
+// datagram before modelled execution begins. The acceptance bar is 0
+// allocs/op — the UDP plane must be able to shed or admit a flood
+// without touching the garbage collector.
+func BenchmarkUDPPacketPath(b *testing.B) {
+	app := serve.New(serve.Options{Scale: 0.001, Reg: obs.NewRegistry()})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = app.Shutdown(ctx)
+	}()
+	if _, err := app.RegisterBuiltin("SocialNetwork"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := app.PlanWorkflow("SocialNetwork", 0); err != nil {
+		b.Fatal(err)
+	}
+
+	secret, err := udp.NewSecret()
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr := netip.MustParseAddrPort("127.0.0.1:40000")
+	var pkt [udp.HeaderSize + 16]byte
+	if _, err := udp.EncodeInvoke(pkt[:], secret.Token(addr), udp.HashWorkflow("SocialNetwork"), 1, 0, 0, []byte("0123456789abcdef")); err != nil {
+		b.Fatal(err)
+	}
+
+	ctx := context.Background()
+	var h udp.Header
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !udp.Filter(pkt[:]) {
+			b.Fatal("filter dropped a valid packet")
+		}
+		if err := udp.ParseHeader(pkt[:], &h); err != nil {
+			b.Fatal(err)
+		}
+		if h.Token != secret.Token(addr) {
+			b.Fatal("token mismatch")
+		}
+		ad, err := app.AdmitHash(ctx, h.Hash)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ad.Release()
 	}
 }

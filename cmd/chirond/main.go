@@ -29,6 +29,7 @@ import (
 
 	"chiron/internal/loadgen"
 	"chiron/internal/serve"
+	"chiron/internal/udp"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func run(argv []string, stdout, stderr *os.File) error {
 	fs.SetOutput(stderr)
 	var (
 		addr      = fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		udpAddr   = fs.String("udp", "", "binary UDP ingress listen address (e.g. 127.0.0.1:9053; empty = disabled)")
 		scale     = fs.Float64("scale", 1.0, "time scale for modelled durations (0.05 = 20x faster than nominal)")
 		slo       = fs.Duration("slo", 0, "default latency SLO at plan time (0 = workflow SLO or auto)")
 		timeout   = fs.Duration("timeout", 30*time.Second, "per-request execution timeout")
@@ -105,6 +107,22 @@ func run(argv []string, stdout, stderr *os.File) error {
 	srv := &http.Server{Handler: app.Handler()}
 	fmt.Fprintf(stdout, "chirond listening on http://%s\n", ln.Addr())
 
+	// Binary UDP ingress: same app, so UDP invocations share the HTTP
+	// plane's admission queues, warm pools and metrics registry.
+	var usrv *udp.Server
+	if *udpAddr != "" {
+		usrv, err = udp.New(app, udp.Options{Addr: *udpAddr, Reg: app.Registry()})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "chirond udp listening on %s\n", usrv.Addr())
+	}
+	closeUDP := func() {
+		if usrv != nil {
+			_ = usrv.Close() // stops ingress, drains in-flight UDP invokes
+		}
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 
@@ -125,6 +143,7 @@ func run(argv []string, stdout, stderr *os.File) error {
 			stats.Mean, stats.P50, stats.P95, stats.P99, stats.Throughput)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
+		closeUDP()
 		_ = srv.Shutdown(shutdownCtx)
 		return app.Shutdown(shutdownCtx)
 	}
@@ -138,6 +157,7 @@ func run(argv []string, stdout, stderr *os.File) error {
 		fmt.Fprintf(stdout, "chirond: %v, draining (max %v)\n", s, *drainWait)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
+		closeUDP()
 		if err := srv.Shutdown(ctx); err != nil {
 			return fmt.Errorf("drain: %w", err)
 		}

@@ -1,0 +1,67 @@
+// Command soak drives a running chirond's binary UDP ingress with a
+// closed-loop load for a fixed duration and verifies nothing was
+// dropped: every submitted invocation must come back as a completion,
+// a rejection, or an explicit error reply. It exits non-zero when any
+// completion went missing (reply loss / server drop) or when nothing
+// succeeded at all, which makes it directly usable as a CI smoke:
+//
+//	chirond -addr 127.0.0.1:0 -udp 127.0.0.1:9053 -preload SocialNetwork -plan -scale 0.02 &
+//	soak -addr 127.0.0.1:9053 -workflow SocialNetwork -duration 5s -conc 16
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"chiron/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "soak:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("soak", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:9053", "chirond UDP ingress address")
+		workflow = fs.String("workflow", "SocialNetwork", "workflow to invoke")
+		duration = fs.Duration("duration", 5*time.Second, "how long to drive")
+		conc     = fs.Int("conc", 8, "closed-loop concurrency (one socket+token per worker)")
+		timeout  = fs.Duration("timeout", 10*time.Second, "per-invocation reply timeout")
+		async    = fs.Bool("async", false, "submit detached invocations and await completions")
+		failMax  = fs.Int("max-failed", 0, "tolerated dropped/failed invocations before exiting non-zero")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	stats, err := loadgen.DriveUDP(ctx, *addr, *workflow, loadgen.DriveOptions{
+		Requests:    1 << 30, // duration-bounded: ctx expiry stops the loop
+		Concurrency: *conc,
+		Timeout:     *timeout,
+		Async:       *async,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "soak: sent=%d ok=%d rejected=%d failed=%d mean=%v p50=%v p95=%v p99=%v throughput=%.1f inv/s elapsed=%v\n",
+		stats.Sent, stats.OK, stats.Rejected, stats.Failed,
+		stats.Mean, stats.P50, stats.P95, stats.P99, stats.Throughput, stats.Elapsed.Round(time.Millisecond))
+
+	if stats.OK == 0 {
+		return fmt.Errorf("no invocation completed")
+	}
+	if stats.Failed > *failMax {
+		return fmt.Errorf("%d invocations dropped or failed (max %d)", stats.Failed, *failMax)
+	}
+	return nil
+}

@@ -38,6 +38,9 @@ type DriveOptions struct {
 	// Client overrides the HTTP client (Timeout still applies per
 	// request via context).
 	Client *http.Client
+	// Async (UDP driver only): submit invocations detached and await
+	// each completion reply, exercising the ack+completion path.
+	Async bool
 }
 
 // DriveStats summarize one closed-loop run against a gateway.

@@ -1,0 +1,148 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chiron/internal/metrics"
+	"chiron/internal/obs"
+	"chiron/internal/udp"
+)
+
+// UDP-driver metrics, in the process-wide registry (the driver-side
+// twins of the server's chiron_udp_* counters).
+var (
+	drvUDPSent     = obs.Default.Counter("chiron_drive_udp_sent_total", "invocations issued by the closed-loop UDP driver")
+	drvUDPRejected = obs.Default.Counter("chiron_drive_udp_rejected_total", "UDP driver invocations rejected (overload backpressure)")
+	drvUDPFailed   = obs.Default.Counter("chiron_drive_udp_failed_total", "UDP driver invocations that failed or lost their reply")
+	drvUDPLatency  = obs.Default.Histogram("chiron_drive_udp_latency", "UDP driver-observed invocation latency (wall seconds)", nil)
+)
+
+// DriveUDP is DriveHTTP's twin for the binary ingress plane: Concurrency
+// workers each hold one connected, token-handshaked udp.Client and keep
+// exactly one invocation outstanding, so offered load self-regulates to
+// the server's service rate. StatusOverloaded replies are counted as
+// rejections and honoured via the retry-after hint; a reply that never
+// arrives (datagram loss, timeout) counts as failed. With opt.Async each
+// invocation is submitted detached and the worker then awaits its
+// completion reply, exercising the ack+completion path end to end.
+//
+// Cancelling ctx stops cleanly: workers finish the invocation in flight
+// (its reply still counts) and return, so a time-bounded soak reports
+// zero failures unless replies were actually dropped.
+func DriveUDP(ctx context.Context, addr, workflow string, opt DriveOptions) (*DriveStats, error) {
+	if opt.Requests <= 0 {
+		opt.Requests = 100
+	}
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = 4
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 60 * time.Second
+	}
+	hash := udp.HashWorkflow(workflow)
+
+	var flags byte
+	if opt.Async {
+		flags = udp.FlagAsync
+	}
+
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		lats     []time.Duration
+		ok, rej  int
+		failed   int
+		firstErr error
+	)
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Concurrency; w++ {
+		c, err := udp.Dial(addr, opt.Timeout)
+		if err != nil {
+			wg.Wait()
+			return nil, fmt.Errorf("loadgen: udp worker %d: %w", w, err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer c.Close()
+			for {
+				if n := next.Add(1); n > int64(opt.Requests) {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				drvUDPSent.Inc()
+				start := time.Now()
+				r, err := c.Invoke(hash, opt.Body, opt.Timeout, flags)
+				if err == nil && r.Type == udp.TypeAck {
+					r, err = c.Await(r.ID)
+				}
+				lat := time.Since(start)
+				mu.Lock()
+				switch {
+				case err != nil:
+					failed++
+					drvUDPFailed.Inc()
+					if firstErr == nil {
+						firstErr = err
+					}
+				case r.Status == udp.StatusOK:
+					ok++
+					lats = append(lats, lat)
+					drvUDPLatency.Observe(lat)
+				case r.Status == udp.StatusOverloaded:
+					rej++
+					drvUDPRejected.Inc()
+				default:
+					failed++
+					drvUDPFailed.Inc()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("loadgen: udp status %d for %s", r.Status, workflow)
+					}
+				}
+				mu.Unlock()
+				if err == nil && r.Status == udp.StatusOverloaded && r.Aux > 0 {
+					select {
+					case <-time.After(r.Aux):
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := &DriveStats{
+		Sent:     ok + rej + failed,
+		OK:       ok,
+		Rejected: rej,
+		Failed:   failed,
+		Elapsed:  time.Since(t0),
+	}
+	if st.Elapsed > 0 {
+		st.Throughput = float64(ok) / st.Elapsed.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		st.Mean = metrics.Mean(lats)
+		st.P50 = metrics.Percentile(lats, 0.50)
+		st.P95 = metrics.Percentile(lats, 0.95)
+		st.P99 = metrics.Percentile(lats, 0.99)
+	}
+	if ok == 0 && firstErr != nil {
+		return st, fmt.Errorf("loadgen: no invocation succeeded: %w", firstErr)
+	}
+	if ok == 0 && errors.Is(ctx.Err(), context.Canceled) {
+		return st, ctx.Err()
+	}
+	return st, nil
+}

@@ -1,0 +1,107 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+	"chiron/internal/obs"
+	"chiron/internal/serve"
+	"chiron/internal/udp"
+)
+
+func driveTestServer(t *testing.T) *udp.Server {
+	t.Helper()
+	app := serve.New(serve.Options{Scale: 0.02, Reg: obs.NewRegistry()})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = app.Shutdown(ctx)
+	})
+	mk := func(name string) *behavior.Spec {
+		return &behavior.Spec{
+			Name: name, Runtime: behavior.Python,
+			Segments: []behavior.Segment{{Kind: behavior.CPU, Dur: 4 * time.Millisecond}},
+			MemMB:    64,
+		}
+	}
+	w, err := dag.FromStages("wf-drive", 0, []*behavior.Spec{mk("f1")}, []*behavior.Spec{mk("f2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Register(w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.PlanWorkflow("wf-drive", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := udp.New(app, udp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestDriveUDPClosedLoop(t *testing.T) {
+	srv := driveTestServer(t)
+	st, err := DriveUDP(context.Background(), srv.Addr().String(), "wf-drive", DriveOptions{
+		Requests: 40, Concurrency: 4, Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sent != 40 || st.OK+st.Rejected != st.Sent || st.Failed != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.OK == 0 || st.Throughput <= 0 || st.P95 < st.P50 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDriveUDPAsync(t *testing.T) {
+	srv := driveTestServer(t)
+	st, err := DriveUDP(context.Background(), srv.Addr().String(), "wf-drive", DriveOptions{
+		Requests: 20, Concurrency: 2, Timeout: 10 * time.Second, Async: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Failed != 0 || st.OK == 0 {
+		t.Fatalf("async stats %+v", st)
+	}
+}
+
+func TestDriveUDPDurationBounded(t *testing.T) {
+	srv := driveTestServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	st, err := DriveUDP(ctx, srv.Addr().String(), "wf-drive", DriveOptions{
+		Requests: 1 << 30, Concurrency: 4, Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ctx expiry is a clean stop: everything sent was answered.
+	if st.Failed != 0 || st.OK == 0 || st.OK+st.Rejected != st.Sent {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Elapsed > 5*time.Second {
+		t.Fatalf("duration-bounded drive ran %v", st.Elapsed)
+	}
+}
+
+func TestDriveUDPUnknownWorkflow(t *testing.T) {
+	srv := driveTestServer(t)
+	st, err := DriveUDP(context.Background(), srv.Addr().String(), "no-such", DriveOptions{
+		Requests: 5, Concurrency: 1, Timeout: 5 * time.Second,
+	})
+	if err == nil {
+		t.Fatalf("expected failure, got %+v", st)
+	}
+	if st == nil || st.Failed != 5 || st.OK != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}

@@ -119,6 +119,57 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.bounds[len(h.bounds)-1]
 }
 
+// DefSizeBuckets is the default datagram/payload size histogram layout
+// (bytes), spanning a bare header through a jumbo-free MTU.
+func DefSizeBuckets() []int64 {
+	return []int64{32, 64, 128, 256, 512, 1024, 1200, 1500}
+}
+
+// IntHistogram is a fixed-bucket histogram over plain integers (byte
+// counts, queue depths) — the duration-typed Histogram's unit-free twin.
+// Buckets hold counts of observations at or below their upper bound;
+// observation is lock-free.
+type IntHistogram struct {
+	bounds []int64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Int64
+	count  atomic.Uint64
+}
+
+// NewIntHistogram returns a histogram over the given ascending upper
+// bounds (nil means DefSizeBuckets).
+func NewIntHistogram(bounds []int64) *IntHistogram {
+	if len(bounds) == 0 {
+		bounds = DefSizeBuckets()
+	}
+	bounds = append([]int64(nil), bounds...)
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	return &IntHistogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *IntHistogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *IntHistogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *IntHistogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the average observation (0 when empty).
+func (h *IntHistogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
 // Registry is a named collection of counters, gauges and histograms.
 // Lookup is get-or-create, so packages can declare their metrics at
 // init and tests can read them back by name.
@@ -127,6 +178,7 @@ type Registry struct {
 	ctrs  map[string]*Counter
 	gaugs map[string]*Gauge
 	hists map[string]*Histogram
+	sizes map[string]*IntHistogram
 	help  map[string]string
 }
 
@@ -136,6 +188,7 @@ func NewRegistry() *Registry {
 		ctrs:  map[string]*Counter{},
 		gaugs: map[string]*Gauge{},
 		hists: map[string]*Histogram{},
+		sizes: map[string]*IntHistogram{},
 		help:  map[string]string{},
 	}
 }
@@ -191,6 +244,21 @@ func (r *Registry) Histogram(name, help string, bounds []time.Duration) *Histogr
 	return h
 }
 
+// IntHistogram returns the registered integer histogram, creating it on
+// first use (nil bounds means DefSizeBuckets; bounds are fixed at
+// creation).
+func (r *Registry) IntHistogram(name, help string, bounds []int64) *IntHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.sizes[name]
+	if !ok {
+		h = NewIntHistogram(bounds)
+		r.sizes[name] = h
+	}
+	r.setHelp(name, help)
+	return h
+}
+
 // Reset zeroes every registered metric, keeping registrations. Tests
 // use it to isolate runs; package-level metric pointers stay valid.
 func (r *Registry) Reset() {
@@ -209,13 +277,20 @@ func (r *Registry) Reset() {
 		h.sum.Store(0)
 		h.count.Store(0)
 	}
+	for _, h := range r.sizes {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.sum.Store(0)
+		h.count.Store(0)
+	}
 }
 
 // WriteProm renders every metric in the Prometheus text exposition
 // format, sorted by name so output is stable.
 func (r *Registry) WriteProm(w io.Writer) error {
 	r.mu.Lock()
-	names := make([]string, 0, len(r.ctrs)+len(r.gaugs)+len(r.hists))
+	names := make([]string, 0, len(r.ctrs)+len(r.gaugs)+len(r.hists)+len(r.sizes))
 	for n := range r.ctrs {
 		names = append(names, n)
 	}
@@ -223,6 +298,9 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		names = append(names, n)
 	}
 	for n := range r.hists {
+		names = append(names, n)
+	}
+	for n := range r.sizes {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -233,9 +311,16 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		sum    time.Duration
 		count  uint64
 	}
+	type isnap struct {
+		bounds []int64
+		counts []uint64
+		sum    int64
+		count  uint64
+	}
 	ctrs := map[string]uint64{}
 	gaugs := map[string]int64{}
 	hists := map[string]hsnap{}
+	sizes := map[string]isnap{}
 	help := map[string]string{}
 	kind := map[string]byte{}
 	for n, c := range r.ctrs {
@@ -258,6 +343,16 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		help[n] = r.help[n]
 		kind[n] = 'h'
 	}
+	for n, h := range r.sizes {
+		s := isnap{bounds: h.bounds, sum: h.Sum(), count: h.Count()}
+		s.counts = make([]uint64, len(h.counts))
+		for i := range h.counts {
+			s.counts[i] = h.counts[i].Load()
+		}
+		sizes[n] = s
+		help[n] = r.help[n]
+		kind[n] = 'i'
+	}
 	r.mu.Unlock()
 
 	for _, n := range names {
@@ -273,6 +368,25 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			}
 		case 'g':
 			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, gaugs[n]); err != nil {
+				return err
+			}
+		case 'i':
+			h := sizes[n]
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+				return err
+			}
+			cum := uint64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, b, cum); err != nil {
+					return err
+				}
+			}
+			cum += h.counts[len(h.counts)-1]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", n, h.sum, n, h.count); err != nil {
 				return err
 			}
 		default:

@@ -191,3 +191,54 @@ func TestReadManifestMissing(t *testing.T) {
 		t.Fatal("missing manifest should error")
 	}
 }
+
+func TestIntHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.IntHistogram("bytes", "datagram sizes", []int64{64, 256, 1024})
+	for _, v := range []int64{40, 64, 65, 300, 2000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Sum() != 40+64+65+300+2000 {
+		t.Fatalf("sum %d", h.Sum())
+	}
+	if mean := h.Mean(); mean != float64(h.Sum())/5 {
+		t.Fatalf("mean %v", mean)
+	}
+	// Get-or-create returns the same histogram; Reset zeroes it.
+	if r.IntHistogram("bytes", "", nil) != h {
+		t.Fatal("get-or-create returned a different histogram")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE bytes histogram",
+		"bytes_bucket{le=\"64\"} 2",   // 40, 64
+		"bytes_bucket{le=\"256\"} 3",  // +65
+		"bytes_bucket{le=\"1024\"} 4", // +300
+		"bytes_bucket{le=\"+Inf\"} 5", // +2000
+		"bytes_sum 2469",
+		"bytes_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteProm missing %q in:\n%s", want, out)
+		}
+	}
+	r.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset did not zero the int histogram")
+	}
+}
+
+func TestIntHistogramDefaultBounds(t *testing.T) {
+	h := NewIntHistogram(nil)
+	h.Observe(100)
+	if h.Count() != 1 {
+		t.Fatal("default-bounds histogram dropped an observation")
+	}
+}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"chiron/internal/live"
+	"chiron/internal/obs"
+)
+
+// This file is the binary-ingress fast path: workflows addressed by
+// name hash instead of strings, admission split from execution so the
+// UDP receive loop can admit a packet without allocating, and a
+// value-typed result small enough to encode straight into a response
+// datagram. The HTTP path shares every stage below admission — both
+// protocols drain into one admission queue and one warm pool per
+// workflow.
+
+// HashName is the wire identity of a workflow: FNV-64a over its name.
+// The UDP protocol carries this hash instead of the name so the invoke
+// header stays fixed-layout, and AdmitHash resolves it through a
+// copy-on-write index without locks or allocation.
+func HashName(name string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return h
+}
+
+// FastResult is the value-typed invocation summary for binary protocol
+// responses: everything InvokeResult reports except the per-function
+// timeline, with no heap allocation.
+type FastResult struct {
+	PlanVersion int64
+	Cold        bool
+	ColdStart   time.Duration
+	QueueWait   time.Duration
+	E2E         time.Duration
+}
+
+// Admitted is one admitted-but-not-yet-executed invocation: it owns an
+// admission slot and a drain-barrier unit. Callers must finish it with
+// exactly one of Execute or Release. It is a value type so the
+// receive→parse→admit step stays allocation-free.
+type Admitted struct {
+	app  *App
+	wf   *workflowState
+	wait time.Duration
+}
+
+// AdmitHash admits one invocation of the workflow registered under
+// HashName(name), blocking in the shared admission queue exactly like an
+// HTTP request (ctx bounds the queue wait). On the happy path — index
+// hit, active plan, free slot — it performs zero heap allocations.
+// Errors: ErrNotFound (unknown hash), ErrNoPlan, ErrDraining, or an
+// *OverloadError from admission.
+func (a *App) AdmitHash(ctx context.Context, h uint64) (Admitted, error) {
+	var wf *workflowState
+	if m := a.byHash.Load(); m != nil {
+		wf = (*m)[h]
+	}
+	if wf == nil {
+		return Admitted{}, errUnknownWorkflow
+	}
+	if wf.active.Load() == nil {
+		return Admitted{}, ErrNoPlan
+	}
+	if err := a.trackOne(); err != nil {
+		return Admitted{}, err
+	}
+	wait, err := wf.adm.admit(ctx)
+	if err != nil {
+		a.untrack()
+		return Admitted{}, err
+	}
+	return Admitted{app: a, wf: wf, wait: wait}, nil
+}
+
+// Release abandons an admitted invocation without executing it,
+// returning the slot and the drain unit. Allocation-free.
+func (ad Admitted) Release() {
+	if ad.app == nil {
+		return
+	}
+	ad.wf.adm.done()
+	ad.app.untrack()
+}
+
+// Execute runs the admitted invocation on the workflow's active plan and
+// warm pool, releasing the slot and drain unit when done.
+func (ad Admitted) Execute(ctx context.Context) (FastResult, error) {
+	a := ad.app
+	defer a.untrack()
+	defer ad.wf.adm.done()
+	_, fast, err := a.executeAdmitted(ctx, ad.wf, ad.wait, nil)
+	return fast, err
+}
+
+// executeAdmitted is the execution core shared by the HTTP and UDP
+// paths: epoch load, behaviour snapshot, warm-pool lease, live run,
+// then metric and controller feedback. The caller holds an admission
+// slot (released by the caller, not here).
+func (a *App) executeAdmitted(ctx context.Context, wf *workflowState, wait time.Duration, rec obs.Recorder) (*live.Result, FastResult, error) {
+	a.m.inflight.Add(1)
+	defer a.m.inflight.Add(-1)
+
+	// Load the epoch after the queue wait: if a swap happened while we
+	// queued, execute on the fresh plan; requests already past this
+	// point keep their epoch (the old pool drains them). The behaviour
+	// snapshot is taken at the same instant so a re-registration that
+	// landed during the wait cannot pair stale specs with a fresh plan.
+	ps := wf.active.Load()
+	if ps == nil {
+		return nil, FastResult{}, ErrNoPlan
+	}
+	beh := wf.snapshot()
+
+	cold, err := ps.pool.acquire(ctx)
+	if err != nil {
+		return nil, FastResult{}, err
+	}
+	res, err := live.RunCtx(ctx, beh, ps.plan, live.Options{
+		Const:   a.opt.Const,
+		Scale:   a.opt.Scale,
+		Timeout: a.opt.RequestTimeout,
+		Rec:     rec,
+	})
+	ps.pool.release(time.Now())
+	if err != nil {
+		a.m.errors.Inc()
+		if isPlacementErr(err) {
+			return nil, FastResult{}, fmt.Errorf("%w: %v", ErrStalePlan, err)
+		}
+		return nil, FastResult{}, err
+	}
+
+	coldCost := time.Duration(0)
+	if cold {
+		coldCost = a.opt.Const.ColdStart
+	}
+
+	a.m.requests.Inc()
+	a.m.latency.Observe(wait + coldCost + res.E2E)
+	wf.adm.observe(res.E2E)
+	wf.feed(res.E2E)
+
+	return res, FastResult{
+		PlanVersion: ps.version,
+		Cold:        cold,
+		ColdStart:   coldCost,
+		QueueWait:   wait,
+		E2E:         res.E2E,
+	}, nil
+}

@@ -4,10 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"time"
 
 	"chiron/internal/dag"
-	"chiron/internal/live"
 	"chiron/internal/obs"
 	"chiron/internal/profiler"
 	"chiron/internal/wrap"
@@ -57,8 +55,7 @@ func (a *App) invoke(ctx context.Context, name string, rec obs.Recorder) (*Invok
 		return nil, err
 	}
 
-	ps := wf.active.Load()
-	if ps == nil {
+	if wf.active.Load() == nil {
 		return nil, ErrNoPlan
 	}
 
@@ -68,60 +65,22 @@ func (a *App) invoke(ctx context.Context, name string, rec obs.Recorder) (*Invok
 	}
 	defer wf.adm.done()
 
-	a.m.inflight.Add(1)
-	defer a.m.inflight.Add(-1)
-
-	// Re-load the epoch after the queue wait: if a swap happened while
-	// we queued, execute on the fresh plan; requests already past this
-	// point keep their epoch (the old pool drains them). The behaviour
-	// snapshot is taken at the same instant so a re-registration that
-	// landed during the wait cannot pair stale specs with a fresh plan.
-	if cur := wf.active.Load(); cur != nil {
-		ps = cur
-	}
-	beh := wf.snapshot()
-
-	cold, err := ps.pool.acquire(ctx)
+	res, fast, err := a.executeAdmitted(ctx, wf, wait, rec)
 	if err != nil {
 		return nil, err
 	}
-	res, err := live.RunCtx(ctx, beh, ps.plan, live.Options{
-		Const:   a.opt.Const,
-		Scale:   a.opt.Scale,
-		Timeout: a.opt.RequestTimeout,
-		Rec:     rec,
-	})
-	ps.pool.release(time.Now())
-	if err != nil {
-		a.m.errors.Inc()
-		if isPlacementErr(err) {
-			return nil, fmt.Errorf("%w: %v", ErrStalePlan, err)
-		}
-		return nil, err
-	}
-
-	coldCost := time.Duration(0)
-	if cold {
-		coldCost = a.opt.Const.ColdStart
-	}
-	total := wait + coldCost + res.E2E
-
-	a.m.requests.Inc()
-	a.m.latency.Observe(total)
-	wf.adm.observe(res.E2E)
-	wf.feed(res.E2E)
 
 	out := &InvokeResult{
 		Workflow:    name,
-		PlanVersion: ps.version,
-		Cold:        cold,
-		ColdStartMs: ms(coldCost),
-		QueueWaitMs: ms(wait),
-		E2EMs:       ms(res.E2E),
+		PlanVersion: fast.PlanVersion,
+		Cold:        fast.Cold,
+		ColdStartMs: ms(fast.ColdStart),
+		QueueWaitMs: ms(fast.QueueWait),
+		E2EMs:       ms(fast.E2E),
 		// Sum the rounded parts, not ms(total): the reported arithmetic
 		// must be exact (total = wait + cold + e2e) for consumers that
 		// cross-check the fields.
-		TotalMs:   ms(wait) + ms(coldCost) + ms(res.E2E),
+		TotalMs:   ms(fast.QueueWait) + ms(fast.ColdStart) + ms(fast.E2E),
 		Functions: make([]FnTiming, len(res.Functions)),
 	}
 	for i, f := range res.Functions {

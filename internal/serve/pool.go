@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"math/rand/v2"
 	"sync"
 	"time"
 
@@ -22,15 +23,21 @@ import (
 // When the controller swaps plans the old epoch's pool is retired: its
 // leased instances finish their requests and are then discarded instead
 // of being parked warm, so a swap never drops in-flight work.
+//
+// Each parked instance gets its own jittered expiry (KeepAliveJitter),
+// so the epoch-wide park that follows a plan swap cannot line up every
+// instance's eviction on one reaper tick and synchronize a cold-boot
+// storm when traffic returns.
 type warmPool struct {
 	app         *App
 	perInstMB   float64
 	coldNominal time.Duration
 	coldWall    time.Duration
 	keepAlive   time.Duration
+	jitter      float64
 
 	mu      sync.Mutex
-	warm    []time.Time // idle instances, identified only by last-use
+	warm    []time.Time // idle instances, identified only by expiry
 	total   int         // warm + leased
 	leased  int
 	retired bool
@@ -42,6 +49,7 @@ func newWarmPool(a *App, plan *wrap.Plan, w *dag.Workflow, keepAlive time.Durati
 		coldNominal: a.opt.Const.ColdStart,
 		coldWall:    time.Duration(float64(a.opt.Const.ColdStart) * scale),
 		keepAlive:   keepAlive,
+		jitter:      a.opt.KeepAliveJitter,
 	}
 	// Price one instance from the plan's sandbox ledgers. A plan that
 	// fails to price (stale behaviour) still serves; it just reports 0.
@@ -88,6 +96,16 @@ func (p *warmPool) acquire(ctx context.Context) (cold bool, err error) {
 	return true, nil
 }
 
+// expiry computes a parked instance's eviction time: keep-alive with
+// per-instance uniform jitter in [1-j, 1+j].
+func (p *warmPool) expiry(now time.Time) time.Time {
+	ka := p.keepAlive
+	if p.jitter > 0 {
+		ka = time.Duration(float64(ka) * (1 + p.jitter*(2*rand.Float64()-1)))
+	}
+	return now.Add(ka)
+}
+
 // release returns a leased instance: parked warm on a live pool,
 // discarded on a retired one.
 func (p *warmPool) release(now time.Time) {
@@ -99,21 +117,21 @@ func (p *warmPool) release(now time.Time) {
 		p.app.m.resident.Add(-int64(p.perInstMB))
 		return
 	}
-	p.warm = append(p.warm, now)
+	p.warm = append(p.warm, p.expiry(now))
 	p.mu.Unlock()
 	p.app.m.warmGauge.Add(1)
 }
 
-// reap evicts idle instances past the keep-alive.
+// reap evicts idle instances past their jittered expiry.
 func (p *warmPool) reap(now time.Time) {
 	p.mu.Lock()
 	kept := p.warm[:0]
 	evicted := 0
-	for _, last := range p.warm {
-		if now.Sub(last) > p.keepAlive {
+	for _, exp := range p.warm {
+		if now.After(exp) {
 			evicted++
 		} else {
-			kept = append(kept, last)
+			kept = append(kept, exp)
 		}
 	}
 	p.warm = kept

@@ -67,6 +67,11 @@ type Options struct {
 	// KeepAlive is how long an idle warm instance stays resident before
 	// the reaper evicts it (default 1 minute).
 	KeepAlive time.Duration
+	// KeepAliveJitter spreads each parked instance's expiry uniformly in
+	// [KeepAlive*(1-j), KeepAlive*(1+j)], so a plan swap's epoch-wide
+	// expiry cannot synchronize a cold-boot storm when traffic returns.
+	// Zero means the default 0.1; negative disables jitter entirely.
+	KeepAliveJitter float64
 	// Window, ViolationTrigger, DriftTrigger, BiasAlpha, Cooldown,
 	// MinImprovement and RollbackGuard parameterize the internal/adapt
 	// controller (zero: adapt's defaults). Cooldown and MinImprovement
@@ -107,6 +112,12 @@ func (o *Options) defaults() {
 	}
 	if o.KeepAlive <= 0 {
 		o.KeepAlive = time.Minute
+	}
+	if o.KeepAliveJitter == 0 {
+		o.KeepAliveJitter = 0.1
+	}
+	if o.KeepAliveJitter < 0 {
+		o.KeepAliveJitter = 0
 	}
 	if o.PlanHistory <= 0 {
 		o.PlanHistory = 4
@@ -160,6 +171,7 @@ type appMetrics struct {
 	suppressed *obs.Counter
 	rollbacks  *obs.Counter
 	bias       *obs.Gauge
+	negHits    *obs.Counter
 }
 
 func newAppMetrics(reg *obs.Registry) appMetrics {
@@ -182,6 +194,8 @@ func newAppMetrics(reg *obs.Registry) appMetrics {
 			"plan epochs restored by rollback (operator endpoint or post-swap regression)"),
 		bias: reg.Gauge("chiron_adapt_bias",
 			"calibrated observed/predicted latency ratio x1000 (most recently updated controller)"),
+		negHits: reg.Counter("chiron_serve_negcache_hits_total",
+			"unknown-workflow lookups answered by the negative cache (no registry lock taken)"),
 	}
 }
 
@@ -193,6 +207,20 @@ type App struct {
 
 	mu  sync.RWMutex
 	wfs map[string]*workflowState
+
+	// byHash is a copy-on-write index from HashName(workflow) to its
+	// state, rebuilt on Register under mu. The binary UDP ingress reads
+	// it lock-free on every packet (workflows are named by hash on the
+	// wire), so a packet flood never touches the registry lock.
+	byHash atomic.Pointer[map[uint64]*workflowState]
+
+	// neg is the negative cache for unknown-workflow lookups: names
+	// that recently missed the registry. Reads are lock-free (sync.Map),
+	// so a flood of bad workflow names resolves without taking mu.
+	// Register swaps in a fresh map, which both unpoisons the registered
+	// name and bounds staleness.
+	neg  atomic.Pointer[sync.Map]
+	negN atomic.Int64
 
 	resMu    sync.Mutex
 	results  map[string]*asyncResult
@@ -222,6 +250,7 @@ func New(opt Options) *App {
 		drained: make(chan struct{}),
 		quit:    make(chan struct{}),
 	}
+	a.neg.Store(&sync.Map{})
 	a.reaperW.Add(1)
 	go a.reaper()
 	return a
@@ -289,13 +318,23 @@ func (a *App) Shutdown(ctx context.Context) error {
 
 // track registers one unit of in-flight work for the drain barrier.
 func (a *App) track() (release func(), err error) {
+	if err := a.trackOne(); err != nil {
+		return nil, err
+	}
+	return a.untrack, nil
+}
+
+// trackOne is track without the bound release closure: the UDP fast
+// path uses it because materializing the method value would allocate on
+// every packet. Callers must pair it with exactly one untrack.
+func (a *App) trackOne() error {
 	a.drainMu.Lock()
 	defer a.drainMu.Unlock()
 	if a.draining {
-		return nil, ErrDraining
+		return ErrDraining
 	}
 	a.inflight++
-	return a.untrack, nil
+	return nil
 }
 
 // untrack releases one unit; the last one out completes a pending drain.
@@ -377,12 +416,30 @@ func (a *App) Register(w *dag.Workflow) (created bool, err error) {
 			adm:   newAdmission(a, a.opt.MaxConcurrency, a.opt.MaxQueue, a.opt.Scale),
 		}
 		a.wfs[w.Name] = wf
+		a.rebuildHashIndexLocked()
 	}
 	a.mu.Unlock()
+	if !ok {
+		// Swap in a fresh negative cache after the registry insert: a
+		// lookup racing this registration may still note the old miss,
+		// but only into the unreachable retired map.
+		a.neg.Store(&sync.Map{})
+		a.negN.Store(0)
+	}
 	wf.behMu.Lock()
 	wf.cur = w
 	wf.behMu.Unlock()
 	return !ok, nil
+}
+
+// rebuildHashIndexLocked recomputes the copy-on-write hash index.
+// Callers hold a.mu.
+func (a *App) rebuildHashIndexLocked() {
+	m := make(map[uint64]*workflowState, len(a.wfs))
+	for n, wf := range a.wfs {
+		m[HashName(n)] = wf
+	}
+	a.byHash.Store(&m)
 }
 
 // RegisterBuiltin registers one of the evaluation workloads by name.
@@ -395,11 +452,35 @@ func (a *App) RegisterBuiltin(name string) (created bool, err error) {
 	return false, fmt.Errorf("serve: unknown builtin workload %q: %w", name, ErrNotFound)
 }
 
+// errUnknownWorkflow is the negative cache's canned miss: a static error
+// so the hot reject path does not allocate per lookup.
+var errUnknownWorkflow = fmt.Errorf("serve: unknown workflow: %w", ErrNotFound)
+
+// negCacheCap bounds the negative cache; past it the whole map is
+// dropped (cheaper than LRU, and a junk-name flood then costs one
+// registry RLock per negCacheCap misses instead of one per request).
+const negCacheCap = 1024
+
 func (a *App) workflow(name string) (*workflowState, error) {
+	neg := a.neg.Load()
+	if _, miss := neg.Load(name); miss {
+		a.m.negHits.Inc()
+		return nil, errUnknownWorkflow
+	}
 	a.mu.RLock()
 	wf, ok := a.wfs[name]
 	a.mu.RUnlock()
 	if !ok {
+		// Note the miss in the map snapshot loaded *before* the registry
+		// read: if a registration landed in between, the note goes to the
+		// retired map Register already swapped out, never poisoning the
+		// live cache.
+		if _, loaded := neg.LoadOrStore(name, struct{}{}); !loaded {
+			if a.negN.Add(1) > negCacheCap && a.neg.Load() == neg {
+				a.neg.Store(&sync.Map{})
+				a.negN.Store(0)
+			}
+		}
 		return nil, fmt.Errorf("serve: workflow %q: %w", name, ErrNotFound)
 	}
 	return wf, nil

@@ -1,0 +1,30 @@
+package udp
+
+import "encoding/binary"
+
+// Filter is the stateless first-bytes packet filter the receive loop
+// runs before any parsing or dispatch: a datagram that fails it is
+// dropped on the floor with one counter tick and zero further work.
+// It rejects on length bounds, magic/version prefix, type range, the
+// payload-size field, and the header check — all from fixed offsets,
+// no allocation, no state.
+//
+// The check covers the full header plus the datagram length, so random
+// junk, reflected/truncated packets, and wrong-version traffic all die
+// here; only well-formed protocol datagrams reach ParseHeader (which
+// then cannot fail, but stays defensive).
+func Filter(b []byte) bool {
+	if len(b) < HeaderSize || len(b) > MaxDatagram {
+		return false
+	}
+	if b[0] != magic[0] || b[1] != magic[1] || b[2] != magic[2] || b[3] != magic[3] {
+		return false
+	}
+	if b[4] < TypeConnect || b[4] > TypeAck {
+		return false
+	}
+	if binary.LittleEndian.Uint32(b[36:40]) != uint32(len(b)-HeaderSize) {
+		return false
+	}
+	return binary.LittleEndian.Uint16(b[6:8]) == pktCheck(b, len(b))
+}

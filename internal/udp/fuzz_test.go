@@ -1,0 +1,73 @@
+package udp
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParseHeader throws arbitrary bytes at the parser and the filter.
+// Properties: never panic, never allocate on reject (spot-checked by
+// TestRejectPathZeroAlloc), and the filter and parser must agree — a
+// datagram passes Filter iff ParseHeader accepts it.
+func FuzzParseHeader(f *testing.F) {
+	// Seed corpus: the interesting shapes from the issue — truncated
+	// headers, bad magic, oversized payload-size fields — plus valid
+	// packets of each type for mutation to start from.
+	f.Add([]byte{})
+	f.Add([]byte{0xC7})
+	f.Add([]byte{0xC7, 0x1E, 0xD1, Version})
+	var trunc [HeaderSize - 1]byte
+	copy(trunc[:], magic[:])
+	f.Add(trunc[:])
+
+	var connect [HeaderSize]byte
+	putHeader(connect[:], &Header{Type: TypeConnect, ID: 7}, HeaderSize)
+	f.Add(connect[:])
+
+	var invoke [HeaderSize + 16]byte
+	if _, err := EncodeInvoke(invoke[:], 1, HashWorkflow("wf"), 2, FlagAsync, time.Second, []byte("0123456789abcdef")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(invoke[:])
+
+	badMagic := append([]byte(nil), invoke[:]...)
+	badMagic[0] = 0x00
+	f.Add(badMagic)
+
+	// Oversized size field: claims 64KiB of payload on a header-only
+	// datagram (with and without a fixed-up check).
+	var oversize [HeaderSize]byte
+	putHeader(oversize[:], &Header{Type: TypeInvoke, Size: 1 << 16}, HeaderSize)
+	f.Add(oversize[:])
+	lyingSize := append([]byte(nil), invoke[:]...)
+	lyingSize[36], lyingSize[37] = 0xFF, 0xFF
+	f.Add(lyingSize)
+
+	var reply [ReplySize]byte
+	EncodeReply(reply[:], &Reply{Type: TypeReply, Status: StatusOK, ID: 3, Cold: true, E2E: time.Millisecond})
+	f.Add(reply[:])
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var h Header
+		err := ParseHeader(b, &h)
+		if pass := Filter(b); pass != (err == nil) {
+			t.Fatalf("filter/parser disagree: filter=%v parse=%v (len %d)", pass, err, len(b))
+		}
+		if err == nil {
+			if int(h.Size) != len(b)-HeaderSize {
+				t.Fatalf("accepted size %d for datagram length %d", h.Size, len(b))
+			}
+			// Re-encoding the parsed header must reproduce the original
+			// header bytes (the layout has no hidden state).
+			var re [MaxDatagram]byte
+			putHeader(re[:], &h, len(b))
+			for i := 0; i < HeaderSize; i++ {
+				if re[i] != b[i] {
+					t.Fatalf("byte %d not canonical: got %x want %x", i, re[i], b[i])
+				}
+			}
+		}
+		var r Reply
+		_ = ParseReply(b, &r) // must not panic either
+	})
+}

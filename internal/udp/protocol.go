@@ -1,0 +1,265 @@
+// Package udp is the binary ingress plane: a compact fixed-layout
+// invoke protocol served beside the HTTP gateway, for clients that need
+// the invoke path without HTTP/1.1 parsing, header maps, or per-request
+// connection state.
+//
+// Every datagram starts with the same 40-byte little-endian header:
+//
+//	offset size field
+//	0      4    magic (3 fixed bytes + protocol version)
+//	4      1    packet type (connect | connect-ack | invoke | reply | ack)
+//	5      1    flags (bit 0: async invoke)
+//	6      2    check — Fletcher-16 over bytes [8,40), the type/flags
+//	            bytes and the datagram length, XOR-folded with a salt
+//	8      8    connect token (0 in a connect request; the issued token
+//	            in a connect-ack and in every invoke)
+//	16     8    workflow id — serve.HashName (FNV-64a) of the name
+//	24     8    invocation id (client-chosen, echoed in the reply)
+//	32     4    deadline (ms of wall time the server may spend; 0 = none)
+//	36     4    payload size — must equal len(datagram) - 40
+//	40     ...  payload (opaque, at most MaxPayload bytes)
+//
+// Replies append a fixed 32-byte body (plan version, cold flag, e2e,
+// queue wait, aux) and carry a status code in the flags byte. The whole
+// layout is pinned by TestWireABI; any change is a protocol version
+// bump.
+package udp
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"chiron/internal/serve"
+)
+
+// Wire constants. MaxDatagram keeps every packet under a conservative
+// path MTU so invokes never fragment.
+const (
+	Version     = 1
+	HeaderSize  = 40
+	MaxDatagram = 1200
+	MaxPayload  = MaxDatagram - HeaderSize
+	ReplyBody   = 32
+	ReplySize   = HeaderSize + ReplyBody
+)
+
+// Packet types.
+const (
+	TypeConnect    = 1 // client -> server: request a connect token
+	TypeConnectAck = 2 // server -> client: token in the header token field
+	TypeInvoke     = 3 // client -> server: one invocation
+	TypeReply      = 4 // server -> client: invocation result / rejection
+	TypeAck        = 5 // server -> client: async submission accepted
+)
+
+// Header flag bits (invoke packets).
+const (
+	// FlagAsync detaches the invocation: the server acks the submission
+	// immediately after admission and sends the completion reply later.
+	FlagAsync = 1 << 0
+)
+
+// Reply status codes (carried in the flags byte of reply/ack packets).
+const (
+	StatusOK         = 0
+	StatusNotFound   = 1 // unknown workflow hash
+	StatusNoPlan     = 2 // registered but unplanned
+	StatusOverloaded = 3 // admission rejected; Aux is the retry-after hint
+	StatusDraining   = 4
+	StatusBadToken   = 5 // connect token missing/forged/stale
+	StatusTimeout    = 6 // deadline exceeded
+	StatusStale      = 7 // plan/behaviour mismatch (re-plan)
+	StatusError      = 8 // internal execution failure
+	StatusAccepted   = 9 // async submission acknowledged
+)
+
+// magic is the first-bytes signature: three fixed bytes plus the
+// protocol version, so a version bump changes the prefix itself.
+var magic = [4]byte{0xC7, 0x1E, 0xD1, Version}
+
+// Static parse errors: the reject path of a packet flood must not
+// allocate, so every failure is a sentinel.
+var (
+	ErrTooShort = errors.New("udp: datagram shorter than header")
+	ErrTooLong  = errors.New("udp: datagram exceeds MaxDatagram")
+	ErrBadMagic = errors.New("udp: bad magic/version prefix")
+	ErrBadType  = errors.New("udp: unknown packet type")
+	ErrBadCheck = errors.New("udp: header check mismatch")
+	ErrBadSize  = errors.New("udp: payload size field disagrees with datagram length")
+)
+
+// HashWorkflow is the wire identity of a workflow (serve.HashName:
+// FNV-64a over the name).
+func HashWorkflow(name string) uint64 { return serve.HashName(name) }
+
+// Header is a parsed packet header. Parse writes into a caller-owned
+// value, so the receive loop never allocates.
+type Header struct {
+	Type       byte
+	Flags      byte
+	Token      uint64
+	Hash       uint64
+	ID         uint64
+	DeadlineMs uint32
+	Size       uint32
+}
+
+// pktCheck is the header check: Fletcher-16 over bytes [8,40), the
+// type/flags bytes and the datagram length, XOR-folded with a salt so
+// all-zero buffers do not verify.
+func pktCheck(b []byte, total int) uint16 {
+	var s1, s2 uint32 = 1, 0
+	for _, c := range b[8:HeaderSize] {
+		s1 += uint32(c)
+		s2 += s1
+	}
+	s1 += uint32(b[4]) + uint32(b[5])<<4
+	s2 += s1
+	s1 += uint32(total)
+	s2 += s1
+	return uint16(((s2%255)<<8)|(s1%255)) ^ 0xC1A0
+}
+
+// putHeader writes h into b (len(b) >= HeaderSize) and stamps the check
+// for a datagram of the given total length.
+func putHeader(b []byte, h *Header, total int) {
+	copy(b[0:4], magic[:])
+	b[4] = h.Type
+	b[5] = h.Flags
+	binary.LittleEndian.PutUint64(b[8:16], h.Token)
+	binary.LittleEndian.PutUint64(b[16:24], h.Hash)
+	binary.LittleEndian.PutUint64(b[24:32], h.ID)
+	binary.LittleEndian.PutUint32(b[32:36], h.DeadlineMs)
+	binary.LittleEndian.PutUint32(b[36:40], h.Size)
+	binary.LittleEndian.PutUint16(b[6:8], pktCheck(b, total))
+}
+
+// ParseHeader validates b as a protocol datagram and fills h. It never
+// panics and never allocates, whatever the input (FuzzParseHeader).
+func ParseHeader(b []byte, h *Header) error {
+	if len(b) < HeaderSize {
+		return ErrTooShort
+	}
+	if len(b) > MaxDatagram {
+		return ErrTooLong
+	}
+	if b[0] != magic[0] || b[1] != magic[1] || b[2] != magic[2] || b[3] != magic[3] {
+		return ErrBadMagic
+	}
+	if b[4] < TypeConnect || b[4] > TypeAck {
+		return ErrBadType
+	}
+	if binary.LittleEndian.Uint16(b[6:8]) != pktCheck(b, len(b)) {
+		return ErrBadCheck
+	}
+	size := binary.LittleEndian.Uint32(b[36:40])
+	if size != uint32(len(b)-HeaderSize) {
+		return ErrBadSize
+	}
+	h.Type = b[4]
+	h.Flags = b[5]
+	h.Token = binary.LittleEndian.Uint64(b[8:16])
+	h.Hash = binary.LittleEndian.Uint64(b[16:24])
+	h.ID = binary.LittleEndian.Uint64(b[24:32])
+	h.DeadlineMs = binary.LittleEndian.Uint32(b[32:36])
+	h.Size = size
+	return nil
+}
+
+// EncodeInvoke writes one invoke packet into buf and returns its length.
+// buf must hold HeaderSize+len(payload) bytes; payloads past MaxPayload
+// are refused.
+func EncodeInvoke(buf []byte, token, hash, id uint64, flags byte, deadline time.Duration, payload []byte) (int, error) {
+	if len(payload) > MaxPayload {
+		return 0, ErrTooLong
+	}
+	total := HeaderSize + len(payload)
+	if len(buf) < total {
+		return 0, ErrTooShort
+	}
+	var dl uint32
+	if deadline > 0 {
+		ms := deadline.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		if ms > int64(^uint32(0)) {
+			ms = int64(^uint32(0))
+		}
+		dl = uint32(ms)
+	}
+	h := Header{
+		Type: TypeInvoke, Flags: flags, Token: token, Hash: hash, ID: id,
+		DeadlineMs: dl, Size: uint32(len(payload)),
+	}
+	copy(buf[HeaderSize:total], payload)
+	putHeader(buf, &h, total)
+	return total, nil
+}
+
+// EncodeConnect writes a connect request (nonce rides in the id field).
+func EncodeConnect(buf []byte, nonce uint64) int {
+	h := Header{Type: TypeConnect, ID: nonce}
+	putHeader(buf, &h, HeaderSize)
+	return HeaderSize
+}
+
+// Reply is a parsed reply/ack body plus its header echo.
+type Reply struct {
+	Type        byte
+	Status      byte
+	Token       uint64 // connect-ack: the issued token
+	ID          uint64 // invocation id echo
+	PlanVersion uint32
+	Cold        bool
+	E2E         time.Duration
+	QueueWait   time.Duration
+	// Aux is status-dependent: cold-start cost on StatusOK, retry-after
+	// hint on StatusOverloaded, zero otherwise.
+	Aux time.Duration
+}
+
+// EncodeReply writes a reply/ack/connect-ack packet and returns its
+// length (always ReplySize). buf must hold ReplySize bytes.
+func EncodeReply(buf []byte, r *Reply) int {
+	h := Header{Type: r.Type, Flags: r.Status, Token: r.Token, ID: r.ID, Size: ReplyBody}
+	b := buf[HeaderSize:ReplySize]
+	binary.LittleEndian.PutUint32(b[0:4], r.PlanVersion)
+	if r.Cold {
+		b[4] = 1
+	} else {
+		b[4] = 0
+	}
+	b[5], b[6], b[7] = 0, 0, 0
+	binary.LittleEndian.PutUint64(b[8:16], uint64(r.E2E))
+	binary.LittleEndian.PutUint64(b[16:24], uint64(r.QueueWait))
+	binary.LittleEndian.PutUint64(b[24:32], uint64(r.Aux))
+	putHeader(buf, &h, ReplySize)
+	return ReplySize
+}
+
+// ParseReply validates b as a reply-family packet and fills r.
+func ParseReply(b []byte, r *Reply) error {
+	var h Header
+	if err := ParseHeader(b, &h); err != nil {
+		return err
+	}
+	if h.Type != TypeReply && h.Type != TypeAck && h.Type != TypeConnectAck {
+		return ErrBadType
+	}
+	if h.Size != ReplyBody || len(b) != ReplySize {
+		return ErrBadSize
+	}
+	body := b[HeaderSize:ReplySize]
+	r.Type = h.Type
+	r.Status = h.Flags
+	r.Token = h.Token
+	r.ID = h.ID
+	r.PlanVersion = binary.LittleEndian.Uint32(body[0:4])
+	r.Cold = body[4] != 0
+	r.E2E = time.Duration(binary.LittleEndian.Uint64(body[8:16]))
+	r.QueueWait = time.Duration(binary.LittleEndian.Uint64(body[16:24]))
+	r.Aux = time.Duration(binary.LittleEndian.Uint64(body[24:32]))
+	return nil
+}

@@ -1,0 +1,183 @@
+package udp
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+func TestInvokeRoundTrip(t *testing.T) {
+	var buf [MaxDatagram]byte
+	payload := []byte("hello-payload")
+	n, err := EncodeInvoke(buf[:], 0xDEADBEEF, HashWorkflow("wf-test"), 7, FlagAsync, 1500*time.Millisecond, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != HeaderSize+len(payload) {
+		t.Fatalf("encoded %d bytes", n)
+	}
+	var h Header
+	if err := ParseHeader(buf[:n], &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != TypeInvoke || h.Flags != FlagAsync || h.Token != 0xDEADBEEF ||
+		h.Hash != HashWorkflow("wf-test") || h.ID != 7 || h.DeadlineMs != 1500 ||
+		h.Size != uint32(len(payload)) {
+		t.Fatalf("header %+v", h)
+	}
+	if !bytes.Equal(buf[HeaderSize:n], payload) {
+		t.Fatal("payload corrupted")
+	}
+	if !Filter(buf[:n]) {
+		t.Fatal("valid invoke rejected by filter")
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	var buf [ReplySize]byte
+	in := Reply{
+		Type: TypeReply, Status: StatusOK, Token: 42, ID: 99,
+		PlanVersion: 3, Cold: true,
+		E2E: 250 * time.Millisecond, QueueWait: 5 * time.Millisecond, Aux: 80 * time.Millisecond,
+	}
+	n := EncodeReply(buf[:], &in)
+	if n != ReplySize {
+		t.Fatalf("reply length %d", n)
+	}
+	var out Reply
+	if err := ParseReply(buf[:n], &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v want %+v", out, in)
+	}
+}
+
+// TestWireABI pins the exact byte layout of an invoke packet. If this
+// test fails the wire format changed: bump Version and update the pin.
+func TestWireABI(t *testing.T) {
+	var buf [MaxDatagram]byte
+	n, err := EncodeInvoke(buf[:], 0x1122334455667788, HashWorkflow("SocialNetwork"), 42, FlagAsync, 250*time.Millisecond, []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "" +
+		"c71ed101" + // magic + version
+		"0301" + // type=invoke, flags=async
+		"0b7a" + // header check
+		"8877665544332211" + // token (LE)
+		"10f9c4fd56c86887" + // HashWorkflow("SocialNetwork") = 9757268868648466704 (LE)
+		"2a00000000000000" + // invocation id 42
+		"fa000000" + // deadline 250ms
+		"04000000" + // payload size 4
+		"70696e67" // "ping"
+	if got := hex.EncodeToString(buf[:n]); got != want {
+		t.Fatalf("wire ABI changed:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestParseHeaderRejects(t *testing.T) {
+	var good [HeaderSize + 4]byte
+	n, err := EncodeInvoke(good[:], 1, 2, 3, 0, 0, []byte("abcd"))
+	if err != nil || n != len(good) {
+		t.Fatal(err)
+	}
+	var h Header
+
+	if err := ParseHeader(good[:HeaderSize-1], &h); err != ErrTooShort {
+		t.Fatalf("truncated: %v", err)
+	}
+	if err := ParseHeader(make([]byte, MaxDatagram+1), &h); err != ErrTooLong {
+		t.Fatalf("oversized: %v", err)
+	}
+
+	bad := append([]byte(nil), good[:]...)
+	bad[3] = Version + 1 // wrong version is a magic mismatch
+	if err := ParseHeader(bad, &h); err != ErrBadMagic {
+		t.Fatalf("bad version: %v", err)
+	}
+
+	// A size field that disagrees with the datagram length must fail the
+	// check (it is covered via the total length), and an attacker who
+	// fixes up the check still hits ErrBadSize on the truncated datagram.
+	bad = append([]byte(nil), good[:]...)
+	bad[36] = 200 // claim a 200-byte payload on a 4-byte datagram
+	if err := ParseHeader(bad, &h); err != ErrBadCheck {
+		t.Fatalf("oversized size field: %v", err)
+	}
+}
+
+// TestFilterJunk floods the filter with random buffers: none may pass,
+// none may panic.
+func TestFilterJunk(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	buf := make([]byte, 2*MaxDatagram)
+	for i := 0; i < 10000; i++ {
+		n := int(r.Uint64() % uint64(len(buf)))
+		for j := 0; j < n; j++ {
+			buf[j] = byte(r.Uint64())
+		}
+		if Filter(buf[:n]) {
+			t.Fatalf("random junk passed the filter (len %d): %x", n, buf[:n])
+		}
+	}
+}
+
+// TestFilterBitFlips: every corrupted header byte of a valid packet
+// must fail the filter (the payload is deliberately not covered).
+func TestFilterBitFlips(t *testing.T) {
+	var buf [HeaderSize + 8]byte
+	if _, err := EncodeInvoke(buf[:], 77, 88, 99, 0, time.Second, []byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	if !Filter(buf[:]) {
+		t.Fatal("valid packet rejected")
+	}
+	for i := 0; i < HeaderSize; i++ {
+		flipped := buf
+		flipped[i] ^= 0x40
+		if Filter(flipped[:]) {
+			t.Fatalf("filter passed with header byte %d corrupted", i)
+		}
+	}
+	// Truncation and extension both die on the size/length cross-check.
+	if Filter(buf[:len(buf)-1]) {
+		t.Fatal("filter passed truncated packet")
+	}
+	ext := append(append([]byte(nil), buf[:]...), 0)
+	if Filter(ext) {
+		t.Fatal("filter passed extended packet")
+	}
+}
+
+// TestRejectPathZeroAlloc: parsing and filtering hostile input is the
+// packet-flood path — it must not allocate.
+func TestRejectPathZeroAlloc(t *testing.T) {
+	junk := make([]byte, 200)
+	for i := range junk {
+		junk[i] = byte(i * 7)
+	}
+	var good [HeaderSize]byte
+	h := Header{Type: TypeConnect}
+	putHeader(good[:], &h, HeaderSize)
+
+	var hdr Header
+	if avg := testing.AllocsPerRun(500, func() {
+		if err := ParseHeader(junk, &hdr); err == nil {
+			t.Fatal("junk parsed")
+		}
+		if Filter(junk) {
+			t.Fatal("junk filtered through")
+		}
+		if !Filter(good[:]) {
+			t.Fatal("good packet dropped")
+		}
+		if err := ParseHeader(good[:], &hdr); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0 {
+		t.Fatalf("parse/filter path allocates %.1f per run, want 0", avg)
+	}
+}

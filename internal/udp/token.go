@@ -1,0 +1,53 @@
+package udp
+
+import (
+	"crypto/rand"
+	"fmt"
+	"net/netip"
+)
+
+// Secret keys the connect-token handshake. A token is a keyed hash of
+// the client's source address: the server can verify any invoke packet
+// statelessly (recompute and compare, no per-client table), and a token
+// lifted from one client's traffic is useless from another address.
+// This is liveness/anti-spoofing for a trusted network, not
+// cryptographic authentication.
+type Secret [16]byte
+
+// NewSecret draws a random per-process secret. Tokens do not survive a
+// server restart; clients re-handshake on StatusBadToken.
+func NewSecret() (Secret, error) {
+	var s Secret
+	if _, err := rand.Read(s[:]); err != nil {
+		return Secret{}, fmt.Errorf("udp: secret: %w", err)
+	}
+	return s, nil
+}
+
+// Token derives the connect token for one client address: FNV-64a over
+// the secret, the 16-byte address and the port. Allocation-free — the
+// receive loop recomputes it per invoke packet.
+func (s *Secret) Token(addr netip.AddrPort) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, c := range s {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	a16 := addr.Addr().As16()
+	for _, c := range a16 {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	p := addr.Port()
+	h ^= uint64(p & 0xFF)
+	h *= prime64
+	h ^= uint64(p >> 8)
+	h *= prime64
+	// A zero token is reserved for "no token" in connect requests; dodge
+	// the (cosmically unlikely) collision.
+	if h == 0 {
+		h = 1
+	}
+	return h
+}

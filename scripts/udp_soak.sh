@@ -1,0 +1,52 @@
+#!/bin/sh
+# udp_soak: boot chirond with the binary UDP ingress on ephemeral ports,
+# drive it closed-loop with bin/soak, then assert from /metrics that the
+# plane behaved: zero packets filtered (a correct client never emits a
+# malformed datagram), completions flowed, and SIGTERM drains cleanly.
+# Expects bin/chirond and bin/soak to exist (make chirond soak).
+set -eu
+
+LOG="${TMPDIR:-/tmp}/chirond-udp-soak.log"
+DURATION="${SOAK_DURATION:-4s}"
+CONC="${SOAK_CONC:-8}"
+
+./bin/chirond -addr 127.0.0.1:0 -udp 127.0.0.1:0 \
+	-preload SocialNetwork -plan -scale 0.02 -slo 500ms >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+HTTP_ADDR= UDP_ADDR=
+i=0
+while [ $i -lt 100 ]; do
+	HTTP_ADDR=$(sed -n 's#^chirond listening on http://##p' "$LOG")
+	UDP_ADDR=$(sed -n 's#^chirond udp listening on ##p' "$LOG")
+	[ -n "$HTTP_ADDR" ] && [ -n "$UDP_ADDR" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$HTTP_ADDR" ] || [ -z "$UDP_ADDR" ]; then
+	echo "udp-soak: chirond never came up" >&2
+	cat "$LOG" >&2
+	exit 1
+fi
+echo "udp-soak: driving $UDP_ADDR for $DURATION (conc $CONC)"
+
+# soak exits non-zero on any dropped completion (reply loss) or if
+# nothing succeeded at all.
+./bin/soak -addr "$UDP_ADDR" -workflow SocialNetwork \
+	-duration "$DURATION" -conc "$CONC"
+
+METRICS="${TMPDIR:-/tmp}/chirond-udp-soak-metrics.txt"
+curl -fsS "http://$HTTP_ADDR/metrics" >"$METRICS"
+awk '$1=="chiron_udp_packets_total"{p=$2}
+     $1=="chiron_udp_filtered_total"{f=$2}
+     $1=="chiron_udp_completed_total"{c=$2}
+     END{ printf "udp-soak: packets=%d filtered=%d completed=%d\n", p, f, c;
+          if (p+0 == 0)  { print "no packets received";       exit 1 }
+          if (f+0 != 0)  { print "packets were filtered";     exit 1 }
+          if (c+0 == 0)  { print "no completions recorded";   exit 1 } }' "$METRICS"
+
+kill -TERM "$PID"
+wait "$PID"
+grep -q 'drained cleanly' "$LOG"
+echo "udp-soak: ok"
