@@ -73,9 +73,11 @@ func runParse(in, label, out string) error {
 	report := &obs.BenchReport{
 		Label: label,
 		Manifest: &obs.Manifest{
-			Tool:      "benchjson",
-			GoVersion: runtime.Version(),
-			Workers:   parallel.Workers(),
+			Tool:        "benchjson",
+			GoVersion:   runtime.Version(),
+			Version:     obs.ReadBuild().Version,
+			VCSRevision: obs.ReadBuild().Revision,
+			Workers:     parallel.Workers(),
 		},
 		Benchmarks: results,
 	}

@@ -103,9 +103,12 @@ func main() {
 			expSet = true
 		}
 	})
+	build := obs.ReadBuild()
 	man := obs.Manifest{
 		Tool:        "chiron-bench",
 		GoVersion:   runtime.Version(),
+		Version:     build.Version,
+		VCSRevision: build.Revision,
 		Seed:        cfg.Seed,
 		Workers:     parallel.Workers(),
 		Quick:       cfg.Quick,

@@ -28,6 +28,8 @@ import (
 	"time"
 
 	"chiron/internal/loadgen"
+	"chiron/internal/obs"
+	"chiron/internal/obs/flight"
 	"chiron/internal/serve"
 	"chiron/internal/udp"
 )
@@ -43,28 +45,40 @@ func run(argv []string, stdout, stderr *os.File) error {
 	fs := flag.NewFlagSet("chirond", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr      = fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
-		udpAddr   = fs.String("udp", "", "binary UDP ingress listen address (e.g. 127.0.0.1:9053; empty = disabled)")
-		scale     = fs.Float64("scale", 1.0, "time scale for modelled durations (0.05 = 20x faster than nominal)")
-		slo       = fs.Duration("slo", 0, "default latency SLO at plan time (0 = workflow SLO or auto)")
-		timeout   = fs.Duration("timeout", 30*time.Second, "per-request execution timeout")
-		maxConc   = fs.Int("max-concurrency", 0, "max concurrent executions per workflow (0 = 2x GOMAXPROCS)")
-		maxQueue  = fs.Int("max-queue", 64, "admission queue depth per workflow")
-		keepAlive = fs.Duration("keepalive", time.Minute, "warm instance keep-alive")
-		cooldown  = fs.Int("cooldown", 0, "min full windows between plan adaptations (0 = default 2)")
-		minImp    = fs.Float64("min-improve", 0, "min-improvement gate fraction for adopting a fresh plan (0 = default 0.1)")
-		rbGuard   = fs.Float64("rollback-guard", 0, "post-swap regression factor that triggers auto-rollback (0 = default 1.1)")
-		history   = fs.Int("plan-history", 0, "retired plan epochs kept per workflow for rollback (0 = default 4)")
-		preload   = fs.String("preload", "", "comma-separated builtin workloads to register at boot (e.g. SocialNetwork)")
-		planBoot  = fs.Bool("plan", false, "plan preloaded workflows at boot")
-		drainWait = fs.Duration("drain", 30*time.Second, "max graceful drain on SIGTERM")
-		selfbench = fs.Int("selfbench", 0, "after boot, fire N closed-loop invocations at the first preloaded workflow, print stats and exit")
-		benchConc = fs.Int("selfbench-conc", 4, "selfbench closed-loop concurrency")
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		udpAddr      = fs.String("udp", "", "binary UDP ingress listen address (e.g. 127.0.0.1:9053; empty = disabled)")
+		scale        = fs.Float64("scale", 1.0, "time scale for modelled durations (0.05 = 20x faster than nominal)")
+		slo          = fs.Duration("slo", 0, "default latency SLO at plan time (0 = workflow SLO or auto)")
+		timeout      = fs.Duration("timeout", 30*time.Second, "per-request execution timeout")
+		maxConc      = fs.Int("max-concurrency", 0, "max concurrent executions per workflow (0 = 2x GOMAXPROCS)")
+		maxQueue     = fs.Int("max-queue", 64, "admission queue depth per workflow")
+		keepAlive    = fs.Duration("keepalive", time.Minute, "warm instance keep-alive")
+		cooldown     = fs.Int("cooldown", 0, "min full windows between plan adaptations (0 = default 2)")
+		minImp       = fs.Float64("min-improve", 0, "min-improvement gate fraction for adopting a fresh plan (0 = default 0.1)")
+		rbGuard      = fs.Float64("rollback-guard", 0, "post-swap regression factor that triggers auto-rollback (0 = default 1.1)")
+		history      = fs.Int("plan-history", 0, "retired plan epochs kept per workflow for rollback (0 = default 4)")
+		preload      = fs.String("preload", "", "comma-separated builtin workloads to register at boot (e.g. SocialNetwork)")
+		planBoot     = fs.Bool("plan", false, "plan preloaded workflows at boot")
+		drainWait    = fs.Duration("drain", 30*time.Second, "max graceful drain on SIGTERM")
+		selfbench    = fs.Int("selfbench", 0, "after boot, fire N closed-loop invocations at the first preloaded workflow, print stats and exit")
+		benchConc    = fs.Int("selfbench-conc", 4, "selfbench closed-loop concurrency")
+		flightRing   = fs.Int("flight-ring", 0, "retained flight traces kept for /debug/flight (0 = default 256)")
+		flightSample = fs.Float64("flight-sample", 0, "flight recorder probabilistic sample rate for healthy traces (0 = default 0.01)")
+		sloTarget    = fs.Float64("slo-target", 0, "SLO availability target for the burn-rate monitor, e.g. 0.99 (0 = default 0.99)")
+		runtimeInt   = fs.Duration("runtime-interval", 5*time.Second, "runtime/metrics polling interval for chiron_runtime_* gauges (0 disables)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
 
+	reg := obs.NewRegistry()
+	build := obs.RegisterBuildInfo(reg)
+	fl := flight.New(flight.Options{
+		RingSize:   *flightRing,
+		SampleRate: *flightSample,
+		SLOTarget:  *sloTarget,
+		Reg:        reg,
+	})
 	app := serve.New(serve.Options{
 		Scale:          *scale,
 		SLO:            *slo,
@@ -76,7 +90,16 @@ func run(argv []string, stdout, stderr *os.File) error {
 		MinImprovement: *minImp,
 		RollbackGuard:  *rbGuard,
 		PlanHistory:    *history,
+		Reg:            reg,
+		Flight:         fl,
 	})
+	fmt.Fprintf(stdout, "chirond build: version=%s go=%s\n", build.Version, build.GoVersion)
+
+	if *runtimeInt > 0 {
+		bridge := obs.NewRuntimeBridge(reg)
+		bridge.Start(*runtimeInt)
+		defer bridge.Stop()
+	}
 
 	var preloaded []string
 	if *preload != "" {

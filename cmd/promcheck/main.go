@@ -1,0 +1,81 @@
+// Command promcheck strictly validates a Prometheus classic text-format
+// exposition: line syntax, metric/label names, label-value escape
+// sequences, and histogram invariants (cumulative-monotone buckets, a
+// le="+Inf" bucket equal to _count, a _sum sample). CI's obs-smoke job
+// points it at a live chirond /metrics scrape.
+//
+//	promcheck < metrics.txt
+//	promcheck -url http://127.0.0.1:8080/metrics
+//	promcheck -url ... -require chiron_slo_burn_alerts_total -min 1
+//
+// Exit status: 0 valid (and every -require constraint held), 1 not.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"chiron/internal/obs"
+)
+
+func main() {
+	url := flag.String("url", "", "scrape this URL instead of stdin")
+	require := flag.String("require", "", "comma-separated metric families that must be present")
+	min := flag.Float64("min", 0, "with -require: every required family must have a sample with value >= min")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *url != "" {
+		resp, err := http.Get(*url)
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("GET %s: HTTP %d", *url, resp.StatusCode))
+		}
+		in = resp.Body
+	}
+
+	fams, err := obs.CheckProm(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *require != "" {
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			f, ok := fams[name]
+			if !ok {
+				fatal(fmt.Errorf("required family %s missing", name))
+			}
+			best := 0.0
+			for _, s := range f.Samples {
+				if s.Value > best {
+					best = s.Value
+				}
+			}
+			if len(f.Samples) == 0 || best < *min {
+				fatal(fmt.Errorf("required family %s: max sample %g < min %g", name, best, *min))
+			}
+		}
+	}
+
+	samples := 0
+	for _, f := range fams {
+		samples += len(f.Samples)
+	}
+	fmt.Printf("promcheck: OK — %d families, %d samples\n", len(fams), samples)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "promcheck:", err)
+	os.Exit(1)
+}

@@ -178,7 +178,26 @@ type Controller struct {
 	// against preSwapMean.
 	postSwap    bool
 	preSwapMean time.Duration
+
+	// lastWin summarizes the most recently closed window (zero until
+	// the first window fills) — observability detail for annotating
+	// adapt actions with the evidence that drove them.
+	lastWin WindowStats
 }
+
+// WindowStats summarizes one closed controller window.
+type WindowStats struct {
+	// Mean is the window's mean served latency.
+	Mean time.Duration
+	// Violations is the fraction of the window over the SLO.
+	Violations float64
+	// Drift is mean / bias-corrected prediction at window close.
+	Drift float64
+}
+
+// LastWindow returns the most recently closed window's summary. Callers
+// synchronize with Observe (serve holds the same lock around both).
+func (c *Controller) LastWindow() WindowStats { return c.lastWin }
 
 // New profiles and plans the workflow's current behaviour.
 func New(src Source, opt Options) (*Controller, error) {
@@ -284,6 +303,11 @@ func (c *Controller) Observe(lat time.Duration) (Action, error) {
 	ratio := float64(mean) / float64(c.predicted)
 	c.window = c.window[:0]
 	c.windows++
+	c.lastWin = WindowStats{
+		Mean:       mean,
+		Violations: violations,
+		Drift:      float64(mean) / float64(c.Corrected()),
+	}
 
 	// Probation: the first full window after a swap answers one question
 	// — did the swap hold? A regression versus the pre-swap baseline

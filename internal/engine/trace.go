@@ -21,7 +21,7 @@ import (
 // at any worker count.
 func (r *runner) emitTrace(res *Result) {
 	rec := r.env.Rec
-	tr, named := rec.(*obs.Trace)
+	tr, named := rec.(obs.Namer)
 	if named {
 		tr.NameProcess(0, "request")
 	}
@@ -70,7 +70,7 @@ func (r *runner) emitTrace(res *Result) {
 	}
 }
 
-func (r *runner) emitWrap(rec obs.Recorder, named bool, tr *obs.Trace, si int, wr WrapResult, pseudo map[string]bool) {
+func (r *runner) emitWrap(rec obs.Recorder, named bool, tr obs.Namer, si int, wr WrapResult, pseudo map[string]bool) {
 	pid := wr.Sandbox + 1
 	if named {
 		tr.NameProcess(pid, fmt.Sprintf("sandbox %d", wr.Sandbox))

@@ -124,11 +124,12 @@ func RunCtx(parent context.Context, w *dag.Workflow, plan *wrap.Plan, opt Option
 	defer cancel()
 
 	r := &runner{
-		opt:   opt,
-		ctx:   ctx,
-		store: storage.NewMem(),
-		t0:    time.Now(),
-		tids:  map[int]int{},
+		opt:     opt,
+		ctx:     ctx,
+		store:   storage.NewMem(),
+		t0:      time.Now(),
+		tids:    map[int]int{},
+		verbose: obs.IsVerbose(opt.Rec),
 	}
 	for si := range w.Stages {
 		wraps, err := plan.StageWraps(w, si)
@@ -145,28 +146,77 @@ func RunCtx(parent context.Context, w *dag.Workflow, plan *wrap.Plan, opt Option
 		Store:     r.store,
 	}
 	if rec := r.opt.Rec; rec != nil {
-		if tr, ok := rec.(*obs.Trace); ok {
+		if tr, ok := rec.(obs.Namer); ok {
 			tr.NameProcess(0, "request")
+		}
+		// Span args are verbose-only: they duplicate what the track
+		// layout and span names already say, and each Args literal is
+		// an allocation the always-on flight path shouldn't pay.
+		var args []obs.Arg
+		if r.verbose {
+			args = []obs.Arg{obs.A("workflow", w.Name), obs.A("stages", len(w.Stages))}
 		}
 		rec.RecordSpan(obs.Span{
 			PID: 0, TID: 0, Name: "request " + w.Name, Cat: obs.CatRequest,
 			Start: 0, End: res.E2E,
-			Args: []obs.Arg{obs.A("workflow", w.Name), obs.A("stages", len(w.Stages))},
+			Args: args,
 		})
 	}
 	return res, nil
 }
 
 type runner struct {
-	opt   Options
-	ctx   context.Context
-	store *storage.MemStore
-	t0    time.Time
+	opt     Options
+	ctx     context.Context
+	store   *storage.MemStore
+	t0      time.Time
+	verbose bool // recorder wants per-quantum GIL instants
 
 	mu      sync.Mutex
 	timings []FnTiming
 	runErr  error
 	tids    map[int]int // per-sandbox function-row allocator (tracing)
+}
+
+// Track-name tables: stage/wrap/sandbox indices are single digits in
+// practice, and these names are emitted on every request now that the
+// flight recorder is always on — precompute them instead of paying a
+// fmt.Sprintf per span.
+const smallTrack = 32
+
+var (
+	stageNames   [smallTrack]string
+	wrapNames    [smallTrack]string
+	sandboxNames [smallTrack]string
+)
+
+func init() {
+	for i := 0; i < smallTrack; i++ {
+		stageNames[i] = fmt.Sprintf("stage %d", i)
+		wrapNames[i] = fmt.Sprintf("s%d.wrap", i)
+		sandboxNames[i] = fmt.Sprintf("sandbox %d", i)
+	}
+}
+
+func stageName(i int) string {
+	if 0 <= i && i < smallTrack {
+		return stageNames[i]
+	}
+	return fmt.Sprintf("stage %d", i)
+}
+
+func wrapName(i int) string {
+	if 0 <= i && i < smallTrack {
+		return wrapNames[i]
+	}
+	return fmt.Sprintf("s%d.wrap", i)
+}
+
+func sandboxName(i int) string {
+	if 0 <= i && i < smallTrack {
+		return sandboxNames[i]
+	}
+	return fmt.Sprintf("sandbox %d", i)
 }
 
 // nextTID hands out the next function thread row for a sandbox's
@@ -257,10 +307,14 @@ func (r *runner) runStage(si int, wraps []wrap.StageWrap) error {
 	}
 	wg.Wait()
 	if rec := r.opt.Rec; rec != nil {
+		var args []obs.Arg
+		if r.verbose {
+			args = []obs.Arg{obs.A("wraps", len(wraps))}
+		}
 		rec.RecordSpan(obs.Span{
-			PID: 0, TID: 0, Name: fmt.Sprintf("stage %d", si), Cat: obs.CatStage,
+			PID: 0, TID: 0, Name: stageName(si), Cat: obs.CatStage,
 			Start: stageStart, End: r.nominalSince(r.t0),
-			Args: []obs.Arg{obs.A("wraps", len(wraps))},
+			Args: args,
 		})
 	}
 	select {
@@ -279,8 +333,8 @@ func (r *runner) runStage(si int, wraps []wrap.StageWrap) error {
 // over pipes (modelled as a final sleep).
 func (r *runner) runWrap(si int, sw wrap.StageWrap) {
 	pid := sw.Sandbox + 1
-	if tr, ok := r.opt.Rec.(*obs.Trace); ok {
-		tr.NameProcess(pid, fmt.Sprintf("sandbox %d", sw.Sandbox))
+	if tr, ok := r.opt.Rec.(obs.Namer); ok {
+		tr.NameProcess(pid, sandboxName(sw.Sandbox))
 	}
 	wrapStart := r.nominalSince(r.t0)
 	if sw.Cfg.Pool {
@@ -328,10 +382,14 @@ func (r *runner) runWrap(si int, sw wrap.StageWrap) {
 // emitWrapSpan closes the wrap's orchestrator-row span.
 func (r *runner) emitWrapSpan(si, pid int, from time.Duration) {
 	if rec := r.opt.Rec; rec != nil {
+		var args []obs.Arg
+		if r.verbose {
+			args = []obs.Arg{obs.A("stage", si), obs.A("sandbox", pid-1)}
+		}
 		rec.RecordSpan(obs.Span{
-			PID: pid, TID: 0, Name: fmt.Sprintf("s%d.wrap", si), Cat: obs.CatWrap,
+			PID: pid, TID: 0, Name: wrapName(si), Cat: obs.CatWrap,
 			Start: from, End: r.nominalSince(r.t0),
-			Args: []obs.Arg{obs.A("stage", si), obs.A("sandbox", pid-1)},
+			Args: args,
 		})
 	}
 }
@@ -407,7 +465,12 @@ func (r *runner) runFunction(si, sandbox int, fn *behavior.Spec, lock *gilLock) 
 	var gilEv func(string)
 	if r.opt.Rec != nil {
 		tid = r.nextTID(sandbox)
-		gilEv = func(name string) { r.instant(pid, tid, name, obs.CatGIL) }
+		// Per-quantum GIL handoff instants are verbose-only: the
+		// always-on flight recorder pays for the coarse span tree, not
+		// for hundreds of scheduler events per CPU segment.
+		if r.verbose {
+			gilEv = func(name string) { r.instant(pid, tid, name, obs.CatGIL) }
+		}
 	}
 	if bound, ok := r.opt.Bindings[fn.Name]; ok {
 		if lock != nil {
@@ -440,10 +503,14 @@ func (r *runner) runFunction(si, sandbox int, fn *behavior.Spec, lock *gilLock) 
 	}
 	finish := r.nominalSince(r.t0)
 	if rec := r.opt.Rec; rec != nil {
+		var args []obs.Arg
+		if r.verbose {
+			args = []obs.Arg{obs.A("stage", si)}
+		}
 		rec.RecordSpan(obs.Span{
 			PID: pid, TID: tid, Name: fn.Name, Cat: obs.CatFunction,
 			Start: start, End: finish,
-			Args: []obs.Arg{obs.A("stage", si)},
+			Args: args,
 		})
 	}
 	r.record(FnTiming{Name: fn.Name, Stage: si, Sandbox: sandbox, Start: start, Finish: finish})
@@ -477,10 +544,14 @@ func (r *runner) runFunctionOnCPUs(si, sandbox int, fn *behavior.Spec, cpus *cpu
 	}
 	finish := r.nominalSince(r.t0)
 	if rec := r.opt.Rec; rec != nil {
+		var args []obs.Arg
+		if r.verbose {
+			args = []obs.Arg{obs.A("stage", si)}
+		}
 		rec.RecordSpan(obs.Span{
 			PID: pid, TID: tid, Name: fn.Name, Cat: obs.CatFunction,
 			Start: start, End: finish,
-			Args: []obs.Arg{obs.A("stage", si)},
+			Args: args,
 		})
 	}
 	r.record(FnTiming{Name: fn.Name, Stage: si, Sandbox: sandbox, Start: start, Finish: finish})

@@ -41,6 +41,10 @@ type DriveOptions struct {
 	// Async (UDP driver only): submit invocations detached and await
 	// each completion reply, exercising the ack+completion path.
 	Async bool
+	// SLO, when non-zero, counts OK requests slower than it (wall
+	// clock) into DriveStats.Violations — the driver-side view of the
+	// server's burn-rate accounting.
+	SLO time.Duration
 }
 
 // DriveStats summarize one closed-loop run against a gateway.
@@ -49,6 +53,9 @@ type DriveStats struct {
 	OK       int
 	Rejected int // 429 responses (admission backpressure)
 	Failed   int
+	// Violations counts OK requests slower than DriveOptions.SLO (0
+	// when no SLO was set).
+	Violations int
 	// Latency of OK requests, wall clock.
 	Mean, P50, P95, P99 time.Duration
 	Elapsed             time.Duration
@@ -79,12 +86,13 @@ func DriveHTTP(ctx context.Context, url string, opt DriveOptions) (*DriveStats, 
 	}
 
 	var (
-		next     atomic.Int64
-		mu       sync.Mutex
-		lats     []time.Duration
-		ok, rej  int
-		failed   int
-		firstErr error
+		next       atomic.Int64
+		mu         sync.Mutex
+		lats       []time.Duration
+		ok, rej    int
+		failed     int
+		violations int
+		firstErr   error
 	)
 	t0 := time.Now()
 	var wg sync.WaitGroup
@@ -118,6 +126,9 @@ func DriveHTTP(ctx context.Context, url string, opt DriveOptions) (*DriveStats, 
 					ok++
 					lats = append(lats, lat)
 					drvLatency.Observe(lat)
+					if opt.SLO > 0 && lat > opt.SLO {
+						violations++
+					}
 				default:
 					failed++
 					drvFailed.Inc()
@@ -140,11 +151,12 @@ func DriveHTTP(ctx context.Context, url string, opt DriveOptions) (*DriveStats, 
 	wg.Wait()
 
 	st := &DriveStats{
-		Sent:     ok + rej + failed,
-		OK:       ok,
-		Rejected: rej,
-		Failed:   failed,
-		Elapsed:  time.Since(t0),
+		Sent:       ok + rej + failed,
+		OK:         ok,
+		Rejected:   rej,
+		Failed:     failed,
+		Violations: violations,
+		Elapsed:    time.Since(t0),
 	}
 	if st.Elapsed > 0 {
 		st.Throughput = float64(ok) / st.Elapsed.Seconds()

@@ -89,7 +89,10 @@ func stripProcs(name string) string {
 // ParseGoBench parses `go test -bench` output into results, tolerating
 // interleaved non-benchmark lines (log output, PASS/ok trailers). Units
 // beyond the standard ns/op, B/op and allocs/op are collected into
-// Metrics keyed by unit name.
+// Metrics keyed by unit name. Repeated names (from -count=N) fold to
+// the fastest repetition — min ns/op is the estimator least disturbed
+// by scheduler and frequency noise, which at small -benchtime budgets
+// otherwise dwarfs real regressions.
 func ParseGoBench(r io.Reader) ([]BenchResult, error) {
 	var out []BenchResult
 	sc := bufio.NewScanner(r)
@@ -140,7 +143,19 @@ func ParseGoBench(r io.Reader) ([]BenchResult, error) {
 	if len(out) == 0 {
 		return nil, fmt.Errorf("obs: no benchmark lines found")
 	}
-	return out, nil
+	byName := make(map[string]int, len(out))
+	folded := out[:0]
+	for _, b := range out {
+		if i, ok := byName[b.Name]; ok {
+			if b.NsPerOp < folded[i].NsPerOp {
+				folded[i] = b
+			}
+			continue
+		}
+		byName[b.Name] = len(folded)
+		folded = append(folded, b)
+	}
+	return folded, nil
 }
 
 // CompareBench builds the delta table between two reports. Benchmarks

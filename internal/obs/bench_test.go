@@ -43,6 +43,33 @@ func TestParseGoBench(t *testing.T) {
 	}
 }
 
+func TestParseGoBenchFoldsRepetitionsToFastest(t *testing.T) {
+	// go test -count=3 emits each benchmark three times; the report must
+	// keep one entry per name, the fastest (min ns/op filters noise).
+	const sample = `BenchmarkX-8   20   1500 ns/op   32 B/op   2 allocs/op
+BenchmarkY-8   20   9000 ns/op
+BenchmarkX-8   20   1200 ns/op   32 B/op   2 allocs/op
+BenchmarkX-8   20   1900 ns/op   32 B/op   2 allocs/op
+BenchmarkY-8   20   9500 ns/op
+`
+	rs, err := ParseGoBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("parsed %d results, want 2 (folded): %+v", len(rs), rs)
+	}
+	if rs[0].Name != "BenchmarkX" || rs[0].NsPerOp != 1200 {
+		t.Fatalf("X not folded to fastest: %+v", rs[0])
+	}
+	if rs[1].Name != "BenchmarkY" || rs[1].NsPerOp != 9000 {
+		t.Fatalf("Y not folded to fastest: %+v", rs[1])
+	}
+	if rs[0].AllocsPerOp != 2 {
+		t.Fatalf("folded entry lost its columns: %+v", rs[0])
+	}
+}
+
 func TestParseGoBenchEmpty(t *testing.T) {
 	if _, err := ParseGoBench(strings.NewReader("PASS\nok x 1s\n")); err == nil {
 		t.Fatal("expected error on output with no benchmarks")

@@ -1,0 +1,114 @@
+package flight
+
+// Multi-window SLO error-budget accounting, Google-SRE style. Each
+// workflow tracks good/bad request counts over a fast window (default
+// 5m) and a slow window (default 1h). The burn rate of a window is
+//
+//	burn = badFraction / (1 - SLOTarget)
+//
+// i.e. the multiple of the error budget being consumed: at target 0.99
+// a steady 1% bad rate burns exactly 1x budget, all-bad burns 100x. An
+// alert trips only when BOTH windows exceed the threshold — the fast
+// window makes the alert responsive, the slow window keeps a brief
+// blip from paging. 14.4x is the canonical fast-burn threshold (2% of
+// a 30-day budget in one hour).
+//
+// Windows are rings of coarse buckets (window/burnBuckets resolution)
+// with per-bucket epochs, so advancing time invalidates stale buckets
+// lazily — no ticker goroutine, no allocation on the hot path.
+
+import (
+	"sync"
+	"time"
+)
+
+const burnBuckets = 30
+
+// window is one sliding count pair at fixed resolution.
+type window struct {
+	res   time.Duration
+	epoch [burnBuckets]int64
+	good  [burnBuckets]uint64
+	bad   [burnBuckets]uint64
+}
+
+func newWindow(span time.Duration) window {
+	res := span / burnBuckets
+	if res <= 0 {
+		res = time.Second
+	}
+	return window{res: res}
+}
+
+func (w *window) add(now time.Time, bad bool) {
+	e := now.UnixNano() / int64(w.res)
+	i := int(e % burnBuckets)
+	if i < 0 {
+		i += burnBuckets
+	}
+	if w.epoch[i] != e {
+		w.epoch[i] = e
+		w.good[i] = 0
+		w.bad[i] = 0
+	}
+	if bad {
+		w.bad[i]++
+	} else {
+		w.good[i]++
+	}
+}
+
+// counts sums the live buckets (epoch within the window as of now).
+func (w *window) counts(now time.Time) (good, bad uint64) {
+	e := now.UnixNano() / int64(w.res)
+	for i := 0; i < burnBuckets; i++ {
+		if age := e - w.epoch[i]; age >= 0 && age < burnBuckets {
+			good += w.good[i]
+			bad += w.bad[i]
+		}
+	}
+	return good, bad
+}
+
+// burnState is the per-workflow budget monitor.
+type burnState struct {
+	mu      sync.Mutex
+	fast    window
+	slow    window
+	target  float64 // SLO target, e.g. 0.99
+	tripped bool
+}
+
+func newBurnState(fast, slow time.Duration, target float64) *burnState {
+	if target <= 0 || target >= 1 {
+		target = 0.99
+	}
+	return &burnState{fast: newWindow(fast), slow: newWindow(slow), target: target}
+}
+
+func burnRate(good, bad uint64, target float64) float64 {
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	badFrac := float64(bad) / float64(total)
+	return badFrac / (1 - target)
+}
+
+// observe records one request and returns the two burn rates plus
+// whether this observation transitioned the monitor into (or out of)
+// the tripped state. tripNow reports the current tripped state.
+func (b *burnState) observe(now time.Time, bad bool, threshold float64) (fastBurn, slowBurn float64, tripNow, tripEdge bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fast.add(now, bad)
+	b.slow.add(now, bad)
+	fg, fb := b.fast.counts(now)
+	sg, sb := b.slow.counts(now)
+	fastBurn = burnRate(fg, fb, b.target)
+	slowBurn = burnRate(sg, sb, b.target)
+	trip := fastBurn >= threshold && slowBurn >= threshold
+	tripEdge = trip && !b.tripped
+	b.tripped = trip
+	return fastBurn, slowBurn, trip, tripEdge
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package flight
+
+// Under the race detector sync.Pool randomly drops items on Put, so the
+// pooled recorder is reallocated on a fraction of iterations and the
+// zero-alloc assertion cannot hold. The plain `go test ./...` tier still
+// enforces it.
+const raceEnabled = true

@@ -17,6 +17,13 @@ type Manifest struct {
 	Tool string `json:"tool"`
 	// GoVersion is runtime.Version() of the producing build.
 	GoVersion string `json:"go_version"`
+	// Version is the producing binary's main-module version from
+	// debug.ReadBuildInfo ("(devel)" for local builds) — the same value
+	// the chiron_build_info gauge exposes.
+	Version string `json:"version,omitempty"`
+	// VCSRevision is the commit the binary was built from, when the
+	// build stamped one.
+	VCSRevision string `json:"vcs_revision,omitempty"`
 	// Seed is the jitter seed all experiments derived their streams from.
 	Seed int64 `json:"seed"`
 	// Workers is the parallel pool width (results are identical at any

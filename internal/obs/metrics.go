@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,14 +51,23 @@ func DefBuckets() []time.Duration {
 	}
 }
 
+// Exemplar links one histogram bucket to a retained trace: the flight
+// recorder stamps the bucket a kept request landed in, so a latency
+// spike in /metrics points straight at a fetchable trace id.
+type Exemplar struct {
+	TraceID uint64
+	Value   float64 // observed value in seconds
+}
+
 // Histogram is a fixed-bucket latency histogram. Buckets hold counts of
 // observations at or below their upper bound (cumulative on export, per
 // the Prometheus convention); observation is lock-free.
 type Histogram struct {
-	bounds []time.Duration // ascending upper bounds
-	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
-	sum    atomic.Int64    // nanoseconds
-	count  atomic.Uint64
+	bounds    []time.Duration // ascending upper bounds
+	counts    []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum       atomic.Int64    // nanoseconds
+	count     atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1, last-write-wins
 }
 
 // NewHistogram returns a histogram over the given ascending upper
@@ -68,7 +78,20 @@ func NewHistogram(bounds []time.Duration) *Histogram {
 	}
 	bounds = append([]time.Duration(nil), bounds...)
 	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
-	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return &Histogram{
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
+	}
+}
+
+// SetExemplar attaches a trace id to the bucket d falls in. It does not
+// count an observation — callers Observe first, then stamp the exemplar
+// once a trace is known to be retained (exemplars must reference
+// fetchable traces). Last write per bucket wins.
+func (h *Histogram) SetExemplar(d time.Duration, traceID uint64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: d.Seconds()})
 }
 
 // Observe records one duration.
@@ -274,6 +297,9 @@ func (r *Registry) Reset() {
 		for i := range h.counts {
 			h.counts[i].Store(0)
 		}
+		for i := range h.exemplars {
+			h.exemplars[i].Store(nil)
+		}
 		h.sum.Store(0)
 		h.count.Store(0)
 	}
@@ -286,30 +312,133 @@ func (r *Registry) Reset() {
 	}
 }
 
+// ---- labeled series ----
+//
+// The registry keys series by their full name, which may carry an
+// inline label block: Counter(`chiron_slo_bad_total{workflow="x"}`).
+// Labels builds such a block with correct text-format escaping; the
+// exporters split it back apart so HELP/TYPE lines name the bare
+// family, histogram buckets merge `le` into the existing set, and
+// families stay contiguous in the output.
+
+// EscapeLabel escapes a label value for the Prometheus text exposition
+// format: backslash, double quote and newline must be escaped (in that
+// order — escaping the escape character first).
+func EscapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP line: only backslash and newline.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// Labels renders alternating key/value pairs as a `{k="v",...}` label
+// block with escaped values, suitable for appending to a metric name
+// handed to the registry. Keys are written as given (callers pass valid
+// label names); values go through EscapeLabel. Panics on an odd number
+// of arguments — that is a programming error, not input.
+func Labels(kv ...string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs.Labels: odd number of key/value arguments")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitSeries separates a registry series name into its bare family
+// name and the inner label list (without braces, "" when unlabeled).
+func splitSeries(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	inner := name[i+1:]
+	inner = strings.TrimSuffix(inner, "}")
+	return name[:i], inner
+}
+
+// series renders "base{labels}" or just "base", and "base_suffix{...}"
+// variants for histogram children.
+func seriesName(base, suffix, labels string) string {
+	if labels == "" {
+		return base + suffix
+	}
+	return base + suffix + "{" + labels + "}"
+}
+
+// bucketName renders a histogram bucket series, merging le into any
+// existing labels.
+func bucketName(base, labels, le string) string {
+	if labels == "" {
+		return base + `_bucket{le="` + le + `"}`
+	}
+	return base + `_bucket{` + labels + `,le="` + le + `"}`
+}
+
 // WriteProm renders every metric in the Prometheus text exposition
-// format, sorted by name so output is stable.
+// format (classic 0.0.4: no exemplars), families contiguous and sorted
+// by name so output is stable. Labeled series of one family share a
+// single HELP/TYPE header.
 func (r *Registry) WriteProm(w io.Writer) error {
-	r.mu.Lock()
-	names := make([]string, 0, len(r.ctrs)+len(r.gaugs)+len(r.hists)+len(r.sizes))
-	for n := range r.ctrs {
-		names = append(names, n)
+	return r.writeText(w, false)
+}
+
+// WriteOpenMetrics renders the same families with OpenMetrics-style
+// bucket exemplars (`# {trace_id="7"} 0.093` after bucket samples) and
+// a trailing `# EOF`. Classic-format scrapers should use WriteProm;
+// this variant exists so latency buckets can point at retained flight
+// traces.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if err := r.writeText(w, true); err != nil {
+		return err
 	}
-	for n := range r.gaugs {
-		names = append(names, n)
-	}
-	for n := range r.hists {
-		names = append(names, n)
-	}
-	for n := range r.sizes {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	// Snapshot under the lock; rendering happens after.
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func (r *Registry) writeText(w io.Writer, exemplars bool) error {
 	type hsnap struct {
-		bounds []time.Duration
-		counts []uint64
-		sum    time.Duration
-		count  uint64
+		bounds    []time.Duration
+		counts    []uint64
+		exemplars []*Exemplar
+		sum       time.Duration
+		count     uint64
 	}
 	type isnap struct {
 		bounds []int64
@@ -317,33 +446,47 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		sum    int64
 		count  uint64
 	}
+	type row struct {
+		base, labels string
+		kind         byte
+		name         string // full series name as registered
+	}
+
+	r.mu.Lock()
+	rows := make([]row, 0, len(r.ctrs)+len(r.gaugs)+len(r.hists)+len(r.sizes))
+	add := func(n string, kind byte) {
+		base, labels := splitSeries(n)
+		rows = append(rows, row{base: base, labels: labels, kind: kind, name: n})
+	}
 	ctrs := map[string]uint64{}
 	gaugs := map[string]int64{}
 	hists := map[string]hsnap{}
 	sizes := map[string]isnap{}
 	help := map[string]string{}
-	kind := map[string]byte{}
 	for n, c := range r.ctrs {
+		add(n, 'c')
 		ctrs[n] = c.Value()
 		help[n] = r.help[n]
-		kind[n] = 'c'
 	}
 	for n, g := range r.gaugs {
+		add(n, 'g')
 		gaugs[n] = g.Value()
 		help[n] = r.help[n]
-		kind[n] = 'g'
 	}
 	for n, h := range r.hists {
+		add(n, 'h')
 		s := hsnap{bounds: h.bounds, sum: h.Sum(), count: h.Count()}
 		s.counts = make([]uint64, len(h.counts))
+		s.exemplars = make([]*Exemplar, len(h.counts))
 		for i := range h.counts {
 			s.counts[i] = h.counts[i].Load()
+			s.exemplars[i] = h.exemplars[i].Load()
 		}
 		hists[n] = s
 		help[n] = r.help[n]
-		kind[n] = 'h'
 	}
 	for n, h := range r.sizes {
+		add(n, 'i')
 		s := isnap{bounds: h.bounds, sum: h.Sum(), count: h.Count()}
 		s.counts = make([]uint64, len(h.counts))
 		for i := range h.counts {
@@ -351,61 +494,89 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		}
 		sizes[n] = s
 		help[n] = r.help[n]
-		kind[n] = 'i'
 	}
 	r.mu.Unlock()
 
-	for _, n := range names {
-		if hl := help[n]; hl != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", n, hl); err != nil {
+	// Sort by (family, labels) so a family's labeled series stay
+	// contiguous — `{` sorts after `_`, so sorting raw names could
+	// interleave another family between an unlabeled and a labeled
+	// series of the same base.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].base != rows[j].base {
+			return rows[i].base < rows[j].base
+		}
+		return rows[i].labels < rows[j].labels
+	})
+
+	kindName := map[byte]string{'c': "counter", 'g': "gauge", 'h': "histogram", 'i': "histogram"}
+	lastFamily := ""
+	for _, rw := range rows {
+		if rw.base != lastFamily {
+			lastFamily = rw.base
+			if hl := help[rw.name]; hl != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", rw.base, escapeHelp(hl)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", rw.base, kindName[rw.kind]); err != nil {
 				return err
 			}
 		}
-		switch kind[n] {
+		switch rw.kind {
 		case 'c':
-			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, ctrs[n]); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", rw.name, ctrs[rw.name]); err != nil {
 				return err
 			}
 		case 'g':
-			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, gaugs[n]); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", rw.name, gaugs[rw.name]); err != nil {
 				return err
 			}
 		case 'i':
-			h := sizes[n]
-			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
-				return err
-			}
+			h := sizes[rw.name]
 			cum := uint64(0)
 			for i, b := range h.bounds {
 				cum += h.counts[i]
-				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, b, cum); err != nil {
+				if _, err := fmt.Fprintf(w, "%s %d\n", bucketName(rw.base, rw.labels, fmt.Sprintf("%d", b)), cum); err != nil {
 					return err
 				}
 			}
 			cum += h.counts[len(h.counts)-1]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", bucketName(rw.base, rw.labels, "+Inf"), cum); err != nil {
 				return err
 			}
-			if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", n, h.sum, n, h.count); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n%s %d\n",
+				seriesName(rw.base, "_sum", rw.labels), h.sum,
+				seriesName(rw.base, "_count", rw.labels), h.count); err != nil {
 				return err
 			}
 		default:
-			h := hists[n]
-			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			h := hists[rw.name]
+			cum := uint64(0)
+			writeBucket := func(le string, cum uint64, ex *Exemplar) error {
+				if _, err := fmt.Fprintf(w, "%s %d", bucketName(rw.base, rw.labels, le), cum); err != nil {
+					return err
+				}
+				if exemplars && ex != nil {
+					if _, err := fmt.Fprintf(w, " # {trace_id=\"%d\"} %g", ex.TraceID, ex.Value); err != nil {
+						return err
+					}
+				}
+				_, err := io.WriteString(w, "\n")
 				return err
 			}
-			cum := uint64(0)
 			for i, b := range h.bounds {
 				cum += h.counts[i]
-				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", n, b.Seconds(), cum); err != nil {
+				if err := writeBucket(fmt.Sprintf("%g", b.Seconds()), cum, h.exemplars[i]); err != nil {
 					return err
 				}
 			}
 			cum += h.counts[len(h.counts)-1]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum); err != nil {
+			if err := writeBucket("+Inf", cum, h.exemplars[len(h.counts)-1]); err != nil {
 				return err
 			}
-			if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, h.sum.Seconds(), n, h.count); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %g\n%s %d\n",
+				seriesName(rw.base, "_sum", rw.labels), h.sum.Seconds(),
+				seriesName(rw.base, "_count", rw.labels), h.count); err != nil {
 				return err
 			}
 		}

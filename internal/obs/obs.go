@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -65,8 +66,18 @@ type Arg struct {
 	Key, Val string
 }
 
-// A formats a value as an Arg.
+// A formats a value as an Arg. Ints and strings are formatted without
+// fmt: A sits on the always-on trace path, and strconv interns small
+// int strings so the common case ("stage", 3) does not allocate.
 func A(key string, val interface{}) Arg {
+	switch v := val.(type) {
+	case string:
+		return Arg{Key: key, Val: v}
+	case int:
+		return Arg{Key: key, Val: strconv.Itoa(v)}
+	case int64:
+		return Arg{Key: key, Val: strconv.FormatInt(v, 10)}
+	}
 	return Arg{Key: key, Val: fmt.Sprint(val)}
 }
 
@@ -110,6 +121,73 @@ type Recorder interface {
 	RecordSample(Sample)
 }
 
+// Namer is implemented by recorders that retain track names (process
+// and thread rows). Producers that label tracks — the live executor
+// naming sandboxes, the engine naming request rows — type-assert
+// against this interface instead of a concrete recorder, so the flight
+// recorder and *Trace both receive names.
+type Namer interface {
+	NameProcess(pid int, name string)
+	NameThread(pid, tid int, name string)
+}
+
+// Verboser marks recorders that want full-detail traces (per-quantum
+// GIL handoffs and similar high-frequency instants). The always-on
+// flight recorder deliberately does NOT implement it: its per-request
+// cost budget buys the coarse span tree only, while an explicit
+// ?trace=1 *Trace opts into everything.
+type Verboser interface {
+	VerboseTrace() bool
+}
+
+// IsVerbose reports whether rec asked for full-detail tracing.
+func IsVerbose(rec Recorder) bool {
+	v, ok := rec.(Verboser)
+	return ok && v.VerboseTrace()
+}
+
+// Tee fans every event out to both recorders (either may be nil). The
+// serving plane uses it when a request carries an explicit ?trace=1
+// recorder on top of the always-on flight recorder.
+func Tee(a, b Recorder) Recorder {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &tee{a: a, b: b}
+}
+
+type tee struct{ a, b Recorder }
+
+func (t *tee) RecordSpan(s Span)       { t.a.RecordSpan(s); t.b.RecordSpan(s) }
+func (t *tee) RecordInstant(i Instant) { t.a.RecordInstant(i); t.b.RecordInstant(i) }
+func (t *tee) RecordSample(s Sample)   { t.a.RecordSample(s); t.b.RecordSample(s) }
+
+// VerboseTrace reports whether either side wants full detail.
+func (t *tee) VerboseTrace() bool { return IsVerbose(t.a) || IsVerbose(t.b) }
+
+// NameProcess forwards to whichever underlying recorders retain names.
+func (t *tee) NameProcess(pid int, name string) {
+	if n, ok := t.a.(Namer); ok {
+		n.NameProcess(pid, name)
+	}
+	if n, ok := t.b.(Namer); ok {
+		n.NameProcess(pid, name)
+	}
+}
+
+// NameThread forwards to whichever underlying recorders retain names.
+func (t *tee) NameThread(pid, tid int, name string) {
+	if n, ok := t.a.(Namer); ok {
+		n.NameThread(pid, tid, name)
+	}
+	if n, ok := t.b.(Namer); ok {
+		n.NameThread(pid, tid, name)
+	}
+}
+
 // Nop is a Recorder that discards everything. It exists for benchmarks
 // that want the call overhead without retention; production hot paths
 // prefer a nil Recorder (one nil-check, zero calls).
@@ -141,6 +219,10 @@ type Trace struct {
 func NewTrace() *Trace {
 	return &Trace{procs: map[int]string{}, threads: map[[2]int]string{}}
 }
+
+// VerboseTrace implements Verboser: an explicit *Trace (the ?trace=1
+// path, test harnesses) always wants full detail.
+func (t *Trace) VerboseTrace() bool { return true }
 
 // RecordSpan implements Recorder.
 func (t *Trace) RecordSpan(s Span) {

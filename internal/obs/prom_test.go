@@ -1,0 +1,235 @@
+package obs
+
+// Tests for labeled series, text-format escaping, the OpenMetrics
+// exemplar rendering, and the strict parser's histogram invariants.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEscapeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`qu"ote`, `qu\"ote`},
+		{"new\nline", `new\nline`},
+		{`all\"of` + "\nthem", `all\\\"of\nthem`},
+		{"", ""},
+		{`\`, `\\`},
+		{`\\`, `\\\\`},
+		{`trailing\`, `trailing\\`},
+	}
+	for _, c := range cases {
+		if got := EscapeLabel(c.in); got != c.want {
+			t.Errorf("EscapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLabelsRendering(t *testing.T) {
+	if got := Labels(); got != "" {
+		t.Errorf("Labels() = %q, want empty", got)
+	}
+	if got := Labels("workflow", "Social"); got != `{workflow="Social"}` {
+		t.Errorf("got %q", got)
+	}
+	if got := Labels("a", "1", "b", `x"y`); got != `{a="1",b="x\"y"}` {
+		t.Errorf("got %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd kv count did not panic")
+		}
+	}()
+	Labels("only-key")
+}
+
+// TestWritePromLabeledSeries: labeled series of one family share one
+// HELP/TYPE header, stay contiguous, and escaped values round-trip
+// through the strict parser.
+func TestWritePromLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("slo_bad_total"+Labels("workflow", "A"), "bad requests").Add(3)
+	r.Counter("slo_bad_total"+Labels("workflow", `we"ird\wf`+"\n2"), "bad requests").Add(5)
+	// A family whose name would sort between "slo_bad_total" and
+	// "slo_bad_total{..." under raw-byte ordering ('_' < '{').
+	r.Counter("slo_bad_totals_total", "different family").Add(7)
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "# TYPE slo_bad_total counter"); n != 1 {
+		t.Errorf("want exactly 1 TYPE line for slo_bad_total, got %d:\n%s", n, out)
+	}
+	if !strings.Contains(out, `slo_bad_total{workflow="A"} 3`) {
+		t.Errorf("missing labeled sample:\n%s", out)
+	}
+	if !strings.Contains(out, `slo_bad_total{workflow="we\"ird\\wf\n2"} 5`) {
+		t.Errorf("missing escaped labeled sample:\n%s", out)
+	}
+	// Family contiguity: the other family must not interleave.
+	a := strings.Index(out, `slo_bad_total{workflow="A"}`)
+	b := strings.Index(out, `slo_bad_total{workflow="we`)
+	c := strings.Index(out, "slo_bad_totals_total 7")
+	if !(a < b && b < c) {
+		t.Errorf("labeled family interleaved (a=%d b=%d c=%d):\n%s", a, b, c, out)
+	}
+
+	fams, err := CheckProm(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("strict parse: %v\n%s", err, out)
+	}
+	f := fams["slo_bad_total"]
+	if f == nil || len(f.Samples) != 2 {
+		t.Fatalf("parser saw %+v", f)
+	}
+	seen := map[string]float64{}
+	for _, s := range f.Samples {
+		seen[s.Labels["workflow"]] = s.Value
+	}
+	if seen["A"] != 3 {
+		t.Errorf("A = %v", seen["A"])
+	}
+	if seen[`we"ird\wf`+"\n2"] != 5 {
+		t.Errorf("escaped label did not round-trip: %+v", seen)
+	}
+}
+
+func TestWritePromLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat"+Labels("plane", "udp"), "latency", []time.Duration{time.Millisecond})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE lat histogram",
+		`lat_bucket{plane="udp",le="0.001"} 1`,
+		`lat_bucket{plane="udp",le="+Inf"} 2`,
+		`lat_sum{plane="udp"}`,
+		`lat_count{plane="udp"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if _, err := CheckProm(strings.NewReader(out)); err != nil {
+		t.Fatalf("strict parse: %v\n%s", err, out)
+	}
+}
+
+func TestWriteOpenMetricsExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []time.Duration{time.Millisecond, time.Second})
+	h.Observe(2 * time.Millisecond)
+	h.SetExemplar(2*time.Millisecond, 42)
+
+	var classic, om bytes.Buffer
+	if err := r.WriteProm(&classic); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(classic.String(), "trace_id") {
+		t.Errorf("classic output must not carry exemplars:\n%s", classic.String())
+	}
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	out := om.String()
+	if !strings.Contains(out, `lat_bucket{le="1"} 1 # {trace_id="42"} 0.002`) {
+		t.Errorf("missing exemplar:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics output missing # EOF:\n%s", out)
+	}
+}
+
+func TestCheckPromRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"bad-name", "1bad_name 3\n"},
+		{"no-value", "metric\n"},
+		{"bad-value", "metric abc\n"},
+		{"bad-escape", `m{l="a\q"} 1` + "\n"},
+		{"unterminated-label", `m{l="a} 1` + "\n"},
+		{"bad-label-name", `m{0l="a"} 1` + "\n"},
+		{"missing-inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+		{"count-mismatch", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n"},
+		{"non-monotone", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n"},
+		{"missing-sum", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n"},
+		{"missing-count", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n"},
+	}
+	for _, c := range cases {
+		if _, err := CheckProm(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted malformed input:\n%s", c.name, c.in)
+		}
+	}
+}
+
+func TestCheckPromAcceptsRegistryOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "requests").Add(10)
+	r.Gauge("depth", "queue depth").Set(3)
+	r.Histogram("lat", "latency", nil).Observe(time.Millisecond)
+	r.IntHistogram("sizes", "bytes", nil).Observe(512)
+	RegisterBuildInfo(r)
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := CheckProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("CheckProm rejected registry output: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{"reqs_total", "depth", "lat", "sizes", "chiron_build_info"} {
+		if _, ok := fams[want]; !ok {
+			t.Errorf("family %s missing from parse", want)
+		}
+	}
+	bi := fams["chiron_build_info"]
+	if len(bi.Samples) != 1 || bi.Samples[0].Value != 1 {
+		t.Fatalf("chiron_build_info = %+v", bi.Samples)
+	}
+	if bi.Samples[0].Labels["go_version"] == "" || bi.Samples[0].Labels["version"] == "" {
+		t.Errorf("chiron_build_info labels incomplete: %+v", bi.Samples[0].Labels)
+	}
+}
+
+func TestRuntimeBridgeCollect(t *testing.T) {
+	r := NewRegistry()
+	b := NewRuntimeBridge(r)
+	b.Collect()
+	if v := r.Gauge("chiron_runtime_goroutines", "").Value(); v <= 0 {
+		t.Errorf("goroutines gauge = %d, want > 0", v)
+	}
+	if v := r.Gauge("chiron_runtime_heap_bytes", "").Value(); v <= 0 {
+		t.Errorf("heap gauge = %d, want > 0", v)
+	}
+	// The bridged output must satisfy the strict parser too.
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckProm(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("runtime metrics fail strict parse: %v", err)
+	}
+	// Start/Stop cycle terminates cleanly.
+	b.Start(time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	b.Stop()
+}
+
+func TestReadBuild(t *testing.T) {
+	b := ReadBuild()
+	if b.GoVersion == "" {
+		t.Error("GoVersion empty")
+	}
+}

@@ -43,6 +43,10 @@ func newAdmission(a *App, slots, maxQueue int, scale float64) *admission {
 
 func (a *admission) setSLO(slo time.Duration) { a.sloNs.Store(int64(slo)) }
 
+// slo returns the latency SLO in effect (0 = none). Lock-free; the
+// flight recorder reads it on every request.
+func (a *admission) slo() time.Duration { return time.Duration(a.sloNs.Load()) }
+
 // prime seeds the service-time estimate (the plan's prediction) so the
 // very first requests are admitted against a sane model.
 func (a *admission) prime(svc time.Duration) { a.ewmaNs.Store(int64(svc)) }

@@ -1,0 +1,70 @@
+package serve
+
+// /debug/flight: the operator's window into the always-on flight
+// recorder. Listing is cheap (summaries only); fetching a trace copies
+// it through the Chrome trace_event exporter so the output loads
+// directly in Perfetto / chrome://tracing.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// handleReadyz is the readiness probe: 200 while serving, 503 once a
+// drain has begun so load balancers stop routing before the listener
+// closes. Liveness (/healthz) stays 200 throughout the drain.
+func (a *App) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if a.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleFlightList returns the retained traces (newest first, with
+// reason tags) and the adapt/burn annotation log.
+func (a *App) handleFlightList(w http.ResponseWriter, r *http.Request) {
+	fl := a.opt.Flight
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"retained":    fl.List(),
+		"annotations": fl.Annotations(),
+	})
+}
+
+// handleFlightTrace streams one retained trace as Chrome trace_event
+// JSON. 404 when the id was never kept or has been evicted by the ring.
+func (a *App) handleFlightTrace(w http.ResponseWriter, r *http.Request) {
+	idStr := r.URL.Query().Get("id")
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil || id == 0 {
+		writeErr(w, fmt.Errorf("%w: bad trace id %q", errBadRequest, idStr))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := a.opt.Flight.WriteChrome(id, w); err != nil {
+		// Headers may not have flushed yet for an unknown id because
+		// WriteChrome fails before writing; map to 404.
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+	}
+}
+
+// handleFlightForce arms dump-on-demand: the next n finished requests
+// are retained regardless of the sampling rules (default 1, cap 64).
+func (a *App) handleFlightForce(w http.ResponseWriter, r *http.Request) {
+	n := 1
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			writeErr(w, fmt.Errorf("%w: bad count %q", errBadRequest, s))
+			return
+		}
+		n = v
+	}
+	if n > 64 {
+		n = 64
+	}
+	a.opt.Flight.ForceNext(n)
+	writeJSON(w, http.StatusOK, map[string]int{"forced": n})
+}

@@ -7,6 +7,7 @@ import (
 
 	"chiron/internal/live"
 	"chiron/internal/obs"
+	"chiron/internal/obs/flight"
 )
 
 // This file is the binary-ingress fast path: workflows addressed by
@@ -43,6 +44,10 @@ type FastResult struct {
 	ColdStart   time.Duration
 	QueueWait   time.Duration
 	E2E         time.Duration
+	// TraceID is non-zero when the flight recorder retained this
+	// request's trace (fetch via /debug/flight/trace?id=). Server-side
+	// only — it is not part of the UDP wire format.
+	TraceID uint64
 }
 
 // Admitted is one admitted-but-not-yet-executed invocation: it owns an
@@ -122,19 +127,35 @@ func (a *App) executeAdmitted(ctx context.Context, wf *workflowState, wait time.
 	}
 	beh := wf.snapshot()
 
+	// Every admitted request records into a pooled flight recorder; an
+	// explicit ?trace=1 recorder tees on top. Finish decides retention
+	// from hindsight (slow/error/SLO/adapt-coincident) and recycles the
+	// recorder either way.
+	fl := a.opt.Flight
+	fr := fl.Acquire()
+	runRec := obs.Tee(fr, rec)
+	sloNow := wf.adm.slo()
+	start := time.Now()
+
 	cold, err := ps.pool.acquire(ctx)
 	if err != nil {
+		fl.Finish(fr, flight.Info{
+			Workflow: wf.name, Latency: a.nominalSince(start) + wait, SLO: sloNow, Err: err,
+		})
 		return nil, FastResult{}, err
 	}
 	res, err := live.RunCtx(ctx, beh, ps.plan, live.Options{
 		Const:   a.opt.Const,
 		Scale:   a.opt.Scale,
 		Timeout: a.opt.RequestTimeout,
-		Rec:     rec,
+		Rec:     runRec,
 	})
 	ps.pool.release(time.Now())
 	if err != nil {
 		a.m.errors.Inc()
+		fl.Finish(fr, flight.Info{
+			Workflow: wf.name, Latency: a.nominalSince(start) + wait, SLO: sloNow, Err: err,
+		})
 		if isPlacementErr(err) {
 			return nil, FastResult{}, fmt.Errorf("%w: %v", ErrStalePlan, err)
 		}
@@ -146,10 +167,20 @@ func (a *App) executeAdmitted(ctx context.Context, wf *workflowState, wait time.
 		coldCost = a.opt.Const.ColdStart
 	}
 
+	total := wait + coldCost + res.E2E
 	a.m.requests.Inc()
-	a.m.latency.Observe(wait + coldCost + res.E2E)
+	a.m.latency.Observe(total)
 	wf.adm.observe(res.E2E)
 	wf.feed(res.E2E)
+
+	id, kept := fl.Finish(fr, flight.Info{
+		Workflow: wf.name, Latency: total, SLO: sloNow,
+	})
+	if kept {
+		// Exemplar: the latency bucket this request landed in now points
+		// at a fetchable trace.
+		a.m.latency.SetExemplar(total, id)
+	}
 
 	return res, FastResult{
 		PlanVersion: ps.version,
@@ -157,5 +188,16 @@ func (a *App) executeAdmitted(ctx context.Context, wf *workflowState, wait time.
 		ColdStart:   coldCost,
 		QueueWait:   wait,
 		E2E:         res.E2E,
+		TraceID:     id,
 	}, nil
+}
+
+// nominalSince converts elapsed wall time back into nominal (unscaled)
+// time, matching how latency metrics are reported elsewhere.
+func (a *App) nominalSince(start time.Time) time.Duration {
+	el := time.Since(start)
+	if s := a.opt.Scale; s > 0 && s != 1 {
+		return time.Duration(float64(el) / s)
+	}
+	return el
 }

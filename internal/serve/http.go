@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"chiron/internal/dag"
@@ -16,8 +17,12 @@ import (
 
 // Handler returns the gateway's HTTP mux:
 //
-//	GET  /healthz                     liveness
-//	GET  /metrics                     Prometheus text exposition
+//	GET  /healthz                     liveness (200 until the process exits)
+//	GET  /readyz                      readiness (503 once a drain begins)
+//	GET  /metrics                     Prometheus text exposition (?exemplars=1 for OpenMetrics)
+//	GET  /debug/flight                retained flight traces + adapt/burn annotations
+//	GET  /debug/flight/trace?id=N     one retained trace as Chrome trace_event JSON
+//	POST /debug/flight/force?n=K      retain the next K traces unconditionally
 //	GET  /workflows                   registered workflow names
 //	POST /workflows                   register/update (workflow | graph | builtin)
 //	GET  /workflows/{name}            serving status
@@ -31,7 +36,11 @@ func (a *App) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", a.handleReadyz)
 	mux.HandleFunc("GET /metrics", a.handleMetrics)
+	mux.HandleFunc("GET /debug/flight", a.handleFlightList)
+	mux.HandleFunc("GET /debug/flight/trace", a.handleFlightTrace)
+	mux.HandleFunc("POST /debug/flight/force", a.handleFlightForce)
 	mux.HandleFunc("GET /workflows", a.handleList)
 	mux.HandleFunc("POST /workflows", a.handleRegister)
 	mux.HandleFunc("GET /workflows/{name}", a.handleStatus)
@@ -83,6 +92,16 @@ func isDeadline(err error) bool {
 }
 
 func (a *App) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Default is the classic 0.0.4 text format, which strict classic
+	// parsers (cmd/promcheck) accept. ?exemplars=1 or an OpenMetrics
+	// Accept header switches to the OpenMetrics rendering, whose bucket
+	// exemplars link latency buckets to retained flight trace ids.
+	if r.URL.Query().Get("exemplars") == "1" ||
+		strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = a.opt.Reg.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = a.opt.Reg.WriteProm(w)
 }

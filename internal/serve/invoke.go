@@ -23,14 +23,17 @@ type FnTiming struct {
 
 // InvokeResult is one served invocation.
 type InvokeResult struct {
-	Workflow    string     `json:"workflow"`
-	PlanVersion int64      `json:"plan_version"`
-	Cold        bool       `json:"cold"`
-	ColdStartMs float64    `json:"cold_start_ms,omitempty"`
-	QueueWaitMs float64    `json:"queue_wait_ms"`
-	E2EMs       float64    `json:"e2e_ms"`
-	TotalMs     float64    `json:"total_ms"`
-	Functions   []FnTiming `json:"functions"`
+	Workflow    string  `json:"workflow"`
+	PlanVersion int64   `json:"plan_version"`
+	Cold        bool    `json:"cold"`
+	ColdStartMs float64 `json:"cold_start_ms,omitempty"`
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+	E2EMs       float64 `json:"e2e_ms"`
+	TotalMs     float64 `json:"total_ms"`
+	// FlightTraceID points at the retained flight trace when tail
+	// sampling kept this request (GET /debug/flight/trace?id=...).
+	FlightTraceID uint64     `json:"flight_trace_id,omitempty"`
+	Functions     []FnTiming `json:"functions"`
 }
 
 // Invoke serves one request of the named workflow: admission, warm-pool
@@ -80,8 +83,9 @@ func (a *App) invoke(ctx context.Context, name string, rec obs.Recorder) (*Invok
 		// Sum the rounded parts, not ms(total): the reported arithmetic
 		// must be exact (total = wait + cold + e2e) for consumers that
 		// cross-check the fields.
-		TotalMs:   ms(fast.QueueWait) + ms(fast.ColdStart) + ms(fast.E2E),
-		Functions: make([]FnTiming, len(res.Functions)),
+		TotalMs:       ms(fast.QueueWait) + ms(fast.ColdStart) + ms(fast.E2E),
+		FlightTraceID: fast.TraceID,
+		Functions:     make([]FnTiming, len(res.Functions)),
 	}
 	for i, f := range res.Functions {
 		out.Functions[i] = FnTiming{

@@ -39,6 +39,7 @@ import (
 	"chiron/internal/dag"
 	"chiron/internal/model"
 	"chiron/internal/obs"
+	"chiron/internal/obs/flight"
 	"chiron/internal/pgp"
 	"chiron/internal/workloads"
 	"chiron/internal/wrap"
@@ -92,6 +93,10 @@ type Options struct {
 	PGP pgp.Options
 	// Reg receives all serving metrics (default obs.Default).
 	Reg *obs.Registry
+	// Flight is the always-on flight recorder both ingress planes record
+	// into (default: a fresh flight.New on Reg). Set it explicitly to
+	// share one across apps or to tune ring/sampling/SLO-burn options.
+	Flight *flight.Flight
 }
 
 func (o *Options) defaults() {
@@ -124,6 +129,9 @@ func (o *Options) defaults() {
 	}
 	if o.Reg == nil {
 		o.Reg = obs.Default
+	}
+	if o.Flight == nil {
+		o.Flight = flight.New(flight.Options{Reg: o.Reg})
 	}
 }
 
@@ -290,6 +298,17 @@ func (a *App) reaper() {
 
 // Registry returns the metrics registry backing /metrics.
 func (a *App) Registry() *obs.Registry { return a.opt.Reg }
+
+// Flight returns the always-on flight recorder (never nil).
+func (a *App) Flight() *flight.Flight { return a.opt.Flight }
+
+// Draining reports whether a drain has begun; /readyz flips to 503 on
+// it while /healthz (liveness) stays 200 until the process exits.
+func (a *App) Draining() bool {
+	a.drainMu.Lock()
+	defer a.drainMu.Unlock()
+	return a.draining
+}
 
 // Shutdown drains: new invocations are refused, in-flight ones (sync and
 // async) finish, controllers and the reaper stop. It returns ctx.Err()
@@ -689,18 +708,34 @@ func (wf *workflowState) observe() {
 			}
 			act, err := ctrl.Observe(lat)
 			if err == nil {
+				// Format the annotation only when something happened:
+				// Observe runs per request and ActionNone is the common
+				// case — an unconditional Sprintf here would put string
+				// building on every request's tail.
+				var detail string
+				if act != adapt.ActionNone {
+					win := ctrl.LastWindow()
+					detail = fmt.Sprintf("mean=%v violations=%.2f drift=%.2f", win.Mean, win.Violations, win.Drift)
+				}
 				switch act {
 				case adapt.ActionReplanned:
 					wf.swapLocked(ctrl)
 					wf.adm.prime(ctrl.Predicted())
 					a.m.replans.Inc()
+					a.opt.Flight.NoteEvent(wf.name, "replanned", detail, true)
 				case adapt.ActionSuppressed:
 					a.m.suppressed.Inc()
+					a.opt.Flight.NoteEvent(wf.name, "suppressed", detail, true)
 				case adapt.ActionRollback:
 					// A rollback with no history (trimmed away) degrades
 					// to keeping the regressed plan; the next trigger
 					// will adapt again.
 					_, _ = wf.rollbackLocked()
+					a.opt.Flight.NoteEvent(wf.name, "rollback", detail, true)
+				case adapt.ActionCalibrated:
+					// Routine: annotate the timeline but do not retain
+					// nearby traces — calibration closes every window.
+					a.opt.Flight.NoteEvent(wf.name, "calibrated", detail, false)
 				}
 				a.m.bias.Set(int64(ctrl.Bias() * 1000))
 			}

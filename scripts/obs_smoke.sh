@@ -1,0 +1,89 @@
+#!/bin/sh
+# obs_smoke: black-box the serving plane's observability the way an
+# on-call engineer would use it. Boot chirond, plan the SocialNetwork
+# workload with a deliberately impossible 1ms SLO so every request
+# violates it, drive 200 invocations, then assert the whole pipeline
+# fired: /metrics strict-parses (promcheck) with a tripped burn alert,
+# /debug/flight holds at least one slo-tagged trace, and that trace is
+# fetchable as Chrome trace_event JSON. Expects bin/chirond (make
+# chirond) and the go toolchain (for cmd/promcheck).
+set -eu
+
+LOG="${TMPDIR:-/tmp}/chirond-obs-smoke.log"
+REQUESTS="${OBS_SMOKE_REQUESTS:-200}"
+
+./bin/chirond -addr 127.0.0.1:0 -scale 0.01 \
+	-preload SocialNetwork -plan -slo 1ms >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+ADDR=
+i=0
+while [ $i -lt 100 ]; do
+	ADDR=$(sed -n 's#^chirond listening on http://##p' "$LOG")
+	[ -n "$ADDR" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+	echo "obs-smoke: chirond never came up" >&2
+	cat "$LOG" >&2
+	exit 1
+fi
+
+# Readiness, not sleep.
+i=0
+while [ $i -lt 100 ]; do
+	curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1 && break
+	i=$((i + 1))
+	sleep 0.1
+done
+curl -fsS "http://$ADDR/readyz" >/dev/null
+
+# The boot line advertises build provenance (same fields as
+# chiron_build_info and run-manifest.json).
+grep -q '^chirond build: version=' "$LOG"
+
+# Serial closed loop: the admission fast path admits when a slot is
+# free, so every request runs — and every one blows the 1ms SLO.
+i=0
+while [ $i -lt "$REQUESTS" ]; do
+	code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+		"http://$ADDR/workflows/SocialNetwork/invoke")
+	case "$code" in
+	2*) ;;
+	*)
+		echo "obs-smoke: invoke $i returned HTTP $code" >&2
+		exit 1
+		;;
+	esac
+	i=$((i + 1))
+done
+
+# /metrics must strict-parse, the multi-window burn monitor must have
+# tripped (every request was bad), traces must have been retained, and
+# the runtime bridge and build-info gauges must be live.
+go run ./cmd/promcheck -url "http://$ADDR/metrics" \
+	-require chiron_slo_burn_alerts_total,chiron_slo_bad_total,chiron_flight_retained_total,chiron_build_info,chiron_runtime_goroutines \
+	-min 1
+
+FLIGHT=$(curl -fsS "http://$ADDR/debug/flight")
+echo "$FLIGHT" | grep -q '"slo"' || {
+	echo "obs-smoke: no slo-tagged trace in /debug/flight:" >&2
+	echo "$FLIGHT" >&2
+	exit 1
+}
+ID=$(echo "$FLIGHT" | grep -o '"id":[0-9]*' | head -1 | cut -d: -f2)
+if [ -z "$ID" ]; then
+	echo "obs-smoke: no retained trace id" >&2
+	exit 1
+fi
+curl -fsS "http://$ADDR/debug/flight/trace?id=$ID" | grep -q '"traceEvents"' || {
+	echo "obs-smoke: trace $ID is not Chrome trace_event JSON" >&2
+	exit 1
+}
+
+kill -TERM "$PID"
+wait "$PID"
+grep -q 'drained cleanly' "$LOG"
+echo "obs-smoke: OK — $REQUESTS invokes, burn alert tripped, trace $ID fetchable"
