@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-baseline bench-compare ci fmt vet staticcheck tables chirond serve-smoke obs-smoke soak udp-soak fuzz
+.PHONY: all build test race bench bench-baseline bench-compare cache-bench ci fmt vet staticcheck tables chirond serve-smoke obs-smoke soak udp-soak fuzz
 
 # Benchmark regression rails: bench-baseline runs the figure/table suite
 # with -benchmem and records it as $(BENCH_JSON) (ns/op, allocs/op and the
@@ -10,8 +10,8 @@ GO ?= go
 # benchjson keeps the fastest repetition — at a 20x iteration budget the
 # sub-ms benchmarks are otherwise pure scheduler noise and back-to-back
 # identical runs trip the 10% gate.
-BENCH_JSON    ?= BENCH_pr7.json
-BENCH_PATTERN ?= ^(BenchmarkFig|BenchmarkTable|BenchmarkGateway|BenchmarkUDP)
+BENCH_JSON    ?= BENCH_pr8.json
+BENCH_PATTERN ?= ^(BenchmarkFig|BenchmarkTable|BenchmarkGateway|BenchmarkUDP|BenchmarkCache)
 BENCH_TIME    ?= 20x
 BENCH_COUNT   ?= 5
 
@@ -38,6 +38,12 @@ bench-compare:
 	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . \
 		| $(GO) run ./cmd/benchjson -label current -out /tmp/bench-current.json
 	$(GO) run ./cmd/benchjson -compare -threshold 0.10 $(BENCH_JSON) /tmp/bench-current.json
+
+# cache-bench runs just the cache policy rails (hit-heavy, scan-flood,
+# serve traffic mix, stampede) with the hit_rate / loads-per-op columns
+# the per-cache policy defaults were picked from (see DESIGN.md §12).
+cache-bench:
+	$(GO) test -run='^$$' -bench='^BenchmarkCache' -benchmem -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) .
 
 # chirond builds the serving daemon; serve-smoke boots it on an
 # ephemeral port, drives 200 invocations of the SocialNetwork workload

@@ -140,8 +140,17 @@ func runCompare(args []string, threshold float64) error {
 		} else if d.Ratio < 1-threshold {
 			mark = "improved"
 		}
-		fmt.Printf("%-40s %12.0f -> %12.0f ns/op  (%.2fx)  %s\n",
-			d.Name, d.OldNs, d.NewNs, d.Ratio, mark)
+		// Cache benchmarks report a hit_rate metric next to ns/op; show
+		// both columns so a policy change is judged on lookup cost AND
+		// residency together.
+		rate := ""
+		if d.OldHitRate != nil && d.NewHitRate != nil {
+			rate = fmt.Sprintf("  hit %.3f -> %.3f", *d.OldHitRate, *d.NewHitRate)
+		} else if d.NewHitRate != nil {
+			rate = fmt.Sprintf("  hit %.3f", *d.NewHitRate)
+		}
+		fmt.Printf("%-40s %12.0f -> %12.0f ns/op  (%.2fx)  %s%s\n",
+			d.Name, d.OldNs, d.NewNs, d.Ratio, mark, rate)
 	}
 	if regs := cmp.Regressions(); len(regs) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(regs), threshold*100)

@@ -212,6 +212,13 @@ func New(src Source, opt Options) (*Controller, error) {
 	return c, nil
 }
 
+// replan re-profiles the live behaviour and re-plans with PGP. Both
+// stages lean on the process-wide caches: an unchanged function is
+// served from the profiler memo, and when several workflows' controllers
+// re-plan in one burst, concurrent misses on a shared function or group
+// collapse into a single profile/simulation through the caches'
+// singleflight loaders — N controllers re-planning at once do the
+// distinct work once, not N times.
 func (c *Controller) replan() error {
 	w := c.src()
 	if err := w.Validate(); err != nil {

@@ -46,10 +46,16 @@ type BenchDelta struct {
 	OldNs float64 `json:"old_ns_per_op"`
 	NewNs float64 `json:"new_ns_per_op"`
 	// Ratio is new/old ns/op: < 1 is a speedup, > 1 a slowdown.
-	Ratio      float64 `json:"ratio"`
-	OldAllocs  float64 `json:"old_allocs_per_op"`
-	NewAllocs  float64 `json:"new_allocs_per_op"`
-	Regression bool    `json:"regression"`
+	Ratio     float64 `json:"ratio"`
+	OldAllocs float64 `json:"old_allocs_per_op"`
+	NewAllocs float64 `json:"new_allocs_per_op"`
+	// OldHitRate/NewHitRate track the hit_rate metric the cache
+	// benchmarks report alongside ns/op (nil when a side didn't report
+	// it). A cache PR is judged on both columns: lookup cost and how much
+	// of the working set stayed resident.
+	OldHitRate *float64 `json:"old_hit_rate,omitempty"`
+	NewHitRate *float64 `json:"new_hit_rate,omitempty"`
+	Regression bool     `json:"regression"`
 }
 
 // BenchComparison is a baseline/current pair with per-benchmark deltas,
@@ -173,6 +179,14 @@ func CompareBench(baseline, current *BenchReport, threshold float64) *BenchCompa
 			OldNs: ob.NsPerOp, NewNs: nb.NsPerOp,
 			Ratio:     nb.NsPerOp / ob.NsPerOp,
 			OldAllocs: ob.AllocsPerOp, NewAllocs: nb.AllocsPerOp,
+		}
+		if r, ok := ob.Metrics["hit_rate"]; ok {
+			v := r
+			d.OldHitRate = &v
+		}
+		if r, ok := nb.Metrics["hit_rate"]; ok {
+			v := r
+			d.NewHitRate = &v
 		}
 		d.Regression = nb.NsPerOp > ob.NsPerOp*(1+threshold)
 		cmp.Deltas = append(cmp.Deltas, d)

@@ -112,3 +112,33 @@ func TestBenchReportFind(t *testing.T) {
 		t.Fatal("Find fabricated a benchmark")
 	}
 }
+
+func TestCompareBenchCarriesHitRates(t *testing.T) {
+	base := &BenchReport{Label: "before", Benchmarks: []BenchResult{
+		{Name: "BenchmarkCacheServeMix/lru", NsPerOp: 900, Metrics: map[string]float64{"hit_rate": 0.85}},
+		{Name: "BenchmarkPlain", NsPerOp: 100},
+	}}
+	cur := &BenchReport{Label: "after", Benchmarks: []BenchResult{
+		{Name: "BenchmarkCacheServeMix/lru", NsPerOp: 950, Metrics: map[string]float64{"hit_rate": 0.88}},
+		{Name: "BenchmarkPlain", NsPerOp: 100},
+	}}
+	cmp := CompareBench(base, cur, 0.10)
+	var mix, plain *BenchDelta
+	for i := range cmp.Deltas {
+		switch cmp.Deltas[i].Name {
+		case "BenchmarkCacheServeMix/lru":
+			mix = &cmp.Deltas[i]
+		case "BenchmarkPlain":
+			plain = &cmp.Deltas[i]
+		}
+	}
+	if mix == nil || mix.OldHitRate == nil || mix.NewHitRate == nil {
+		t.Fatalf("hit rates not carried: %+v", mix)
+	}
+	if *mix.OldHitRate != 0.85 || *mix.NewHitRate != 0.88 {
+		t.Fatalf("hit rates = %v -> %v, want 0.85 -> 0.88", *mix.OldHitRate, *mix.NewHitRate)
+	}
+	if plain == nil || plain.OldHitRate != nil || plain.NewHitRate != nil {
+		t.Fatalf("hit rate invented for a benchmark that reported none: %+v", plain)
+	}
+}

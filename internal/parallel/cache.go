@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"fmt"
 	"sync"
 
 	"chiron/internal/obs"
@@ -9,12 +10,76 @@ import (
 // CacheStats is a point-in-time counter snapshot.
 type CacheStats struct {
 	Hits, Misses, Evictions uint64
+	// Shared counts misses that were served by another goroutine's
+	// compute instead of running the loader again (the singleflight
+	// dedup; see GetOrCompute). Misses - Shared is therefore the number
+	// of loader executions.
+	Shared uint64
 }
 
-// Cache is a sharded, bounded, thread-safe LRU. Shards cut lock contention
-// under parallel planners (in the spirit of samber/hot's sharded cache);
-// each shard holds capacity/shards entries and evicts its own
-// least-recently-used entry on overflow.
+// Policy selects a shard's replacement policy. The shell (sharding, hash,
+// metrics, singleflight) is identical across policies; only what each
+// shard evicts differs. Defaults across the repo are picked by benchmark
+// (make cache-bench, BENCH_pr8.json), not by taste.
+type Policy string
+
+const (
+	// PolicyLRU evicts the least-recently-used entry — the right default
+	// when the working set fits and recency predicts reuse.
+	PolicyLRU Policy = "lru"
+	// Policy2Q is the 2Q algorithm: new keys enter a small FIFO probation
+	// queue (A1in) and are promoted to the main LRU (Am) only when
+	// re-referenced after falling into the ghost queue (A1out). One-shot
+	// scan keys churn through A1in without ever displacing the hot
+	// working set in Am.
+	Policy2Q Policy = "2q"
+	// PolicyLFU evicts the least-frequently-used entry (recency breaks
+	// frequency ties), protecting high-reuse entries against bursts of
+	// medium-frequency traffic.
+	PolicyLFU Policy = "lfu"
+)
+
+// ParsePolicy validates a policy name from a flag or config.
+func ParsePolicy(s string) (Policy, error) {
+	switch p := Policy(s); p {
+	case PolicyLRU, Policy2Q, PolicyLFU:
+		return p, nil
+	}
+	return "", fmt.Errorf("parallel: unknown cache policy %q (want lru, 2q or lfu)", s)
+}
+
+// cachePolicy is one shard's replacement policy. Implementations are not
+// thread-safe: the owning shard's mutex serializes every call. A get hit
+// must not allocate (the shell promises a zero-alloc hit path); put may.
+type cachePolicy[K comparable, V any] interface {
+	// get returns the value and promotes the entry per the policy.
+	get(key K) (V, bool)
+	// put inserts or refreshes an entry, reporting how many live entries
+	// (entries whose values were still cached) it evicted to make room.
+	put(key K, v V) (evicted int)
+	// len is the number of live entries (ghost/bookkeeping entries that
+	// hold no value do not count).
+	len() int
+	// purge drops every entry, live and ghost, keeping capacity.
+	purge()
+}
+
+func newPolicy[K comparable, V any](p Policy, capacity int) cachePolicy[K, V] {
+	switch p {
+	case Policy2Q:
+		return newTwoQPolicy[K, V](capacity)
+	case PolicyLFU:
+		return newLFUPolicy[K, V](capacity)
+	default:
+		return newLRUPolicy[K, V](capacity)
+	}
+}
+
+// Cache is a sharded, bounded, thread-safe cache with a pluggable
+// per-shard replacement policy (in the spirit of samber/hot's
+// sharded/2q/lfu layout). Shards cut lock contention under parallel
+// planners; each shard holds capacity/shards entries and evicts per its
+// policy on overflow.
 //
 // The key type is any comparable; the caller supplies the shard-selection
 // hash at construction so hot paths can use fixed-size struct keys (e.g.
@@ -23,7 +88,10 @@ type CacheStats struct {
 //
 // The cache stores only values that are pure functions of their key, so a
 // concurrent double-compute or an eviction changes wall-clock time, never
-// results — determinism does not depend on cache state.
+// results — determinism does not depend on cache state. GetOrCompute
+// additionally collapses concurrent misses on one key into a single
+// loader execution (singleflight), so a re-plan burst or a cold fan-out
+// pays for each distinct computation once.
 type Cache[K comparable, V any] struct {
 	shards []cacheShard[K, V]
 	hash   func(K) uint64
@@ -32,29 +100,46 @@ type Cache[K comparable, V any] struct {
 	hits   *obs.Counter
 	misses *obs.Counter
 	evicts *obs.Counter
+	shared *obs.Counter
 }
 
-// NewCache returns a cache holding at most capacity entries across the
-// given number of shards (both floored at 1; shards are capped at
+// NewCache returns an LRU cache holding at most capacity entries across
+// the given number of shards (both floored at 1; shards are capped at
 // capacity so every shard can hold at least one entry). hash selects the
 // shard for a key and only needs to spread well, not be cryptographic.
 func NewCache[K comparable, V any](capacity, shards int, hash func(K) uint64) *Cache[K, V] {
-	return newCache[K, V](capacity, shards, hash, &obs.Counter{}, &obs.Counter{}, &obs.Counter{})
+	return NewCachePolicy[K, V](PolicyLRU, capacity, shards, hash)
 }
 
-// NewCacheMetrics is NewCache with the hit/miss/eviction counters
-// registered in reg as <prefix>_hits_total, <prefix>_misses_total and
-// <prefix>_evictions_total, so the cache shows up in metric dumps
-// (chiron-bench -metrics) without a bespoke reporting path.
+// NewCachePolicy is NewCache with an explicit replacement policy.
+func NewCachePolicy[K comparable, V any](policy Policy, capacity, shards int, hash func(K) uint64) *Cache[K, V] {
+	return newCache[K, V](policy, capacity, shards, hash,
+		&obs.Counter{}, &obs.Counter{}, &obs.Counter{}, &obs.Counter{})
+}
+
+// NewCacheMetrics is NewCache with the hit/miss/eviction/shared counters
+// registered in reg as <prefix>_hits_total, <prefix>_misses_total,
+// <prefix>_evictions_total and <prefix>_shared_total, so the cache shows
+// up in metric dumps (chiron-bench -metrics) without a bespoke reporting
+// path.
 func NewCacheMetrics[K comparable, V any](capacity, shards int, hash func(K) uint64, reg *obs.Registry, prefix string) *Cache[K, V] {
-	return newCache[K, V](capacity, shards, hash,
+	return NewCachePolicyMetrics[K, V](PolicyLRU, capacity, shards, hash, reg, prefix)
+}
+
+// NewCachePolicyMetrics is NewCacheMetrics with an explicit replacement
+// policy. Re-creating a cache under the same prefix (ConfigureExecCache
+// and friends) reuses the registered counters, so metric continuity
+// survives a policy swap.
+func NewCachePolicyMetrics[K comparable, V any](policy Policy, capacity, shards int, hash func(K) uint64, reg *obs.Registry, prefix string) *Cache[K, V] {
+	return newCache[K, V](policy, capacity, shards, hash,
 		reg.Counter(prefix+"_hits_total", "cache lookups served from the cache"),
 		reg.Counter(prefix+"_misses_total", "cache lookups that fell through to compute"),
-		reg.Counter(prefix+"_evictions_total", "LRU entries displaced by inserts"),
+		reg.Counter(prefix+"_evictions_total", "cached entries displaced by inserts"),
+		reg.Counter(prefix+"_shared_total", "concurrent misses served by another goroutine's in-flight compute"),
 	)
 }
 
-func newCache[K comparable, V any](capacity, shards int, hash func(K) uint64, hits, misses, evicts *obs.Counter) *Cache[K, V] {
+func newCache[K comparable, V any](policy Policy, capacity, shards int, hash func(K) uint64, hits, misses, evicts, shared *obs.Counter) *Cache[K, V] {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -67,14 +152,14 @@ func newCache[K comparable, V any](capacity, shards int, hash func(K) uint64, hi
 	c := &Cache[K, V]{
 		shards: make([]cacheShard[K, V], shards),
 		hash:   hash,
-		hits:   hits, misses: misses, evicts: evicts,
+		hits:   hits, misses: misses, evicts: evicts, shared: shared,
 	}
 	per := capacity / shards
 	if per < 1 {
 		per = 1
 	}
 	for i := range c.shards {
-		c.shards[i].init(per)
+		c.shards[i].pol = newPolicy[K, V](policy, per)
 	}
 	return c
 }
@@ -95,9 +180,12 @@ func (c *Cache[K, V]) shard(key K) *cacheShard[K, V] {
 }
 
 // Get returns the cached value and whether it was present, promoting the
-// entry to most-recently-used.
+// entry per the shard's policy. A hit performs zero heap allocations.
 func (c *Cache[K, V]) Get(key K) (V, bool) {
-	v, ok := c.shard(key).get(key)
+	s := c.shard(key)
+	s.mu.Lock()
+	v, ok := s.pol.get(key)
+	s.mu.Unlock()
 	if ok {
 		c.hits.Inc()
 	} else {
@@ -106,131 +194,57 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 	return v, ok
 }
 
-// Put inserts or refreshes an entry, evicting the shard's LRU entry when
+// Put inserts or refreshes an entry, evicting per the shard's policy when
 // the shard is full.
 func (c *Cache[K, V]) Put(key K, v V) {
-	if c.shard(key).put(key, v) {
+	s := c.shard(key)
+	s.mu.Lock()
+	n := s.pol.put(key, v)
+	s.mu.Unlock()
+	for ; n > 0; n-- {
 		c.evicts.Inc()
 	}
-}
-
-// GetOrCompute returns the cached value for key, computing and inserting
-// it on a miss. Concurrent callers may compute the same key twice; both
-// arrive at the same value (keys determine values), so the only cost is
-// duplicated work, never divergent results.
-func (c *Cache[K, V]) GetOrCompute(key K, fn func() V) V {
-	if v, ok := c.Get(key); ok {
-		return v
-	}
-	v := fn()
-	c.Put(key, v)
-	return v
 }
 
 // Len returns the number of cached entries.
 func (c *Cache[K, V]) Len() int {
 	n := 0
 	for i := range c.shards {
-		n += c.shards[i].len()
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.pol.len()
+		s.mu.Unlock()
 	}
 	return n
 }
 
 // Purge empties the cache, keeping capacity; counters are unaffected.
+// In-flight GetOrCompute loaders are untouched: they complete and insert
+// into the purged cache.
 func (c *Cache[K, V]) Purge() {
 	for i := range c.shards {
-		c.shards[i].purge()
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.pol.purge()
+		s.mu.Unlock()
 	}
 }
 
-// Stats returns cumulative hit/miss/eviction counters.
+// Stats returns cumulative hit/miss/eviction/shared counters.
 func (c *Cache[K, V]) Stats() CacheStats {
 	return CacheStats{
 		Hits:      c.hits.Value(),
 		Misses:    c.misses.Value(),
 		Evictions: c.evicts.Value(),
+		Shared:    c.shared.Value(),
 	}
 }
 
-// cacheShard is one lock domain: a map into an intrusive doubly-linked
-// list ordered most- to least-recently used.
+// cacheShard is one lock domain: a policy instance plus the shard's
+// in-flight singleflight calls (lazily allocated; nil until the first
+// GetOrCompute miss).
 type cacheShard[K comparable, V any] struct {
 	mu  sync.Mutex
-	cap int
-	m   map[K]*cacheEntry[K, V]
-	// head.next is the MRU entry; head.prev the LRU (ring with sentinel).
-	head cacheEntry[K, V]
-}
-
-type cacheEntry[K comparable, V any] struct {
-	key        K
-	val        V
-	prev, next *cacheEntry[K, V]
-}
-
-func (s *cacheShard[K, V]) init(capacity int) {
-	s.cap = capacity
-	s.m = make(map[K]*cacheEntry[K, V], capacity)
-	s.head.prev = &s.head
-	s.head.next = &s.head
-}
-
-func (s *cacheShard[K, V]) unlink(e *cacheEntry[K, V]) {
-	e.prev.next = e.next
-	e.next.prev = e.prev
-}
-
-func (s *cacheShard[K, V]) pushFront(e *cacheEntry[K, V]) {
-	e.prev = &s.head
-	e.next = s.head.next
-	e.next.prev = e
-	s.head.next = e
-}
-
-func (s *cacheShard[K, V]) get(key K) (V, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.m[key]
-	if !ok {
-		var zero V
-		return zero, false
-	}
-	s.unlink(e)
-	s.pushFront(e)
-	return e.val, true
-}
-
-func (s *cacheShard[K, V]) put(key K, v V) (evicted bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e, ok := s.m[key]; ok {
-		e.val = v
-		s.unlink(e)
-		s.pushFront(e)
-		return false
-	}
-	if len(s.m) >= s.cap {
-		lru := s.head.prev
-		s.unlink(lru)
-		delete(s.m, lru.key)
-		evicted = true
-	}
-	e := &cacheEntry[K, V]{key: key, val: v}
-	s.m[key] = e
-	s.pushFront(e)
-	return evicted
-}
-
-func (s *cacheShard[K, V]) len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.m)
-}
-
-func (s *cacheShard[K, V]) purge() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.m = make(map[K]*cacheEntry[K, V], s.cap)
-	s.head.prev = &s.head
-	s.head.next = &s.head
+	pol cachePolicy[K, V]
+	fl  map[K]*flightCall[V]
 }

@@ -237,7 +237,12 @@ func (pl *planner) now() time.Duration {
 // the process-wide prediction cache (predict.ExecThreadsCached). The cache
 // replaces the old per-planner memo: repeated group predictions — across
 // KL iterations, across process-count candidates, across adapt re-plans
-// and across experiments — are simulated once per process.
+// and across experiments — are simulated once per process. Concurrent
+// misses dedup too: when the parallel candidate fan-out (or two planners
+// racing on the same workload) hits one uncached group from several
+// goroutines at once, the cache's singleflight loader runs the GIL
+// simulation once and every other goroutine shares the in-flight result
+// instead of re-simulating.
 func (pl *planner) exec(group []string) time.Duration {
 	d, hit, err := pl.pred.ExecThreadsCachedHit(group, pl.opt.Iso)
 	if err != nil {

@@ -80,10 +80,34 @@ func execKeyHash(k execKey) uint64 {
 // asks. Entries are pure functions of their key, so cache state can change
 // wall-clock time but never results.
 // Counters publish in obs.Default as chiron_predict_cache_*.
-var execCache = parallel.NewCacheMetrics[execKey, time.Duration](1<<15, 16, execKeyHash, obs.Default, "chiron_predict_cache")
+//
+// The default policy and size were picked by benchmark (BENCH_pr8.json):
+// LRU wins the hit-heavy and serve-mix shapes at this capacity because
+// PGP's candidate fan-out re-prices the same groups within a tight
+// window; 2Q's probation queue only pays off when scan traffic floods
+// the cache faster than 1<<15 entries absorb (see BenchmarkCacheScanFlood
+// for the shape where it inverts). ConfigureExecCache swaps either knob
+// at boot.
+var execCache = parallel.NewCachePolicyMetrics[execKey, time.Duration](
+	parallel.PolicyLRU, 1<<15, 16, execKeyHash, obs.Default, "chiron_predict_cache")
+
+// ConfigureExecCache rebuilds the process-wide prediction cache with an
+// explicit policy and capacity (capacity <= 0 keeps the default 1<<15).
+// Call it at boot (chirond -predict-cache), before traffic: the swap is
+// not synchronized with in-flight lookups. Counters are reused across
+// the swap, so metric continuity survives reconfiguration.
+func ConfigureExecCache(policy parallel.Policy, capacity int) {
+	if capacity <= 0 {
+		capacity = 1 << 15
+	}
+	execCache = parallel.NewCachePolicyMetrics[execKey, time.Duration](
+		policy, capacity, 16, execKeyHash, obs.Default, "chiron_predict_cache")
+}
 
 // ExecCacheStats exposes the shared cache's counters (benchmarks track the
-// hit rate across re-plans).
+// hit rate across re-plans; Shared counts concurrent misses deduplicated
+// by the singleflight loader, so Misses - Shared is the number of GIL
+// simulations actually run).
 func ExecCacheStats() parallel.CacheStats { return execCache.Stats() }
 
 // PurgeExecCache empties the shared cache (tests that measure cold-path
@@ -133,15 +157,23 @@ func (p *Predictor) ExecThreadsCached(names []string, iso wrap.IsolationKind) (t
 // was served from the cache, for callers that trace lookup outcomes
 // (PGP emits a cache-hit instant per served candidate). The key is built
 // once; a steady-state hit performs zero heap allocations.
+//
+// Misses go through the cache's singleflight loader: when PGP's parallel
+// candidate fan-out or a burst of adapt re-plans race on one uncached
+// group, exactly one goroutine runs the GIL simulation and the rest
+// block on its in-flight entry and share the result (hit=true — they
+// did not simulate). The loader closure is only built after the
+// zero-alloc hit check fails, so the hot path stays allocation-free.
 func (p *Predictor) ExecThreadsCachedHit(names []string, iso wrap.IsolationKind) (time.Duration, bool, error) {
 	key := p.execKeyOf(names, iso)
 	if d, ok := execCache.Get(key); ok {
 		return d, true, nil
 	}
-	d, err := p.ExecThreads(names, iso)
+	d, computed, err := execCache.ComputeMissed(key, func() (time.Duration, error) {
+		return p.ExecThreads(names, iso)
+	})
 	if err != nil {
 		return 0, false, err
 	}
-	execCache.Put(key, d)
-	return d, false, nil
+	return d, !computed, nil
 }

@@ -2,6 +2,7 @@ package predict
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -110,4 +111,52 @@ func FuzzExecKeyIsolation(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestExecCacheStampede is the PR-8 acceptance proof for the prediction
+// cache: 100 goroutines racing a cold key run the GIL simulation exactly
+// once — the singleflight loader collapses the rest into shared waiters.
+// Counters obey loader executions = Misses - Shared, so the assertion is
+// exact under any interleaving (late arrivals become plain hits and touch
+// neither counter).
+func TestExecCacheStampede(t *testing.T) {
+	w := finra(t, 6)
+	p := harness(t, w)
+	names := []string{"va", "vb", "vc", "vd"}
+	PurgeExecCache()
+	before := ExecCacheStats()
+
+	const goroutines = 100
+	var entered, wg sync.WaitGroup
+	entered.Add(goroutines)
+	start := make(chan struct{})
+	results := make([]time.Duration, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			entered.Done()
+			<-start
+			d, _, err := p.ExecThreadsCachedHit(names, wrap.IsoNone)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = d
+		}(i)
+	}
+	entered.Wait()
+	close(start)
+	wg.Wait()
+
+	after := ExecCacheStats()
+	if ran := (after.Misses - before.Misses) - (after.Shared - before.Shared); ran != 1 {
+		t.Fatalf("simulations run = %d (misses %d, shared %d), want exactly 1",
+			ran, after.Misses-before.Misses, after.Shared-before.Shared)
+	}
+	for i := 1; i < goroutines; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d got %v, goroutine 0 got %v", i, results[i], results[0])
+		}
+	}
 }

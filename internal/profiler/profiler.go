@@ -166,10 +166,38 @@ func profKeyOf(spec *behavior.Spec, opt Options) profKey {
 // every jitter draw from the seed — so serving a repeat from the cache is
 // byte-identical to recomputing it; experiments that profile the same
 // workload (every figure shares the FINRA workflows) skip the dominant
-// trace-record/parse cost. Entries are private copies on both sides of the
-// boundary, so callers may mutate what they receive.
-var profileCache = parallel.NewCacheMetrics[profKey, *Profile](4096, 8,
+// trace-record/parse cost. The cache holds the canonical copy; every
+// caller receives a private clone on the way out, so callers may mutate
+// what they receive.
+//
+// LRU is the benchmarked default (BENCH_pr8.json): the profile working
+// set is small and strongly re-referenced (every figure shares the FINRA
+// workflows), so probation/frequency machinery buys nothing here.
+// ConfigureProfileCache swaps the policy or size at boot.
+var profileCache = parallel.NewCachePolicyMetrics[profKey, *Profile](
+	parallel.PolicyLRU, 4096, 8,
 	func(k profKey) uint64 { return k.h1 }, obs.Default, "chiron_profile_cache")
+
+// ConfigureProfileCache rebuilds the process-wide profiler memo with an
+// explicit policy and capacity (capacity <= 0 keeps the default 4096).
+// Call it at boot (chirond -profile-cache), before traffic: the swap is
+// not synchronized with in-flight lookups.
+func ConfigureProfileCache(policy parallel.Policy, capacity int) {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	profileCache = parallel.NewCachePolicyMetrics[profKey, *Profile](
+		policy, capacity, 8,
+		func(k profKey) uint64 { return k.h1 }, obs.Default, "chiron_profile_cache")
+}
+
+// CacheStats exposes the memo's counters (Shared counts concurrent misses
+// deduplicated by the singleflight loader, so Misses - Shared is the
+// number of profiles actually computed).
+func CacheStats() parallel.CacheStats { return profileCache.Stats() }
+
+// PurgeCache empties the memo (tests that measure cold-path behaviour).
+func PurgeCache() { profileCache.Purge() }
 
 func cloneProfile(p *Profile) *Profile {
 	c := *p
@@ -181,6 +209,14 @@ func cloneProfile(p *Profile) *Profile {
 // ProfileFunction profiles one function: untraced baseline, traced run,
 // log parse, rescale. Results are memoized by full input content; see
 // profileCache.
+//
+// The memo stores the winner's freshly computed Profile as the canonical
+// copy — nobody else holds a reference to it — and clones once on every
+// return path, so each call costs exactly one clone (the old scheme
+// cloned on Put *and* on every Get). Concurrent misses on one key run
+// profileFunction once through the cache's singleflight loader; a
+// re-plan burst profiling an unchanged workload computes each function a
+// single time.
 func ProfileFunction(spec *behavior.Spec, opt Options) (*Profile, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -189,12 +225,13 @@ func ProfileFunction(spec *behavior.Spec, opt Options) (*Profile, error) {
 	if p, ok := profileCache.Get(key); ok {
 		return cloneProfile(p), nil
 	}
-	p, err := profileFunction(spec, opt)
+	p, _, err := profileCache.ComputeMissed(key, func() (*Profile, error) {
+		return profileFunction(spec, opt)
+	})
 	if err != nil {
 		return nil, err
 	}
-	profileCache.Put(key, cloneProfile(p))
-	return p, nil
+	return cloneProfile(p), nil
 }
 
 func profileFunction(spec *behavior.Spec, opt Options) (*Profile, error) {

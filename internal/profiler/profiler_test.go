@@ -2,6 +2,7 @@ package profiler
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -274,5 +275,87 @@ func TestProfileMemoKeySensitivity(t *testing.T) {
 	b.Runtime = behavior.Runtime("bc")
 	if profKeyOf(a, opt) == profKeyOf(b, opt) {
 		t.Error("name/runtime boundary shift collided")
+	}
+}
+
+// TestProfileCacheStampede is the PR-8 acceptance proof for the profiler
+// memo: 100 goroutines profiling the same cold spec trace it exactly once
+// (loader executions = Misses - Shared), and every caller still receives
+// a private clone — equal content, distinct pointers — so the memo's
+// canonical copy can never be mutated through a returned profile.
+func TestProfileCacheStampede(t *testing.T) {
+	spec := mixedSpec()
+	spec.Name = "stampede-profile"
+	opt := DefaultOptions()
+	PurgeCache()
+	before := CacheStats()
+
+	const goroutines = 100
+	var entered, wg sync.WaitGroup
+	entered.Add(goroutines)
+	start := make(chan struct{})
+	profiles := make([]*Profile, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			entered.Done()
+			<-start
+			p, err := ProfileFunction(spec, opt)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			profiles[i] = p
+		}(i)
+	}
+	entered.Wait()
+	close(start)
+	wg.Wait()
+
+	after := CacheStats()
+	if ran := (after.Misses - before.Misses) - (after.Shared - before.Shared); ran != 1 {
+		t.Fatalf("profiles computed = %d (misses %d, shared %d), want exactly 1",
+			ran, after.Misses-before.Misses, after.Shared-before.Shared)
+	}
+	for i := 1; i < goroutines; i++ {
+		if profiles[i] == profiles[0] {
+			t.Fatalf("goroutines 0 and %d share a *Profile: cache leaked its canonical copy", i)
+		}
+		if profiles[i].Solo != profiles[0].Solo || len(profiles[i].Periods) != len(profiles[0].Periods) {
+			t.Fatalf("clone %d diverges from clone 0", i)
+		}
+	}
+	// Mutating a returned clone must not poison the cached canonical.
+	profiles[0].Solo = -1
+	fresh, err := ProfileFunction(spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Solo != profiles[1].Solo {
+		t.Fatalf("mutation through a returned clone reached the cache: Solo = %v", fresh.Solo)
+	}
+}
+
+// TestProfileFunctionSingleCloneOnHit pins the double-clone fix: a warm
+// ProfileFunction call clones once on the way out, so its allocation
+// count stays flat at the size of one profile copy.
+func TestProfileFunctionSingleCloneOnHit(t *testing.T) {
+	spec := mixedSpec()
+	spec.Name = "clone-count"
+	opt := DefaultOptions()
+	if _, err := ProfileFunction(spec, opt); err != nil {
+		t.Fatal(err)
+	}
+	warm := testing.AllocsPerRun(100, func() {
+		if _, err := ProfileFunction(spec, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One clone = the Profile struct plus its Periods and PerThread
+	// slices; a second (pre-fix) clone doubles that. Budget generously
+	// under the doubled figure.
+	if warm > 8 {
+		t.Fatalf("warm ProfileFunction allocates %.1f allocs/run, want single-clone budget (<=8)", warm)
 	}
 }

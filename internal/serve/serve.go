@@ -40,6 +40,7 @@ import (
 	"chiron/internal/model"
 	"chiron/internal/obs"
 	"chiron/internal/obs/flight"
+	"chiron/internal/parallel"
 	"chiron/internal/pgp"
 	"chiron/internal/workloads"
 	"chiron/internal/wrap"
@@ -73,6 +74,12 @@ type Options struct {
 	// expiry cannot synchronize a cold-boot storm when traffic returns.
 	// Zero means the default 0.1; negative disables jitter entirely.
 	KeepAliveJitter float64
+	// NegCachePolicy is the replacement policy of the negative cache for
+	// unknown-workflow lookups (default 2Q: a junk-name flood churns
+	// through the probation queue while repeatedly-probed names stay
+	// resident). NegCacheCap bounds it (default 1024).
+	NegCachePolicy parallel.Policy
+	NegCacheCap    int
 	// Window, ViolationTrigger, DriftTrigger, BiasAlpha, Cooldown,
 	// MinImprovement and RollbackGuard parameterize the internal/adapt
 	// controller (zero: adapt's defaults). Cooldown and MinImprovement
@@ -126,6 +133,12 @@ func (o *Options) defaults() {
 	}
 	if o.PlanHistory <= 0 {
 		o.PlanHistory = 4
+	}
+	if o.NegCachePolicy == "" {
+		o.NegCachePolicy = parallel.Policy2Q
+	}
+	if o.NegCacheCap <= 0 {
+		o.NegCacheCap = 1024
 	}
 	if o.Reg == nil {
 		o.Reg = obs.Default
@@ -222,13 +235,18 @@ type App struct {
 	// wire), so a packet flood never touches the registry lock.
 	byHash atomic.Pointer[map[uint64]*workflowState]
 
-	// neg is the negative cache for unknown-workflow lookups: names
-	// that recently missed the registry. Reads are lock-free (sync.Map),
-	// so a flood of bad workflow names resolves without taking mu.
-	// Register swaps in a fresh map, which both unpoisons the registered
-	// name and bounds staleness.
-	neg  atomic.Pointer[sync.Map]
-	negN atomic.Int64
+	// neg is the negative cache for unknown-workflow lookups: names that
+	// recently missed the registry, held in a small bounded policy cache
+	// (2Q by default) so a junk-name flood evicts per-entry instead of
+	// periodically dropping every legitimate negative entry at once.
+	// negGen/negMu guard the register/note-miss race: Register bumps the
+	// generation and purges under negMu, and a miss noted against a stale
+	// generation is discarded — a name can never be poisoned after its
+	// registration lands. Lookups that hit the cache touch only the
+	// shard lock and return the static canned error (zero allocations).
+	neg    *parallel.Cache[string, struct{}]
+	negGen atomic.Uint64
+	negMu  sync.Mutex
 
 	resMu    sync.Mutex
 	results  map[string]*asyncResult
@@ -257,8 +275,8 @@ func New(opt Options) *App {
 		results: map[string]*asyncResult{},
 		drained: make(chan struct{}),
 		quit:    make(chan struct{}),
+		neg:     parallel.NewCachePolicy[string, struct{}](opt.NegCachePolicy, opt.NegCacheCap, 4, parallel.StringHash),
 	}
-	a.neg.Store(&sync.Map{})
 	a.reaperW.Add(1)
 	go a.reaper()
 	return a
@@ -439,11 +457,16 @@ func (a *App) Register(w *dag.Workflow) (created bool, err error) {
 	}
 	a.mu.Unlock()
 	if !ok {
-		// Swap in a fresh negative cache after the registry insert: a
-		// lookup racing this registration may still note the old miss,
-		// but only into the unreachable retired map.
-		a.neg.Store(&sync.Map{})
-		a.negN.Store(0)
+		// Invalidate the negative cache after the registry insert. The
+		// generation bump and purge are serialized (negMu) against miss
+		// notes: a lookup that missed the registry before this insert
+		// either notes its miss first (and the purge clears it) or sees
+		// the bumped generation and discards the note — the registered
+		// name can never be re-poisoned.
+		a.negMu.Lock()
+		a.negGen.Add(1)
+		a.neg.Purge()
+		a.negMu.Unlock()
 	}
 	wf.behMu.Lock()
 	wf.cur = w
@@ -475,31 +498,24 @@ func (a *App) RegisterBuiltin(name string) (created bool, err error) {
 // so the hot reject path does not allocate per lookup.
 var errUnknownWorkflow = fmt.Errorf("serve: unknown workflow: %w", ErrNotFound)
 
-// negCacheCap bounds the negative cache; past it the whole map is
-// dropped (cheaper than LRU, and a junk-name flood then costs one
-// registry RLock per negCacheCap misses instead of one per request).
-const negCacheCap = 1024
-
 func (a *App) workflow(name string) (*workflowState, error) {
-	neg := a.neg.Load()
-	if _, miss := neg.Load(name); miss {
+	if _, miss := a.neg.Get(name); miss {
 		a.m.negHits.Inc()
 		return nil, errUnknownWorkflow
 	}
+	// Snapshot the generation before the registry read: if a
+	// registration lands between the read and the note below, it bumps
+	// the generation and the note is discarded.
+	gen := a.negGen.Load()
 	a.mu.RLock()
 	wf, ok := a.wfs[name]
 	a.mu.RUnlock()
 	if !ok {
-		// Note the miss in the map snapshot loaded *before* the registry
-		// read: if a registration landed in between, the note goes to the
-		// retired map Register already swapped out, never poisoning the
-		// live cache.
-		if _, loaded := neg.LoadOrStore(name, struct{}{}); !loaded {
-			if a.negN.Add(1) > negCacheCap && a.neg.Load() == neg {
-				a.neg.Store(&sync.Map{})
-				a.negN.Store(0)
-			}
+		a.negMu.Lock()
+		if a.negGen.Load() == gen {
+			a.neg.Put(name, struct{}{})
 		}
+		a.negMu.Unlock()
 		return nil, fmt.Errorf("serve: workflow %q: %w", name, ErrNotFound)
 	}
 	return wf, nil
