@@ -10,10 +10,15 @@ GO ?= go
 # benchjson keeps the fastest repetition — at a 20x iteration budget the
 # sub-ms benchmarks are otherwise pure scheduler noise and back-to-back
 # identical runs trip the 10% gate.
-BENCH_JSON    ?= BENCH_pr8.json
+BENCH_JSON    ?= BENCH_pr10.json
 BENCH_PATTERN ?= ^(BenchmarkFig|BenchmarkTable|BenchmarkGateway|BenchmarkUDP|BenchmarkCache)
 BENCH_TIME    ?= 20x
 BENCH_COUNT   ?= 5
+# The hedging rail drives 200 wall-clock requests per iteration (nominal
+# time, no compression — see BenchmarkHedgedInvoke), so it gets a small
+# separate iteration budget instead of the 20x the sub-ms rails need.
+HEDGE_BENCH_TIME  ?= 3x
+HEDGE_BENCH_COUNT ?= 2
 
 all: build
 
@@ -30,12 +35,14 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x
 
 bench-baseline:
-	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . \
+	( $(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . ; \
+	  $(GO) test -run='^$$' -bench='^BenchmarkHedgedInvoke$$' -benchmem -benchtime=$(HEDGE_BENCH_TIME) -count=$(HEDGE_BENCH_COUNT) . ) \
 		| $(GO) run ./cmd/benchjson -label baseline -out $(BENCH_JSON)
 	@echo "baseline written to $(BENCH_JSON)"
 
 bench-compare:
-	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . \
+	( $(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . ; \
+	  $(GO) test -run='^$$' -bench='^BenchmarkHedgedInvoke$$' -benchmem -benchtime=$(HEDGE_BENCH_TIME) -count=$(HEDGE_BENCH_COUNT) . ) \
 		| $(GO) run ./cmd/benchjson -label current -out /tmp/bench-current.json
 	$(GO) run ./cmd/benchjson -compare -threshold 0.10 $(BENCH_JSON) /tmp/bench-current.json
 

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 
@@ -134,29 +135,50 @@ func runCompare(args []string, threshold float64) error {
 	}
 	cmp := obs.CompareBench(base, cur, threshold)
 	for _, d := range cmp.Deltas {
-		mark := "ok"
-		if d.Regression {
-			mark = "REGRESSION"
-		} else if d.Ratio < 1-threshold {
-			mark = "improved"
-		}
-		// Cache benchmarks report a hit_rate metric next to ns/op; show
-		// both columns so a policy change is judged on lookup cost AND
-		// residency together.
-		rate := ""
-		if d.OldHitRate != nil && d.NewHitRate != nil {
-			rate = fmt.Sprintf("  hit %.3f -> %.3f", *d.OldHitRate, *d.NewHitRate)
-		} else if d.NewHitRate != nil {
-			rate = fmt.Sprintf("  hit %.3f", *d.NewHitRate)
-		}
-		fmt.Printf("%-40s %12.0f -> %12.0f ns/op  (%.2fx)  %s%s\n",
-			d.Name, d.OldNs, d.NewNs, d.Ratio, mark, rate)
+		fmt.Println(compareLine(d, threshold))
 	}
 	if regs := cmp.Regressions(); len(regs) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(regs), threshold*100)
 	}
 	fmt.Printf("no regressions beyond %.0f%% across %d benchmarks\n", threshold*100, len(cmp.Deltas))
 	return nil
+}
+
+// fmtRate renders one hit-rate column, or "n/a" for a missing or
+// non-finite value — a benchmark that did zero ops reports hit_rate
+// NaN, and the compare output must stay parseable.
+func fmtRate(r *float64) string {
+	if r == nil || math.IsNaN(*r) || math.IsInf(*r, 0) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", *r)
+}
+
+// compareLine formats one delta row. Non-finite ratio and hit-rate
+// columns (zero-op benchmarks, zero baselines in hand-edited reports)
+// render as "n/a" instead of NaN/Inf.
+func compareLine(d obs.BenchDelta, threshold float64) string {
+	mark := "ok"
+	if d.Regression {
+		mark = "REGRESSION"
+	} else if d.Ratio < 1-threshold {
+		mark = "improved"
+	}
+	ratio := "n/a"
+	if !math.IsNaN(d.Ratio) && !math.IsInf(d.Ratio, 0) {
+		ratio = fmt.Sprintf("%.2fx", d.Ratio)
+	}
+	// Cache benchmarks report a hit_rate metric next to ns/op; show
+	// both columns so a policy change is judged on lookup cost AND
+	// residency together.
+	rate := ""
+	if d.OldHitRate != nil && d.NewHitRate != nil {
+		rate = fmt.Sprintf("  hit %s -> %s", fmtRate(d.OldHitRate), fmtRate(d.NewHitRate))
+	} else if d.NewHitRate != nil {
+		rate = fmt.Sprintf("  hit %s", fmtRate(d.NewHitRate))
+	}
+	return fmt.Sprintf("%-40s %12.0f -> %12.0f ns/op  (%s)  %s%s",
+		d.Name, d.OldNs, d.NewNs, ratio, mark, rate)
 }
 
 func writeJSON(out string, v any) error {

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"chiron/internal/obs"
+)
+
+// TestCompareLineNonFinite: zero-op benchmarks produce NaN hit rates
+// and hand-edited baselines can produce NaN/Inf ratios; the compare
+// table must render "n/a" instead, so `make bench-compare` output stays
+// parseable.
+func TestCompareLineNonFinite(t *testing.T) {
+	nan := math.NaN()
+	ok := 0.95
+	cases := []struct {
+		name string
+		d    obs.BenchDelta
+		want []string
+		ban  []string
+	}{
+		{
+			name: "nan ratio",
+			d:    obs.BenchDelta{Name: "BenchmarkX", OldNs: 0, NewNs: 100, Ratio: nan},
+			want: []string{"(n/a)"},
+			ban:  []string{"NaN"},
+		},
+		{
+			name: "inf ratio",
+			d:    obs.BenchDelta{Name: "BenchmarkX", OldNs: 0, NewNs: 100, Ratio: math.Inf(1)},
+			want: []string{"(n/a)"},
+			ban:  []string{"Inf"},
+		},
+		{
+			name: "nan hit rates",
+			d: obs.BenchDelta{Name: "BenchmarkC", OldNs: 100, NewNs: 100, Ratio: 1,
+				OldHitRate: &nan, NewHitRate: &ok},
+			want: []string{"hit n/a -> 0.950", "(1.00x)"},
+			ban:  []string{"NaN"},
+		},
+		{
+			name: "healthy row unchanged",
+			d: obs.BenchDelta{Name: "BenchmarkC", OldNs: 200, NewNs: 100, Ratio: 0.5,
+				OldHitRate: &ok, NewHitRate: &ok},
+			want: []string{"(0.50x)", "improved", "hit 0.950 -> 0.950"},
+		},
+	}
+	for _, tc := range cases {
+		line := compareLine(tc.d, 0.10)
+		for _, w := range tc.want {
+			if !strings.Contains(line, w) {
+				t.Errorf("%s: line %q missing %q", tc.name, line, w)
+			}
+		}
+		for _, b := range tc.ban {
+			if strings.Contains(line, b) {
+				t.Errorf("%s: line %q contains %q", tc.name, line, b)
+			}
+		}
+	}
+}

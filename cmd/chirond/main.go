@@ -69,6 +69,8 @@ func run(argv []string, stdout, stderr *os.File) error {
 		flightSample = fs.Float64("flight-sample", 0, "flight recorder probabilistic sample rate for healthy traces (0 = default 0.01)")
 		sloTarget    = fs.Float64("slo-target", 0, "SLO availability target for the burn-rate monitor, e.g. 0.99 (0 = default 0.99)")
 		runtimeInt   = fs.Duration("runtime-interval", 5*time.Second, "runtime/metrics polling interval for chiron_runtime_* gauges (0 disables)")
+		hedgeQ       = fs.Float64("hedge-quantile", 0, "arm a hedged second attempt once a request runs past this multiple of the bias-corrected predicted latency (0 = hedging off)")
+		hedgeMax     = fs.Int("hedge-max-inflight", 0, "max concurrent hedge attempts across all workflows (0 = default 64)")
 
 		// Cache policy/size knobs. Defaults were picked by benchmark (make
 		// cache-bench, BENCH_pr8.json): LRU for predict and profiler (small
@@ -129,6 +131,9 @@ func run(argv []string, stdout, stderr *os.File) error {
 		NegCacheCap:    *negSize,
 		Reg:            reg,
 		Flight:         fl,
+
+		HedgeQuantile:    *hedgeQ,
+		HedgeMaxInflight: *hedgeMax,
 	})
 	fmt.Fprintf(stdout, "chirond build: version=%s go=%s\n", build.Version, build.GoVersion)
 

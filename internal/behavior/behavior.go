@@ -79,6 +79,14 @@ type Segment struct {
 	// Bytes is the payload moved during IO segments (0 for CPU/Sleep);
 	// storage back-ends use it to derive transfer time.
 	Bytes int64 `json:"bytes,omitempty"`
+	// TailDur/TailProb model a heavy-tailed straggler: with probability
+	// TailProb one live execution of this segment takes Dur+TailDur
+	// instead of Dur. Only the live executor samples the tail — the
+	// profiler, engine and predictor all see Dur, so the tail is
+	// unmodeled noise from the planner's point of view (exactly the
+	// straggler a hedged re-issue is meant to cut).
+	TailDur  time.Duration `json:"tail_dur,omitempty"`
+	TailProb float64       `json:"tail_prob,omitempty"`
 }
 
 // Runtime identifies the language runtime a function needs. Functions with
@@ -172,6 +180,15 @@ func (s *Spec) Validate() error {
 		}
 		if seg.Bytes < 0 {
 			return fmt.Errorf("behavior: %s: segment %d has negative bytes", s.Name, i)
+		}
+		if seg.TailProb < 0 || seg.TailProb > 1 {
+			return fmt.Errorf("behavior: %s: segment %d has tail probability %v outside [0, 1]", s.Name, i, seg.TailProb)
+		}
+		if seg.TailDur < 0 {
+			return fmt.Errorf("behavior: %s: segment %d has negative tail duration %v", s.Name, i, seg.TailDur)
+		}
+		if seg.TailProb > 0 && seg.TailDur == 0 {
+			return fmt.Errorf("behavior: %s: segment %d has tail probability without a tail duration", s.Name, i)
 		}
 	}
 	if s.MemMB < 0 {

@@ -56,6 +56,10 @@ func TestValidateRejections(t *testing.T) {
 		{"negative duration", func(s *Spec) { s.Segments[1].Dur = -time.Millisecond }},
 		{"negative bytes", func(s *Spec) { s.Segments[1].Bytes = -1 }},
 		{"negative memory", func(s *Spec) { s.MemMB = -0.5 }},
+		{"tail prob above 1", func(s *Spec) { s.Segments[0].TailProb = 1.5; s.Segments[0].TailDur = time.Millisecond }},
+		{"negative tail prob", func(s *Spec) { s.Segments[0].TailProb = -0.1 }},
+		{"negative tail dur", func(s *Spec) { s.Segments[0].TailDur = -time.Millisecond }},
+		{"tail prob without dur", func(s *Spec) { s.Segments[0].TailProb = 0.5 }},
 	}
 	for _, tc := range cases {
 		s := specFixture()

@@ -17,6 +17,7 @@ package live
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"time"
 
@@ -491,14 +492,15 @@ func (r *runner) runFunction(si, sandbox int, fn *behavior.Spec, lock *gilLock) 
 		}
 	} else {
 		for _, seg := range fn.Segments {
+			dur := segmentDur(seg)
 			if seg.Kind.Blocking() || lock == nil {
-				r.sleep(seg.Dur)
+				r.sleep(dur)
 				continue
 			}
 			// CPU span: hold the GIL, yielding every switch interval.
 			lock.run(func(quantum time.Duration) {
 				r.sleepWall(quantum)
-			}, time.Duration(float64(seg.Dur)*r.opt.scale()), gilEv)
+			}, time.Duration(float64(dur)*r.opt.scale()), gilEv)
 		}
 	}
 	finish := r.nominalSince(r.t0)
@@ -533,12 +535,13 @@ func (r *runner) runFunctionOnCPUs(si, sandbox int, fn *behavior.Spec, cpus *cpu
 		}
 	} else {
 		for _, seg := range fn.Segments {
+			dur := segmentDur(seg)
 			if seg.Kind.Blocking() {
-				r.sleep(seg.Dur)
+				r.sleep(dur)
 				continue
 			}
 			cpus.acquire()
-			r.sleep(seg.Dur)
+			r.sleep(dur)
 			cpus.release()
 		}
 	}
@@ -555,6 +558,17 @@ func (r *runner) runFunctionOnCPUs(si, sandbox int, fn *behavior.Spec, cpus *cpu
 		})
 	}
 	r.record(FnTiming{Name: fn.Name, Stage: si, Sandbox: sandbox, Start: start, Finish: finish})
+}
+
+// segmentDur samples one live execution's duration for a segment:
+// Dur, plus the heavy tail with probability TailProb. Only the live
+// executor rolls this dice — the engine, profiler and predictor always
+// see Dur, so a tail is unmodeled straggler noise by construction.
+func segmentDur(seg behavior.Segment) time.Duration {
+	if seg.TailProb > 0 && seg.TailDur > 0 && rand.Float64() < seg.TailProb {
+		return seg.Dur + seg.TailDur
+	}
+	return seg.Dur
 }
 
 // sleepWall sleeps a wall-clock duration (already scaled).

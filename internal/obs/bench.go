@@ -4,10 +4,17 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 )
+
+// finite rejects the NaN/Inf values that poison downstream arithmetic
+// and break JSON encoding (encoding/json refuses non-finite floats).
+func finite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
 
 // BenchResult is one parsed `go test -bench` line: the benchmark's name
 // (GOMAXPROCS suffix stripped) and its per-op measurements. ns/op is
@@ -121,7 +128,9 @@ func ParseGoBench(r io.Reader) ([]BenchResult, error) {
 		ok := false
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
+			if err != nil || !finite(v) {
+				// ParseFloat accepts "NaN" and "Inf"; a benchmark that
+				// reported a 0/0 metric must not poison the report.
 				continue
 			}
 			switch fields[i+1] {
@@ -171,7 +180,10 @@ func CompareBench(baseline, current *BenchReport, threshold float64) *BenchCompa
 	cmp := &BenchComparison{Baseline: baseline, Current: current, Threshold: threshold}
 	for _, nb := range current.Benchmarks {
 		ob, ok := baseline.Find(nb.Name)
-		if !ok || ob.NsPerOp <= 0 {
+		// A zero or non-finite baseline (hand-edited or truncated report)
+		// would make the ratio NaN/Inf, which encoding/json rejects —
+		// skip the pair rather than emit an unencodable comparison.
+		if !ok || ob.NsPerOp <= 0 || !finite(ob.NsPerOp) || !finite(nb.NsPerOp) {
 			continue
 		}
 		d := BenchDelta{
@@ -180,11 +192,11 @@ func CompareBench(baseline, current *BenchReport, threshold float64) *BenchCompa
 			Ratio:     nb.NsPerOp / ob.NsPerOp,
 			OldAllocs: ob.AllocsPerOp, NewAllocs: nb.AllocsPerOp,
 		}
-		if r, ok := ob.Metrics["hit_rate"]; ok {
+		if r, ok := ob.Metrics["hit_rate"]; ok && finite(r) {
 			v := r
 			d.OldHitRate = &v
 		}
-		if r, ok := nb.Metrics["hit_rate"]; ok {
+		if r, ok := nb.Metrics["hit_rate"]; ok && finite(r) {
 			v := r
 			d.NewHitRate = &v
 		}

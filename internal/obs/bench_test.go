@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -140,5 +141,63 @@ func TestCompareBenchCarriesHitRates(t *testing.T) {
 	}
 	if plain == nil || plain.OldHitRate != nil || plain.NewHitRate != nil {
 		t.Fatalf("hit rate invented for a benchmark that reported none: %+v", plain)
+	}
+}
+
+// TestParseGoBenchDropsNonFinite: b.ReportMetric of a 0/0 produces
+// "NaN hit_rate" lines, which strconv.ParseFloat happily parses; the
+// report must drop them (encoding/json refuses non-finite floats, so a
+// kept NaN would make the whole BENCH_*.json unwritable).
+func TestParseGoBenchDropsNonFinite(t *testing.T) {
+	const sample = `BenchmarkZeroOps-8   1   2000 ns/op   NaN hit_rate
+BenchmarkInfRate-8    1   3000 ns/op   +Inf items_per_op
+BenchmarkFine-8       1   4000 ns/op   0.95 hit_rate
+`
+	rs, err := ParseGoBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rs))
+	}
+	if _, ok := rs[0].Metrics["hit_rate"]; ok {
+		t.Fatalf("NaN hit_rate kept: %+v", rs[0])
+	}
+	if _, ok := rs[1].Metrics["items_per_op"]; ok {
+		t.Fatalf("+Inf metric kept: %+v", rs[1])
+	}
+	if got := rs[2].Metrics["hit_rate"]; got != 0.95 {
+		t.Fatalf("finite metric lost: %+v", rs[2])
+	}
+}
+
+// TestCompareBenchSkipsNonFinitePairs: a zero or non-finite ns/op on
+// either side (hand-edited or truncated report) must not produce a
+// NaN/Inf ratio in the comparison.
+func TestCompareBenchSkipsNonFinitePairs(t *testing.T) {
+	nan := math.NaN()
+	base := &BenchReport{Benchmarks: []BenchResult{
+		{Name: "BenchmarkZeroBase", NsPerOp: 0},
+		{Name: "BenchmarkNaNBase", NsPerOp: nan},
+		{Name: "BenchmarkOK", NsPerOp: 1000, Metrics: map[string]float64{"hit_rate": nan}},
+	}}
+	cur := &BenchReport{Benchmarks: []BenchResult{
+		{Name: "BenchmarkZeroBase", NsPerOp: 500},
+		{Name: "BenchmarkNaNBase", NsPerOp: 500},
+		{Name: "BenchmarkOK", NsPerOp: 1100, Metrics: map[string]float64{"hit_rate": 0.9}},
+	}}
+	cmp := CompareBench(base, cur, 0.10)
+	if len(cmp.Deltas) != 1 || cmp.Deltas[0].Name != "BenchmarkOK" {
+		t.Fatalf("deltas = %+v, want only BenchmarkOK", cmp.Deltas)
+	}
+	d := cmp.Deltas[0]
+	if d.OldHitRate != nil {
+		t.Fatalf("NaN baseline hit rate kept: %v", *d.OldHitRate)
+	}
+	if d.NewHitRate == nil || *d.NewHitRate != 0.9 {
+		t.Fatalf("finite hit rate lost: %+v", d)
+	}
+	if !finite(d.Ratio) {
+		t.Fatalf("non-finite ratio leaked: %v", d.Ratio)
 	}
 }

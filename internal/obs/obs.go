@@ -48,6 +48,7 @@ const (
 	CatCache    = "cache"
 	CatPlan     = "plan"
 	CatLoad     = "load"
+	CatHedge    = "hedge"
 )
 
 // GIL instant names. A CPU span emits exactly one Acquire when the

@@ -3,13 +3,14 @@ package serve
 import (
 	"context"
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 )
 
 // admission is the bounded queue in front of one workflow's executor.
 //
-// A fixed number of slots bound concurrent executions; waiters beyond
+// A fixed number of execution slots bound concurrency; waiters beyond
 // them queue, bounded by maxQueue. Before queueing, the expected sojourn
 // is estimated with the same decomposition loadgen simulates — queue
 // wait (position x mean service / slots) plus one service time, tracked
@@ -17,28 +18,53 @@ import (
 // bust the SLO is rejected immediately with a Retry-After hint instead
 // of being queued to die. Estimates are in nominal time; Retry-After is
 // converted back to wall time through the scale factor.
+//
+// The queue is not FIFO: waiters are ordered by remaining slack
+// (deadline - now - predicted execution), so the request closest to
+// violating its deadline is served first (EDF). A request whose ctx
+// carries a real deadline uses it; one without is ordered by a virtual
+// deadline of arrival + SLO (arrival + a large constant when no SLO is
+// set), which degrades to FIFO among deadline-less traffic. Requests
+// whose deadline has already expired are rejected before they queue,
+// and a waiter whose deadline passes while queued is shed at grant time
+// instead of being handed a warm slot it can no longer use.
 type admission struct {
 	app      *App
-	slots    chan struct{}
+	capacity int
 	maxQueue int
 	scale    float64
 
-	queued atomic.Int64
+	mu      sync.Mutex
+	free    int
+	waiters waiterQueue
+	seq     uint64
+
+	queued atomic.Int64 // mirrors len(waiters); lock-free depth()
 	ewmaNs atomic.Int64 // nominal mean service time
 	sloNs  atomic.Int64
 }
 
+// waiter is one queued request. ready is buffered so a grant or shed
+// never blocks the releaser; signaled (guarded by admission.mu) marks
+// that a decision is already in the buffer, which the cancellation path
+// uses to avoid losing a granted slot.
+type waiter struct {
+	ready    chan error
+	deadline time.Time // real ctx deadline; zero when none
+	key      int64     // effective deadline (UnixNano) for EDF order
+	seq      uint64    // FIFO tie-break
+	index    int
+	signaled bool
+}
+
 func newAdmission(a *App, slots, maxQueue int, scale float64) *admission {
-	adm := &admission{
+	return &admission{
 		app:      a,
-		slots:    make(chan struct{}, slots),
+		capacity: slots,
 		maxQueue: maxQueue,
 		scale:    scale,
+		free:     slots,
 	}
-	for i := 0; i < slots; i++ {
-		adm.slots <- struct{}{}
-	}
-	return adm
 }
 
 func (a *admission) setSLO(slo time.Duration) { a.sloNs.Store(int64(slo)) }
@@ -69,7 +95,7 @@ func (a *admission) estWait(pos int64) time.Duration {
 	if pos <= 0 {
 		return 0
 	}
-	return time.Duration(float64(pos) * float64(svc) / float64(cap(a.slots)))
+	return time.Duration(float64(pos) * float64(svc) / float64(a.capacity))
 }
 
 // retryAfter converts a nominal backoff into a wall-clock hint, at least
@@ -82,19 +108,46 @@ func (a *admission) retryAfter(nominal time.Duration) time.Duration {
 	return wall
 }
 
+// slackKey computes the EDF ordering key: the wall-clock instant by
+// which service must *start* for the request to make its deadline
+// (deadline minus the predicted execution, in wall time). Waiters
+// without a deadline order by a virtual deadline of arrival + SLO, so
+// deadline-less traffic keeps FIFO order among itself while a request
+// that is about to die jumps it.
+func (a *admission) slackKey(now, deadline time.Time, hasDeadline bool) int64 {
+	if hasDeadline {
+		svcWall := time.Duration(float64(a.ewmaNs.Load()) * a.scale)
+		return deadline.Add(-svcWall).UnixNano()
+	}
+	off := time.Duration(float64(a.sloNs.Load()) * a.scale)
+	if off <= 0 {
+		off = time.Hour
+	}
+	return now.Add(off).UnixNano()
+}
+
 // admit blocks until an execution slot is free (or ctx is done) and
 // returns the nominal queue wait. Requests that would overflow the
-// queue, or whose estimated sojourn busts the SLO, get an OverloadError.
+// queue, or whose estimated sojourn busts the SLO, get an OverloadError;
+// a request whose deadline has already expired gets
+// context.DeadlineExceeded without consuming a queue seat.
 func (a *admission) admit(ctx context.Context) (wait time.Duration, err error) {
-	select {
-	case <-a.slots:
-		return 0, nil
-	default:
+	deadline, hasDeadline := ctx.Deadline()
+	now := time.Now()
+	if hasDeadline && !now.Before(deadline) {
+		a.app.m.deadlineExpired.Inc()
+		return 0, context.DeadlineExceeded
 	}
 
-	pos := a.queued.Add(1)
+	a.mu.Lock()
+	if a.free > 0 {
+		a.free--
+		a.mu.Unlock()
+		return 0, nil
+	}
+	pos := int64(len(a.waiters)) + 1
 	if int(pos) > a.maxQueue {
-		a.queued.Add(-1)
+		a.mu.Unlock()
 		a.app.m.rejected.Inc()
 		return 0, &OverloadError{
 			RetryAfter: a.retryAfter(a.estWait(pos)),
@@ -104,7 +157,7 @@ func (a *admission) admit(ctx context.Context) (wait time.Duration, err error) {
 	if slo := time.Duration(a.sloNs.Load()); slo > 0 {
 		est := a.estWait(pos)
 		if svc := time.Duration(a.ewmaNs.Load()); est+svc > slo {
-			a.queued.Add(-1)
+			a.mu.Unlock()
 			a.app.m.rejected.Inc()
 			return 0, &OverloadError{
 				RetryAfter: a.retryAfter(est + svc - slo),
@@ -112,25 +165,78 @@ func (a *admission) admit(ctx context.Context) (wait time.Duration, err error) {
 			}
 		}
 	}
+	a.seq++
+	w := &waiter{
+		ready: make(chan error, 1),
+		key:   a.slackKey(now, deadline, hasDeadline),
+		seq:   a.seq,
+	}
+	if hasDeadline {
+		w.deadline = deadline
+	}
+	a.waiters.push(w)
+	a.queued.Store(int64(len(a.waiters)))
+	a.mu.Unlock()
 
 	a.app.m.queued.Add(1)
-	t0 := time.Now()
-	defer func() {
-		a.queued.Add(-1)
-		a.app.m.queued.Add(-1)
-	}()
+	defer a.app.m.queued.Add(-1)
 	select {
-	case <-a.slots:
-		wait = time.Duration(float64(time.Since(t0)) / a.scale)
+	case err := <-w.ready:
+		if err != nil {
+			// Shed at grant time: the deadline passed while queued.
+			return 0, err
+		}
+		wait = time.Duration(float64(time.Since(now)) / a.scale)
 		a.app.m.queueWait.Observe(wait)
 		return wait, nil
 	case <-ctx.Done():
+		a.mu.Lock()
+		if w.signaled {
+			a.mu.Unlock()
+			// The decision raced the cancellation and is already in the
+			// buffer; a granted slot must be handed onward, not lost.
+			if err := <-w.ready; err == nil {
+				a.release()
+			}
+			return 0, context.Cause(ctx)
+		}
+		a.waiters.remove(w.index)
+		a.queued.Store(int64(len(a.waiters)))
+		a.mu.Unlock()
 		return 0, context.Cause(ctx)
 	}
 }
 
-// done releases the execution slot.
-func (a *admission) done() { a.slots <- struct{}{} }
+// done releases the execution slot: the waiter with the least remaining
+// slack is granted it, dead-on-arrival waiters are shed on the way.
+func (a *admission) done() { a.release() }
+
+func (a *admission) release() {
+	now := time.Now()
+	for {
+		a.mu.Lock()
+		w := a.waiters.popMin()
+		if w == nil {
+			a.free++
+			a.mu.Unlock()
+			return
+		}
+		a.queued.Store(int64(len(a.waiters)))
+		w.signaled = true
+		if !w.deadline.IsZero() && !now.Before(w.deadline) {
+			// Already dead: signal the shed (buffered, never blocks) and
+			// offer the slot to the next waiter instead of burning a
+			// warm instance on a request nobody is waiting for.
+			w.ready <- context.DeadlineExceeded
+			a.mu.Unlock()
+			a.app.m.deadlineShed.Inc()
+			continue
+		}
+		w.ready <- nil
+		a.mu.Unlock()
+		return
+	}
+}
 
 // ceilSeconds renders a Retry-After header value (whole seconds, >= 1).
 func ceilSeconds(d time.Duration) int {
@@ -139,4 +245,91 @@ func ceilSeconds(d time.Duration) int {
 		s = 1
 	}
 	return s
+}
+
+// waiterQueue is a hand-rolled binary min-heap over (key, seq): least
+// effective deadline first, FIFO among equals. Hand-rolled rather than
+// container/heap so push/pop stay free of interface boxing.
+type waiterQueue []*waiter
+
+func (q waiterQueue) less(i, j int) bool {
+	if q[i].key != q[j].key {
+		return q[i].key < q[j].key
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q waiterQueue) swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *waiterQueue) push(w *waiter) {
+	w.index = len(*q)
+	*q = append(*q, w)
+	q.up(w.index)
+}
+
+func (q *waiterQueue) popMin() *waiter {
+	old := *q
+	if len(old) == 0 {
+		return nil
+	}
+	w := old[0]
+	n := len(old) - 1
+	old.swap(0, n)
+	old[n] = nil
+	*q = old[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	w.index = -1
+	return w
+}
+
+func (q *waiterQueue) remove(i int) {
+	old := *q
+	n := len(old) - 1
+	w := old[i]
+	if i != n {
+		old.swap(i, n)
+	}
+	old[n] = nil
+	*q = old[:n]
+	if i != n && n > 0 {
+		q.down(i)
+		q.up(i)
+	}
+	w.index = -1
+}
+
+func (q waiterQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q waiterQueue) down(i int) {
+	n := len(q)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.less(l, small) {
+			small = l
+		}
+		if r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		q.swap(i, small)
+		i = small
+	}
 }

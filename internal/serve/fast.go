@@ -44,6 +44,14 @@ type FastResult struct {
 	ColdStart   time.Duration
 	QueueWait   time.Duration
 	E2E         time.Duration
+	// InvocationID is the request's idempotent invocation id: the UDP
+	// header's client-chosen id on that plane, gateway-generated for
+	// HTTP. Hedged attempts share it, and exactly-once result delivery
+	// is guarded by it.
+	InvocationID uint64
+	// Hedged reports that a second instance was leased and the same
+	// invocation re-issued on it (the first completion was returned).
+	Hedged bool
 	// TraceID is non-zero when the flight recorder retained this
 	// request's trace (fetch via /debug/flight/trace?id=). Server-side
 	// only — it is not part of the UDP wire format.
@@ -58,15 +66,27 @@ type Admitted struct {
 	app  *App
 	wf   *workflowState
 	wait time.Duration
+	id   uint64
 }
 
 // AdmitHash admits one invocation of the workflow registered under
-// HashName(name), blocking in the shared admission queue exactly like an
-// HTTP request (ctx bounds the queue wait). On the happy path — index
-// hit, active plan, free slot — it performs zero heap allocations.
-// Errors: ErrNotFound (unknown hash), ErrNoPlan, ErrDraining, or an
-// *OverloadError from admission.
+// HashName(name) with a gateway-generated invocation id. See
+// AdmitHashID.
 func (a *App) AdmitHash(ctx context.Context, h uint64) (Admitted, error) {
+	return a.AdmitHashID(ctx, h, a.invSeq.Add(1))
+}
+
+// AdmitHashID admits one invocation of the workflow registered under
+// HashName(name), blocking in the shared admission queue exactly like an
+// HTTP request (ctx bounds the queue wait; its deadline orders the
+// queue by remaining slack). id is the caller's idempotent invocation
+// id — the UDP plane passes its wire header's id so hedged re-issues
+// and completion replies stay correlated end to end. On the happy path
+// — index hit, active plan, free slot — it performs zero heap
+// allocations. Errors: ErrNotFound (unknown hash), ErrNoPlan,
+// ErrDraining, context.DeadlineExceeded (deadline already expired), or
+// an *OverloadError from admission.
+func (a *App) AdmitHashID(ctx context.Context, h, id uint64) (Admitted, error) {
 	var wf *workflowState
 	if m := a.byHash.Load(); m != nil {
 		wf = (*m)[h]
@@ -85,7 +105,7 @@ func (a *App) AdmitHash(ctx context.Context, h uint64) (Admitted, error) {
 		a.untrack()
 		return Admitted{}, err
 	}
-	return Admitted{app: a, wf: wf, wait: wait}, nil
+	return Admitted{app: a, wf: wf, wait: wait, id: id}, nil
 }
 
 // Release abandons an admitted invocation without executing it,
@@ -104,15 +124,15 @@ func (ad Admitted) Execute(ctx context.Context) (FastResult, error) {
 	a := ad.app
 	defer a.untrack()
 	defer ad.wf.adm.done()
-	_, fast, err := a.executeAdmitted(ctx, ad.wf, ad.wait, nil)
+	_, fast, err := a.executeAdmitted(ctx, ad.wf, ad.wait, ad.id, nil)
 	return fast, err
 }
 
 // executeAdmitted is the execution core shared by the HTTP and UDP
-// paths: epoch load, behaviour snapshot, warm-pool lease, live run,
-// then metric and controller feedback. The caller holds an admission
-// slot (released by the caller, not here).
-func (a *App) executeAdmitted(ctx context.Context, wf *workflowState, wait time.Duration, rec obs.Recorder) (*live.Result, FastResult, error) {
+// paths: epoch load, behaviour snapshot, warm-pool lease, live run
+// (hedged when armed), then metric and controller feedback. The caller
+// holds an admission slot (released by the caller, not here).
+func (a *App) executeAdmitted(ctx context.Context, wf *workflowState, wait time.Duration, id uint64, rec obs.Recorder) (*live.Result, FastResult, error) {
 	a.m.inflight.Add(1)
 	defer a.m.inflight.Add(-1)
 
@@ -144,13 +164,27 @@ func (a *App) executeAdmitted(ctx context.Context, wf *workflowState, wait time.
 		})
 		return nil, FastResult{}, err
 	}
-	res, err := live.RunCtx(ctx, beh, ps.plan, live.Options{
-		Const:   a.opt.Const,
-		Scale:   a.opt.Scale,
-		Timeout: a.opt.RequestTimeout,
-		Rec:     runRec,
-	})
-	ps.pool.release(time.Now())
+
+	// The hedge delay is computed per request from the lock-free
+	// bias-corrected prediction; zero keeps the plain single-attempt
+	// path, byte-identical to a build without hedging.
+	var (
+		res    *live.Result
+		hedged bool
+		winner int
+	)
+	execStart := time.Now()
+	if delay := a.hedgeDelay(wf); delay > 0 {
+		res, hedged, winner, err = a.runHedged(ctx, ps, beh, runRec, delay)
+	} else {
+		res, err = live.RunCtx(ctx, beh, ps.plan, live.Options{
+			Const:   a.opt.Const,
+			Scale:   a.opt.Scale,
+			Timeout: a.opt.RequestTimeout,
+			Rec:     runRec,
+		})
+		ps.pool.release(time.Now())
+	}
 	if err != nil {
 		a.m.errors.Inc()
 		fl.Finish(fr, flight.Info{
@@ -167,28 +201,49 @@ func (a *App) executeAdmitted(ctx context.Context, wf *workflowState, wait time.
 		coldCost = a.opt.Const.ColdStart
 	}
 
-	total := wait + coldCost + res.E2E
+	// A hedged request's end-to-end time is measured, not modelled: it
+	// spans the hedge delay plus whichever attempt finished first (and
+	// folds in the hedge instance's boot, which happened inside the
+	// window). The primary's cold boot stays charged separately so the
+	// non-hedged accounting is unchanged.
+	e2e := res.E2E
+	if hedged {
+		e2e = a.nominalSince(execStart)
+	}
+	if hedged {
+		if winner == 1 {
+			a.m.hedgeWins.Inc()
+			fl.NoteEvent(wf.name, "hedge", "hedge attempt won", true)
+		} else {
+			a.m.hedgeWasted.Inc()
+			fl.NoteEvent(wf.name, "hedge", "hedge attempt wasted", false)
+		}
+	}
+
+	total := wait + coldCost + e2e
 	a.m.requests.Inc()
 	a.m.latency.Observe(total)
 	wf.adm.observe(res.E2E)
 	wf.feed(res.E2E)
 
-	id, kept := fl.Finish(fr, flight.Info{
+	traceID, kept := fl.Finish(fr, flight.Info{
 		Workflow: wf.name, Latency: total, SLO: sloNow,
 	})
 	if kept {
 		// Exemplar: the latency bucket this request landed in now points
 		// at a fetchable trace.
-		a.m.latency.SetExemplar(total, id)
+		a.m.latency.SetExemplar(total, traceID)
 	}
 
 	return res, FastResult{
-		PlanVersion: ps.version,
-		Cold:        cold,
-		ColdStart:   coldCost,
-		QueueWait:   wait,
-		E2E:         res.E2E,
-		TraceID:     id,
+		PlanVersion:  ps.version,
+		Cold:         cold,
+		ColdStart:    coldCost,
+		QueueWait:    wait,
+		E2E:          e2e,
+		InvocationID: id,
+		Hedged:       hedged,
+		TraceID:      traceID,
 	}, nil
 }
 

@@ -52,7 +52,7 @@ func TestAdmitHashLifecycle(t *testing.T) {
 
 	// Release without Execute must return the slot: the full
 	// concurrency budget stays admittable afterwards.
-	for i := 0; i < 2*cap(a.wfs["wf-test"].adm.slots); i++ {
+	for i := 0; i < 2*a.wfs["wf-test"].adm.capacity; i++ {
 		ad, err := a.AdmitHash(context.Background(), HashName("wf-test"))
 		if err != nil {
 			t.Fatalf("admit %d after releases: %v", i, err)

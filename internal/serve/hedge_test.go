@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chiron/internal/behavior"
+	"chiron/internal/dag"
+)
+
+// settleGoroutines waits for the goroutine count to return to within
+// slack of baseline and reports the final count (the runtime needs a
+// moment to retire exiting goroutines).
+func settleGoroutines(baseline, slack int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return n
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return n
+}
+
+// tailWorkflow is a single-function workflow whose NetIO segment
+// carries a heavy-tailed straggler: prob of the live executions stall
+// an extra tail on top of base.
+func tailWorkflow(base, tail time.Duration, prob float64) *dag.Workflow {
+	w, err := dag.FromStages("wf-tail", 0, []*behavior.Spec{{
+		Name: "f-tail", Runtime: behavior.Python,
+		Segments: []behavior.Segment{
+			{Kind: behavior.CPU, Dur: base / 4},
+			{Kind: behavior.NetIO, Dur: base / 2, TailDur: tail, TailProb: prob},
+			{Kind: behavior.CPU, Dur: base / 4},
+		},
+		MemMB: 16,
+	}})
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// TestHedgeLifecycleNoLeak: with an aggressive quantile every request
+// arms a hedge; each must deliver exactly one result, return both
+// leases, and leave no goroutine behind.
+func TestHedgeLifecycleNoLeak(t *testing.T) {
+	a := testApp(t, Options{Scale: 0.05, HedgeQuantile: 0.05})
+	if _, err := a.Register(testWorkflow(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	mustPlan(t, a, "wf-test", 400*time.Millisecond)
+
+	before := runtime.NumGoroutine()
+	const n = 5
+	for i := 0; i < n; i++ {
+		res, err := a.Invoke(context.Background(), "wf-test", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Hedged {
+			t.Fatalf("invoke %d: hedge did not arm (quantile 0.05)", i)
+		}
+		if res.InvocationID == 0 {
+			t.Fatalf("invoke %d: zero invocation id", i)
+		}
+	}
+
+	if got := a.m.hedges.Value(); got != n {
+		t.Fatalf("hedges_total = %d, want %d", got, n)
+	}
+	if w, l := a.m.hedgeWins.Value(), a.m.hedgeWasted.Value(); w+l != n {
+		t.Fatalf("hedge_wins %d + hedge_wasted %d != hedges %d", w, l, n)
+	}
+	// Exactly-once: one completion counted per request, no duplicates.
+	if got := a.m.requests.Value(); got != n {
+		t.Fatalf("requests_total = %d, want %d (exactly-once)", got, n)
+	}
+	pool := a.wfs["wf-test"].active.Load().pool
+	pool.mu.Lock()
+	leased := pool.leased
+	pool.mu.Unlock()
+	if leased != 0 {
+		t.Fatalf("leased = %d after all requests done, want 0", leased)
+	}
+	if after := settleGoroutines(before, 2); after > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestHedgeWinsCutStraggler: with a 50% 400ms tail and a hedge delay
+// past the base latency, hedges fire only for straggling primaries and
+// some must win (the hedge attempt redraws the tail). The win rate is
+// probabilistic but the zero-wins probability over 64 requests is
+// ~0.75^64 ≈ 1e-8.
+func TestHedgeWinsCutStraggler(t *testing.T) {
+	a := testApp(t, Options{Scale: 0.05, HedgeQuantile: 2})
+	if _, err := a.Register(tailWorkflow(10*time.Millisecond, 400*time.Millisecond, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	mustPlan(t, a, "wf-tail", time.Second)
+
+	const n = 64
+	for i := 0; i < n; i++ {
+		if _, err := a.Invoke(context.Background(), "wf-tail", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.m.requests.Value(); got != n {
+		t.Fatalf("requests_total = %d, want %d", got, n)
+	}
+	if a.m.hedges.Value() == 0 {
+		t.Fatal("no hedge ever armed against a 50% straggler")
+	}
+	if a.m.hedgeWins.Value() == 0 {
+		t.Fatal("no hedge ever won against a 50% straggler")
+	}
+	if w, l, h := a.m.hedgeWins.Value(), a.m.hedgeWasted.Value(), a.m.hedges.Value(); w+l != h {
+		t.Fatalf("hedge_wins %d + hedge_wasted %d != hedges %d", w, l, h)
+	}
+}
+
+// TestHedgeDisabledParity: with hedging off (quantile 0) and with it
+// armed-but-never-firing (huge quantile), responses are structurally
+// identical — same fields, Hedged false, zero hedge counters — so
+// enabling the feature without tripping it changes nothing observable.
+func TestHedgeDisabledParity(t *testing.T) {
+	invoke := func(q float64) (*InvokeResult, *App) {
+		a := testApp(t, Options{Scale: 0.05, HedgeQuantile: q})
+		if _, err := a.Register(testWorkflow(4 * time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		mustPlan(t, a, "wf-test", 400*time.Millisecond)
+		res, err := a.Invoke(context.Background(), "wf-test", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, a
+	}
+	off, appOff := invoke(0)
+	huge, appHuge := invoke(1000)
+
+	for name, app := range map[string]*App{"off": appOff, "huge-quantile": appHuge} {
+		if h := app.m.hedges.Value(); h != 0 {
+			t.Fatalf("%s: hedges_total = %d, want 0", name, h)
+		}
+		if w, l := app.m.hedgeWins.Value(), app.m.hedgeWasted.Value(); w != 0 || l != 0 {
+			t.Fatalf("%s: hedge win/wasted = %d/%d, want 0/0", name, w, l)
+		}
+	}
+	if off.Hedged || huge.Hedged {
+		t.Fatalf("hedged flags: off=%v huge=%v, want false/false", off.Hedged, huge.Hedged)
+	}
+
+	// Byte parity modulo measured time: zero the timing/trace fields and
+	// the serialized responses must be identical.
+	strip := func(r *InvokeResult) []byte {
+		c := *r
+		c.ColdStartMs, c.QueueWaitMs, c.E2EMs, c.TotalMs = 0, 0, 0, 0
+		c.FlightTraceID = 0
+		c.Functions = nil
+		b, err := json.Marshal(&c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := strip(off), strip(huge); string(a) != string(b) {
+		t.Fatalf("response shape diverged:\n off: %s\nhuge: %s", a, b)
+	}
+}
+
+// TestHedgedInvokeStampede: 100 concurrent hedged invocations against
+// one workflow (run under -race via make ci). Admission may shed with
+// OverloadError under the burst; everything admitted must complete
+// exactly once and unwind fully.
+func TestHedgedInvokeStampede(t *testing.T) {
+	a := testApp(t, Options{
+		Scale: 0.02, HedgeQuantile: 0.2,
+		MaxConcurrency: 32, MaxQueue: 256,
+	})
+	if _, err := a.Register(testWorkflow(5 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	mustPlan(t, a, "wf-test", 0)
+
+	before := runtime.NumGoroutine()
+	const n = 100
+	var served, overloaded atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := a.Invoke(context.Background(), "wf-test", nil)
+			switch {
+			case err == nil:
+				served.Add(1)
+			case func() bool { var ov *OverloadError; return errors.As(err, &ov) }():
+				overloaded.Add(1)
+			default:
+				t.Errorf("stampede invoke: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if served.Load()+overloaded.Load() != n {
+		t.Fatalf("served %d + overloaded %d != %d", served.Load(), overloaded.Load(), n)
+	}
+	if got := a.m.requests.Value(); got != served.Load() {
+		t.Fatalf("requests_total = %d, want %d (exactly-once under stampede)", got, served.Load())
+	}
+	if w, l, h := a.m.hedgeWins.Value(), a.m.hedgeWasted.Value(), a.m.hedges.Value(); w+l != h {
+		t.Fatalf("hedge_wins %d + hedge_wasted %d != hedges %d", w, l, h)
+	}
+	pool := a.wfs["wf-test"].active.Load().pool
+	pool.mu.Lock()
+	leased := pool.leased
+	pool.mu.Unlock()
+	if leased != 0 {
+		t.Fatalf("leased = %d after stampede, want 0", leased)
+	}
+	if a.hedgeInflight.Load() != 0 {
+		t.Fatalf("hedgeInflight = %d after stampede, want 0", a.hedgeInflight.Load())
+	}
+	if after := settleGoroutines(before, 4); after > before+4 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestRegisterBuiltinTailHeavy: the TailHeavy hedging testbed is
+// registrable through the builtin path (Extras, not the paper Suite).
+func TestRegisterBuiltinTailHeavy(t *testing.T) {
+	a := testApp(t, Options{Scale: 0.05})
+	created, err := a.RegisterBuiltin("TailHeavy")
+	if err != nil || !created {
+		t.Fatalf("RegisterBuiltin(TailHeavy): created=%v err=%v", created, err)
+	}
+	mustPlan(t, a, "TailHeavy", 0)
+	if _, err := a.Invoke(context.Background(), "TailHeavy", nil); err != nil {
+		t.Fatal(err)
+	}
+}

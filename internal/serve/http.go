@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -275,7 +276,21 @@ func (a *App) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		tr = obs.NewTrace()
 		rec = tr
 	}
-	res, err := a.Invoke(r.Context(), name, rec)
+	// ?deadline_ms= gives the request a per-request deadline, exactly
+	// like the UDP invoke header's DeadlineMs: admission orders it by
+	// remaining slack and rejects it with 504 once expired.
+	ctx := r.Context()
+	if dl := r.URL.Query().Get("deadline_ms"); dl != "" {
+		ms, err := strconv.ParseFloat(dl, 64)
+		if err != nil || ms <= 0 {
+			writeErr(w, fmt.Errorf("%w: bad deadline_ms %q", errBadRequest, dl))
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms*float64(time.Millisecond)))
+		defer cancel()
+	}
+	res, err := a.Invoke(ctx, name, rec)
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -32,8 +32,14 @@ type InvokeResult struct {
 	TotalMs     float64 `json:"total_ms"`
 	// FlightTraceID points at the retained flight trace when tail
 	// sampling kept this request (GET /debug/flight/trace?id=...).
-	FlightTraceID uint64     `json:"flight_trace_id,omitempty"`
-	Functions     []FnTiming `json:"functions"`
+	FlightTraceID uint64 `json:"flight_trace_id,omitempty"`
+	// InvocationID is the request's idempotent invocation id; hedged
+	// attempts share it and exactly one result is delivered under it.
+	InvocationID uint64 `json:"invocation_id"`
+	// Hedged reports that a second instance was leased for this request
+	// and the first completion returned.
+	Hedged    bool       `json:"hedged,omitempty"`
+	Functions []FnTiming `json:"functions"`
 }
 
 // Invoke serves one request of the named workflow: admission, warm-pool
@@ -68,7 +74,7 @@ func (a *App) invoke(ctx context.Context, name string, rec obs.Recorder) (*Invok
 	}
 	defer wf.adm.done()
 
-	res, fast, err := a.executeAdmitted(ctx, wf, wait, rec)
+	res, fast, err := a.executeAdmitted(ctx, wf, wait, a.invSeq.Add(1), rec)
 	if err != nil {
 		return nil, err
 	}
@@ -85,6 +91,8 @@ func (a *App) invoke(ctx context.Context, name string, rec obs.Recorder) (*Invok
 		// cross-check the fields.
 		TotalMs:       ms(fast.QueueWait) + ms(fast.ColdStart) + ms(fast.E2E),
 		FlightTraceID: fast.TraceID,
+		InvocationID:  fast.InvocationID,
+		Hedged:        fast.Hedged,
 		Functions:     make([]FnTiming, len(res.Functions)),
 	}
 	for i, f := range res.Functions {

@@ -65,35 +65,72 @@ func newWarmPool(a *App, plan *wrap.Plan, w *dag.Workflow, keepAlive time.Durati
 // The cold boot honours ctx; the returned cold flag tells the caller to
 // charge ColdStart to the request.
 func (p *warmPool) acquire(ctx context.Context) (cold bool, err error) {
+	n, err := p.acquireN(ctx, 1)
+	return n > 0, err
+}
+
+// acquireN leases n instances at once — the hedging path needs two —
+// taking warm instances first and booting the remainder cold under one
+// shared boot sleep (the boots proceed concurrently, like n containers
+// starting side by side). It returns how many of the leases were cold.
+//
+// On ctx cancellation mid-boot every lease is handed back: warm takes
+// are re-parked, cold boots are unwound from leased/total and the
+// resident gauge, and the cold boots that never served are recorded in
+// chiron_serve_cold_cancelled_total — the coldstarts counter stays
+// monotonic (Prometheus counters must), so capacity accounting
+// reconciles as coldstarts - cold_cancelled.
+func (p *warmPool) acquireN(ctx context.Context, n int) (cold int, err error) {
 	p.mu.Lock()
-	if n := len(p.warm); n > 0 {
-		p.warm = p.warm[:n-1]
-		p.leased++
-		p.mu.Unlock()
-		p.app.m.warmHits.Inc()
-		p.app.m.warmGauge.Add(-1)
-		return false, nil
+	warmTake := len(p.warm)
+	if warmTake > n {
+		warmTake = n
 	}
-	p.total++
-	p.leased++
+	p.warm = p.warm[:len(p.warm)-warmTake]
+	cold = n - warmTake
+	p.leased += n
+	p.total += cold
 	p.mu.Unlock()
-	p.app.m.cold.Inc()
-	p.app.m.resident.Add(int64(p.perInstMB))
+	if warmTake > 0 {
+		p.app.m.warmHits.Add(uint64(warmTake))
+		p.app.m.warmGauge.Add(int64(-warmTake))
+	}
+	if cold == 0 {
+		return 0, nil
+	}
+	p.app.m.cold.Add(uint64(cold))
+	p.app.m.resident.Add(int64(cold) * int64(p.perInstMB))
 	if p.coldWall > 0 {
 		t := time.NewTimer(p.coldWall)
 		defer t.Stop()
 		select {
 		case <-t.C:
 		case <-ctx.Done():
+			now := time.Now()
 			p.mu.Lock()
-			p.leased--
-			p.total--
+			p.leased -= n
+			p.total -= cold
+			parked := 0
+			if p.retired {
+				p.total -= warmTake
+			} else {
+				for i := 0; i < warmTake; i++ {
+					p.warm = append(p.warm, p.expiry(now))
+				}
+				parked = warmTake
+			}
 			p.mu.Unlock()
-			p.app.m.resident.Add(-int64(p.perInstMB))
-			return false, context.Cause(ctx)
+			p.app.m.resident.Add(int64(-cold) * int64(p.perInstMB))
+			if parked > 0 {
+				p.app.m.warmGauge.Add(int64(parked))
+			} else if warmTake > 0 {
+				p.app.m.resident.Add(int64(-warmTake) * int64(p.perInstMB))
+			}
+			p.app.m.coldCancelled.Add(uint64(cold))
+			return 0, context.Cause(ctx)
 		}
 	}
-	return true, nil
+	return cold, nil
 }
 
 // expiry computes a parked instance's eviction time: keep-alive with

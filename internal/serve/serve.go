@@ -95,6 +95,18 @@ type Options struct {
 	// PlanHistory is how many retired plan epochs each workflow keeps
 	// for rollback (default 4).
 	PlanHistory int
+	// HedgeQuantile arms request hedging: once a request has been
+	// executing for HedgeQuantile x the plan's bias-corrected predicted
+	// latency (the adapt controller's EWMA bias x prediction), a second
+	// warm instance is leased and the same invocation re-issued on it;
+	// the first completion wins and the loser is cancelled. 1.5 hedges
+	// requests past ~1.5x the expected latency. Zero disables hedging.
+	HedgeQuantile float64
+	// HedgeMaxInflight caps concurrent hedge attempts across the whole
+	// app (default 64): under a correlated slowdown every request runs
+	// past the quantile, and doubling all of them would double the
+	// overload instead of cutting the tail.
+	HedgeMaxInflight int
 	// PGP carries extra planner options (Style, Iso); Const and SLO are
 	// always overridden by the serving plane.
 	PGP pgp.Options
@@ -133,6 +145,9 @@ func (o *Options) defaults() {
 	}
 	if o.PlanHistory <= 0 {
 		o.PlanHistory = 4
+	}
+	if o.HedgeMaxInflight <= 0 {
+		o.HedgeMaxInflight = 64
 	}
 	if o.NegCachePolicy == "" {
 		o.NegCachePolicy = parallel.Policy2Q
@@ -193,6 +208,13 @@ type appMetrics struct {
 	rollbacks  *obs.Counter
 	bias       *obs.Gauge
 	negHits    *obs.Counter
+
+	coldCancelled   *obs.Counter
+	deadlineExpired *obs.Counter
+	deadlineShed    *obs.Counter
+	hedges          *obs.Counter
+	hedgeWins       *obs.Counter
+	hedgeWasted     *obs.Counter
 }
 
 func newAppMetrics(reg *obs.Registry) appMetrics {
@@ -217,6 +239,18 @@ func newAppMetrics(reg *obs.Registry) appMetrics {
 			"calibrated observed/predicted latency ratio x1000 (most recently updated controller)"),
 		negHits: reg.Counter("chiron_serve_negcache_hits_total",
 			"unknown-workflow lookups answered by the negative cache (no registry lock taken)"),
+		coldCancelled: reg.Counter("chiron_serve_cold_cancelled_total",
+			"cold boots cancelled mid-boot (counted in coldstarts_total but never served)"),
+		deadlineExpired: reg.Counter("chiron_serve_deadline_expired_total",
+			"requests rejected at admission because their deadline had already passed"),
+		deadlineShed: reg.Counter("chiron_serve_deadline_shed_total",
+			"queued requests shed at grant time because their deadline passed while waiting"),
+		hedges: reg.Counter("chiron_serve_hedges_total",
+			"hedge attempts issued (request ran past the hedge quantile and a second instance was leased)"),
+		hedgeWins: reg.Counter("chiron_serve_hedge_wins_total",
+			"hedged requests where the re-issued attempt finished first"),
+		hedgeWasted: reg.Counter("chiron_serve_hedge_wasted_total",
+			"hedged requests where the primary finished first (the hedge was duplicate work)"),
 	}
 }
 
@@ -260,6 +294,13 @@ type App struct {
 	inflight int
 	draining bool
 	drained  chan struct{}
+
+	// invSeq hands out invocation ids for requests that arrive without
+	// one (HTTP); the UDP plane reuses its wire header's client-chosen
+	// id instead. hedgeInflight counts hedge attempts currently running
+	// against Options.HedgeMaxInflight.
+	invSeq        atomic.Uint64
+	hedgeInflight atomic.Int64
 
 	quit    chan struct{}
 	reaperW sync.WaitGroup
@@ -409,6 +450,11 @@ type workflowState struct {
 	active  atomic.Pointer[planState]
 	version atomic.Int64
 
+	// correctedNs is the bias-corrected predicted latency (nominal ns),
+	// refreshed by the plan/rollback paths and the controller loop. The
+	// hedging fast path reads it lock-free to compute the hedge delay.
+	correctedNs atomic.Int64
+
 	adm *admission
 
 	obsCh   chan time.Duration
@@ -484,9 +530,16 @@ func (a *App) rebuildHashIndexLocked() {
 	a.byHash.Store(&m)
 }
 
-// RegisterBuiltin registers one of the evaluation workloads by name.
+// RegisterBuiltin registers one of the builtin workloads by name: the
+// paper's evaluation suite plus the extras (e.g. the TailHeavy hedging
+// testbed).
 func (a *App) RegisterBuiltin(name string) (created bool, err error) {
 	for _, e := range workloads.Suite() {
+		if e.Name == name {
+			return a.Register(e.Workflow)
+		}
+	}
+	for _, e := range workloads.Extras() {
 		if e.Name == name {
 			return a.Register(e.Workflow)
 		}
@@ -597,6 +650,7 @@ func (a *App) PlanWorkflow(name string, slo time.Duration) (*PlanInfo, error) {
 	ps := wf.swapLocked(ctrl)
 	wf.adm.setSLO(slo)
 	wf.adm.prime(ctrl.Predicted())
+	wf.correctedNs.Store(int64(ctrl.Corrected()))
 	wf.obsOnce.Do(func() { go wf.observe() })
 	return &PlanInfo{
 		Workflow:  name,
@@ -699,6 +753,7 @@ func (wf *workflowState) rollbackLocked() (*planState, error) {
 	wf.history = wf.history[:n-1]
 	ps := wf.swapLocked(wf.ctrl)
 	wf.adm.prime(prev.predicted)
+	wf.correctedNs.Store(int64(wf.ctrl.Corrected()))
 	wf.rollbacks++
 	wf.app.m.rollbacks.Inc()
 	return ps, nil
@@ -754,6 +809,7 @@ func (wf *workflowState) observe() {
 					a.opt.Flight.NoteEvent(wf.name, "calibrated", detail, false)
 				}
 				a.m.bias.Set(int64(ctrl.Bias() * 1000))
+				wf.correctedNs.Store(int64(ctrl.Corrected()))
 			}
 			wf.mu.Unlock()
 		}

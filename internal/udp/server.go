@@ -243,7 +243,12 @@ func (s *Server) handle(j *job) {
 		defer cancel()
 	}
 
-	ad, err := s.app.AdmitHash(ctx, j.h.Hash)
+	// The wire header's client-chosen id is the invocation's idempotent
+	// id: hedged re-issues inside serve share it, and the per-request ms
+	// deadline above orders this packet in the admission queue by
+	// remaining slack (an already-expired one is rejected before it
+	// queues).
+	ad, err := s.app.AdmitHashID(ctx, j.h.Hash, j.h.ID)
 	if err != nil {
 		s.m.rejected.Inc()
 		st, aux := classify(err)

@@ -207,6 +207,54 @@ func InJava(w *dag.Workflow) *dag.Workflow {
 	return c
 }
 
+// TailHeavy is a hedging testbed, not a paper workload: a short 3-stage
+// pipeline whose middle function carries a heavy-tailed straggler — a
+// few percent of live executions take an extra TailDur that neither the
+// profiler nor the predictor models. It exists to exercise request
+// hedging (the tail is exactly the unmodeled noise a hedge cuts) and is
+// exposed through Extras, not Suite, so the paper's tables stay fixed.
+func TailHeavy() *dag.Workflow {
+	lookup := &behavior.Spec{
+		Name: "th-lookup", Runtime: behavior.Python,
+		Segments: []behavior.Segment{
+			{Kind: behavior.CPU, Dur: ms(1.2)},
+			{Kind: behavior.NetIO, Dur: ms(2.0), Bytes: 2048},
+		},
+		MemMB:       2,
+		OutputBytes: 2048,
+	}
+	straggler := &behavior.Spec{
+		Name: "th-straggler", Runtime: behavior.Python,
+		Segments: []behavior.Segment{
+			{Kind: behavior.CPU, Dur: ms(2.0)},
+			// The tail: 4% of executions stall an extra 200ms — a GC
+			// pause, a slow replica, a noisy neighbour.
+			{Kind: behavior.NetIO, Dur: ms(8.0), Bytes: 8192,
+				TailDur: ms(200), TailProb: 0.04},
+			{Kind: behavior.CPU, Dur: ms(1.5)},
+		},
+		MemMB:       3,
+		OutputBytes: 4096,
+	}
+	render := &behavior.Spec{
+		Name: "th-render", Runtime: behavior.Python,
+		Segments: []behavior.Segment{
+			{Kind: behavior.CPU, Dur: ms(1.8)},
+		},
+		MemMB:       2,
+		OutputBytes: 1024,
+	}
+	w, err := dag.FromStages("TailHeavy", 0,
+		[]*behavior.Spec{lookup},
+		[]*behavior.Spec{straggler},
+		[]*behavior.Spec{render},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
 // Entry names one evaluation workload.
 type Entry struct {
 	Name     string
@@ -225,5 +273,13 @@ func Suite() []Entry {
 		{"FINRA-50", FINRA(50)},
 		{"FINRA-100", FINRA(100)},
 		{"FINRA-200", FINRA(200)},
+	}
+}
+
+// Extras returns registrable workloads that are not part of the paper's
+// evaluation suite (experiments iterate Suite; adding here is safe).
+func Extras() []Entry {
+	return []Entry{
+		{"TailHeavy", TailHeavy()},
 	}
 }
